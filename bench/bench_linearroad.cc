@@ -1,0 +1,64 @@
+// Experiment E7 (§5, [18]): the Linear Road benchmark. The paper reports
+// "out of the box good performance on the Linear Road benchmark"; LR's
+// acceptance criterion is bounded response time at a given scale factor L
+// (number of expressways). We run the simulated LR workload through the full
+// continuous-query network (segment statistics, accident detection, tolls)
+// and report ingest throughput plus per-simulated-second processing time
+// percentiles for L = 1, 2, 4.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "linearroad/driver.h"
+
+namespace datacell {
+namespace {
+
+void BM_LinearRoad(benchmark::State& state) {
+  int xways = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EngineOptions opts;
+    opts.use_wall_clock = false;  // sim time drives the LR time windows
+    Engine engine(opts);
+    auto queries = linearroad::InstallLrQueries(&engine);
+    if (!queries.ok()) {
+      state.SkipWithError(queries.status().ToString().c_str());
+      return;
+    }
+    linearroad::LrConfig cfg;
+    cfg.num_xways = xways;
+    cfg.vehicles_per_xway = 500;
+    cfg.accident_prob = 0.001;
+    linearroad::LrDriver driver(&engine, cfg);
+    // 12 simulated minutes: two full segment-statistics windows + slides.
+    if (!driver.Run(12 * 60).ok()) {
+      state.SkipWithError("driver failed");
+      return;
+    }
+    state.counters["reports"] = static_cast<double>(driver.total_reports());
+    state.counters["reports/s"] = benchmark::Counter(
+        static_cast<double>(driver.total_reports()),
+        benchmark::Counter::kIsRate);
+    state.counters["tick_p50_us"] = driver.tick_time_us().Percentile(0.5);
+    state.counters["tick_p99_us"] = driver.tick_time_us().Percentile(0.99);
+    state.counters["tick_max_us"] = driver.tick_time_us().Max();
+    state.counters["segstats_rows"] =
+        static_cast<double>(queries->segstats_sink->rows());
+    state.counters["accident_rows"] =
+        static_cast<double>(queries->accidents_sink->rows());
+    state.counters["toll_rows"] =
+        static_cast<double>(queries->tolls_sink->rows());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinearRoad)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace datacell
+
+BENCHMARK_MAIN();

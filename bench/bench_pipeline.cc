@@ -1,0 +1,136 @@
+// Experiment E1 (Fig. 1, §2.3): end-to-end throughput and per-batch latency
+// of the receptor -> basket -> factory -> basket -> emitter pipeline, as a
+// function of the ingest batch size. The paper's claim: batch (basket)
+// processing keeps kernel overhead per tuple small, so throughput grows with
+// batch size until the kernel is saturated.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace datacell {
+namespace {
+
+void BM_PipelineSelection(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  Engine engine(bench::BenchEngineOptions());
+  if (!engine.ExecuteSql("create basket r (x int)").ok()) return;
+  auto q = engine.SubmitContinuousQuery(
+      "sel", "select x from [select * from r] as s where s.x < 500000");
+  if (!q.ok()) return;
+  auto sink = std::make_shared<CountingSink>();
+  if (!engine.Subscribe(*q, sink).ok()) return;
+  auto batch_table = bench::IntBatchTable(batch);
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    if (!engine.IngestTable("r", *batch_table).ok()) return;
+    engine.Drain();
+    tuples += static_cast<int64_t>(batch);
+  }
+  bench::ReportTuplesPerSecond(state, tuples);
+  state.counters["results"] = static_cast<double>(sink->rows());
+}
+BENCHMARK(BM_PipelineSelection)
+    ->RangeMultiplier(4)
+    ->Range(1, 1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The same pipeline entered through the textual receptor interface (CSV
+/// parse + validation), measuring the adapter overhead of §2.1.
+void BM_PipelineViaReceptor(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  Engine engine(bench::BenchEngineOptions());
+  if (!engine.ExecuteSql("create basket r (x int)").ok()) return;
+  Channel wire;
+  if (!engine.AttachReceptor("r", &wire).ok()) return;
+  auto q = engine.SubmitContinuousQuery(
+      "sel", "select x from [select * from r] as s where s.x < 500000");
+  if (!q.ok()) return;
+  auto sink = std::make_shared<CountingSink>();
+  if (!engine.Subscribe(*q, sink).ok()) return;
+  std::vector<std::string> lines;
+  for (const Row& r : bench::IntRows(batch)) {
+    lines.push_back(r[0].ToString());
+  }
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    wire.PushBatch(lines);
+    engine.Drain();
+    tuples += static_cast<int64_t>(batch);
+  }
+  bench::ReportTuplesPerSecond(state, tuples);
+}
+BENCHMARK(BM_PipelineViaReceptor)
+    ->RangeMultiplier(4)
+    ->Range(16, 1 << 14)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Per-tuple response time as a function of batch size: the query projects
+/// the arrival ts through, and a LatencyTrackingSink measures delivery
+/// minus arrival. Larger ingest batches raise throughput (above) at the
+/// price of per-tuple latency — the batching trade-off E1 quantifies.
+void BM_PipelineLatency(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  Engine engine(bench::BenchEngineOptions());
+  if (!engine.ExecuteSql("create basket r (x int)").ok()) return;
+  auto q = engine.SubmitContinuousQuery(
+      // The arrival ts must be aliased: a bare `ts` output column would
+      // collide with the output basket's own implicit ts.
+      "sel", "select x, ts as arrival from [select * from r] as s "
+             "where s.x < 500000");
+  if (!q.ok()) return;
+  auto sink = std::make_shared<LatencyTrackingSink>(/*ts_column=*/1);
+  if (!engine.Subscribe(*q, sink).ok()) return;
+  auto rows = bench::IntRows(batch);
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    // Row-at-a-time ingest: each tuple gets its own arrival stamp, then the
+    // batch is processed in one sweep once `batch` tuples accumulated.
+    for (const Row& r : rows) {
+      if (!engine.Ingest("r", r).ok()) return;
+    }
+    engine.Drain();
+    tuples += static_cast<int64_t>(batch);
+  }
+  bench::ReportTuplesPerSecond(state, tuples);
+  SampleStats lat = sink->latencies_us();
+  state.counters["lat_p50_us"] = lat.Percentile(0.5);
+  state.counters["lat_p99_us"] = lat.Percentile(0.99);
+}
+BENCHMARK(BM_PipelineLatency)
+    ->RangeMultiplier(8)
+    ->Range(8, 1 << 15)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Cascaded query network: results of query 1 feed query 2 (the paper's
+/// network-of-queries, §4).
+void BM_PipelineCascade(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  Engine engine(bench::BenchEngineOptions());
+  if (!engine.ExecuteSql("create basket r (x int)").ok()) return;
+  auto q1 = engine.SubmitContinuousQuery(
+      "stage1", "select x * 2 as x2 from [select * from r] as s");
+  auto q2 = engine.SubmitContinuousQuery(
+      "stage2", "select x2 from [select * from stage1_out] as t "
+                "where t.x2 < 1000000");
+  if (!q1.ok() || !q2.ok()) return;
+  auto sink = std::make_shared<CountingSink>();
+  if (!engine.Subscribe(*q2, sink).ok()) return;
+  auto batch_table = bench::IntBatchTable(batch);
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    if (!engine.IngestTable("r", *batch_table).ok()) return;
+    engine.Drain();
+    tuples += static_cast<int64_t>(batch);
+  }
+  bench::ReportTuplesPerSecond(state, tuples);
+}
+BENCHMARK(BM_PipelineCascade)
+    ->RangeMultiplier(4)
+    ->Range(16, 1 << 14)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace datacell
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Ablation for §3.2's shared factories: N queries whose basket expressions
+// are identical (same stream, same selective predicate) but whose outer
+// queries differ. Without factoring, every query factory evaluates the
+// predicate over the stream; with common-subplan factoring one auxiliary
+// transition evaluates it once and feeds everyone. The paper: "queries
+// requiring similar ranges in selection operators can be supported by
+// shared factories that give output to more than one query's factories".
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace datacell {
+namespace {
+
+void RunSubplanBench(benchmark::State& state, bool factored) {
+  int num_queries = static_cast<int>(state.range(0));
+  constexpr size_t kBatch = 8192;
+  EngineOptions opts;
+  opts.factor_common_subplans = factored;
+  Engine engine(opts);
+  if (!engine.ExecuteSql("create basket r (x int)").ok()) return;
+  for (int i = 0; i < num_queries; ++i) {
+    // Same basket expression (5% selectivity); different projections.
+    auto q = engine.SubmitContinuousQuery(
+        "q" + std::to_string(i),
+        "select x + " + std::to_string(i) +
+            " as y from [select * from r where r.x < 50000] as s");
+    if (!q.ok()) {
+      state.SkipWithError(q.status().ToString().c_str());
+      return;
+    }
+  }
+  auto batch_table = bench::IntBatchTable(kBatch);
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    if (!engine.IngestTable("r", *batch_table).ok()) return;
+    engine.Drain();
+    tuples += static_cast<int64_t>(kBatch);
+  }
+  bench::ReportTuplesPerSecond(state, tuples);
+  state.counters["groups"] = static_cast<double>(engine.num_shared_subplans());
+}
+
+void BM_SubplanUnfactored(benchmark::State& state) {
+  RunSubplanBench(state, /*factored=*/false);
+}
+BENCHMARK(BM_SubplanUnfactored)
+    ->RangeMultiplier(2)
+    ->Range(1, 32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SubplanFactored(benchmark::State& state) {
+  RunSubplanBench(state, /*factored=*/true);
+}
+BENCHMARK(BM_SubplanFactored)
+    ->RangeMultiplier(2)
+    ->Range(1, 32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace datacell
+
+BENCHMARK_MAIN();

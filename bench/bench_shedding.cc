@@ -1,0 +1,52 @@
+// Ablation for load shedding (§1): the consumer is offline while the
+// producer keeps sending. Without a basket capacity the basket grows with
+// every round (unbounded memory); with shedding it stays flat at the
+// capacity while arrivals are counted as shed. Fixed ingest volume so the
+// final footprints are comparable.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace datacell {
+namespace {
+
+void RunSheddingBench(benchmark::State& state, size_t capacity) {
+  constexpr size_t kBatch = 16384;
+  constexpr int kRounds = 256;  // fixed volume so memory is comparable
+  EngineOptions opts;
+  opts.max_basket_tuples = capacity;  // 0 = unbounded
+  Engine engine(opts);
+  if (!engine.ExecuteSql("create basket r (x int)").ok()) return;
+  // The consumer is offline (e.g. a stalled downstream system): tuples only
+  // accumulate. Unbounded, the basket grows with every round; with a
+  // capacity, shedding keeps it — and the engine's memory — flat.
+  auto batch = bench::IntBatchTable(kBatch);
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    for (int r = 0; r < kRounds; ++r) {
+      if (!engine.IngestTable("r", *batch).ok()) return;
+      benchmark::DoNotOptimize(engine.tuples_ingested());
+    }
+    tuples += int64_t{kRounds} * kBatch;
+  }
+  bench::ReportTuplesPerSecond(state, tuples);
+  state.counters["basket_mb"] = static_cast<double>(
+      (*engine.GetBasket("r"))->memory_usage()) / (1024.0 * 1024.0);
+  state.counters["shed"] = static_cast<double>(engine.total_shed());
+}
+
+void BM_OverloadUnbounded(benchmark::State& state) {
+  RunSheddingBench(state, /*capacity=*/0);
+}
+BENCHMARK(BM_OverloadUnbounded)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_OverloadShedding(benchmark::State& state) {
+  RunSheddingBench(state, /*capacity=*/64 * 1024);
+}
+BENCHMARK(BM_OverloadShedding)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace datacell
+
+BENCHMARK_MAIN();

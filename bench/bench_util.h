@@ -1,0 +1,79 @@
+#ifndef DATACELL_BENCH_BENCH_UTIL_H_
+#define DATACELL_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "adapters/generator.h"
+#include "core/engine.h"
+
+namespace datacell {
+namespace bench {
+
+/// Engine configured for benchmarking: wall clock, deterministic stepped
+/// scheduling (the benchmark loop drives Drain()).
+inline EngineOptions BenchEngineOptions(
+    ProcessingStrategy strategy = ProcessingStrategy::kSharedBaskets) {
+  EngineOptions opts;
+  opts.default_strategy = strategy;
+  return opts;
+}
+
+/// Pre-generates `n` single-int64-column rows with values uniform in
+/// [0, 1'000'000).
+inline std::vector<Row> IntRows(size_t n, uint64_t seed = 42) {
+  std::vector<ColumnSpec> cols(1);
+  cols[0].type = DataType::kInt64;
+  cols[0].int_min = 0;
+  cols[0].int_max = 999999;
+  UniformRowGenerator gen(cols, seed);
+  return gen.NextBatch(n);
+}
+
+/// Pre-generates `n` (k int64 in [0, groups), v int64) rows.
+inline std::vector<Row> GroupedRows(size_t n, int64_t groups,
+                                    uint64_t seed = 42) {
+  std::vector<ColumnSpec> cols(2);
+  cols[0].type = DataType::kInt64;
+  cols[0].int_min = 0;
+  cols[0].int_max = groups - 1;
+  cols[1].type = DataType::kInt64;
+  cols[1].int_min = 0;
+  cols[1].int_max = 999999;
+  UniformRowGenerator gen(cols, seed);
+  return gen.NextBatch(n);
+}
+
+/// Columnar batch of single-int64-column rows (schema: x int64).
+inline TablePtr IntBatchTable(size_t n, uint64_t seed = 42) {
+  auto t = std::make_shared<Table>("batch", Schema({{"x", DataType::kInt64}}));
+  for (const Row& r : IntRows(n, seed)) {
+    if (!t->AppendRow(r).ok()) break;
+  }
+  return t;
+}
+
+/// Columnar batch of (k, v) rows (schema: k int64, v int64).
+inline TablePtr GroupedBatchTable(size_t n, int64_t groups,
+                                  uint64_t seed = 42) {
+  auto t = std::make_shared<Table>(
+      "batch", Schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}}));
+  for (const Row& r : GroupedRows(n, groups, seed)) {
+    if (!t->AppendRow(r).ok()) break;
+  }
+  return t;
+}
+
+/// Reports tuples/second from the loop's total tuple count.
+inline void ReportTuplesPerSecond(benchmark::State& state, int64_t tuples) {
+  state.counters["tuples/s"] =
+      benchmark::Counter(static_cast<double>(tuples), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(tuples);
+}
+
+}  // namespace bench
+}  // namespace datacell
+
+#endif  // DATACELL_BENCH_BENCH_UTIL_H_

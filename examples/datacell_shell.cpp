@@ -1,0 +1,184 @@
+// Interactive DataCell shell: a minimal SQL client for exploring the engine.
+// Reads ';'-terminated statements from stdin and supports a few meta
+// commands. Continuous queries are submitted with the \watch command and
+// their results print as they arrive.
+//
+//   ./build/examples/datacell_shell
+//   datacell> create basket s (x int, label string);
+//   datacell> \watch big select x, label from [select * from s] as t
+//             where t.x > 10;
+//   datacell> insert into s values (50, 'hit');
+//   datacell> \stats
+//   datacell> \quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "adapters/csv.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+
+using namespace datacell;
+
+namespace {
+
+void PrintTable(const Table& t) {
+  const Schema& schema = t.schema();
+  // Header.
+  std::string header;
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) header += " | ";
+    header += schema.field(c).name;
+  }
+  std::printf("%s\n", header.c_str());
+  std::printf("%s\n", std::string(header.size(), '-').c_str());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    std::printf("%s\n", FormatCsvRow(t.GetRow(i)).c_str());
+  }
+  std::printf("(%zu rows)\n", t.num_rows());
+}
+
+class Shell {
+ public:
+  Shell() {
+    // The shell drives the scheduler itself after every statement, so the
+    // deterministic mode gives immediate, ordered output.
+    EngineOptions opts;
+    opts.factor_common_subplans = true;
+    engine_ = std::make_unique<Engine>(opts);
+  }
+
+  int Run() {
+    std::printf("DataCell shell — end statements with ';', \\help for help\n");
+    std::string buffer;
+    std::string line;
+    std::printf("datacell> ");
+    std::fflush(stdout);
+    while (std::getline(std::cin, line)) {
+      std::string trimmed(Trim(line));
+      if (!trimmed.empty() && trimmed[0] == '\\') {
+        if (!HandleMeta(trimmed)) return 0;
+        Prompt(buffer);
+        continue;
+      }
+      buffer += line;
+      buffer += '\n';
+      size_t pos;
+      while ((pos = buffer.find(';')) != std::string::npos) {
+        std::string stmt = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        if (!Trim(stmt).empty()) Execute(stmt);
+      }
+      Prompt(buffer);
+    }
+    return 0;
+  }
+
+ private:
+  void Prompt(const std::string& buffer) {
+    std::printf(Trim(buffer).empty() ? "datacell> " : "......... ");
+    std::fflush(stdout);
+  }
+
+  void Execute(const std::string& sql) {
+    auto result = engine_->ExecuteSql(sql);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    if ((*result)->num_columns() > 0) {
+      PrintTable(**result);
+    } else {
+      std::printf("ok\n");
+    }
+    engine_->Drain();  // fire any continuous queries affected by inserts
+  }
+
+  bool HandleMeta(const std::string& cmd) {
+    if (StartsWith(cmd, "\\quit") || StartsWith(cmd, "\\q")) {
+      return false;
+    }
+    if (StartsWith(cmd, "\\help")) {
+      std::printf(
+          "  <sql>;                 run DDL / INSERT / one-time SELECT\n"
+          "  \\watch <name> <sql>;   submit a continuous query; results "
+          "print as they arrive\n"
+          "  \\explain <sql>         show the MAL plan of a query\n"
+          "  \\stats                 engine statistics\n"
+          "  \\tables                list catalog relations\n"
+          "  \\dump                  catalog as CREATE statements\n"
+          "  \\quit                  exit\n");
+      return true;
+    }
+    if (StartsWith(cmd, "\\stats")) {
+      std::printf("%s", engine_->StatsReport().c_str());
+      return true;
+    }
+    if (StartsWith(cmd, "\\dump")) {
+      std::printf("%s", engine_->DumpCatalogSql().c_str());
+      return true;
+    }
+    if (StartsWith(cmd, "\\tables")) {
+      for (const std::string& name : engine_->catalog().Names()) {
+        auto kind = engine_->catalog().KindOf(name);
+        auto table = engine_->catalog().Get(name);
+        std::printf("  %-24s %s(%s)\n", name.c_str(),
+                    kind.ok() && *kind == RelationKind::kBasket ? "basket "
+                                                                : "table  ",
+                    table.ok() ? (*table)->schema().ToString().c_str() : "?");
+      }
+      return true;
+    }
+    if (StartsWith(cmd, "\\explain ")) {
+      auto mal = engine_->ExplainSql(cmd.substr(9));
+      if (mal.ok()) {
+        std::printf("%s", mal->c_str());
+      } else {
+        std::printf("error: %s\n", mal.status().ToString().c_str());
+      }
+      return true;
+    }
+    if (StartsWith(cmd, "\\watch ")) {
+      std::istringstream in(cmd.substr(7));
+      std::string name;
+      in >> name;
+      std::string sql;
+      std::getline(in, sql);
+      // Strip a trailing ';'.
+      while (!sql.empty() && (sql.back() == ';' || sql.back() == ' ')) {
+        sql.pop_back();
+      }
+      auto q = engine_->SubmitContinuousQuery(name, sql);
+      if (!q.ok()) {
+        std::printf("error: %s\n", q.status().ToString().c_str());
+        return true;
+      }
+      auto printer = std::make_shared<CallbackSink>(
+          [name](const Table& batch, Timestamp) {
+            for (size_t i = 0; i < batch.num_rows(); ++i) {
+              std::printf("[%s] %s\n", name.c_str(),
+                          FormatCsvRow(batch.GetRow(i)).c_str());
+            }
+          });
+      if (auto st = engine_->Subscribe(*q, printer); !st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        return true;
+      }
+      std::printf("continuous query '%s' registered\n", name.c_str());
+      return true;
+    }
+    std::printf("unknown command %s (try \\help)\n", cmd.c_str());
+    return true;
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Run();
+}

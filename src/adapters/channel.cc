@@ -1,0 +1,93 @@
+#include "adapters/channel.h"
+
+#include <chrono>
+
+namespace datacell {
+
+void Channel::Push(std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ > 0 && lines_.size() >= capacity_) {
+      lines_.pop_front();
+      ++total_dropped_;
+    }
+    lines_.push_back(std::move(line));
+    ++total_pushed_;
+  }
+  cv_.notify_one();
+}
+
+void Channel::PushBatch(std::vector<std::string> lines) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::string& line : lines) {
+      if (capacity_ > 0 && lines_.size() >= capacity_) {
+        lines_.pop_front();
+        ++total_dropped_;
+      }
+      lines_.push_back(std::move(line));
+      ++total_pushed_;
+    }
+  }
+  cv_.notify_all();
+}
+
+bool Channel::TryPop(std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lines_.empty()) return false;
+  *out = std::move(lines_.front());
+  lines_.pop_front();
+  return true;
+}
+
+std::vector<std::string> Channel::DrainUpTo(size_t max) {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = std::min(max, lines_.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(lines_.front()));
+    lines_.pop_front();
+  }
+  return out;
+}
+
+bool Channel::PopBlocking(std::string* out, int64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+               [&] { return !lines_.empty() || closed_; });
+  if (lines_.empty()) return false;
+  *out = std::move(lines_.front());
+  lines_.pop_front();
+  return true;
+}
+
+void Channel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Channel::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t Channel::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+int64_t Channel::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pushed_;
+}
+
+int64_t Channel::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_dropped_;
+}
+
+}  // namespace datacell

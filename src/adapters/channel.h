@@ -1,0 +1,59 @@
+#ifndef DATACELL_ADAPTERS_CHANNEL_H_
+#define DATACELL_ADAPTERS_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace datacell {
+
+/// In-process communication channel carrying flat textual tuples — the
+/// "simple textual interface for exchanging flat relational tuples" of §2.1.
+/// Multiple producers, multiple consumers; FIFO per producer. A socket-backed
+/// receptor would feed the same interface, so the ingest code path is
+/// identical to a networked deployment.
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(size_t capacity) : capacity_(capacity) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues one line. When a capacity is set and reached, the oldest line
+  /// is dropped (load shedding at the edge) and the drop counter increases.
+  void Push(std::string line);
+  void PushBatch(std::vector<std::string> lines);
+
+  /// Non-blocking pop; false when empty.
+  bool TryPop(std::string* out);
+  /// Pops up to `max` lines without blocking.
+  std::vector<std::string> DrainUpTo(size_t max);
+  /// Blocks until a line arrives, the channel closes, or `timeout_us`
+  /// elapses; false on timeout/closed-and-empty.
+  bool PopBlocking(std::string* out, int64_t timeout_us);
+
+  /// Marks end-of-stream; producers must not push afterwards.
+  void Close();
+  bool closed() const;
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  int64_t total_pushed() const;
+  int64_t total_dropped() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> lines_;
+  size_t capacity_ = 0;  // 0 = unbounded
+  bool closed_ = false;
+  int64_t total_pushed_ = 0;
+  int64_t total_dropped_ = 0;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_ADAPTERS_CHANNEL_H_

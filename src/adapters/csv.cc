@@ -1,0 +1,122 @@
+#include "adapters/csv.h"
+
+namespace datacell {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  if (s.empty()) return true;  // distinguish empty string from null
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const Value& v, std::string* out) {
+  if (v.is_null()) return;  // empty field = null
+  if (v.is_string()) {
+    const std::string& s = v.string_value();
+    if (!NeedsQuoting(s)) {
+      *out += s;
+      return;
+    }
+    out->push_back('"');
+    for (char c : s) {
+      if (c == '"') out->push_back('"');
+      out->push_back(c);
+    }
+    out->push_back('"');
+    return;
+  }
+  *out += v.ToString();
+}
+
+}  // namespace
+
+std::string FormatCsvRow(const Row& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendField(row[i], &out);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cur.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && cur.empty()) {
+      in_quotes = true;
+      was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      // Mark quoted-empty as a real empty string by a sentinel prefix the
+      // caller strips: we instead record quoting in-band by never treating
+      // a quoted field as null (see ParseCsvRow).
+      fields.push_back(was_quoted && cur.empty() ? std::string("\x01") : cur);
+      cur.clear();
+      was_quoted = false;
+      ++i;
+      continue;
+    }
+    cur.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote in CSV line");
+  }
+  fields.push_back(was_quoted && cur.empty() ? std::string("\x01") : cur);
+  return fields;
+}
+
+Result<Row> ParseCsvRow(std::string_view line, const Schema& schema) {
+  DC_ASSIGN_OR_RETURN(std::vector<std::string> fields, SplitCsvLine(line));
+  if (fields.size() != schema.num_fields()) {
+    return Status::ParseError(
+        "tuple arity " + std::to_string(fields.size()) +
+        " does not match schema arity " + std::to_string(schema.num_fields()));
+  }
+  Row row;
+  row.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    std::string& f = fields[i];
+    bool quoted_empty = f == "\x01";
+    if (quoted_empty) f.clear();
+    DataType t = schema.field(i).type;
+    if (f.empty() && !quoted_empty) {
+      row.push_back(Value::Null());
+      continue;
+    }
+    if (t == DataType::kString) {
+      row.push_back(Value::String(std::move(f)));
+      continue;
+    }
+    DC_ASSIGN_OR_RETURN(Value v, Value::FromString(f, t));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+}  // namespace datacell

@@ -1,0 +1,27 @@
+#ifndef DATACELL_ADAPTERS_CSV_H_
+#define DATACELL_ADAPTERS_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/types.h"
+
+namespace datacell {
+
+/// Textual flat-tuple codec: comma-separated values, one tuple per line.
+/// Strings containing commas, quotes or newlines are double-quoted with ""
+/// as the quote escape. An empty unquoted field is null.
+std::string FormatCsvRow(const Row& row);
+
+/// Parses `line` into a typed tuple matching `schema` exactly (arity and
+/// types are validated — the receptor's "validate their structure" duty).
+Result<Row> ParseCsvRow(std::string_view line, const Schema& schema);
+
+/// Splits a raw CSV line into unescaped fields.
+Result<std::vector<std::string>> SplitCsvLine(std::string_view line);
+
+}  // namespace datacell
+
+#endif  // DATACELL_ADAPTERS_CSV_H_

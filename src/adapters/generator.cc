@@ -1,0 +1,64 @@
+#include "adapters/generator.h"
+
+#include "common/check.h"
+
+namespace datacell {
+
+Row UniformRowGenerator::Next() {
+  Row row;
+  row.reserve(columns_.size());
+  for (const ColumnSpec& c : columns_) {
+    switch (c.type) {
+      case DataType::kInt64: {
+        int64_t v;
+        if (c.zipf_theta > 0.0) {
+          v = c.int_min + rng_.Zipf(c.int_max - c.int_min + 1, c.zipf_theta);
+        } else {
+          v = rng_.Uniform(c.int_min, c.int_max);
+        }
+        row.push_back(Value::Int64(v));
+        break;
+      }
+      case DataType::kDouble:
+        row.push_back(Value::Double(rng_.UniformReal(c.real_min, c.real_max)));
+        break;
+      case DataType::kString:
+        row.push_back(Value::String(
+            "s" + std::to_string(rng_.Uniform(0, c.cardinality - 1))));
+        break;
+      case DataType::kBool:
+        row.push_back(Value::Bool(rng_.Bernoulli(0.5)));
+        break;
+      case DataType::kTimestamp:
+        row.push_back(Value::TimestampVal(rng_.Uniform(c.int_min, c.int_max)));
+        break;
+    }
+  }
+  return row;
+}
+
+Schema UniformRowGenerator::MakeSchema() const {
+  Schema s;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    s.AddField(Field{"c" + std::to_string(i), columns_[i].type});
+  }
+  return s;
+}
+
+Row OutOfOrderGenerator::Next() {
+  // Keep the buffer primed with `max_displacement` upcoming rows and pick
+  // either the head (in order) or a random buffered row (displaced).
+  while (buffer_.size() < max_displacement_ + 1) {
+    buffer_.push_back(inner_->Next());
+  }
+  size_t pick = 0;
+  if (max_displacement_ > 0 && rng_.Bernoulli(disorder_fraction_)) {
+    pick = static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(buffer_.size()) - 1));
+  }
+  Row out = std::move(buffer_[pick]);
+  buffer_.erase(buffer_.begin() + static_cast<ptrdiff_t>(pick));
+  return out;
+}
+
+}  // namespace datacell

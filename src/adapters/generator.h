@@ -1,0 +1,85 @@
+#ifndef DATACELL_ADAPTERS_GENERATOR_H_
+#define DATACELL_ADAPTERS_GENERATOR_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/schema.h"
+#include "storage/types.h"
+
+namespace datacell {
+
+/// Produces a synthetic stream of typed tuples. Generators are deterministic
+/// given their seed, so every benchmark run is reproducible.
+class RowGenerator {
+ public:
+  virtual ~RowGenerator() = default;
+  virtual Row Next() = 0;
+  std::vector<Row> NextBatch(size_t n) {
+    std::vector<Row> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(Next());
+    return out;
+  }
+};
+
+/// Per-column value distribution for UniformRowGenerator.
+struct ColumnSpec {
+  DataType type = DataType::kInt64;
+  // kInt64: uniform in [int_min, int_max]; with zipf_theta > 0, skewed.
+  int64_t int_min = 0;
+  int64_t int_max = 1000000;
+  double zipf_theta = 0.0;
+  // kDouble: uniform in [real_min, real_max).
+  double real_min = 0.0;
+  double real_max = 1.0;
+  // kString: "s<uniform int in [0, cardinality)>".
+  int64_t cardinality = 100;
+};
+
+/// Independent per-column draws — the generic selection/aggregation workload
+/// generator used by most benchmarks.
+class UniformRowGenerator : public RowGenerator {
+ public:
+  UniformRowGenerator(std::vector<ColumnSpec> columns, uint64_t seed)
+      : columns_(std::move(columns)), rng_(seed) {}
+
+  Row Next() override;
+
+  /// Schema matching the generated rows, with columns named c0, c1, ...
+  Schema MakeSchema() const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+  Rng rng_;
+};
+
+/// Wraps a generator and re-orders its output with bounded disorder: each
+/// row is delayed by up to `max_displacement` positions. Exercises the
+/// paper's out-of-order processing claim (§2.2) — baskets are multisets, so
+/// disorder must not change query answers.
+class OutOfOrderGenerator : public RowGenerator {
+ public:
+  OutOfOrderGenerator(std::unique_ptr<RowGenerator> inner,
+                      size_t max_displacement, double disorder_fraction,
+                      uint64_t seed)
+      : inner_(std::move(inner)),
+        max_displacement_(max_displacement),
+        disorder_fraction_(disorder_fraction),
+        rng_(seed) {}
+
+  Row Next() override;
+
+ private:
+  std::unique_ptr<RowGenerator> inner_;
+  size_t max_displacement_;
+  double disorder_fraction_;
+  Rng rng_;
+  std::deque<Row> buffer_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_ADAPTERS_GENERATOR_H_

@@ -1,0 +1,60 @@
+#ifndef DATACELL_ADAPTERS_REPLAYER_H_
+#define DATACELL_ADAPTERS_REPLAYER_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "adapters/channel.h"
+#include "adapters/generator.h"
+#include "common/result.h"
+
+namespace datacell {
+
+/// Drives a channel like a live event source: formats generated rows as
+/// textual tuples and pushes them at a target rate on its own thread. The
+/// wire-side counterpart of a receptor — together they make a full
+/// closed-loop deployment (generator -> wire -> receptor -> baskets).
+class Replayer {
+ public:
+  struct Options {
+    /// Target ingest rate; the replayer sends `batch_size` rows then sleeps
+    /// whatever keeps the long-run average at this rate.
+    double rows_per_second = 10000;
+    size_t batch_size = 256;
+    /// Stop after this many rows (0 = run until Stop()).
+    int64_t total_rows = 0;
+  };
+
+  Replayer(Channel* channel, std::unique_ptr<RowGenerator> generator,
+           Options options);
+  ~Replayer();
+
+  Replayer(const Replayer&) = delete;
+  Replayer& operator=(const Replayer&) = delete;
+
+  /// Spawns the feeding thread. One-shot.
+  Status Start();
+  /// Stops and joins. Idempotent; also called by the destructor.
+  void Stop();
+
+  /// True once `total_rows` have been sent (never true for unbounded runs).
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+  int64_t rows_sent() const { return sent_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  Channel* channel_;
+  std::unique_ptr<RowGenerator> generator_;
+  Options options_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<int64_t> sent_{0};
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_ADAPTERS_REPLAYER_H_

@@ -1,0 +1,73 @@
+#include "adapters/sink.h"
+
+#include "adapters/csv.h"
+
+namespace datacell {
+
+void CollectingSink::OnBatch(const Table& batch, Timestamp /*now_us*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < batch.num_rows(); ++i) {
+    rows_.push_back(batch.GetRow(i));
+  }
+  ++batches_;
+}
+
+std::vector<Row> CollectingSink::TakeRows() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row> out = std::move(rows_);
+  rows_.clear();
+  return out;
+}
+
+std::vector<Row> CollectingSink::SnapshotRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+size_t CollectingSink::row_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+size_t CollectingSink::batch_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+void CountingSink::OnBatch(const Table& batch, Timestamp now_us) {
+  rows_.fetch_add(static_cast<int64_t>(batch.num_rows()),
+                  std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  last_us_.store(now_us, std::memory_order_relaxed);
+}
+
+void LatencyTrackingSink::OnBatch(const Table& batch, Timestamp now_us) {
+  if (batch.num_rows() == 0 || ts_column_ >= batch.num_columns()) return;
+  const Bat& ts = *batch.column(ts_column_);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    if (ts.IsNull(i)) continue;
+    stats_.Add(static_cast<double>(now_us - ts.Int64At(i)));
+  }
+}
+
+SampleStats LatencyTrackingSink::latencies_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t LatencyTrackingSink::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(stats_.count());
+}
+
+void ChannelSink::OnBatch(const Table& batch, Timestamp /*now_us*/) {
+  std::vector<std::string> lines;
+  lines.reserve(batch.num_rows());
+  for (size_t i = 0; i < batch.num_rows(); ++i) {
+    lines.push_back(FormatCsvRow(batch.GetRow(i)));
+  }
+  channel_->PushBatch(std::move(lines));
+}
+
+}  // namespace datacell

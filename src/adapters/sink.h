@@ -1,0 +1,108 @@
+#ifndef DATACELL_ADAPTERS_SINK_H_
+#define DATACELL_ADAPTERS_SINK_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "adapters/channel.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace datacell {
+
+/// Destination for continuous-query results. Emitters deliver result batches
+/// here — the "interested clients that have subscribed to a query result"
+/// of §2.1. Implementations must be thread-safe.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  /// Delivers one result batch. `now_us` is the delivery time.
+  virtual void OnBatch(const Table& batch, Timestamp now_us) = 0;
+};
+
+/// Collects all delivered rows (tests, examples).
+class CollectingSink : public ResultSink {
+ public:
+  void OnBatch(const Table& batch, Timestamp now_us) override;
+
+  std::vector<Row> TakeRows();
+  std::vector<Row> SnapshotRows() const;
+  size_t row_count() const;
+  size_t batch_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Row> rows_;
+  size_t batches_ = 0;
+};
+
+/// Counts rows/batches without retaining data (benchmarks).
+class CountingSink : public ResultSink {
+ public:
+  void OnBatch(const Table& batch, Timestamp now_us) override;
+  int64_t rows() const { return rows_.load(std::memory_order_relaxed); }
+  int64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  Timestamp last_delivery_us() const {
+    return last_us_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> rows_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<Timestamp> last_us_{0};
+};
+
+/// Measures end-to-end response time: for each delivered row, the delta
+/// between a timestamp column produced by the query (typically the stream's
+/// arrival `ts` selected through) and the delivery instant. This is the
+/// per-tuple latency metric Linear Road-style acceptance criteria bound.
+class LatencyTrackingSink : public ResultSink {
+ public:
+  /// `ts_column` indexes the arrival-timestamp column within delivered rows
+  /// (delivered batches carry the result ts as their last column; pass the
+  /// index of the *input* ts your query projected).
+  explicit LatencyTrackingSink(size_t ts_column) : ts_column_(ts_column) {}
+
+  void OnBatch(const Table& batch, Timestamp now_us) override;
+
+  /// Snapshot of the latency samples (microseconds).
+  SampleStats latencies_us() const;
+  int64_t rows() const;
+
+ private:
+  size_t ts_column_;
+  mutable std::mutex mu_;
+  SampleStats stats_;
+};
+
+/// Invokes a callback per batch.
+class CallbackSink : public ResultSink {
+ public:
+  using Callback = std::function<void(const Table&, Timestamp)>;
+  explicit CallbackSink(Callback cb) : cb_(std::move(cb)) {}
+  void OnBatch(const Table& batch, Timestamp now_us) override {
+    cb_(batch, now_us);
+  }
+
+ private:
+  Callback cb_;
+};
+
+/// Writes each result row as a CSV line into a channel (the emitter's
+/// outbound wire format).
+class ChannelSink : public ResultSink {
+ public:
+  explicit ChannelSink(Channel* channel) : channel_(channel) {}
+  void OnBatch(const Table& batch, Timestamp now_us) override;
+
+ private:
+  Channel* channel_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_ADAPTERS_SINK_H_

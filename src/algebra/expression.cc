@@ -1,0 +1,665 @@
+#include "algebra/expression.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace datacell {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kLike:
+      return "like";
+  }
+  return "?";
+}
+
+const char* ScalarFuncToString(ScalarFunc f) {
+  switch (f) {
+    case ScalarFunc::kAbs:
+      return "abs";
+    case ScalarFunc::kFloor:
+      return "floor";
+    case ScalarFunc::kCeil:
+      return "ceil";
+    case ScalarFunc::kRound:
+      return "round";
+    case ScalarFunc::kSqrt:
+      return "sqrt";
+    case ScalarFunc::kLength:
+      return "length";
+    case ScalarFunc::kLower:
+      return "lower";
+    case ScalarFunc::kUpper:
+      return "upper";
+  }
+  return "?";
+}
+
+bool LikeMatch(std::string_view value, std::string_view pattern) {
+  // Iterative two-pointer matcher with backtracking on the last '%'.
+  size_t v = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_v = 0;
+  while (v < value.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == value[v])) {
+      ++v;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_v = v;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      v = ++star_v;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+const char* UnaryOpToString(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot:
+      return "not";
+    case UnaryOp::kNeg:
+      return "-";
+    case UnaryOp::kIsNull:
+      return "is null";
+    case UnaryOp::kIsNotNull:
+      return "is not null";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLogical(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+
+DataType ResolveFunctionType(ScalarFunc f, DataType arg) {
+  switch (f) {
+    case ScalarFunc::kAbs:
+      return arg == DataType::kDouble ? DataType::kDouble : DataType::kInt64;
+    case ScalarFunc::kFloor:
+    case ScalarFunc::kCeil:
+    case ScalarFunc::kRound:
+    case ScalarFunc::kSqrt:
+      return DataType::kDouble;
+    case ScalarFunc::kLength:
+      return DataType::kInt64;
+    case ScalarFunc::kLower:
+    case ScalarFunc::kUpper:
+      return DataType::kString;
+  }
+  return DataType::kInt64;
+}
+
+DataType ResolveBinaryType(BinaryOp op, DataType lhs, DataType rhs) {
+  if (IsComparison(op) || IsLogical(op) || op == BinaryOp::kLike) {
+    return DataType::kBool;
+  }
+  // Arithmetic: double wins; otherwise stay integer-backed.
+  if (lhs == DataType::kDouble || rhs == DataType::kDouble) {
+    return DataType::kDouble;
+  }
+  return DataType::kInt64;
+}
+
+}  // namespace
+
+ExprPtr Expr::Column(size_t index, std::string name, DataType type) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumnRef;
+  e->column_index_ = index;
+  e->name_ = std::move(name);
+  e->type_ = type;
+  return e;
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->type_ = v.is_null() ? DataType::kInt64 : v.type();
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  DC_CHECK(lhs != nullptr);
+  DC_CHECK(rhs != nullptr);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->bin_op_ = op;
+  e->type_ = ResolveBinaryType(op, lhs->type(), rhs->type());
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Function(ScalarFunc func, ExprPtr arg) {
+  DC_CHECK(arg != nullptr);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kFunction;
+  e->func_ = func;
+  e->type_ = ResolveFunctionType(func, arg->type());
+  e->children_ = {std::move(arg)};
+  return e;
+}
+
+Result<ExprPtr> Expr::Case(std::vector<ExprPtr> when_then, ExprPtr else_value) {
+  if (when_then.empty() || when_then.size() % 2 != 0 || else_value == nullptr) {
+    return Status::InvalidArgument(
+        "CASE needs (condition, value) pairs and an ELSE value");
+  }
+  DataType out = else_value->type();
+  for (size_t i = 0; i + 1 < when_then.size(); i += 2) {
+    if (when_then[i] == nullptr || when_then[i + 1] == nullptr) {
+      return Status::InvalidArgument("null CASE branch");
+    }
+    if (when_then[i]->type() != DataType::kBool) {
+      return Status::TypeError("CASE WHEN condition must be boolean: " +
+                               when_then[i]->ToString());
+    }
+    DataType vt = when_then[i + 1]->type();
+    if (vt == out) continue;
+    if (IsNumeric(vt) && IsNumeric(out)) {
+      out = DataType::kDouble;  // mixed numeric branches widen
+      continue;
+    }
+    return Status::TypeError("CASE branches must share a type");
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kCase;
+  e->type_ = out;
+  e->children_ = std::move(when_then);
+  e->children_.push_back(std::move(else_value));
+  return ExprPtr(e);
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  DC_CHECK(operand != nullptr);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kUnary;
+  e->un_op_ = op;
+  e->type_ = (op == UnaryOp::kNeg) ? operand->type() : DataType::kBool;
+  e->children_ = {std::move(operand)};
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return name_.empty() ? "$" + std::to_string(column_index_) : name_;
+    case ExprKind::kLiteral:
+      return literal_.is_null()
+                 ? "null"
+                 : (literal_.is_string() ? "'" + literal_.ToString() + "'"
+                                         : literal_.ToString());
+    case ExprKind::kBinary:
+      return "(" + left()->ToString() + " " + BinaryOpToString(bin_op_) + " " +
+             right()->ToString() + ")";
+    case ExprKind::kFunction:
+      return std::string(ScalarFuncToString(func_)) + "(" +
+             operand()->ToString() + ")";
+    case ExprKind::kCase: {
+      std::string s = "case";
+      for (size_t i = 0; i < num_when_branches(); ++i) {
+        s += " when " + when_cond(i)->ToString() + " then " +
+             when_value(i)->ToString();
+      }
+      return s + " else " + else_value()->ToString() + " end";
+    }
+    case ExprKind::kUnary:
+      if (un_op_ == UnaryOp::kIsNull || un_op_ == UnaryOp::kIsNotNull) {
+        return "(" + operand()->ToString() + " " + UnaryOpToString(un_op_) + ")";
+      }
+      return std::string(UnaryOpToString(un_op_)) + "(" +
+             operand()->ToString() + ")";
+  }
+  return "?";
+}
+
+bool Expr::IsConstant() const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return false;
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kBinary:
+      return left()->IsConstant() && right()->IsConstant();
+    case ExprKind::kUnary:
+    case ExprKind::kFunction:
+      return operand()->IsConstant();
+    case ExprKind::kCase:
+      for (const ExprPtr& c : children_) {
+        if (!c->IsConstant()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Reads element `i` of `b` as double; caller must ensure numeric type.
+inline double NumericAt(const Bat& b, size_t i) {
+  switch (b.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return static_cast<double>(b.Int64At(i));
+    case DataType::kDouble:
+      return b.DoubleAt(i);
+    case DataType::kBool:
+      return b.BoolAt(i) ? 1.0 : 0.0;
+    default:
+      DC_CHECK(false);
+      return 0.0;
+  }
+}
+
+Result<BatPtr> EvalLiteral(const Expr& expr, size_t n) {
+  auto out = std::make_shared<Bat>(expr.type());
+  const Value& v = expr.literal();
+  for (size_t i = 0; i < n; ++i) {
+    DC_RETURN_NOT_OK(out->AppendValue(v));
+  }
+  return out;
+}
+
+Result<BatPtr> EvalArithmetic(BinaryOp op, DataType out_type, const Bat& l,
+                              const Bat& r) {
+  size_t n = l.size();
+  auto out = std::make_shared<Bat>(out_type);
+  bool nulls = l.has_nulls() || r.has_nulls();
+  if (out_type == DataType::kInt64 && op != BinaryOp::kDiv) {
+    // Pure integer path (add/sub/mul/mod on int64-backed operands).
+    for (size_t i = 0; i < n; ++i) {
+      if (nulls && (l.IsNull(i) || r.IsNull(i))) {
+        out->AppendNull();
+        continue;
+      }
+      int64_t a = l.Int64At(i);
+      int64_t b = r.Int64At(i);
+      switch (op) {
+        case BinaryOp::kAdd:
+          out->AppendInt64(a + b);
+          break;
+        case BinaryOp::kSub:
+          out->AppendInt64(a - b);
+          break;
+        case BinaryOp::kMul:
+          out->AppendInt64(a * b);
+          break;
+        case BinaryOp::kMod:
+          if (b == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendInt64(a % b);
+          }
+          break;
+        default:
+          return Status::Internal("bad int arithmetic op");
+      }
+    }
+    return out;
+  }
+  if (op == BinaryOp::kDiv && out_type == DataType::kInt64) {
+    for (size_t i = 0; i < n; ++i) {
+      if ((nulls && (l.IsNull(i) || r.IsNull(i))) || r.Int64At(i) == 0) {
+        out->AppendNull();
+      } else {
+        out->AppendInt64(l.Int64At(i) / r.Int64At(i));
+      }
+    }
+    return out;
+  }
+  // Double path.
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls && (l.IsNull(i) || r.IsNull(i))) {
+      out->AppendNull();
+      continue;
+    }
+    double a = NumericAt(l, i);
+    double b = NumericAt(r, i);
+    switch (op) {
+      case BinaryOp::kAdd:
+        out->AppendDouble(a + b);
+        break;
+      case BinaryOp::kSub:
+        out->AppendDouble(a - b);
+        break;
+      case BinaryOp::kMul:
+        out->AppendDouble(a * b);
+        break;
+      case BinaryOp::kDiv:
+        if (b == 0.0) {
+          out->AppendNull();
+        } else {
+          out->AppendDouble(a / b);
+        }
+        break;
+      case BinaryOp::kMod:
+        if (b == 0.0) {
+          out->AppendNull();
+        } else {
+          out->AppendDouble(std::fmod(a, b));
+        }
+        break;
+      default:
+        return Status::Internal("bad arithmetic op");
+    }
+  }
+  return out;
+}
+
+Result<BatPtr> EvalComparison(BinaryOp op, const Bat& l, const Bat& r) {
+  size_t n = l.size();
+  auto out = std::make_shared<Bat>(DataType::kBool);
+  bool nulls = l.has_nulls() || r.has_nulls();
+  bool strings = l.type() == DataType::kString;
+  if (strings && r.type() != DataType::kString) {
+    return Status::TypeError("cannot compare string with non-string");
+  }
+  if (!strings && r.type() == DataType::kString) {
+    return Status::TypeError("cannot compare non-string with string");
+  }
+  auto emit = [&](bool lt, bool eq) {
+    bool v = false;
+    switch (op) {
+      case BinaryOp::kEq:
+        v = eq;
+        break;
+      case BinaryOp::kNe:
+        v = !eq;
+        break;
+      case BinaryOp::kLt:
+        v = lt;
+        break;
+      case BinaryOp::kLe:
+        v = lt || eq;
+        break;
+      case BinaryOp::kGt:
+        v = !lt && !eq;
+        break;
+      case BinaryOp::kGe:
+        v = !lt;
+        break;
+      default:
+        DC_CHECK(false);
+    }
+    out->AppendBool(v);
+  };
+  // Exact integer path when both sides are int64-backed: avoids the
+  // double-rounding hazard for values beyond 2^53.
+  bool both_int = IsIntegerBacked(l.type()) && IsIntegerBacked(r.type());
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls && (l.IsNull(i) || r.IsNull(i))) {
+      // Simplified 3VL: comparison with null is false.
+      out->AppendBool(false);
+      continue;
+    }
+    if (strings) {
+      const std::string& a = l.StringAt(i);
+      const std::string& b = r.StringAt(i);
+      emit(a < b, a == b);
+    } else if (both_int) {
+      int64_t a = l.Int64At(i);
+      int64_t b = r.Int64At(i);
+      emit(a < b, a == b);
+    } else {
+      double a = NumericAt(l, i);
+      double b = NumericAt(r, i);
+      emit(a < b, a == b);
+    }
+  }
+  return out;
+}
+
+Result<BatPtr> EvalLogical(BinaryOp op, const Bat& l, const Bat& r) {
+  if (l.type() != DataType::kBool || r.type() != DataType::kBool) {
+    return Status::TypeError("logical operator requires boolean operands");
+  }
+  size_t n = l.size();
+  auto out = std::make_shared<Bat>(DataType::kBool);
+  for (size_t i = 0; i < n; ++i) {
+    bool a = !l.IsNull(i) && l.BoolAt(i);
+    bool b = !r.IsNull(i) && r.BoolAt(i);
+    out->AppendBool(op == BinaryOp::kAnd ? (a && b) : (a || b));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BatPtr> EvaluateExpr(const Expr& expr, const Table& input) {
+  size_t n = input.num_rows();
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      if (expr.column_index() >= input.num_columns()) {
+        return Status::Internal("column index out of range: " +
+                                std::to_string(expr.column_index()));
+      }
+      // Zero-copy: share the input column. Consumers treat BATs from
+      // EvaluateExpr as read-only.
+      return input.column(expr.column_index());
+    }
+    case ExprKind::kLiteral:
+      return EvalLiteral(expr, n);
+    case ExprKind::kUnary: {
+      DC_ASSIGN_OR_RETURN(BatPtr child, EvaluateExpr(*expr.operand(), input));
+      auto out = std::make_shared<Bat>(expr.type());
+      switch (expr.unary_op()) {
+        case UnaryOp::kNot:
+          if (child->type() != DataType::kBool) {
+            return Status::TypeError("NOT requires a boolean operand");
+          }
+          for (size_t i = 0; i < n; ++i) {
+            out->AppendBool(!(!child->IsNull(i) && child->BoolAt(i)));
+          }
+          return out;
+        case UnaryOp::kNeg:
+          for (size_t i = 0; i < n; ++i) {
+            if (child->IsNull(i)) {
+              out->AppendNull();
+            } else if (expr.type() == DataType::kDouble) {
+              out->AppendDouble(-NumericAt(*child, i));
+            } else {
+              out->AppendInt64(-child->Int64At(i));
+            }
+          }
+          return out;
+        case UnaryOp::kIsNull:
+          for (size_t i = 0; i < n; ++i) out->AppendBool(child->IsNull(i));
+          return out;
+        case UnaryOp::kIsNotNull:
+          for (size_t i = 0; i < n; ++i) out->AppendBool(!child->IsNull(i));
+          return out;
+      }
+      return Status::Internal("bad unary op");
+    }
+    case ExprKind::kBinary: {
+      DC_ASSIGN_OR_RETURN(BatPtr l, EvaluateExpr(*expr.left(), input));
+      DC_ASSIGN_OR_RETURN(BatPtr r, EvaluateExpr(*expr.right(), input));
+      if (l->size() != r->size()) {
+        return Status::Internal("operand cardinality mismatch");
+      }
+      BinaryOp op = expr.binary_op();
+      if (op == BinaryOp::kLike) {
+        if (l->type() != DataType::kString || r->type() != DataType::kString) {
+          return Status::TypeError("LIKE requires string operands");
+        }
+        auto out = std::make_shared<Bat>(DataType::kBool);
+        for (size_t i = 0; i < n; ++i) {
+          if (l->IsNull(i) || r->IsNull(i)) {
+            out->AppendBool(false);
+            continue;
+          }
+          out->AppendBool(LikeMatch(l->StringAt(i), r->StringAt(i)));
+        }
+        return out;
+      }
+      if (IsLogical(op)) return EvalLogical(op, *l, *r);
+      if (IsComparison(op)) return EvalComparison(op, *l, *r);
+      return EvalArithmetic(op, expr.type(), *l, *r);
+    }
+    case ExprKind::kFunction: {
+      DC_ASSIGN_OR_RETURN(BatPtr arg, EvaluateExpr(*expr.operand(), input));
+      auto out = std::make_shared<Bat>(expr.type());
+      ScalarFunc f = expr.scalar_func();
+      for (size_t i = 0; i < n; ++i) {
+        if (arg->IsNull(i)) {
+          out->AppendNull();
+          continue;
+        }
+        switch (f) {
+          case ScalarFunc::kAbs:
+            if (arg->type() == DataType::kDouble) {
+              out->AppendDouble(std::abs(arg->DoubleAt(i)));
+            } else {
+              out->AppendInt64(std::abs(arg->Int64At(i)));
+            }
+            break;
+          case ScalarFunc::kFloor:
+            out->AppendDouble(std::floor(NumericAt(*arg, i)));
+            break;
+          case ScalarFunc::kCeil:
+            out->AppendDouble(std::ceil(NumericAt(*arg, i)));
+            break;
+          case ScalarFunc::kRound:
+            out->AppendDouble(std::round(NumericAt(*arg, i)));
+            break;
+          case ScalarFunc::kSqrt: {
+            double v = NumericAt(*arg, i);
+            if (v < 0) {
+              out->AppendNull();
+            } else {
+              out->AppendDouble(std::sqrt(v));
+            }
+            break;
+          }
+          case ScalarFunc::kLength:
+            out->AppendInt64(static_cast<int64_t>(arg->StringAt(i).size()));
+            break;
+          case ScalarFunc::kLower: {
+            std::string v = arg->StringAt(i);
+            for (char& c : v) c = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c)));
+            out->AppendString(std::move(v));
+            break;
+          }
+          case ScalarFunc::kUpper: {
+            std::string v = arg->StringAt(i);
+            for (char& c : v) c = static_cast<char>(std::toupper(
+                static_cast<unsigned char>(c)));
+            out->AppendString(std::move(v));
+            break;
+          }
+        }
+      }
+      return out;
+    }
+    case ExprKind::kCase: {
+      // Evaluate all branches in bulk, then pick per row (eager but
+      // columnar; branches are usually cheap).
+      std::vector<BatPtr> conds;
+      std::vector<BatPtr> vals;
+      for (size_t b = 0; b < expr.num_when_branches(); ++b) {
+        DC_ASSIGN_OR_RETURN(BatPtr c, EvaluateExpr(*expr.when_cond(b), input));
+        DC_ASSIGN_OR_RETURN(BatPtr v, EvaluateExpr(*expr.when_value(b), input));
+        conds.push_back(std::move(c));
+        vals.push_back(std::move(v));
+      }
+      DC_ASSIGN_OR_RETURN(BatPtr other, EvaluateExpr(*expr.else_value(), input));
+      auto out = std::make_shared<Bat>(expr.type());
+      auto append_from = [&](const Bat& src, size_t i) -> Status {
+        if (src.IsNull(i)) {
+          out->AppendNull();
+          return Status::OK();
+        }
+        // Branch values may be int64 while the CASE widened to double.
+        if (expr.type() == DataType::kDouble &&
+            src.type() != DataType::kDouble) {
+          out->AppendDouble(NumericAt(src, i));
+          return Status::OK();
+        }
+        return out->AppendValue(src.GetValue(i));
+      };
+      for (size_t i = 0; i < n; ++i) {
+        bool taken = false;
+        for (size_t b = 0; b < conds.size(); ++b) {
+          if (!conds[b]->IsNull(i) && conds[b]->BoolAt(i)) {
+            DC_RETURN_NOT_OK(append_from(*vals[b], i));
+            taken = true;
+            break;
+          }
+        }
+        if (!taken) {
+          DC_RETURN_NOT_OK(append_from(*other, i));
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Result<std::vector<size_t>> EvaluatePredicate(const Expr& expr,
+                                              const Table& input) {
+  if (expr.type() != DataType::kBool) {
+    return Status::TypeError("predicate must be boolean, got " +
+                             std::string(DataTypeToString(expr.type())));
+  }
+  DC_ASSIGN_OR_RETURN(BatPtr mask, EvaluateExpr(expr, input));
+  std::vector<size_t> positions;
+  size_t n = mask->size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!mask->IsNull(i) && mask->BoolAt(i)) positions.push_back(i);
+  }
+  return positions;
+}
+
+}  // namespace datacell

@@ -1,0 +1,331 @@
+#include "algebra/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace datacell {
+
+std::vector<size_t> SelectRangeInt64(const Bat& b, std::optional<int64_t> lo,
+                                     std::optional<int64_t> hi) {
+  DC_CHECK(IsIntegerBacked(b.type()));
+  std::vector<size_t> out;
+  const auto& data = b.int64_data();
+  int64_t l = lo.value_or(std::numeric_limits<int64_t>::min());
+  int64_t h = hi.value_or(std::numeric_limits<int64_t>::max());
+  if (!b.has_nulls()) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i] >= l && data[i] <= h) out.push_back(i);
+    }
+  } else {
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (!b.IsNull(i) && data[i] >= l && data[i] <= h) out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> SelectRangeDouble(const Bat& b, std::optional<double> lo,
+                                      std::optional<double> hi) {
+  DC_CHECK(b.type() == DataType::kDouble);
+  std::vector<size_t> out;
+  const auto& data = b.double_data();
+  double l = lo.value_or(-std::numeric_limits<double>::infinity());
+  double h = hi.value_or(std::numeric_limits<double>::infinity());
+  if (!b.has_nulls()) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (data[i] >= l && data[i] <= h) out.push_back(i);
+    }
+  } else {
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (!b.IsNull(i) && data[i] >= l && data[i] <= h) out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> SelectEqString(const Bat& b, const std::string& v) {
+  DC_CHECK(b.type() == DataType::kString);
+  std::vector<size_t> out;
+  const auto& data = b.string_data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!b.IsNull(i) && data[i] == v) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> IntersectPositions(const std::vector<size_t>& a,
+                                       const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<size_t> UnionPositions(const std::vector<size_t>& a,
+                                   const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<size_t> ComplementPositions(const std::vector<size_t>& a,
+                                        size_t n) {
+  std::vector<size_t> out;
+  out.reserve(n - std::min(n, a.size()));
+  size_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (next < a.size() && a[next] == i) {
+      ++next;
+      continue;
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+/// Canonical hashable key for one value of `b` at position i. Strings get a
+/// type-tag prefix so "1" and 1 never collide across group columns.
+void AppendKeyBytes(const Bat& b, size_t i, std::string* key) {
+  if (b.IsNull(i)) {
+    key->push_back('\x00');
+    return;
+  }
+  switch (b.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      key->push_back('\x01');
+      int64_t v = b.Int64At(i);
+      key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kDouble: {
+      key->push_back('\x02');
+      double v = b.DoubleAt(i);
+      key->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kBool:
+      key->push_back('\x03');
+      key->push_back(b.BoolAt(i) ? 1 : 0);
+      break;
+    case DataType::kString: {
+      key->push_back('\x04');
+      const std::string& s = b.StringAt(i);
+      uint32_t len = static_cast<uint32_t>(s.size());
+      key->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      key->append(s);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<JoinResult> HashJoin(const Bat& left_key, const Bat& right_key) {
+  if (left_key.type() != right_key.type() &&
+      !(IsIntegerBacked(left_key.type()) && IsIntegerBacked(right_key.type()))) {
+    return Status::TypeError("join key type mismatch");
+  }
+  JoinResult out;
+  // Build on the right side.
+  std::unordered_map<std::string, std::vector<size_t>> build;
+  build.reserve(right_key.size());
+  std::string key;
+  for (size_t i = 0; i < right_key.size(); ++i) {
+    if (right_key.IsNull(i)) continue;
+    key.clear();
+    AppendKeyBytes(right_key, i, &key);
+    build[key].push_back(i);
+  }
+  for (size_t i = 0; i < left_key.size(); ++i) {
+    if (left_key.IsNull(i)) continue;
+    key.clear();
+    AppendKeyBytes(left_key, i, &key);
+    auto it = build.find(key);
+    if (it == build.end()) continue;
+    for (size_t r : it->second) {
+      out.left_positions.push_back(i);
+      out.right_positions.push_back(r);
+    }
+  }
+  return out;
+}
+
+Result<Grouping> GroupBy(const Table& input,
+                         const std::vector<size_t>& key_columns) {
+  for (size_t c : key_columns) {
+    if (c >= input.num_columns()) {
+      return Status::Internal("group-by column index out of range");
+    }
+  }
+  Grouping g;
+  size_t n = input.num_rows();
+  g.group_ids.resize(n);
+  std::unordered_map<std::string, size_t> ids;
+  ids.reserve(n);
+  std::string key;
+  for (size_t i = 0; i < n; ++i) {
+    key.clear();
+    for (size_t c : key_columns) {
+      AppendKeyBytes(*input.column(c), i, &key);
+    }
+    auto [it, inserted] = ids.emplace(key, g.num_groups);
+    if (inserted) {
+      g.representatives.push_back(i);
+      ++g.num_groups;
+    }
+    g.group_ids[i] = it->second;
+  }
+  return g;
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+Value AggPartial::Finalize(AggFunc f) const {
+  switch (f) {
+    case AggFunc::kCount:
+      return Value::Int64(count);
+    case AggFunc::kSum:
+      return count == 0 ? Value::Null() : Value::Double(sum);
+    case AggFunc::kMin:
+      return count == 0 ? Value::Null() : Value::Double(min);
+    case AggFunc::kMax:
+      return count == 0 ? Value::Null() : Value::Double(max);
+    case AggFunc::kAvg:
+      return count == 0 ? Value::Null()
+                        : Value::Double(sum / static_cast<double>(count));
+  }
+  return Value::Null();
+}
+
+namespace {
+
+Status CheckAggregatable(const Bat& values) {
+  if (!IsNumeric(values.type()) && values.type() != DataType::kBool) {
+    return Status::TypeError(
+        std::string("cannot aggregate values of type ") +
+        DataTypeToString(values.type()));
+  }
+  return Status::OK();
+}
+
+inline double AggValueAt(const Bat& b, size_t i) {
+  switch (b.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return static_cast<double>(b.Int64At(i));
+    case DataType::kDouble:
+      return b.DoubleAt(i);
+    case DataType::kBool:
+      return b.BoolAt(i) ? 1.0 : 0.0;
+    default:
+      DC_CHECK(false);
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<AggPartial>> AggregateByGroup(const Bat& values,
+                                                 const Grouping& grouping) {
+  DC_RETURN_NOT_OK(CheckAggregatable(values));
+  if (values.size() != grouping.group_ids.size()) {
+    return Status::Internal("aggregate input cardinality mismatch");
+  }
+  std::vector<AggPartial> partials(grouping.num_groups);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values.IsNull(i)) continue;
+    partials[grouping.group_ids[i]].AddValue(AggValueAt(values, i));
+  }
+  return partials;
+}
+
+Result<AggPartial> AggregateAll(const Bat& values,
+                                const std::vector<size_t>* positions) {
+  DC_RETURN_NOT_OK(CheckAggregatable(values));
+  AggPartial p;
+  if (positions == nullptr) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!values.IsNull(i)) p.AddValue(AggValueAt(values, i));
+    }
+  } else {
+    for (size_t i : *positions) {
+      if (!values.IsNull(i)) p.AddValue(AggValueAt(values, i));
+    }
+  }
+  return p;
+}
+
+Result<std::vector<size_t>> SortPositions(const Table& input,
+                                          const std::vector<SortKey>& keys) {
+  for (const SortKey& k : keys) {
+    if (k.column >= input.num_columns()) {
+      return Status::Internal("sort column index out of range");
+    }
+  }
+  std::vector<size_t> perm(input.num_rows());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    for (const SortKey& k : keys) {
+      const Bat& col = *input.column(k.column);
+      Value va = col.GetValue(a);
+      Value vb = col.GetValue(b);
+      if (va < vb) return k.ascending;
+      if (vb < va) return !k.ascending;
+    }
+    return false;
+  });
+  return perm;
+}
+
+std::vector<size_t> DistinctPositions(const Table& input) {
+  std::vector<size_t> out;
+  std::unordered_map<std::string, size_t> seen;
+  std::string key;
+  for (size_t i = 0; i < input.num_rows(); ++i) {
+    key.clear();
+    for (size_t c = 0; c < input.num_columns(); ++c) {
+      AppendKeyBytes(*input.column(c), i, &key);
+    }
+    auto [it, inserted] = seen.emplace(key, i);
+    if (inserted) out.push_back(i);
+  }
+  return out;
+}
+
+std::string EncodeRowKey(const Table& input, const std::vector<size_t>& columns,
+                         size_t row) {
+  std::string key;
+  for (size_t c : columns) {
+    AppendKeyBytes(*input.column(c), row, &key);
+  }
+  return key;
+}
+
+Result<std::vector<size_t>> TopN(const Table& input,
+                                 const std::vector<SortKey>& keys, size_t n) {
+  DC_ASSIGN_OR_RETURN(std::vector<size_t> perm, SortPositions(input, keys));
+  if (perm.size() > n) perm.resize(n);
+  return perm;
+}
+
+}  // namespace datacell

@@ -1,0 +1,210 @@
+#include "baseline/row_eval.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace datacell {
+
+namespace {
+
+bool IsCmp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Value> EvalBinary(const Expr& expr, const Row& row) {
+  DC_ASSIGN_OR_RETURN(Value l, EvaluateExprOnRow(*expr.left(), row));
+  DC_ASSIGN_OR_RETURN(Value r, EvaluateExprOnRow(*expr.right(), row));
+  BinaryOp op = expr.binary_op();
+  if (op == BinaryOp::kLike) {
+    if (l.is_null() || r.is_null()) return Value::Bool(false);
+    if (!l.is_string() || !r.is_string()) {
+      return Status::TypeError("LIKE requires string operands");
+    }
+    return Value::Bool(LikeMatch(l.string_value(), r.string_value()));
+  }
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    bool a = !l.is_null() && l.bool_value();
+    bool b = !r.is_null() && r.bool_value();
+    return Value::Bool(op == BinaryOp::kAnd ? (a && b) : (a || b));
+  }
+  if (l.is_null() || r.is_null()) {
+    // Comparisons with null are false; arithmetic propagates null.
+    return IsCmp(op) ? Value::Bool(false) : Value::Null();
+  }
+  if (IsCmp(op)) {
+    bool lt;
+    bool eq;
+    if (l.is_string() && r.is_string()) {
+      lt = l.string_value() < r.string_value();
+      eq = l.string_value() == r.string_value();
+    } else {
+      double a = l.AsDouble();
+      double b = r.AsDouble();
+      lt = a < b;
+      eq = a == b;
+    }
+    switch (op) {
+      case BinaryOp::kEq:
+        return Value::Bool(eq);
+      case BinaryOp::kNe:
+        return Value::Bool(!eq);
+      case BinaryOp::kLt:
+        return Value::Bool(lt);
+      case BinaryOp::kLe:
+        return Value::Bool(lt || eq);
+      case BinaryOp::kGt:
+        return Value::Bool(!lt && !eq);
+      case BinaryOp::kGe:
+        return Value::Bool(!lt);
+      default:
+        break;
+    }
+    return Status::Internal("bad comparison");
+  }
+  // Arithmetic.
+  bool both_int = (l.is_int64() || l.is_timestamp()) &&
+                  (r.is_int64() || r.is_timestamp());
+  if (both_int && expr.type() == DataType::kInt64) {
+    int64_t a = l.int64_value();
+    int64_t b = r.int64_value();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int64(a + b);
+      case BinaryOp::kSub:
+        return Value::Int64(a - b);
+      case BinaryOp::kMul:
+        return Value::Int64(a * b);
+      case BinaryOp::kDiv:
+        return b == 0 ? Value::Null() : Value::Int64(a / b);
+      case BinaryOp::kMod:
+        return b == 0 ? Value::Null() : Value::Int64(a % b);
+      default:
+        break;
+    }
+    return Status::Internal("bad arithmetic");
+  }
+  double a = l.AsDouble();
+  double b = r.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Double(a + b);
+    case BinaryOp::kSub:
+      return Value::Double(a - b);
+    case BinaryOp::kMul:
+      return Value::Double(a * b);
+    case BinaryOp::kDiv:
+      return b == 0.0 ? Value::Null() : Value::Double(a / b);
+    case BinaryOp::kMod:
+      return b == 0.0 ? Value::Null() : Value::Double(std::fmod(a, b));
+    default:
+      break;
+  }
+  return Status::Internal("bad arithmetic op");
+}
+
+}  // namespace
+
+namespace {
+Result<Value> EvalFunctionOnRow(const Expr& expr, const Row& row) {
+  DC_ASSIGN_OR_RETURN(Value v, EvaluateExprOnRow(*expr.operand(), row));
+  if (v.is_null()) return Value::Null();
+  switch (expr.scalar_func()) {
+    case ScalarFunc::kAbs:
+      if (v.is_double()) return Value::Double(std::abs(v.double_value()));
+      return Value::Int64(std::abs(v.int64_value()));
+    case ScalarFunc::kFloor:
+      return Value::Double(std::floor(v.AsDouble()));
+    case ScalarFunc::kCeil:
+      return Value::Double(std::ceil(v.AsDouble()));
+    case ScalarFunc::kRound:
+      return Value::Double(std::round(v.AsDouble()));
+    case ScalarFunc::kSqrt:
+      return v.AsDouble() < 0 ? Value::Null()
+                              : Value::Double(std::sqrt(v.AsDouble()));
+    case ScalarFunc::kLength:
+      return Value::Int64(static_cast<int64_t>(v.string_value().size()));
+    case ScalarFunc::kLower: {
+      std::string s = v.string_value();
+      for (char& c : s) c = static_cast<char>(std::tolower(
+          static_cast<unsigned char>(c)));
+      return Value::String(std::move(s));
+    }
+    case ScalarFunc::kUpper: {
+      std::string s = v.string_value();
+      for (char& c : s) c = static_cast<char>(std::toupper(
+          static_cast<unsigned char>(c)));
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::Internal("bad scalar function");
+}
+}  // namespace
+
+Result<Value> EvaluateExprOnRow(const Expr& expr, const Row& row) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+      if (expr.column_index() >= row.size()) {
+        return Status::Internal("column index out of range");
+      }
+      return row[expr.column_index()];
+    case ExprKind::kLiteral:
+      return expr.literal();
+    case ExprKind::kBinary:
+      return EvalBinary(expr, row);
+    case ExprKind::kFunction:
+      return EvalFunctionOnRow(expr, row);
+    case ExprKind::kCase: {
+      for (size_t b = 0; b < expr.num_when_branches(); ++b) {
+        DC_ASSIGN_OR_RETURN(Value c, EvaluateExprOnRow(*expr.when_cond(b), row));
+        if (!c.is_null() && c.bool_value()) {
+          DC_ASSIGN_OR_RETURN(Value v,
+                              EvaluateExprOnRow(*expr.when_value(b), row));
+          if (!v.is_null() && expr.type() == DataType::kDouble &&
+              !v.is_double()) {
+            return Value::Double(v.AsDouble());
+          }
+          return v;
+        }
+      }
+      DC_ASSIGN_OR_RETURN(Value v, EvaluateExprOnRow(*expr.else_value(), row));
+      if (!v.is_null() && expr.type() == DataType::kDouble && !v.is_double()) {
+        return Value::Double(v.AsDouble());
+      }
+      return v;
+    }
+    case ExprKind::kUnary: {
+      DC_ASSIGN_OR_RETURN(Value v, EvaluateExprOnRow(*expr.operand(), row));
+      switch (expr.unary_op()) {
+        case UnaryOp::kNot:
+          return Value::Bool(!(!v.is_null() && v.bool_value()));
+        case UnaryOp::kNeg:
+          if (v.is_null()) return Value::Null();
+          if (v.is_double()) return Value::Double(-v.double_value());
+          return Value::Int64(-v.int64_value());
+        case UnaryOp::kIsNull:
+          return Value::Bool(v.is_null());
+        case UnaryOp::kIsNotNull:
+          return Value::Bool(!v.is_null());
+      }
+      return Status::Internal("bad unary op");
+    }
+  }
+  return Status::Internal("bad expr kind");
+}
+
+Result<bool> EvaluatePredicateOnRow(const Expr& expr, const Row& row) {
+  DC_ASSIGN_OR_RETURN(Value v, EvaluateExprOnRow(expr, row));
+  return !v.is_null() && v.bool_value();
+}
+
+}  // namespace datacell

@@ -1,0 +1,20 @@
+#ifndef DATACELL_BASELINE_ROW_EVAL_H_
+#define DATACELL_BASELINE_ROW_EVAL_H_
+
+#include "algebra/expression.h"
+#include "storage/types.h"
+
+namespace datacell {
+
+/// Evaluates `expr` against a single tuple — the tuple-at-a-time execution
+/// style of the comparator stream engines (§4). Interprets the expression
+/// tree per tuple, which is exactly the per-tuple overhead the DataCell
+/// design amortises through bulk basket processing.
+Result<Value> EvaluateExprOnRow(const Expr& expr, const Row& row);
+
+/// Convenience: evaluates a boolean expression on a tuple; nulls are false.
+Result<bool> EvaluatePredicateOnRow(const Expr& expr, const Row& row);
+
+}  // namespace datacell
+
+#endif  // DATACELL_BASELINE_ROW_EVAL_H_

@@ -1,0 +1,132 @@
+#include "baseline/tuple_engine.h"
+
+#include "common/check.h"
+
+namespace datacell {
+namespace baseline {
+
+WindowAggregateOp::WindowAggregateOp(std::vector<size_t> group_columns,
+                                     std::vector<size_t> agg_columns,
+                                     std::vector<AggFunc> funcs,
+                                     size_t window_size, size_t slide)
+    : group_columns_(std::move(group_columns)),
+      agg_columns_(std::move(agg_columns)),
+      funcs_(std::move(funcs)),
+      window_size_(window_size),
+      slide_(slide) {
+  DC_CHECK_EQ(agg_columns_.size(), funcs_.size());
+  DC_CHECK_GT(window_size_, 0u);
+  DC_CHECK_GT(slide_, 0u);
+  DC_CHECK_LE(slide_, window_size_);
+}
+
+std::string WindowAggregateOp::GroupKey(const Row& tuple) const {
+  std::string key;
+  for (size_t c : group_columns_) {
+    key += tuple[c].ToString();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+Status WindowAggregateOp::EmitWindow() {
+  // Re-scan the window content per group — the naive per-window work a
+  // tuple engine without summaries performs.
+  std::map<std::string, std::pair<Row, std::vector<AggPartial>>> groups;
+  for (const Row& t : window_) {
+    std::string key = GroupKey(t);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      Row group_values;
+      for (size_t c : group_columns_) group_values.push_back(t[c]);
+      it = groups
+               .emplace(std::move(key),
+                        std::make_pair(std::move(group_values),
+                                       std::vector<AggPartial>(funcs_.size())))
+               .first;
+    }
+    for (size_t i = 0; i < funcs_.size(); ++i) {
+      const Value& v = t[agg_columns_[i]];
+      if (!v.is_null()) it->second.second[i].AddValue(v.AsDouble());
+    }
+  }
+  for (const auto& [key, entry] : groups) {
+    Row out = entry.first;
+    for (size_t i = 0; i < funcs_.size(); ++i) {
+      out.push_back(entry.second[i].Finalize(funcs_[i]));
+    }
+    DC_RETURN_NOT_OK(EmitRow(out));
+  }
+  return Status::OK();
+}
+
+Status WindowAggregateOp::Process(const Row& tuple) {
+  window_.push_back(tuple);
+  if (window_.size() > window_size_) window_.pop_front();
+  ++seen_since_emit_;
+  if (!first_window_filled_) {
+    if (window_.size() == window_size_) {
+      first_window_filled_ = true;
+      seen_since_emit_ = 0;
+      return EmitWindow();
+    }
+    return Status::OK();
+  }
+  if (seen_since_emit_ >= slide_) {
+    seen_since_emit_ = 0;
+    return EmitWindow();
+  }
+  return Status::OK();
+}
+
+TupleOperator* TuplePipeline::Add(std::unique_ptr<TupleOperator> op) {
+  TupleOperator* raw = op.get();
+  if (!ops_.empty()) ops_.back()->SetNext(raw);
+  ops_.push_back(std::move(op));
+  return raw;
+}
+
+Status TuplePipeline::Push(const Row& tuple) {
+  ++pushed_;
+  return ops_.empty() ? Status::OK() : ops_.front()->Process(tuple);
+}
+
+Status TuplePipeline::PushBatch(const std::vector<Row>& rows) {
+  for (const Row& r : rows) {
+    DC_RETURN_NOT_OK(Push(r));
+  }
+  return Status::OK();
+}
+
+Status TuplePipeline::Finish() {
+  return ops_.empty() ? Status::OK() : ops_.front()->Finish();
+}
+
+TuplePipeline* TupleEngine::AddPipeline() {
+  pipelines_.push_back(std::make_unique<TuplePipeline>());
+  return pipelines_.back().get();
+}
+
+Status TupleEngine::Push(const Row& tuple) {
+  for (auto& p : pipelines_) {
+    DC_RETURN_NOT_OK(p->Push(tuple));
+  }
+  return Status::OK();
+}
+
+Status TupleEngine::PushBatch(const std::vector<Row>& rows) {
+  for (const Row& r : rows) {
+    DC_RETURN_NOT_OK(Push(r));
+  }
+  return Status::OK();
+}
+
+Status TupleEngine::Finish() {
+  for (auto& p : pipelines_) {
+    DC_RETURN_NOT_OK(p->Finish());
+  }
+  return Status::OK();
+}
+
+}  // namespace baseline
+}  // namespace datacell

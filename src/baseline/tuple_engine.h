@@ -1,0 +1,153 @@
+#ifndef DATACELL_BASELINE_TUPLE_ENGINE_H_
+#define DATACELL_BASELINE_TUPLE_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/expression.h"
+#include "algebra/operators.h"
+#include "baseline/row_eval.h"
+#include "storage/types.h"
+
+namespace datacell {
+namespace baseline {
+
+/// A tuple-at-a-time streaming operator, Aurora-style: each incoming tuple
+/// is pushed individually through a chain of operators. This is the
+/// comparator architecture §4 contrasts with DataCell's batch processing —
+/// it interprets expressions per tuple and dispatches virtually per
+/// operator per tuple.
+class TupleOperator {
+ public:
+  virtual ~TupleOperator() = default;
+  virtual Status Process(const Row& tuple) = 0;
+  /// Flushes any buffered state at end of stream (e.g. partial windows do
+  /// NOT emit; counters finalise).
+  virtual Status Finish() { return next_ ? next_->Finish() : Status::OK(); }
+
+  void SetNext(TupleOperator* next) { next_ = next; }
+
+ protected:
+  Status EmitRow(const Row& tuple) {
+    return next_ ? next_->Process(tuple) : Status::OK();
+  }
+
+ private:
+  TupleOperator* next_ = nullptr;
+};
+
+/// Passes through tuples satisfying the predicate.
+class FilterOp final : public TupleOperator {
+ public:
+  explicit FilterOp(ExprPtr predicate) : predicate_(std::move(predicate)) {}
+  Status Process(const Row& tuple) override {
+    DC_ASSIGN_OR_RETURN(bool pass, EvaluatePredicateOnRow(*predicate_, tuple));
+    return pass ? EmitRow(tuple) : Status::OK();
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Projects each tuple through per-tuple expression evaluation.
+class MapOp final : public TupleOperator {
+ public:
+  explicit MapOp(std::vector<ExprPtr> exprs) : exprs_(std::move(exprs)) {}
+  Status Process(const Row& tuple) override {
+    Row out;
+    out.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) {
+      DC_ASSIGN_OR_RETURN(Value v, EvaluateExprOnRow(*e, tuple));
+      out.push_back(std::move(v));
+    }
+    return EmitRow(out);
+  }
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+/// Sliding count-window aggregate, maintained per tuple (grouped by the
+/// values of `group_columns`). Emits one row per group per window
+/// completion: group values followed by one value per AggFunc.
+class WindowAggregateOp final : public TupleOperator {
+ public:
+  WindowAggregateOp(std::vector<size_t> group_columns,
+                    std::vector<size_t> agg_columns,
+                    std::vector<AggFunc> funcs, size_t window_size,
+                    size_t slide);
+  Status Process(const Row& tuple) override;
+
+ private:
+  Status EmitWindow();
+  std::string GroupKey(const Row& tuple) const;
+
+  std::vector<size_t> group_columns_;
+  std::vector<size_t> agg_columns_;
+  std::vector<AggFunc> funcs_;
+  size_t window_size_;
+  size_t slide_;
+  std::deque<Row> window_;  // the raw tuples of the current window
+  size_t seen_since_emit_ = 0;
+  bool first_window_filled_ = false;
+};
+
+/// Terminal operator: counts and optionally collects results.
+class SinkOp final : public TupleOperator {
+ public:
+  explicit SinkOp(bool collect = false) : collect_(collect) {}
+  Status Process(const Row& tuple) override {
+    ++count_;
+    if (collect_) rows_.push_back(tuple);
+    return Status::OK();
+  }
+  int64_t count() const { return count_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  bool collect_;
+  int64_t count_ = 0;
+  std::vector<Row> rows_;
+};
+
+/// An operator chain plus the push entry point. Owns its operators.
+class TuplePipeline {
+ public:
+  /// Appends `op` to the chain (first added = head).
+  TupleOperator* Add(std::unique_ptr<TupleOperator> op);
+
+  /// Pushes one tuple through the whole chain.
+  Status Push(const Row& tuple);
+  Status PushBatch(const std::vector<Row>& rows);
+  Status Finish();
+
+  int64_t tuples_pushed() const { return pushed_; }
+
+ private:
+  std::vector<std::unique_ptr<TupleOperator>> ops_;
+  int64_t pushed_ = 0;
+};
+
+/// A registry of independent pipelines sharing the same input stream —
+/// the tuple-at-a-time analogue of multiple continuous queries: every
+/// incoming tuple is offered to every pipeline.
+class TupleEngine {
+ public:
+  TuplePipeline* AddPipeline();
+  Status Push(const Row& tuple);
+  Status PushBatch(const std::vector<Row>& rows);
+  Status Finish();
+  size_t num_pipelines() const { return pipelines_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<TuplePipeline>> pipelines_;
+};
+
+}  // namespace baseline
+}  // namespace datacell
+
+#endif  // DATACELL_BASELINE_TUPLE_ENGINE_H_

@@ -1,0 +1,36 @@
+#ifndef DATACELL_COMMON_CHECK_H_
+#define DATACELL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checks that abort with a diagnostic on violation. Enabled in all
+/// build types: a database kernel that silently corrupts state is worse than
+/// one that stops.
+#define DC_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DC_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define DC_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    ::datacell::Status _dc_st = (expr);                                    \
+    if (!_dc_st.ok()) {                                                    \
+      std::fprintf(stderr, "DC_CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, _dc_st.ToString().c_str());                   \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define DC_CHECK_EQ(a, b) DC_CHECK((a) == (b))
+#define DC_CHECK_NE(a, b) DC_CHECK((a) != (b))
+#define DC_CHECK_LT(a, b) DC_CHECK((a) < (b))
+#define DC_CHECK_LE(a, b) DC_CHECK((a) <= (b))
+#define DC_CHECK_GT(a, b) DC_CHECK((a) > (b))
+#define DC_CHECK_GE(a, b) DC_CHECK((a) >= (b))
+
+#endif  // DATACELL_COMMON_CHECK_H_

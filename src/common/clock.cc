@@ -1,0 +1,20 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace datacell {
+
+Timestamp WallClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SimulatedClock::SetTime(Timestamp t) {
+  DC_CHECK_GE(t, now_.load(std::memory_order_acquire));
+  now_.store(t, std::memory_order_release);
+}
+
+}  // namespace datacell

@@ -1,0 +1,54 @@
+#ifndef DATACELL_COMMON_CLOCK_H_
+#define DATACELL_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace datacell {
+
+/// Microseconds since an arbitrary epoch. All stream timestamps use this unit.
+using Timestamp = int64_t;
+
+constexpr Timestamp kMicrosPerMilli = 1000;
+constexpr Timestamp kMicrosPerSecond = 1000 * 1000;
+
+/// Time source abstraction. Production code uses `WallClock`; tests and the
+/// deterministic engine mode use `SimulatedClock` so time-window behaviour is
+/// exactly reproducible.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds.
+  virtual Timestamp Now() const = 0;
+};
+
+/// Monotonic wall-clock time.
+class WallClock final : public Clock {
+ public:
+  Timestamp Now() const override;
+};
+
+/// Manually advanced clock for deterministic tests and simulations.
+class SimulatedClock final : public Clock {
+ public:
+  explicit SimulatedClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// Moves time forward by `delta_us` (must be non-negative).
+  void Advance(Timestamp delta_us) {
+    now_.fetch_add(delta_us, std::memory_order_acq_rel);
+  }
+
+  /// Jumps to an absolute time (must not move backwards).
+  void SetTime(Timestamp t);
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_COMMON_CLOCK_H_

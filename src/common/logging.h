@@ -1,0 +1,45 @@
+#ifndef DATACELL_COMMON_LOGGING_H_
+#define DATACELL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace datacell {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Not for hot paths.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace datacell
+
+#define DC_LOG(level)                                            \
+  ::datacell::internal_logging::LogMessage(                      \
+      ::datacell::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // DATACELL_COMMON_LOGGING_H_

@@ -1,0 +1,61 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace datacell {
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::Sum() const {
+  double s = 0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double SampleStats::Mean() const {
+  return samples_.empty() ? 0.0 : Sum() / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Min() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleStats::Max() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleStats::Percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  if (q <= 0) return samples_.front();
+  if (q >= 1) return samples_.back();
+  size_t rank = static_cast<size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+double SampleStats::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  double m = Mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+std::string SampleStats::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                count(), Mean(), Percentile(0.5), Percentile(0.95),
+                Percentile(0.99), Max());
+  return buf;
+}
+
+}  // namespace datacell

@@ -1,0 +1,56 @@
+#ifndef DATACELL_COMMON_METRICS_H_
+#define DATACELL_COMMON_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace datacell {
+
+/// Collects latency/size samples and reports order statistics. Used by the
+/// benchmark harness to report the distributions the paper's claims concern
+/// (per-tuple response time, basket occupancy, factory run time).
+class SampleStats {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// q in [0,1]; nearest-rank on the sorted samples. Returns 0 when empty.
+  double Percentile(double q) const;
+  double StdDev() const;
+
+  /// "n=.., mean=.., p50=.., p99=.., max=.." one-liner.
+  std::string Summary() const;
+
+ private:
+  // Sorted lazily by Percentile; kept simple because reporting is offline.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// Monotone counters grouped by name, for engine introspection.
+struct EngineCounters {
+  int64_t tuples_received = 0;
+  int64_t tuples_emitted = 0;
+  int64_t factory_runs = 0;
+  int64_t factory_idle_checks = 0;
+  int64_t tuples_processed = 0;
+  int64_t scheduler_iterations = 0;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_COMMON_METRICS_H_

@@ -1,0 +1,24 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace datacell {
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  DC_CHECK_GT(n, 0);
+  if (theta <= 0.0) return Uniform(0, n - 1);
+  // Inverse-CDF approximation of a Zipf(rank^-theta) distribution; accurate
+  // enough for workload skew and O(1) per draw.
+  double u = UniformReal(0.0, 1.0);
+  double exponent = 1.0 - theta;
+  double v = std::pow(static_cast<double>(n), exponent);
+  double x = std::pow(u * (v - 1.0) + 1.0, 1.0 / exponent);
+  int64_t r = static_cast<int64_t>(x) - 1;
+  if (r < 0) r = 0;
+  if (r >= n) r = n - 1;
+  return r;
+}
+
+}  // namespace datacell

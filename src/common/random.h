@@ -1,0 +1,57 @@
+#ifndef DATACELL_COMMON_RANDOM_H_
+#define DATACELL_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace datacell {
+
+/// Deterministic RNG wrapper: every workload generator takes an explicit
+/// seed so experiments and tests are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial with probability `p` of true.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Zipf-like skewed value in [0, n): rank-based approximation with
+  /// exponent `theta` in (0, 1]. theta=0 degenerates to uniform.
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Exponentially distributed inter-arrival gap with the given mean.
+  double Exponential(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+  }
+
+  /// Normal distribution.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_COMMON_RANDOM_H_

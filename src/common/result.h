@@ -1,0 +1,65 @@
+#ifndef DATACELL_COMMON_RESULT_H_
+#define DATACELL_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace datacell {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Modeled after arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirroring arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and aborts.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) std::abort();
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if `!ok()`.
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value or `alternative` when this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_COMMON_RESULT_H_

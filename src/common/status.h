@@ -1,0 +1,141 @@
+#ifndef DATACELL_COMMON_STATUS_H_
+#define DATACELL_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace datacell {
+
+/// Machine-readable classification of an error. `kOk` is the success value.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kParseError,
+  kTypeError,
+  kIoError,
+  kCancelled,
+};
+
+/// Returns a stable human-readable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus message.
+///
+/// The library does not use exceptions; every fallible public API returns a
+/// `Status` or a `Result<T>`. The OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so Status is cheap to copy; immutable after construction.
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace datacell
+
+/// Propagates a non-OK Status to the caller.
+#define DC_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::datacell::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Internal helpers for DC_ASSIGN_OR_RETURN.
+#define DC_CONCAT_IMPL_(x, y) x##y
+#define DC_CONCAT_(x, y) DC_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), returns its status on error, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define DC_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto DC_CONCAT_(_dc_result_, __LINE__) = (rexpr);            \
+  if (!DC_CONCAT_(_dc_result_, __LINE__).ok())                 \
+    return DC_CONCAT_(_dc_result_, __LINE__).status();         \
+  lhs = std::move(DC_CONCAT_(_dc_result_, __LINE__)).ValueOrDie()
+
+#endif  // DATACELL_COMMON_STATUS_H_

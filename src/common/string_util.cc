@@ -1,0 +1,95 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace datacell {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::ParseError("empty integer literal");
+  int64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    return Status::ParseError("invalid integer literal: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::ParseError("empty float literal");
+  // std::from_chars for double is not available in all libstdc++ configs we
+  // target; strtod on a NUL-terminated copy is fine off the hot path.
+  std::string buf(s);
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::ParseError("invalid float literal: '" + buf + "'");
+  }
+  return value;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace datacell

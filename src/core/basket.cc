@@ -1,0 +1,348 @@
+#include "core/basket.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace datacell {
+
+Basket::Basket(TablePtr table) : table_(std::move(table)) {
+  DC_CHECK(table_ != nullptr);
+  DC_CHECK(HasTsColumn(table_->schema()));
+}
+
+bool Basket::HasTsColumn(const Schema& schema) {
+  if (schema.num_fields() == 0) return false;
+  const Field& last = schema.field(schema.num_fields() - 1);
+  return EqualsIgnoreCase(last.name, kTsColumnName) &&
+         last.type == DataType::kTimestamp;
+}
+
+TablePtr Basket::MakeBasketTable(const std::string& name,
+                                 const Schema& user_schema) {
+  Schema full = user_schema;
+  full.AddField(Field{kTsColumnName, DataType::kTimestamp});
+  return std::make_shared<Table>(name, full);
+}
+
+Status Basket::Append(const Row& values, Timestamp ts) {
+  Row full = values;
+  full.push_back(Value::TimestampVal(ts));
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_RETURN_NOT_OK(table_->AppendRow(full));
+  ++total_appended_;
+  ShedLocked(1);
+  return Status::OK();
+}
+
+Status Basket::AppendBatch(const std::vector<Row>& rows, Timestamp ts) {
+  if (rows.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t user_cols = table_->num_columns() - 1;
+  // Validate the whole batch before mutating any column, so a bad tuple
+  // cannot leave the columns misaligned.
+  for (const Row& r : rows) {
+    if (r.size() != user_cols) {
+      return Status::InvalidArgument(
+          "tuple arity " + std::to_string(r.size()) + " does not match stream '" +
+          name() + "' arity " + std::to_string(user_cols));
+    }
+    for (size_t c = 0; c < user_cols; ++c) {
+      Status st = CheckValueType(r[c], table_->column(c)->type());
+      if (!st.ok()) {
+        return Status::TypeError("column '" + table_->schema().field(c).name +
+                                 "': " + st.message());
+      }
+    }
+  }
+  // Column-at-a-time append: one type dispatch per column, not per value.
+  for (size_t c = 0; c < user_cols; ++c) {
+    Bat& col = *table_->column(c);
+    switch (col.type()) {
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        for (const Row& r : rows) {
+          if (r[c].is_null()) {
+            col.AppendNull();
+          } else {
+            col.AppendInt64(r[c].int64_value());
+          }
+        }
+        break;
+      case DataType::kDouble:
+        for (const Row& r : rows) {
+          if (r[c].is_null()) {
+            col.AppendNull();
+          } else {
+            col.AppendDouble(r[c].AsDouble());
+          }
+        }
+        break;
+      case DataType::kBool:
+        for (const Row& r : rows) {
+          if (r[c].is_null()) {
+            col.AppendNull();
+          } else {
+            col.AppendBool(r[c].bool_value());
+          }
+        }
+        break;
+      case DataType::kString:
+        for (const Row& r : rows) {
+          if (r[c].is_null()) {
+            col.AppendNull();
+          } else {
+            col.AppendString(r[c].string_value());
+          }
+        }
+        break;
+    }
+  }
+  Bat& ts_col = *table_->column(user_cols);
+  for (size_t i = 0; i < rows.size(); ++i) ts_col.AppendInt64(ts);
+  total_appended_ += static_cast<int64_t>(rows.size());
+  ShedLocked(rows.size());
+  return Status::OK();
+}
+
+Status Basket::AppendWithTs(const Table& rows_with_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_RETURN_NOT_OK(table_->AppendTable(rows_with_ts));
+  total_appended_ += static_cast<int64_t>(rows_with_ts.num_rows());
+  ShedLocked(rows_with_ts.num_rows());
+  return Status::OK();
+}
+
+Status Basket::AppendStamped(const Table& rows, Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n_cols = table_->num_columns();
+  if (rows.num_columns() != n_cols - 1) {
+    return Status::InvalidArgument(
+        "stamped append arity mismatch: got " +
+        std::to_string(rows.num_columns()) + " columns, basket '" + name() +
+        "' holds " + std::to_string(n_cols - 1) + " (plus ts)");
+  }
+  for (size_t c = 0; c + 1 < n_cols; ++c) {
+    if (table_->column(c)->type() != rows.column(c)->type()) {
+      return Status::TypeError("stamped append type mismatch at column " +
+                               std::to_string(c));
+    }
+  }
+  for (size_t c = 0; c + 1 < n_cols; ++c) {
+    table_->column(c)->AppendBat(*rows.column(c));
+  }
+  Bat& ts_col = *table_->column(n_cols - 1);
+  for (size_t i = 0; i < rows.num_rows(); ++i) {
+    ts_col.AppendInt64(ts);
+  }
+  total_appended_ += static_cast<int64_t>(rows.num_rows());
+  ShedLocked(rows.num_rows());
+  return Status::OK();
+}
+
+void Basket::SetCapacity(size_t max_tuples, DropPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = max_tuples;
+  drop_policy_ = policy;
+  ShedLocked(0);
+}
+
+size_t Basket::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+int64_t Basket::total_shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_shed_;
+}
+
+void Basket::ShedLocked(size_t appended) {
+  if (capacity_ == 0) return;
+  size_t n = table_->num_rows();
+  if (n <= capacity_) return;
+  size_t excess = n - capacity_;
+  if (drop_policy_ == DropPolicy::kDropOldest) {
+    table_->RemovePrefix(excess);
+  } else {
+    // Refuse the most recent arrivals, but never more than this call added.
+    size_t drop_new = std::min(excess, appended);
+    if (drop_new > 0) {
+      std::vector<size_t> suffix;
+      suffix.reserve(drop_new);
+      for (size_t i = n - drop_new; i < n; ++i) suffix.push_back(i);
+      table_->RemovePositions(suffix);
+    }
+    // A shrunken capacity can leave old excess behind; shed it oldest-first.
+    size_t still = table_->num_rows() > capacity_
+                       ? table_->num_rows() - capacity_
+                       : 0;
+    if (still > 0) table_->RemovePrefix(still);
+  }
+  total_shed_ += static_cast<int64_t>(excess);
+}
+
+TablePtr Basket::DrainAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TablePtr out = TablePtr(table_->Clone());
+  total_consumed_ += static_cast<int64_t>(table_->num_rows());
+  table_->Clear();
+  return out;
+}
+
+TablePtr Basket::DrainPositionsLocked(const std::vector<size_t>& positions) {
+  TablePtr out = TablePtr(table_->Take(positions));
+  table_->RemovePositions(positions);
+  total_consumed_ += static_cast<int64_t>(positions.size());
+  return out;
+}
+
+Result<TablePtr> Basket::DrainMatching(const Expr& predicate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_ASSIGN_OR_RETURN(std::vector<size_t> positions,
+                      EvaluatePredicate(predicate, *table_));
+  return DrainPositionsLocked(positions);
+}
+
+Result<TablePtr> Basket::DrainSplit(const Expr& predicate, Basket* passthrough) {
+  DC_CHECK(passthrough != nullptr);
+  TablePtr matching;
+  TablePtr rest;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DC_ASSIGN_OR_RETURN(std::vector<size_t> positions,
+                        EvaluatePredicate(predicate, *table_));
+    matching = TablePtr(table_->Take(positions));
+    std::vector<size_t> complement =
+        ComplementPositions(positions, table_->num_rows());
+    rest = TablePtr(table_->Take(complement));
+    total_consumed_ += static_cast<int64_t>(table_->num_rows());
+    table_->Clear();
+  }
+  // Append outside our own lock: passthrough has its own mutex, and locking
+  // two baskets at once invites deadlock.
+  DC_RETURN_NOT_OK(passthrough->AppendWithTs(*rest));
+  return matching;
+}
+
+size_t Basket::RegisterReader() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t id = next_reader_++;
+  watermarks_[id] = table_->hseqbase() + table_->num_rows();
+  return id;
+}
+
+void Basket::UnregisterReader(size_t reader_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watermarks_.erase(reader_id);
+}
+
+size_t Basket::num_readers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watermarks_.size();
+}
+
+TablePtr Basket::ReadNewFor(size_t reader_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = watermarks_.find(reader_id);
+  DC_CHECK(it != watermarks_.end());
+  Oid base = table_->hseqbase();
+  Oid end = base + table_->num_rows();
+  Oid from = std::max(it->second, base);
+  TablePtr out = TablePtr(table_->Slice(static_cast<size_t>(from - base),
+                                        static_cast<size_t>(end - from)));
+  it->second = end;
+  return out;
+}
+
+Result<TablePtr> Basket::ReadNewMatching(size_t reader_id,
+                                         const Expr& predicate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = watermarks_.find(reader_id);
+  DC_CHECK(it != watermarks_.end());
+  Oid base = table_->hseqbase();
+  Oid end = base + table_->num_rows();
+  Oid from = std::max(it->second, base);
+  it->second = end;
+  DC_ASSIGN_OR_RETURN(std::vector<size_t> positions,
+                      EvaluatePredicate(predicate, *table_));
+  // Keep only positions past the watermark.
+  size_t first = static_cast<size_t>(from - base);
+  std::vector<size_t> unseen;
+  unseen.reserve(positions.size());
+  for (size_t p : positions) {
+    if (p >= first) unseen.push_back(p);
+  }
+  return TablePtr(table_->Take(unseen));
+}
+
+size_t Basket::TrimConsumed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (watermarks_.empty()) return 0;
+  Oid min_mark = watermarks_.begin()->second;
+  for (const auto& [id, mark] : watermarks_) {
+    if (mark < min_mark) min_mark = mark;
+  }
+  Oid base = table_->hseqbase();
+  if (min_mark <= base) return 0;
+  size_t n = std::min(static_cast<size_t>(min_mark - base), table_->num_rows());
+  table_->RemovePrefix(n);
+  total_consumed_ += static_cast<int64_t>(n);
+  return n;
+}
+
+TablePtr Basket::PeekSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TablePtr(table_->Clone());
+}
+
+size_t Basket::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_->num_rows();
+}
+
+size_t Basket::UnseenCount(size_t reader_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = watermarks_.find(reader_id);
+  DC_CHECK(it != watermarks_.end());
+  Oid end = table_->hseqbase() + table_->num_rows();
+  return it->second >= end ? 0 : static_cast<size_t>(end - it->second);
+}
+
+std::optional<Timestamp> Basket::OldestTs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_->num_rows() == 0) return std::nullopt;
+  const Bat& ts = *table_->column(table_->num_columns() - 1);
+  Timestamp best = ts.Int64At(0);
+  for (size_t i = 1; i < ts.size(); ++i) {
+    best = std::min(best, ts.Int64At(i));
+  }
+  return best;
+}
+
+std::optional<Timestamp> Basket::NewestTs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_->num_rows() == 0) return std::nullopt;
+  const Bat& ts = *table_->column(table_->num_columns() - 1);
+  Timestamp best = ts.Int64At(0);
+  for (size_t i = 1; i < ts.size(); ++i) {
+    best = std::max(best, ts.Int64At(i));
+  }
+  return best;
+}
+
+int64_t Basket::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_appended_;
+}
+
+int64_t Basket::total_consumed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_consumed_;
+}
+
+size_t Basket::memory_usage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_->MemoryUsage();
+}
+
+}  // namespace datacell

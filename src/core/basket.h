@@ -1,0 +1,153 @@
+#ifndef DATACELL_CORE_BASKET_H_
+#define DATACELL_CORE_BASKET_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/expression.h"
+#include "algebra/operators.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace datacell {
+
+/// The key data structure of the DataCell (§2.2): a portion of a stream held
+/// as a temporary main-memory table. Receptors append incoming tuples;
+/// factories consume them; a tuple is removed once every relevant reader has
+/// seen it.
+///
+/// The last column of every basket is the implicit `ts` timestamp column
+/// recording when each tuple entered the system.
+///
+/// Thread-safety: monitor-style — every public operation is atomic under the
+/// internal mutex, which realises the paper's rule that "one factory,
+/// receptor or emitter at a time updates a given basket". Composite
+/// operations used by factories (drain-matching, read-new-and-advance) are
+/// single calls, so Algorithm 1's lock/unlock bracket maps to one method.
+///
+/// Load shedding (§1's "possible load shedding requirements"): an optional
+/// capacity bounds the basket; when producers outrun consumers, tuples are
+/// shed by policy and counted, so the engine degrades predictably instead
+/// of growing without bound.
+class Basket {
+ public:
+  enum class DropPolicy {
+    /// Shed the oldest buffered tuples to admit new ones (freshness wins).
+    kDropOldest,
+    /// Refuse the newest arrivals while full (completeness of old data wins).
+    kDropNewest,
+  };
+  /// `table` must already carry the trailing timestamp column.
+  explicit Basket(TablePtr table);
+
+  Basket(const Basket&) = delete;
+  Basket& operator=(const Basket&) = delete;
+
+  const std::string& name() const { return table_->name(); }
+  /// Full schema including the trailing `ts` column.
+  const Schema& schema() const { return table_->schema(); }
+
+  // --- producer side ----------------------------------------------------
+  /// Appends one stream tuple (without ts); `ts` is stamped on.
+  Status Append(const Row& values, Timestamp ts);
+  /// Appends many tuples with the same arrival timestamp (bulk receptor path).
+  Status AppendBatch(const std::vector<Row>& rows, Timestamp ts);
+  /// Appends rows that already carry a ts column (inter-factory flow).
+  Status AppendWithTs(const Table& rows_with_ts);
+  /// Bulk-appends result rows lacking a ts column, stamping all with `ts`
+  /// (the factory's output path: query results enter the output basket).
+  Status AppendStamped(const Table& rows, Timestamp ts);
+
+  // --- exclusive-consumer side (separate-baskets strategy) ----------------
+  /// Removes and returns the full content.
+  TablePtr DrainAll();
+  /// Removes and returns the tuples satisfying `predicate` (a basket
+  /// expression's consuming read, §2.6); non-matching tuples stay.
+  Result<TablePtr> DrainMatching(const Expr& predicate);
+  /// Removes and returns tuples, split by `predicate`: matching tuples are
+  /// returned, non-matching are appended to `passthrough` (the chained
+  /// disjoint-predicate strategy of §2.5).
+  Result<TablePtr> DrainSplit(const Expr& predicate, Basket* passthrough);
+
+  // --- shared-readers side (shared-baskets strategy) ----------------------
+  /// Registers a reader; its watermark starts at the current end, i.e. a new
+  /// reader only sees tuples that arrive after registration.
+  size_t RegisterReader();
+  /// Removes a reader. Without this, a retired query's stale watermark would
+  /// hold back TrimConsumed forever and the basket would grow unboundedly.
+  void UnregisterReader(size_t reader_id);
+  size_t num_readers() const;
+  /// Returns all tuples this reader has not yet seen and advances its
+  /// watermark past them. Tuples stay in the basket for other readers.
+  TablePtr ReadNewFor(size_t reader_id);
+  /// Like ReadNewFor, but copies only the unseen tuples satisfying
+  /// `predicate` — the shared-basket evaluation of a basket expression:
+  /// one selective scan, one copy of the qualifying tuples, nothing removed.
+  Result<TablePtr> ReadNewMatching(size_t reader_id, const Expr& predicate);
+  /// Physically removes tuples every registered reader has consumed.
+  /// Returns the number of tuples removed.
+  size_t TrimConsumed();
+
+  // --- inspection (non-consuming, "outside a basket expression", §2.6) ----
+  /// Snapshot of the current content.
+  TablePtr PeekSnapshot() const;
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  /// Tuples not yet seen by `reader_id`.
+  size_t UnseenCount(size_t reader_id) const;
+  /// Oldest ts in the basket, or nullopt when empty.
+  std::optional<Timestamp> OldestTs() const;
+  /// Largest ts in the basket, or nullopt when empty.
+  std::optional<Timestamp> NewestTs() const;
+
+  /// Enables load shedding: the basket holds at most `max_tuples` (0 turns
+  /// shedding off). Applies to all append paths.
+  void SetCapacity(size_t max_tuples, DropPolicy policy);
+  size_t capacity() const;
+  /// Tuples shed so far due to the capacity bound.
+  int64_t total_shed() const;
+
+  int64_t total_appended() const;
+  int64_t total_consumed() const;
+  size_t memory_usage() const;
+
+  /// Index of the ts column (always the last).
+  size_t ts_column() const { return table_->num_columns() - 1; }
+
+  /// Builds a basket table: `name` with `user_schema` plus the trailing ts
+  /// column appended.
+  static TablePtr MakeBasketTable(const std::string& name,
+                                  const Schema& user_schema);
+  /// True when `schema`'s last column is the implicit ts column.
+  static bool HasTsColumn(const Schema& schema);
+
+  /// Name of the implicit timestamp column.
+  static constexpr const char* kTsColumnName = "ts";
+
+ private:
+  TablePtr DrainPositionsLocked(const std::vector<size_t>& positions);
+  /// Applies the capacity bound after appends (locked). `appended` is how
+  /// many tuples the current call added (bounds kDropNewest).
+  void ShedLocked(size_t appended);
+
+  mutable std::mutex mu_;
+  TablePtr table_;
+  std::map<size_t, Oid> watermarks_;  // reader id -> first unseen oid
+  size_t next_reader_ = 0;
+  size_t capacity_ = 0;  // 0 = unbounded
+  DropPolicy drop_policy_ = DropPolicy::kDropOldest;
+  int64_t total_appended_ = 0;
+  int64_t total_consumed_ = 0;
+  int64_t total_shed_ = 0;
+};
+
+using BasketPtr = std::shared_ptr<Basket>;
+
+}  // namespace datacell
+
+#endif  // DATACELL_CORE_BASKET_H_

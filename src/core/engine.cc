@@ -1,0 +1,667 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace datacell {
+
+namespace {
+
+/// Evaluates a constant INSERT expression (literals, optionally negated).
+Result<Value> EvalConstAst(const sql::AstExpr& e) {
+  using sql::AstExprKind;
+  using sql::AstUnaryOp;
+  if (e.kind == AstExprKind::kLiteral) return e.literal;
+  if (e.kind == AstExprKind::kUnary && e.unary_op == AstUnaryOp::kNeg) {
+    DC_ASSIGN_OR_RETURN(Value v, EvalConstAst(*e.children[0]));
+    if (v.is_int64()) return Value::Int64(-v.int64_value());
+    if (v.is_double()) return Value::Double(-v.double_value());
+    return Status::TypeError("cannot negate non-numeric literal");
+  }
+  return Status::InvalidArgument(
+      "INSERT values must be literals: " + e.ToString());
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options), scheduler_(options.scheduling_policy) {
+  if (options_.use_wall_clock) {
+    owned_clock_ = std::make_unique<WallClock>();
+    clock_ = owned_clock_.get();
+  } else {
+    auto sim = std::make_unique<SimulatedClock>();
+    sim_clock_ = sim.get();
+    owned_clock_ = std::move(sim);
+    clock_ = owned_clock_.get();
+  }
+}
+
+Engine::~Engine() { Stop(); }
+
+Engine::StreamInfo* Engine::FindStream(const std::string& name) {
+  auto it = streams_.find(ToLower(name));
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+Result<BasketPtr> Engine::CreateStream(const std::string& name,
+                                       const Schema& user_schema) {
+  if (Basket::HasTsColumn(user_schema)) {
+    return Status::InvalidArgument(
+        "the ts column is implicit; do not declare it");
+  }
+  for (const Field& f : user_schema.fields()) {
+    if (EqualsIgnoreCase(f.name, Basket::kTsColumnName)) {
+      return Status::InvalidArgument(
+          "'ts' is reserved for the implicit timestamp column");
+    }
+  }
+  TablePtr table = Basket::MakeBasketTable(name, user_schema);
+  DC_RETURN_NOT_OK(catalog_.RegisterRelation(table, RelationKind::kBasket));
+  auto basket = std::make_shared<Basket>(table);
+  if (options_.max_basket_tuples > 0) {
+    basket->SetCapacity(options_.max_basket_tuples, options_.drop_policy);
+  }
+  StreamInfo info;
+  info.base = basket;
+  info.user_schema = user_schema;
+  streams_[ToLower(name)] = std::move(info);
+  return basket;
+}
+
+Result<BasketPtr> Engine::GetBasket(const std::string& name) const {
+  auto it = streams_.find(ToLower(name));
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream '" + name + "'");
+  }
+  return it->second.base;
+}
+
+Status Engine::Ingest(const std::string& name, const Row& values) {
+  return IngestBatch(name, {values});
+}
+
+Status Engine::IngestBatch(const std::string& name,
+                           const std::vector<Row>& rows) {
+  StreamInfo* stream = FindStream(name);
+  if (stream == nullptr) {
+    return Status::NotFound("unknown stream '" + name + "'");
+  }
+  Timestamp ts = clock_->Now();
+  // Route to "the proper baskets" (§2.1) for the strategies in use.
+  if (stream->chain_head != nullptr) {
+    DC_RETURN_NOT_OK(stream->chain_head->AppendBatch(rows, ts));
+  } else if (!stream->replicas.empty()) {
+    for (const BasketPtr& replica : stream->replicas) {
+      DC_RETURN_NOT_OK(replica->AppendBatch(rows, ts));
+    }
+    if (stream->shared_used) {
+      DC_RETURN_NOT_OK(stream->base->AppendBatch(rows, ts));
+    }
+  } else {
+    // Shared consumers, or no consumer yet (the basket buffers and remains
+    // inspectable by one-time queries, §2.6).
+    DC_RETURN_NOT_OK(stream->base->AppendBatch(rows, ts));
+  }
+  tuples_ingested_ += static_cast<int64_t>(rows.size());
+  return Status::OK();
+}
+
+Status Engine::IngestTable(const std::string& name, const Table& batch) {
+  StreamInfo* stream = FindStream(name);
+  if (stream == nullptr) {
+    return Status::NotFound("unknown stream '" + name + "'");
+  }
+  Timestamp ts = clock_->Now();
+  if (stream->chain_head != nullptr) {
+    DC_RETURN_NOT_OK(stream->chain_head->AppendStamped(batch, ts));
+  } else if (!stream->replicas.empty()) {
+    for (const BasketPtr& replica : stream->replicas) {
+      DC_RETURN_NOT_OK(replica->AppendStamped(batch, ts));
+    }
+    if (stream->shared_used) {
+      DC_RETURN_NOT_OK(stream->base->AppendStamped(batch, ts));
+    }
+  } else {
+    DC_RETURN_NOT_OK(stream->base->AppendStamped(batch, ts));
+  }
+  tuples_ingested_ += static_cast<int64_t>(batch.num_rows());
+  return Status::OK();
+}
+
+Result<Receptor*> Engine::AttachReceptor(const std::string& name,
+                                         Channel* channel) {
+  StreamInfo* stream = FindStream(name);
+  if (stream == nullptr) {
+    return Status::NotFound("unknown stream '" + name + "'");
+  }
+  std::string stream_name = ToLower(name);
+  auto deliver = [this, stream_name](const std::vector<Row>& rows,
+                                     Timestamp /*ts*/) {
+    // IngestBatch re-stamps with the engine clock; receptors are the entry
+    // point so arrival time is delivery time.
+    return IngestBatch(stream_name, rows);
+  };
+  auto receptor = std::make_shared<Receptor>(
+      "receptor_" + stream_name + "_" + std::to_string(stream->receptors.size()),
+      channel, stream->user_schema, deliver, clock_, options_.receptor_batch);
+  stream->receptors.push_back(receptor.get());
+  receptors_.push_back(receptor);
+  scheduler_.AddTransition(receptor);
+  return receptor.get();
+}
+
+Result<PlanBindings> Engine::ResolveStaticBindings(
+    const sql::CompiledQuery& query) const {
+  PlanBindings bindings;
+  std::vector<std::string> relations = query.plan->InputRelations();
+  for (const std::string& rel : relations) {
+    bool is_stream_input = false;
+    for (const sql::ContinuousInput& in : query.inputs) {
+      if (rel == in.bind_name) {
+        is_stream_input = true;
+        break;
+      }
+    }
+    if (is_stream_input) continue;
+    DC_ASSIGN_OR_RETURN(TablePtr table, catalog_.Get(rel));
+    // Live binding: the factory sees the table's current content on every
+    // execution — "predicates referring to objects elsewhere in the
+    // database" (§2.6).
+    bindings[rel] = table;
+  }
+  return bindings;
+}
+
+Result<BasketPtr> Engine::MakePrivateBasket(const std::string& stream,
+                                            const std::string& suffix) {
+  StreamInfo* info = FindStream(stream);
+  if (info == nullptr) {
+    return Status::NotFound("unknown stream '" + stream + "'");
+  }
+  TablePtr table =
+      Basket::MakeBasketTable(ToLower(stream) + suffix, info->user_schema);
+  auto basket = std::make_shared<Basket>(table);
+  if (options_.max_basket_tuples > 0) {
+    basket->SetCapacity(options_.max_basket_tuples, options_.drop_policy);
+  }
+  return basket;
+}
+
+Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
+                                              const std::string& sql,
+                                              QueryOptions options) {
+  DC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  if (stmt.kind != sql::Statement::Kind::kSelect) {
+    return Status::InvalidArgument("continuous queries must be SELECTs");
+  }
+  sql::Planner planner(&catalog_);
+  DC_ASSIGN_OR_RETURN(sql::CompiledQuery query,
+                      planner.CompileSelect(*stmt.select));
+  if (!query.continuous) {
+    return Status::InvalidArgument(
+        "not a continuous query: FROM must contain a basket expression "
+        "[select ... from <basket>]");
+  }
+  query.sql_text = sql;
+
+  ProcessingStrategy strategy =
+      options.strategy.value_or(options_.default_strategy);
+  if (strategy == ProcessingStrategy::kChained && query.inputs.size() != 1) {
+    return Status::Unimplemented(
+        "the chained strategy supports single-input queries");
+  }
+
+  // Output plumbing: basket `<name>_out` registered as a stream so other
+  // queries can consume this query's results (a network of queries, §4).
+  // When the result already ends with a ts column (`select *` projects the
+  // stream's arrival ts last), that column becomes the output basket's
+  // implicit timestamp and arrival times are preserved end to end.
+  std::string out_name = ToLower(name) + "_out";
+  bool output_carries_ts = Basket::HasTsColumn(query.output_schema);
+  Schema output_user_schema = query.output_schema;
+  if (output_carries_ts) {
+    Schema stripped;
+    for (size_t i = 0; i + 1 < output_user_schema.num_fields(); ++i) {
+      stripped.AddField(output_user_schema.field(i));
+    }
+    output_user_schema = std::move(stripped);
+  }
+  DC_ASSIGN_OR_RETURN(BasketPtr output,
+                      CreateStream(out_name, output_user_schema));
+  // The query's emitter is a permanent reader of its output basket, so the
+  // stream is born with a consumer and cannot be dropped.
+  FindStream(out_name)->has_consumers = true;
+
+  // Input plumbing per strategy.
+  std::vector<BasketPtr> input_baskets;
+  struct ChainLink {
+    StreamInfo* stream;
+    BasketPtr basket;
+  };
+  std::vector<ChainLink> chain_links;
+  for (size_t i = 0; i < query.inputs.size(); ++i) {
+    const sql::ContinuousInput& in = query.inputs[i];
+    StreamInfo* stream = FindStream(in.basket);
+    if (stream == nullptr) {
+      return Status::NotFound("unknown stream '" + in.basket + "'");
+    }
+    switch (strategy) {
+      case ProcessingStrategy::kSharedBaskets: {
+        stream->shared_used = true;
+        // §3.2 common-subplan factoring: identical basket expressions share
+        // one auxiliary filter transition and its group basket.
+        if (options_.factor_common_subplans &&
+            in.consume_predicate != nullptr) {
+          std::string key = ToLower(in.basket) + "|" +
+                            in.consume_predicate->ToString();
+          auto group = subplan_groups_.find(key);
+          if (group == subplan_groups_.end()) {
+            TablePtr group_table = Basket::MakeBasketTable(
+                ToLower(in.basket) + "__grp" +
+                    std::to_string(subplan_groups_.size()),
+                stream->user_schema);
+            auto group_basket = std::make_shared<Basket>(group_table);
+            auto filter = std::make_shared<SharedFilterTransition>(
+                "sharedfilter_" + group_table->name(), stream->base,
+                in.consume_predicate, group_basket, clock_);
+            shared_filters_.push_back(filter);
+            scheduler_.AddTransition(filter);
+            group = subplan_groups_.emplace(key, group_basket).first;
+          }
+          input_baskets.push_back(group->second);
+          // The shared transition already applied the predicate; the query
+          // factory reads the group basket unconditionally.
+          query.inputs[i].consume_predicate = nullptr;
+        } else {
+          input_baskets.push_back(stream->base);
+        }
+        break;
+      }
+      case ProcessingStrategy::kSeparateBaskets: {
+        if (stream->chain_head != nullptr) {
+          return Status::Unimplemented(
+              "cannot mix separate and chained strategies on one stream");
+        }
+        DC_ASSIGN_OR_RETURN(
+            BasketPtr replica,
+            MakePrivateBasket(in.basket,
+                              "__q" + std::to_string(queries_.size())));
+        stream->replicas.push_back(replica);
+        input_baskets.push_back(replica);
+        break;
+      }
+      case ProcessingStrategy::kChained: {
+        if (!stream->replicas.empty() || stream->shared_used) {
+          return Status::Unimplemented(
+              "cannot mix chained with other strategies on one stream");
+        }
+        DC_ASSIGN_OR_RETURN(
+            BasketPtr link,
+            MakePrivateBasket(in.basket,
+                              "__c" + std::to_string(stream->chain.size())));
+        if (stream->chain.empty()) {
+          stream->chain_head = link;
+        } else {
+          // The previous tail now forwards its non-matching tuples here.
+          stream->chain.back()->SetPassthrough(0, link);
+        }
+        input_baskets.push_back(link);
+        chain_links.push_back(ChainLink{stream, link});
+        break;
+      }
+    }
+    stream->has_consumers = true;
+  }
+
+  DC_ASSIGN_OR_RETURN(PlanBindings static_bindings,
+                      ResolveStaticBindings(query));
+
+  FactoryOptions foptions;
+  foptions.strategy = strategy;
+  foptions.window_mode = options.window_mode.value_or(options_.window_mode);
+  foptions.priority = options.priority;
+  // Separate-strategy inputs are engine-created replicas: no other reader
+  // exists, so non-matching tuples may be dropped on drain (see
+  // FactoryOptions::exclusive_private_inputs).
+  foptions.exclusive_private_inputs =
+      strategy == ProcessingStrategy::kSeparateBaskets;
+  foptions.output_carries_ts = output_carries_ts;
+  DC_ASSIGN_OR_RETURN(
+      FactoryPtr factory,
+      Factory::Create("factory_" + ToLower(name), std::move(query),
+                      std::move(input_baskets), output,
+                      std::move(static_bindings), clock_, foptions));
+
+  for (const ChainLink& link : chain_links) {
+    link.stream->chain.push_back(factory);
+  }
+
+  auto emitter =
+      std::make_shared<Emitter>("emitter_" + ToLower(name), output, clock_);
+
+  scheduler_.AddTransition(factory);
+  scheduler_.AddTransition(emitter);
+
+  QueryInfo info;
+  info.name = name;
+  info.sql = sql;
+  info.factory = factory;
+  info.output = output;
+  info.emitter = emitter;
+  queries_.push_back(std::move(info));
+  return queries_.size() - 1;
+}
+
+Status Engine::RemoveContinuousQuery(QueryId id) {
+  if (id >= queries_.size()) {
+    return Status::NotFound("unknown query id " + std::to_string(id));
+  }
+  QueryInfo& info = queries_[id];
+  if (info.removed) {
+    return Status::FailedPrecondition("query '" + info.name +
+                                      "' already removed");
+  }
+  if (scheduler_.running()) {
+    return Status::FailedPrecondition(
+        "stop the scheduler before removing queries");
+  }
+  if (info.factory->strategy() == ProcessingStrategy::kChained) {
+    return Status::Unimplemented(
+        "chained-strategy queries cannot be removed (passthrough links)");
+  }
+  scheduler_.RemoveTransition(info.factory.get());
+  scheduler_.RemoveTransition(info.emitter.get());
+  info.factory->DetachReaders();
+  info.emitter->DetachReader();
+  // Separate strategy: stop replicating into the retired private baskets.
+  std::vector<BasketPtr> inputs = info.factory->input_baskets();
+  for (auto& [key, stream] : streams_) {
+    auto& replicas = stream.replicas;
+    replicas.erase(std::remove_if(replicas.begin(), replicas.end(),
+                                  [&](const BasketPtr& b) {
+                                    for (const BasketPtr& in : inputs) {
+                                      if (in == b) return true;
+                                    }
+                                    return false;
+                                  }),
+                   replicas.end());
+  }
+  // A factored subplan group with no remaining readers must retire too, or
+  // its filter keeps producing into a basket nobody drains.
+  for (auto it = subplan_groups_.begin(); it != subplan_groups_.end();) {
+    if (it->second->num_readers() == 0) {
+      for (auto ft = shared_filters_.begin(); ft != shared_filters_.end();
+           ++ft) {
+        if ((*ft)->output() == it->second) {
+          scheduler_.RemoveTransition(ft->get());
+          shared_filters_.erase(ft);
+          break;
+        }
+      }
+      it = subplan_groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  info.removed = true;
+  return Status::OK();
+}
+
+Status Engine::Subscribe(QueryId id, std::shared_ptr<ResultSink> sink) {
+  if (id >= queries_.size()) {
+    return Status::NotFound("unknown query id " + std::to_string(id));
+  }
+  queries_[id].emitter->AddSink(std::move(sink));
+  return Status::OK();
+}
+
+Result<const Engine::QueryInfo*> Engine::GetQuery(QueryId id) const {
+  if (id >= queries_.size()) {
+    return Status::NotFound("unknown query id " + std::to_string(id));
+  }
+  return &queries_[id];
+}
+
+Status Engine::ExecuteCreate(const sql::CreateStmt& stmt) {
+  Schema schema;
+  for (const sql::ColumnDef& def : stmt.columns) {
+    schema.AddField(Field{def.name, def.type});
+  }
+  if (stmt.is_basket) {
+    return CreateStream(stmt.name, schema).status();
+  }
+  return catalog_.CreateRelation(stmt.name, schema, RelationKind::kTable)
+      .status();
+}
+
+Status Engine::ExecuteInsert(const sql::InsertStmt& stmt) {
+  DC_ASSIGN_OR_RETURN(TablePtr table, catalog_.Get(stmt.table));
+  DC_ASSIGN_OR_RETURN(RelationKind kind, catalog_.KindOf(stmt.table));
+  bool is_basket = kind == RelationKind::kBasket;
+  // Effective schema the user addresses (without ts for baskets).
+  size_t user_cols =
+      is_basket ? table->num_columns() - 1 : table->num_columns();
+
+  // Optional column list: build the value permutation.
+  std::vector<size_t> positions;
+  if (!stmt.columns.empty()) {
+    for (const std::string& col : stmt.columns) {
+      auto idx = table->schema().IndexOf(col);
+      if (!idx.has_value() || *idx >= user_cols) {
+        return Status::NotFound("unknown column '" + col + "' in INSERT");
+      }
+      positions.push_back(*idx);
+    }
+  }
+
+  for (const auto& ast_row : stmt.rows) {
+    size_t expected = stmt.columns.empty() ? user_cols : stmt.columns.size();
+    if (ast_row.size() != expected) {
+      return Status::InvalidArgument("INSERT row arity mismatch");
+    }
+    Row row(user_cols, Value::Null());
+    for (size_t i = 0; i < ast_row.size(); ++i) {
+      DC_ASSIGN_OR_RETURN(Value v, EvalConstAst(*ast_row[i]));
+      size_t pos = stmt.columns.empty() ? i : positions[i];
+      // Integer literals inserted into double columns widen here so the
+      // type check downstream passes.
+      row[pos] = std::move(v);
+    }
+    if (is_basket) {
+      DC_RETURN_NOT_OK(IngestBatch(stmt.table, {row}));
+    } else {
+      DC_RETURN_NOT_OK(table->AppendRow(row));
+    }
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> Engine::ExecuteSelect(const sql::SelectStmt& stmt) {
+  sql::Planner planner(&catalog_);
+  DC_ASSIGN_OR_RETURN(sql::CompiledQuery query, planner.CompileSelect(stmt));
+  if (query.continuous) {
+    return Status::InvalidArgument(
+        "continuous query submitted to the one-time path; use "
+        "SubmitContinuousQuery");
+  }
+  PlanBindings bindings;
+  for (const std::string& rel : query.plan->InputRelations()) {
+    DC_ASSIGN_OR_RETURN(TablePtr table, catalog_.Get(rel));
+    DC_ASSIGN_OR_RETURN(RelationKind kind, catalog_.KindOf(rel));
+    if (kind == RelationKind::kBasket) {
+      // Inspection semantics (§2.6): outside a basket expression a basket
+      // behaves like a temporary table — tuples are not removed.
+      auto it = streams_.find(rel);
+      if (it != streams_.end()) {
+        bindings[rel] = it->second.base->PeekSnapshot();
+      } else {
+        bindings[rel] = TablePtr(table->Clone());
+      }
+    } else {
+      bindings[rel] = table;
+    }
+  }
+  return ExecutePlan(*query.plan, bindings);
+}
+
+Result<TablePtr> Engine::ExecuteSql(const std::string& sql) {
+  DC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  auto empty = [] {
+    return std::make_shared<Table>("", Schema{});
+  };
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect:
+      return ExecuteSelect(*stmt.select);
+    case sql::Statement::Kind::kCreate:
+      DC_RETURN_NOT_OK(ExecuteCreate(*stmt.create));
+      return empty();
+    case sql::Statement::Kind::kInsert:
+      DC_RETURN_NOT_OK(ExecuteInsert(*stmt.insert));
+      return empty();
+    case sql::Statement::Kind::kDrop: {
+      const std::string key = ToLower(stmt.drop->name);
+      if (streams_.count(key) > 0) {
+        if (streams_[key].has_consumers) {
+          return Status::FailedPrecondition(
+              "cannot drop stream '" + stmt.drop->name +
+              "' with active continuous queries");
+        }
+        streams_.erase(key);
+      }
+      DC_RETURN_NOT_OK(catalog_.Drop(stmt.drop->name));
+      return empty();
+    }
+  }
+  return Status::Internal("bad statement kind");
+}
+
+std::string Engine::StatsReport() const {
+  std::string out = "== DataCell engine ==\n";
+  out += "scheduler: sweeps=" + std::to_string(scheduler_.sweeps()) +
+         " firings=" + std::to_string(scheduler_.total_firings()) +
+         " errors=" + std::to_string(scheduler_.error_count()) +
+         " policy=" +
+         (scheduler_.policy() == SchedulingPolicy::kPriority ? "priority"
+                                                             : "round-robin") +
+         "\n";
+  out += "ingested tuples: " + std::to_string(tuples_ingested_) + "\n";
+  out += "-- transitions --\n";
+  for (const TransitionPtr& t : scheduler_.transitions()) {
+    out += "  [" + std::string(TransitionKindToString(t->kind())) + "] " +
+           t->name() + ": runs=" + std::to_string(t->runs()) +
+           " tuples=" + std::to_string(t->tuples_processed()) +
+           " busy_us=" + std::to_string(t->busy_time_us()) + "\n";
+  }
+  out += "-- streams --\n";
+  for (const auto& [key, stream] : streams_) {
+    out += "  " + key + ": buffered=" + std::to_string(stream.base->size()) +
+           " in=" + std::to_string(stream.base->total_appended()) +
+           " out=" + std::to_string(stream.base->total_consumed()) +
+           " shed=" + std::to_string(stream.base->total_shed()) +
+           " bytes=" + std::to_string(stream.base->memory_usage()) + "\n";
+  }
+  if (!subplan_groups_.empty()) {
+    out += "-- shared subplan groups --\n";
+    for (const auto& [key, basket] : subplan_groups_) {
+      out += "  " + key + ": buffered=" + std::to_string(basket->size()) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+int64_t Engine::total_shed() const {
+  int64_t shed = 0;
+  for (const auto& [key, stream] : streams_) {
+    shed += stream.base->total_shed();
+    for (const BasketPtr& replica : stream.replicas) {
+      shed += replica->total_shed();
+    }
+    if (stream.chain_head != nullptr) shed += stream.chain_head->total_shed();
+  }
+  return shed;
+}
+
+Result<TablePtr> Engine::ExecuteScript(const std::string& script) {
+  DC_ASSIGN_OR_RETURN(std::vector<sql::Statement> statements,
+                      sql::ParseScript(script));
+  TablePtr last = std::make_shared<Table>("", Schema{});
+  for (size_t i = 0; i < statements.size(); ++i) {
+    // Re-render is not available; dispatch the parsed statement through the
+    // same paths ExecuteSql uses.
+    sql::Statement& stmt = statements[i];
+    switch (stmt.kind) {
+      case sql::Statement::Kind::kSelect: {
+        DC_ASSIGN_OR_RETURN(last, ExecuteSelect(*stmt.select));
+        break;
+      }
+      case sql::Statement::Kind::kCreate:
+        DC_RETURN_NOT_OK(ExecuteCreate(*stmt.create));
+        break;
+      case sql::Statement::Kind::kInsert:
+        DC_RETURN_NOT_OK(ExecuteInsert(*stmt.insert));
+        break;
+      case sql::Statement::Kind::kDrop: {
+        const std::string key = ToLower(stmt.drop->name);
+        if (streams_.count(key) > 0) {
+          if (streams_[key].has_consumers) {
+            return Status::FailedPrecondition(
+                "cannot drop stream '" + stmt.drop->name +
+                "' with active continuous queries");
+          }
+          streams_.erase(key);
+        }
+        DC_RETURN_NOT_OK(catalog_.Drop(stmt.drop->name));
+        break;
+      }
+    }
+  }
+  return last;
+}
+
+std::string Engine::DumpCatalogSql() const {
+  std::string out;
+  for (const std::string& name : catalog_.Names()) {
+    auto table = catalog_.Get(name);
+    auto kind = catalog_.KindOf(name);
+    if (!table.ok() || !kind.ok()) continue;
+    bool is_basket = *kind == RelationKind::kBasket;
+    out += "create ";
+    out += is_basket ? "basket " : "table ";
+    out += name + " (";
+    const Schema& schema = (*table)->schema();
+    size_t n = schema.num_fields();
+    if (is_basket && n > 0) --n;  // the implicit ts column is not declared
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) out += ", ";
+      out += schema.field(i).name;
+      out += " ";
+      out += DataTypeToString(schema.field(i).type);
+    }
+    out += ");\n";
+  }
+  for (const QueryInfo& q : queries_) {
+    out += "-- continuous query '" + q.name + "'";
+    if (q.removed) out += " (removed)";
+    out += ": " + q.sql + "\n";
+  }
+  return out;
+}
+
+Result<std::string> Engine::ExplainSql(const std::string& sql) const {
+  DC_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  if (stmt.kind != sql::Statement::Kind::kSelect) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT statements");
+  }
+  sql::Planner planner(&catalog_);
+  DC_ASSIGN_OR_RETURN(sql::CompiledQuery query,
+                      planner.CompileSelect(*stmt.select));
+  return ExplainMal(*query.plan);
+}
+
+}  // namespace datacell

@@ -1,0 +1,221 @@
+#ifndef DATACELL_CORE_ENGINE_H_
+#define DATACELL_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adapters/channel.h"
+#include "adapters/sink.h"
+#include "common/clock.h"
+#include "core/emitter.h"
+#include "core/factory.h"
+#include "core/receptor.h"
+#include "core/scheduler.h"
+#include "core/shared_filter.h"
+#include "sql/planner.h"
+#include "storage/catalog.h"
+
+namespace datacell {
+
+/// Engine-wide configuration.
+struct EngineOptions {
+  /// Strategy applied to continuous queries unless overridden per query.
+  ProcessingStrategy default_strategy = ProcessingStrategy::kSharedBaskets;
+  /// Window evaluation mode for windowed queries.
+  WindowMode window_mode = WindowMode::kAuto;
+  SchedulingPolicy scheduling_policy = SchedulingPolicy::kRoundRobin;
+  /// §3.2 multi-query optimisation: queries whose basket expressions are
+  /// identical (same stream, same predicate) share one auxiliary factory
+  /// that evaluates the predicate once and feeds all of them. Applies to
+  /// shared-strategy queries.
+  bool factor_common_subplans = false;
+  /// false => a SimulatedClock the caller advances manually; used by the
+  /// deterministic tests and time-window experiments.
+  bool use_wall_clock = true;
+  /// Receptor ingest batch cap.
+  size_t receptor_batch = 4096;
+  /// Load shedding: every stream basket (including private replicas and
+  /// chain links) holds at most this many tuples; 0 = unbounded. Overload
+  /// then sheds by `drop_policy` instead of growing without bound (§1).
+  size_t max_basket_tuples = 0;
+  Basket::DropPolicy drop_policy = Basket::DropPolicy::kDropOldest;
+};
+
+/// Per-query overrides for SubmitContinuousQuery.
+struct QueryOptions {
+  std::optional<ProcessingStrategy> strategy;
+  std::optional<WindowMode> window_mode;
+  int priority = 0;
+};
+
+using QueryId = size_t;
+
+/// The DataCell engine: the layer between the SQL compiler and the
+/// column-store kernel (§2). It owns the catalog, the baskets, the adapter
+/// transitions and the scheduler, and exposes the public API a stream
+/// application programs against.
+///
+/// Typical usage (Figure 1's pipeline):
+///
+///   Engine engine;
+///   engine.ExecuteSql("create basket sensors (id int, temp double)");
+///   auto q = engine.SubmitContinuousQuery("hot",
+///       "select id, temp from [select * from sensors] as s "
+///       "where s.temp > 30.0");
+///   auto sink = std::make_shared<CollectingSink>();
+///   engine.Subscribe(*q, sink);
+///   engine.Ingest("sensors", {Value::Int64(1), Value::Double(42.0)});
+///   engine.Drain();   // or engine.Start() for the threaded mode
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- SQL entry points ---------------------------------------------------
+  /// Executes DDL (CREATE TABLE/BASKET, DROP), INSERT, or a one-time SELECT.
+  /// Returns the result table for SELECT, an empty table otherwise.
+  /// Continuous SELECTs (basket expression in FROM) are rejected here —
+  /// submit them with SubmitContinuousQuery.
+  Result<TablePtr> ExecuteSql(const std::string& sql);
+  /// Executes a ';'-separated script of statements; stops at the first
+  /// error. Returns the result of the last SELECT (or an empty table).
+  Result<TablePtr> ExecuteScript(const std::string& script);
+
+  /// Registers a continuous query under `name`. Creates the factory, an
+  /// output basket `<name>_out`, and an emitter, wires them into the
+  /// scheduler, and applies the processing strategy.
+  Result<QueryId> SubmitContinuousQuery(const std::string& name,
+                                        const std::string& sql,
+                                        QueryOptions options = {});
+
+  /// Attaches a result sink to query `id`'s emitter.
+  Status Subscribe(QueryId id, std::shared_ptr<ResultSink> sink);
+
+  /// Retires a continuous query: its factory and emitter stop firing and
+  /// their shared-basket watermarks are released so remaining readers trim
+  /// normally. The output basket stays registered (dormant) because other
+  /// queries may still drain it. Requires the scheduler to be stopped;
+  /// chained-strategy queries cannot be removed (their passthrough links
+  /// would dangle).
+  Status RemoveContinuousQuery(QueryId id);
+
+  // --- stream management ---------------------------------------------------
+  /// Creates a stream: a catalog basket with the implicit ts column.
+  /// (`CREATE BASKET` via ExecuteSql does the same.)
+  Result<BasketPtr> CreateStream(const std::string& name,
+                                 const Schema& user_schema);
+  /// The basket behind stream `name`.
+  Result<BasketPtr> GetBasket(const std::string& name) const;
+
+  /// Appends one tuple (without ts) to stream `name`, replicating to
+  /// private baskets as the active strategy requires. The fast in-process
+  /// ingest path used by tests and benchmarks.
+  Status Ingest(const std::string& name, const Row& values);
+  Status IngestBatch(const std::string& name, const std::vector<Row>& rows);
+  /// Bulk columnar ingest: `batch` holds the stream's user columns (no ts);
+  /// all tuples are stamped with the current time. The fastest ingest path —
+  /// one column append per column, used by the benchmarks and high-rate
+  /// feeds.
+  Status IngestTable(const std::string& name, const Table& batch);
+
+  /// Attaches a receptor thread-equivalent transition reading CSV tuples
+  /// from `channel` into stream `name`.
+  Result<Receptor*> AttachReceptor(const std::string& name, Channel* channel);
+
+  // --- execution control ----------------------------------------------------
+  /// One deterministic scheduler sweep; returns #transitions fired.
+  int Step() { return scheduler_.Step(); }
+  /// Sweeps until quiescent. Call after Ingest in single-stepped mode.
+  int64_t Drain(int64_t max_sweeps = 1000000) {
+    return scheduler_.RunUntilQuiescent(max_sweeps);
+  }
+  /// Starts / stops the threaded scheduler loop. More than one worker fires
+  /// transitions concurrently (the paper's multi-threaded architecture);
+  /// each transition and each basket is still accessed by one thread at a
+  /// time.
+  Status Start(size_t num_threads = 1) { return scheduler_.Start(num_threads); }
+  void Stop() { scheduler_.Stop(); }
+
+  // --- introspection ---------------------------------------------------------
+  Catalog& catalog() { return catalog_; }
+  const Clock& clock() const { return *clock_; }
+  /// Non-null when constructed with use_wall_clock = false.
+  SimulatedClock* simulated_clock() { return sim_clock_; }
+  Scheduler& scheduler() { return scheduler_; }
+
+  struct QueryInfo {
+    std::string name;
+    std::string sql;
+    FactoryPtr factory;
+    BasketPtr output;
+    std::shared_ptr<Emitter> emitter;
+    bool removed = false;
+  };
+  Result<const QueryInfo*> GetQuery(QueryId id) const;
+  size_t num_queries() const { return queries_.size(); }
+
+  /// Explain: parses and compiles `sql`, returning the MAL-style listing.
+  Result<std::string> ExplainSql(const std::string& sql) const;
+
+  /// CREATE statements reproducing the current catalog (baskets keep their
+  /// implicit ts column out of the dump), plus the registered continuous
+  /// queries as comments. Feed back through ExecuteScript to clone schemas.
+  std::string DumpCatalogSql() const;
+
+  int64_t tuples_ingested() const { return tuples_ingested_; }
+  /// Number of factored common-subplan groups currently installed.
+  size_t num_shared_subplans() const { return subplan_groups_.size(); }
+
+  /// Multi-line human-readable engine state: per-transition run counts and
+  /// busy time, per-stream basket occupancy/shedding, scheduler counters.
+  std::string StatsReport() const;
+  /// Total tuples shed across all stream baskets.
+  int64_t total_shed() const;
+
+ private:
+  struct StreamInfo {
+    BasketPtr base;                    // the catalog basket
+    Schema user_schema;                // without ts
+    std::vector<BasketPtr> replicas;   // separate-strategy private baskets
+    std::vector<FactoryPtr> chain;     // chained-strategy factories, in order
+    BasketPtr chain_head;              // first chained basket (ingest target)
+    bool shared_used = false;
+    bool has_consumers = false;
+    std::vector<Receptor*> receptors;
+  };
+
+  Result<TablePtr> ExecuteSelect(const sql::SelectStmt& stmt);
+  Status ExecuteCreate(const sql::CreateStmt& stmt);
+  Status ExecuteInsert(const sql::InsertStmt& stmt);
+  Result<BasketPtr> MakePrivateBasket(const std::string& stream,
+                                      const std::string& suffix);
+  /// Resolves non-stream scan relations of `plan` from the catalog.
+  Result<PlanBindings> ResolveStaticBindings(
+      const sql::CompiledQuery& query) const;
+  StreamInfo* FindStream(const std::string& name);
+
+  EngineOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<Clock> owned_clock_;
+  Clock* clock_;
+  SimulatedClock* sim_clock_ = nullptr;
+  Scheduler scheduler_;
+  std::map<std::string, StreamInfo> streams_;  // key: lower-cased name
+  std::vector<QueryInfo> queries_;
+  std::vector<std::unique_ptr<Channel>> owned_channels_;
+  std::vector<std::shared_ptr<Receptor>> receptors_;
+  // Factored common-subplan groups: "(stream)|(predicate)" -> group basket.
+  std::map<std::string, BasketPtr> subplan_groups_;
+  std::vector<std::shared_ptr<SharedFilterTransition>> shared_filters_;
+  int64_t tuples_ingested_ = 0;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_CORE_ENGINE_H_

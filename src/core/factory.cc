@@ -1,0 +1,223 @@
+#include "core/factory.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace datacell {
+
+const char* ProcessingStrategyToString(ProcessingStrategy s) {
+  switch (s) {
+    case ProcessingStrategy::kSeparateBaskets:
+      return "separate";
+    case ProcessingStrategy::kSharedBaskets:
+      return "shared";
+    case ProcessingStrategy::kChained:
+      return "chained";
+  }
+  return "?";
+}
+
+Factory::Factory(std::string name, sql::CompiledQuery query, BasketPtr output,
+                 PlanBindings static_bindings, const Clock* clock,
+                 FactoryOptions options)
+    : Transition(std::move(name), TransitionKind::kFactory, options.priority),
+      query_(std::move(query)),
+      output_(std::move(output)),
+      static_bindings_(std::move(static_bindings)),
+      clock_(clock),
+      options_(options) {}
+
+Result<std::shared_ptr<Factory>> Factory::Create(
+    std::string name, sql::CompiledQuery query,
+    std::vector<BasketPtr> input_baskets, BasketPtr output,
+    PlanBindings static_bindings, const Clock* clock, FactoryOptions options) {
+  if (!query.continuous) {
+    return Status::InvalidArgument(
+        "factories wrap continuous queries; got a one-time query");
+  }
+  if (input_baskets.size() != query.inputs.size()) {
+    return Status::InvalidArgument("input basket count does not match plan");
+  }
+  if (output == nullptr || clock == nullptr) {
+    return Status::InvalidArgument("factory needs an output basket and clock");
+  }
+  bool windowed = query.window.kind != sql::WindowSpec::Kind::kNone;
+  auto factory = std::shared_ptr<Factory>(
+      new Factory(std::move(name), std::move(query), std::move(output),
+                  std::move(static_bindings), clock, options));
+  factory->min_tuples_ = static_cast<size_t>(
+      std::max<int64_t>(1, factory->query_.threshold.value_or(1)));
+  for (size_t i = 0; i < input_baskets.size(); ++i) {
+    InputBinding in;
+    in.basket = input_baskets[i];
+    if (in.basket == nullptr) {
+      return Status::InvalidArgument("null input basket");
+    }
+    in.spec = &factory->query_.inputs[i];
+    if (!(in.basket->schema() == in.spec->basket_schema)) {
+      return Status::Internal("basket schema does not match compiled input '" +
+                              in.spec->basket + "'");
+    }
+    if (options.strategy == ProcessingStrategy::kSharedBaskets) {
+      in.reader_id = in.basket->RegisterReader();
+    }
+    factory->inputs_.push_back(std::move(in));
+  }
+  if (windowed) {
+    DC_ASSIGN_OR_RETURN(
+        factory->window_,
+        WindowExecutor::Create(factory->query_, options.window_mode,
+                               factory->static_bindings_));
+  }
+  return factory;
+}
+
+size_t Factory::AvailableOn(const InputBinding& in) const {
+  if (options_.strategy == ProcessingStrategy::kSharedBaskets) {
+    return in.basket->UnseenCount(in.reader_id);
+  }
+  return in.basket->size();
+}
+
+bool Factory::Ready() const {
+  // Petri-net rule (§2.4): a transition is enabled only when *all* input
+  // places hold tokens (>= the configured threshold).
+  for (const InputBinding& in : inputs_) {
+    if (AvailableOn(in) < min_tuples_) return false;
+  }
+  return true;
+}
+
+int64_t Factory::Backlog() const {
+  int64_t least = std::numeric_limits<int64_t>::max();
+  for (const InputBinding& in : inputs_) {
+    least = std::min(least, static_cast<int64_t>(AvailableOn(in)));
+  }
+  return inputs_.empty() ? 0 : least;
+}
+
+Result<TablePtr> Factory::TakeSlice(InputBinding& in) {
+  switch (options_.strategy) {
+    case ProcessingStrategy::kSeparateBaskets:
+      if (in.spec->consume_predicate != nullptr) {
+        if (!options_.exclusive_private_inputs) {
+          return in.basket->DrainMatching(*in.spec->consume_predicate);
+        }
+        // Private replica: nothing else can ever read the non-matching
+        // tuples, so drain them too and keep only the matches.
+        TablePtr all = in.basket->DrainAll();
+        DC_ASSIGN_OR_RETURN(
+            std::vector<size_t> positions,
+            EvaluatePredicate(*in.spec->consume_predicate, *all));
+        if (positions.size() == all->num_rows()) return all;
+        return TablePtr(all->Take(positions));
+      }
+      return in.basket->DrainAll();
+    case ProcessingStrategy::kSharedBaskets: {
+      TablePtr slice;
+      if (in.spec->consume_predicate == nullptr) {
+        slice = in.basket->ReadNewFor(in.reader_id);
+      } else {
+        DC_ASSIGN_OR_RETURN(slice, in.basket->ReadNewMatching(
+                                       in.reader_id,
+                                       *in.spec->consume_predicate));
+      }
+      in.basket->TrimConsumed();
+      return slice;
+    }
+    case ProcessingStrategy::kChained: {
+      if (in.spec->consume_predicate == nullptr) {
+        // No predicate: this factory wants everything; nothing can flow on.
+        return in.basket->DrainAll();
+      }
+      if (in.passthrough != nullptr) {
+        return in.basket->DrainSplit(*in.spec->consume_predicate,
+                                     in.passthrough.get());
+      }
+      // Tail of the chain: non-matching tuples are dropped with the drain.
+      TablePtr all = in.basket->DrainAll();
+      DC_ASSIGN_OR_RETURN(
+          std::vector<size_t> positions,
+          EvaluatePredicate(*in.spec->consume_predicate, *all));
+      if (positions.size() == all->num_rows()) return all;
+      return TablePtr(all->Take(positions));
+    }
+  }
+  return Status::Internal("bad strategy");
+}
+
+Result<int64_t> Factory::Fire() {
+  if (!Ready()) return 0;
+  Timestamp start = clock_->Now();
+  // Algorithm 1: read-and-consume each input basket (each TakeSlice call is
+  // an atomic lock/consume/unlock bracket on its basket)...
+  std::vector<TablePtr> slices;
+  slices.reserve(inputs_.size());
+  int64_t in_tuples = 0;
+  for (InputBinding& in : inputs_) {
+    DC_ASSIGN_OR_RETURN(TablePtr slice, TakeSlice(in));
+    in_tuples += static_cast<int64_t>(slice->num_rows());
+    slices.push_back(std::move(slice));
+  }
+  // ... run the compiled plan as one bulk operation ...
+  TablePtr result;
+  if (window_ != nullptr) {
+    Result<TablePtr> r = window_->Advance(*slices[0]);
+    if (!r.ok()) {
+      plan_errors_.fetch_add(1, std::memory_order_relaxed);
+      return r.status();
+    }
+    result = *r;
+  } else {
+    PlanBindings bindings = static_bindings_;
+    for (size_t i = 0; i < inputs_.size(); ++i) {
+      bindings[inputs_[i].spec->bind_name] = slices[i];
+    }
+    Result<TablePtr> r = ExecutePlan(*query_.plan, bindings);
+    if (!r.ok()) {
+      plan_errors_.fetch_add(1, std::memory_order_relaxed);
+      return r.status();
+    }
+    result = *r;
+  }
+  // ... and append the qualifying tuples to the output basket.
+  if (result->num_rows() > 0) {
+    if (options_.output_carries_ts) {
+      // The result's own trailing ts column (original arrival times) is the
+      // output basket's timestamp.
+      DC_RETURN_NOT_OK(output_->AppendWithTs(*result));
+    } else {
+      DC_RETURN_NOT_OK(output_->AppendStamped(*result, clock_->Now()));
+    }
+    results_emitted_.fetch_add(static_cast<int64_t>(result->num_rows()),
+                               std::memory_order_relaxed);
+  }
+  RecordRun(in_tuples, clock_->Now() - start);
+  return in_tuples;
+}
+
+void Factory::DetachReaders() {
+  if (options_.strategy != ProcessingStrategy::kSharedBaskets) return;
+  for (InputBinding& in : inputs_) {
+    in.basket->UnregisterReader(in.reader_id);
+    in.basket->TrimConsumed();
+  }
+}
+
+std::vector<BasketPtr> Factory::input_baskets() const {
+  std::vector<BasketPtr> out;
+  out.reserve(inputs_.size());
+  for (const InputBinding& in : inputs_) out.push_back(in.basket);
+  return out;
+}
+
+void Factory::SetPassthrough(size_t input_index, BasketPtr basket) {
+  DC_CHECK_LT(input_index, inputs_.size());
+  inputs_[input_index].passthrough = std::move(basket);
+}
+
+std::string Factory::ExplainPlan() const { return ExplainMal(*query_.plan); }
+
+}  // namespace datacell

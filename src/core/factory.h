@@ -1,0 +1,133 @@
+#ifndef DATACELL_CORE_FACTORY_H_
+#define DATACELL_CORE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/basket.h"
+#include "core/transition.h"
+#include "core/window.h"
+#include "sql/planner.h"
+
+namespace datacell {
+
+/// How a factory obtains input from its basket(s) — the processing
+/// strategies of §2.5.
+enum class ProcessingStrategy {
+  /// Each query owns private input baskets; the receptor copies every tuple
+  /// into each. The factory drains its basket exclusively.
+  kSeparateBaskets,
+  /// Queries on the same stream share one basket; each factory reads past
+  /// its watermark without removing, and tuples are trimmed once every
+  /// reader has seen them.
+  kSharedBaskets,
+  /// Disjoint-predicate chaining: the factory drains everything, keeps the
+  /// tuples matching its basket predicate and forwards the rest to the next
+  /// query's basket, shrinking downstream work.
+  kChained,
+};
+
+const char* ProcessingStrategyToString(ProcessingStrategy s);
+
+struct FactoryOptions {
+  ProcessingStrategy strategy = ProcessingStrategy::kSeparateBaskets;
+  WindowMode window_mode = WindowMode::kAuto;
+  int priority = 0;
+  /// Separate-baskets only: the input baskets are engine-created private
+  /// replicas with no other reader, so tuples not matching the basket
+  /// expression are dead and may be dropped on drain instead of retained.
+  /// User-visible baskets keep the §2.6 partially-emptied-basket semantics.
+  bool exclusive_private_inputs = false;
+  /// The query's result already ends with a ts column (e.g. `select *`
+  /// projects the stream's arrival ts last). The output basket then reuses
+  /// it as its implicit timestamp — arrival times flow through unchanged —
+  /// instead of stamping result-production time.
+  bool output_carries_ts = false;
+};
+
+/// A continuous query cast into a resumable unit of execution (§2.3): it
+/// holds the compiled plan, reads from its input baskets, runs the plan as
+/// one bulk operation and appends qualifying tuples to its output basket.
+/// The scheduler calls `Fire()`, which corresponds to one iteration of
+/// Algorithm 1's loop; suspension between calls is implicit (state lives in
+/// the object, as in MonetDB's factory co-routines).
+class Factory final : public Transition {
+ public:
+  /// `input_baskets` aligns 1:1 with `query.inputs`. `static_bindings`
+  /// resolves plan scans of non-stream relations (stream–table joins).
+  /// For windowed queries there must be exactly one input.
+  static Result<std::shared_ptr<Factory>> Create(
+      std::string name, sql::CompiledQuery query,
+      std::vector<BasketPtr> input_baskets, BasketPtr output,
+      PlanBindings static_bindings, const Clock* clock,
+      FactoryOptions options);
+
+  bool Ready() const override;
+  Result<int64_t> Fire() override;
+  /// Smallest per-input availability: the Petri-net enabling amount.
+  int64_t Backlog() const override;
+
+  /// Chained strategy: tuples of input `input_index` that do NOT match the
+  /// basket predicate are forwarded here instead of being dropped.
+  void SetPassthrough(size_t input_index, BasketPtr basket);
+
+  /// Retires this factory's shared-basket watermarks so remaining readers'
+  /// trims are no longer held back. Call only when the factory will not
+  /// fire again (it must already be out of the scheduler).
+  void DetachReaders();
+  /// The baskets this factory reads (for engine-side unwiring).
+  std::vector<BasketPtr> input_baskets() const;
+
+  const sql::CompiledQuery& query() const { return query_; }
+  const BasketPtr& output() const { return output_; }
+  ProcessingStrategy strategy() const { return options_.strategy; }
+  /// "none", "reeval" or "incremental".
+  const char* window_mode_name() const {
+    return window_ == nullptr ? "none" : window_->mode_name();
+  }
+  /// The MAL rendering of the wrapped plan (explain output).
+  std::string ExplainPlan() const;
+
+  int64_t results_emitted() const {
+    return results_emitted_.load(std::memory_order_relaxed);
+  }
+  int64_t plan_errors() const {
+    return plan_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct InputBinding {
+    BasketPtr basket;
+    const sql::ContinuousInput* spec;  // points into query_.inputs
+    size_t reader_id = 0;              // shared strategy only
+    BasketPtr passthrough;             // chained strategy only
+  };
+
+  Factory(std::string name, sql::CompiledQuery query, BasketPtr output,
+          PlanBindings static_bindings, const Clock* clock,
+          FactoryOptions options);
+
+  /// Tuples available on input `i` under the current strategy.
+  size_t AvailableOn(const InputBinding& in) const;
+  /// Obtains (and consumes, per strategy) the next input slice.
+  Result<TablePtr> TakeSlice(InputBinding& in);
+
+  sql::CompiledQuery query_;
+  std::vector<InputBinding> inputs_;
+  BasketPtr output_;
+  PlanBindings static_bindings_;
+  const Clock* clock_;
+  FactoryOptions options_;
+  size_t min_tuples_ = 1;
+  std::unique_ptr<WindowExecutor> window_;  // null for unwindowed queries
+  std::atomic<int64_t> results_emitted_{0};
+  std::atomic<int64_t> plan_errors_{0};
+};
+
+using FactoryPtr = std::shared_ptr<Factory>;
+
+}  // namespace datacell
+
+#endif  // DATACELL_CORE_FACTORY_H_

@@ -1,0 +1,115 @@
+#include "core/petri.h"
+
+#include "common/check.h"
+
+namespace datacell {
+
+PetriNet::PlaceId PetriNet::AddPlace(std::string name, int64_t initial_tokens) {
+  DC_CHECK_GE(initial_tokens, 0);
+  places_.push_back(Place{std::move(name), initial_tokens});
+  return places_.size() - 1;
+}
+
+Result<PetriNet::TransitionId> PetriNet::AddTransition(std::string name,
+                                                       std::vector<Arc> inputs,
+                                                       std::vector<Arc> outputs) {
+  // §2.4: each transition has at least one input and at least one output.
+  if (inputs.empty() || outputs.empty()) {
+    return Status::InvalidArgument(
+        "a transition needs at least one input and one output place");
+  }
+  for (const Arc& a : inputs) {
+    if (a.place >= places_.size() || a.weight <= 0) {
+      return Status::InvalidArgument("bad input arc");
+    }
+  }
+  for (const Arc& a : outputs) {
+    if (a.place >= places_.size() || a.weight <= 0) {
+      return Status::InvalidArgument("bad output arc");
+    }
+  }
+  transitions_.push_back(
+      Transition{std::move(name), std::move(inputs), std::move(outputs)});
+  return transitions_.size() - 1;
+}
+
+bool PetriNet::Enabled(TransitionId t) const {
+  DC_CHECK_LT(t, transitions_.size());
+  for (const Arc& a : transitions_[t].inputs) {
+    if (places_[a.place].tokens < a.weight) return false;
+  }
+  return true;
+}
+
+std::vector<PetriNet::TransitionId> PetriNet::EnabledTransitions() const {
+  std::vector<TransitionId> out;
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (Enabled(t)) out.push_back(t);
+  }
+  return out;
+}
+
+Status PetriNet::Fire(TransitionId t) {
+  if (t >= transitions_.size()) {
+    return Status::InvalidArgument("unknown transition");
+  }
+  if (!Enabled(t)) {
+    return Status::FailedPrecondition("transition '" + transitions_[t].name +
+                                      "' is not enabled");
+  }
+  for (const Arc& a : transitions_[t].inputs) {
+    places_[a.place].tokens -= a.weight;
+  }
+  for (const Arc& a : transitions_[t].outputs) {
+    places_[a.place].tokens += a.weight;
+  }
+  return Status::OK();
+}
+
+int64_t PetriNet::RunToQuiescence(int64_t max_firings) {
+  int64_t fired = 0;
+  bool progress = true;
+  while (progress && fired < max_firings) {
+    progress = false;
+    for (TransitionId t = 0; t < transitions_.size() && fired < max_firings;
+         ++t) {
+      if (Enabled(t)) {
+        DC_CHECK_OK(Fire(t));
+        ++fired;
+        progress = true;
+      }
+    }
+  }
+  return fired;
+}
+
+int64_t PetriNet::TotalTokens() const {
+  int64_t sum = 0;
+  for (const Place& p : places_) sum += p.tokens;
+  return sum;
+}
+
+std::vector<PetriNet::TransitionId> PetriNet::DeadTransitions() const {
+  std::vector<bool> has_producer(places_.size(), false);
+  for (const Transition& t : transitions_) {
+    for (const Arc& a : t.outputs) has_producer[a.place] = true;
+  }
+  std::vector<TransitionId> dead;
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    for (const Arc& a : transitions_[t].inputs) {
+      if (!has_producer[a.place] && places_[a.place].tokens < a.weight) {
+        dead.push_back(t);
+        break;
+      }
+    }
+  }
+  return dead;
+}
+
+void PetriNet::Inject(PlaceId p, int64_t n) {
+  DC_CHECK_LT(p, places_.size());
+  DC_CHECK_GE(n, 0);
+  places_[p].tokens += n;
+}
+
+}  // namespace datacell

@@ -1,0 +1,93 @@
+#ifndef DATACELL_CORE_PETRI_H_
+#define DATACELL_CORE_PETRI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace datacell {
+
+/// Abstract Petri net (§2.4): the formal processing model DataCell's
+/// scheduler follows. Places hold tokens (tuples in baskets); transitions
+/// (receptors, factories, emitters) fire when every input place holds at
+/// least its required token count, consuming input tokens and producing
+/// output tokens.
+///
+/// The concrete engine implements the same semantics directly over baskets;
+/// this standalone net exists to (a) validate dataflow topologies before
+/// they run and (b) make the model property-testable in isolation (token
+/// conservation, enabling monotonicity, deadlock detection).
+class PetriNet {
+ public:
+  using PlaceId = size_t;
+  using TransitionId = size_t;
+
+  /// Adds a place with `initial_tokens`; returns its id.
+  PlaceId AddPlace(std::string name, int64_t initial_tokens = 0);
+
+  struct Arc {
+    PlaceId place;
+    int64_t weight = 1;  // tokens consumed (input) or produced (output)
+  };
+
+  /// Adds a transition; every input arc weight doubles as the enabling
+  /// threshold (the "minimum of n tuples" rule of §2.4).
+  Result<TransitionId> AddTransition(std::string name, std::vector<Arc> inputs,
+                                     std::vector<Arc> outputs);
+
+  size_t num_places() const { return places_.size(); }
+  size_t num_transitions() const { return transitions_.size(); }
+  int64_t tokens(PlaceId p) const { return places_[p].tokens; }
+  const std::string& place_name(PlaceId p) const { return places_[p].name; }
+  const std::string& transition_name(TransitionId t) const {
+    return transitions_[t].name;
+  }
+
+  /// A transition is enabled iff every input place holds >= arc weight.
+  bool Enabled(TransitionId t) const;
+  /// All currently enabled transitions.
+  std::vector<TransitionId> EnabledTransitions() const;
+
+  /// Fires `t`: consumes input tokens, produces output tokens. Fails when
+  /// not enabled.
+  Status Fire(TransitionId t);
+
+  /// Fires enabled transitions round-robin until none is enabled or
+  /// `max_firings` is reached; returns the number of firings.
+  int64_t RunToQuiescence(int64_t max_firings);
+
+  /// Sum of tokens over all places.
+  int64_t TotalTokens() const;
+
+  /// True when no transition is enabled.
+  bool Quiescent() const { return EnabledTransitions().empty(); }
+
+  /// Adds `n` tokens to `p` (models external arrivals at source places).
+  void Inject(PlaceId p, int64_t n);
+
+  /// Static topology check: transitions that can never fire because some
+  /// input place has no producer (no transition outputs into it) and holds
+  /// fewer tokens than the arc requires. Used to validate a dataflow before
+  /// running it — a continuous query wired to a basket nothing feeds is a
+  /// configuration bug, not a runtime condition.
+  std::vector<TransitionId> DeadTransitions() const;
+
+ private:
+  struct Place {
+    std::string name;
+    int64_t tokens = 0;
+  };
+  struct Transition {
+    std::string name;
+    std::vector<Arc> inputs;
+    std::vector<Arc> outputs;
+  };
+  std::vector<Place> places_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_CORE_PETRI_H_

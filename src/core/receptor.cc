@@ -1,0 +1,58 @@
+#include "core/receptor.h"
+
+#include "adapters/csv.h"
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace datacell {
+
+const char* TransitionKindToString(TransitionKind k) {
+  switch (k) {
+    case TransitionKind::kReceptor:
+      return "receptor";
+    case TransitionKind::kFactory:
+      return "factory";
+    case TransitionKind::kEmitter:
+      return "emitter";
+  }
+  return "?";
+}
+
+Receptor::Receptor(std::string name, Channel* channel, Schema user_schema,
+                   DeliverFn deliver, const Clock* clock, size_t max_batch)
+    : Transition(std::move(name), TransitionKind::kReceptor),
+      channel_(channel),
+      user_schema_(std::move(user_schema)),
+      deliver_(std::move(deliver)),
+      clock_(clock),
+      max_batch_(max_batch) {
+  DC_CHECK(channel_ != nullptr);
+  DC_CHECK(clock_ != nullptr);
+  DC_CHECK(deliver_ != nullptr);
+}
+
+bool Receptor::Ready() const { return !channel_->empty(); }
+
+Result<int64_t> Receptor::Fire() {
+  Timestamp start = clock_->Now();
+  std::vector<std::string> lines = channel_->DrainUpTo(max_batch_);
+  if (lines.empty()) return 0;
+  std::vector<Row> rows;
+  rows.reserve(lines.size());
+  for (const std::string& line : lines) {
+    Result<Row> parsed = ParseCsvRow(line, user_schema_);
+    if (!parsed.ok()) {
+      ++malformed_;
+      DC_LOG(Warning) << name() << ": dropping malformed tuple: "
+                      << parsed.status().ToString();
+      continue;
+    }
+    rows.push_back(std::move(*parsed));
+  }
+  DC_RETURN_NOT_OK(deliver_(rows, clock_->Now()));
+  int64_t n = static_cast<int64_t>(rows.size());
+  RecordRun(n, clock_->Now() - start);
+  return n;
+}
+
+}  // namespace datacell

@@ -1,0 +1,55 @@
+#ifndef DATACELL_CORE_RECEPTOR_H_
+#define DATACELL_CORE_RECEPTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapters/channel.h"
+#include "common/clock.h"
+#include "core/basket.h"
+#include "core/transition.h"
+
+namespace datacell {
+
+/// Ingest adapter (§2.1): picks up textual tuples from a communication
+/// channel, validates their structure against the stream schema, stamps the
+/// arrival timestamp and hands the batch to the delivery function — which
+/// routes it into "the proper baskets" for the active processing strategy
+/// (private copies under separate-baskets, the shared basket otherwise).
+class Receptor : public Transition {
+ public:
+  /// Routes validated tuples into baskets; supplied by the engine.
+  using DeliverFn =
+      std::function<Status(const std::vector<Row>& rows, Timestamp ts)>;
+
+  /// `user_schema` is the stream schema *without* the ts column.
+  Receptor(std::string name, Channel* channel, Schema user_schema,
+           DeliverFn deliver, const Clock* clock, size_t max_batch = 4096);
+
+  bool Ready() const override;
+  /// Lines waiting on the wire.
+  int64_t Backlog() const override {
+    return static_cast<int64_t>(channel_->size());
+  }
+
+  /// Drains up to `max_batch` lines, parses and validates each, and delivers
+  /// the valid tuples. Malformed lines are counted and dropped (a receptor
+  /// must not stall the stream on bad input).
+  Result<int64_t> Fire() override;
+
+  int64_t malformed_lines() const { return malformed_; }
+
+ private:
+  Channel* channel_;
+  Schema user_schema_;
+  DeliverFn deliver_;
+  const Clock* clock_;
+  size_t max_batch_;
+  int64_t malformed_ = 0;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_CORE_RECEPTOR_H_

@@ -1,0 +1,149 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace datacell {
+
+Scheduler::~Scheduler() { Stop(); }
+
+void Scheduler::AddTransition(TransitionPtr t) {
+  std::lock_guard<std::mutex> lock(transitions_mu_);
+  transitions_.push_back(std::move(t));
+}
+
+bool Scheduler::RemoveTransition(const Transition* t) {
+  std::lock_guard<std::mutex> lock(transitions_mu_);
+  for (auto it = transitions_.begin(); it != transitions_.end(); ++it) {
+    if (it->get() == t) {
+      transitions_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<size_t> Scheduler::FiringOrder() const {
+  std::vector<size_t> order(transitions_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (policy_ == SchedulingPolicy::kPriority) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return transitions_[a]->priority() > transitions_[b]->priority();
+    });
+  } else if (policy_ == SchedulingPolicy::kAdaptive) {
+    // Re-evaluated every sweep: the ordering follows the workload.
+    std::vector<int64_t> backlog(transitions_.size());
+    for (size_t i = 0; i < transitions_.size(); ++i) {
+      backlog[i] = transitions_[i]->Backlog();
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return backlog[a] > backlog[b];
+    });
+  } else {
+    // Round-robin: rotate the starting point each sweep.
+    if (!order.empty()) {
+      std::rotate(order.begin(),
+                  order.begin() +
+                      static_cast<ptrdiff_t>(rr_offset_ % order.size()),
+                  order.end());
+    }
+  }
+  return order;
+}
+
+int Scheduler::FireSweep(const std::vector<TransitionPtr>& snapshot,
+                         const std::vector<size_t>& order) {
+  int fired = 0;
+  for (size_t idx : order) {
+    Transition& t = *snapshot[idx];
+    if (!t.Ready()) continue;
+    // A transition must not fire concurrently with itself (factory window
+    // state is single-writer); workers skip claimed transitions.
+    if (!t.TryClaim()) continue;
+    Result<int64_t> r = t.Fire();
+    t.Release();
+    if (!r.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        last_error_ = r.status();
+      }
+      DC_LOG(Error) << "transition '" << t.name()
+                    << "' failed: " << r.status().ToString();
+      continue;
+    }
+    if (*r > 0) ++fired;
+  }
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  firings_.fetch_add(fired, std::memory_order_relaxed);
+  return fired;
+}
+
+int Scheduler::Step() {
+  std::vector<TransitionPtr> snapshot;
+  std::vector<size_t> order;
+  {
+    std::lock_guard<std::mutex> lock(transitions_mu_);
+    snapshot = transitions_;
+    order = FiringOrder();
+    ++rr_offset_;
+  }
+  return FireSweep(snapshot, order);
+}
+
+int64_t Scheduler::RunUntilQuiescent(int64_t max_sweeps) {
+  int64_t total = 0;
+  for (int64_t i = 0; i < max_sweeps; ++i) {
+    int fired = Step();
+    total += fired;
+    if (fired == 0) break;
+  }
+  return total;
+}
+
+Status Scheduler::Start(size_t num_threads) {
+  if (num_threads == 0) {
+    return Status::InvalidArgument("need at least one scheduler thread");
+  }
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("scheduler already running");
+  }
+  stop_requested_.store(false, std::memory_order_release);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { Loop(); });
+  }
+  return Status::OK();
+}
+
+void Scheduler::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+void Scheduler::Loop() {
+  // The paper's infinite loop: continuously re-evaluate firing conditions.
+  // Briefly sleep when a sweep finds nothing to do, to avoid a hot spin on
+  // an idle stream.
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    int fired = Step();
+    if (fired == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+Status Scheduler::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return last_error_;
+}
+
+}  // namespace datacell

@@ -1,0 +1,109 @@
+#ifndef DATACELL_CORE_SCHEDULER_H_
+#define DATACELL_CORE_SCHEDULER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/transition.h"
+
+namespace datacell {
+
+/// Order in which ready transitions are fired within a sweep.
+enum class SchedulingPolicy {
+  /// Fair: the sweep's starting transition rotates, so no transition
+  /// starves even under constant load.
+  kRoundRobin,
+  /// Higher `Transition::priority()` first (stable for equal priorities) —
+  /// the hook for low-latency queries (§3.2).
+  kPriority,
+  /// Adapts to the workload each sweep: transitions with the largest input
+  /// backlog fire first, so pressure drains where it builds (§3.2's
+  /// dynamically adapting scheduling policy).
+  kAdaptive,
+};
+
+/// The DataCell scheduler (§2.4): runs an infinite loop, re-evaluating every
+/// transition's firing condition and firing the enabled ones. Supports a
+/// deterministic single-stepped mode (`Step`) used by tests and a threaded
+/// mode (`Start`/`Stop`) matching the paper's multi-threaded architecture.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulingPolicy policy = SchedulingPolicy::kRoundRobin)
+      : policy_(policy) {}
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void AddTransition(TransitionPtr t);
+  /// Detaches a transition from scheduling (by identity). It stops firing
+  /// after the current sweep; the object itself stays alive through any
+  /// in-flight snapshot. Returns false when not found.
+  bool RemoveTransition(const Transition* t);
+  const std::vector<TransitionPtr>& transitions() const { return transitions_; }
+
+  /// One sweep: fires every currently-ready transition once, in policy
+  /// order. Returns the number of transitions fired. Transition errors are
+  /// recorded (see `last_error`) and do not abort the sweep — a failing
+  /// query must not take the engine down.
+  int Step();
+
+  /// Sweeps until quiescent (no transition ready) or `max_sweeps` reached.
+  /// Returns total firings.
+  int64_t RunUntilQuiescent(int64_t max_sweeps = 1000000);
+
+  /// Spawns `num_threads` scheduler workers running the infinite loop (the
+  /// paper's multi-threaded architecture: transitions fire concurrently,
+  /// serialised per transition by a claim flag and per basket by the basket
+  /// monitors). 1 thread reproduces the classic single-loop scheduler.
+  Status Start(size_t num_threads = 1);
+  /// Stops and joins all scheduler threads. Idempotent.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  SchedulingPolicy policy() const { return policy_; }
+  void set_policy(SchedulingPolicy p) { policy_ = p; }
+
+  int64_t sweeps() const { return sweeps_.load(std::memory_order_relaxed); }
+  int64_t total_firings() const {
+    return firings_.load(std::memory_order_relaxed);
+  }
+  int64_t error_count() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  Status last_error() const;
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void Loop();
+  std::vector<size_t> FiringOrder() const;
+  /// One pass over a transition snapshot claiming + firing; shared by the
+  /// stepped and threaded modes.
+  int FireSweep(const std::vector<TransitionPtr>& snapshot,
+                const std::vector<size_t>& order);
+
+  SchedulingPolicy policy_;
+  std::vector<TransitionPtr> transitions_;
+  mutable std::mutex transitions_mu_;  // guards vector shape, not elements
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::vector<std::thread> threads_;
+
+  std::atomic<int64_t> sweeps_{0};
+  std::atomic<int64_t> firings_{0};
+  std::atomic<int64_t> errors_{0};
+  mutable std::mutex error_mu_;
+  Status last_error_;
+  size_t rr_offset_ = 0;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_CORE_SCHEDULER_H_

@@ -1,0 +1,43 @@
+#ifndef DATACELL_CORE_SHARED_FILTER_H_
+#define DATACELL_CORE_SHARED_FILTER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "core/basket.h"
+#include "core/transition.h"
+
+namespace datacell {
+
+/// An auxiliary factory (§3.2): when several continuous queries contain the
+/// same basket expression — same stream, same predicate — the engine factors
+/// the common selection into one shared transition. It reads the stream
+/// basket once (as a shared reader), applies the predicate once, and places
+/// the qualifying tuples (original timestamps preserved) into a group basket
+/// that all dependent query factories read. This is the paper's "shared
+/// factories that give output to more than one query's factories".
+class SharedFilterTransition final : public Transition {
+ public:
+  /// `predicate` may be null (common consume-all expressions: the shared
+  /// transition then only de-duplicates the read). `output` must have the
+  /// same schema as `input`.
+  SharedFilterTransition(std::string name, BasketPtr input, ExprPtr predicate,
+                         BasketPtr output, const Clock* clock);
+
+  bool Ready() const override;
+  Result<int64_t> Fire() override;
+
+  const BasketPtr& output() const { return output_; }
+
+ private:
+  BasketPtr input_;
+  ExprPtr predicate_;
+  BasketPtr output_;
+  const Clock* clock_;
+  size_t reader_id_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_CORE_SHARED_FILTER_H_

@@ -1,0 +1,38 @@
+#include "linearroad/driver.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace datacell {
+namespace linearroad {
+
+LrDriver::LrDriver(Engine* engine, LrConfig config)
+    : engine_(engine), generator_(config) {
+  DC_CHECK(engine_->simulated_clock() != nullptr);
+}
+
+Status LrDriver::Run(int64_t seconds) {
+  for (int64_t s = 0; s < seconds; ++s) {
+    std::vector<PositionReport> reports = generator_.Tick();
+    std::vector<Row> rows;
+    rows.reserve(reports.size());
+    for (const PositionReport& r : reports) rows.push_back(r.ToRow());
+
+    auto wall_start = std::chrono::steady_clock::now();
+    if (!rows.empty()) {
+      DC_RETURN_NOT_OK(engine_->IngestBatch(kLrStreamName, rows));
+    }
+    engine_->Drain();
+    auto wall_end = std::chrono::steady_clock::now();
+    tick_time_us_.Add(
+        std::chrono::duration_cast<std::chrono::microseconds>(wall_end -
+                                                              wall_start)
+            .count());
+    engine_->simulated_clock()->Advance(kMicrosPerSecond);
+  }
+  return Status::OK();
+}
+
+}  // namespace linearroad
+}  // namespace datacell

@@ -1,0 +1,41 @@
+#ifndef DATACELL_LINEARROAD_DRIVER_H_
+#define DATACELL_LINEARROAD_DRIVER_H_
+
+#include <memory>
+
+#include "common/metrics.h"
+#include "core/engine.h"
+#include "linearroad/generator.h"
+#include "linearroad/queries.h"
+
+namespace datacell {
+namespace linearroad {
+
+/// Drives a full Linear Road run: one engine tick per simulated second —
+/// generate the second's position reports, ingest them, advance the
+/// simulated clock, drain the scheduler — while recording the wall-clock
+/// processing time of every tick. The LR acceptance criterion is a bounded
+/// per-report response time; `tick_time` is our per-second analogue.
+class LrDriver {
+ public:
+  /// `engine` must use a simulated clock (EngineOptions.use_wall_clock =
+  /// false); queries must already be installed.
+  LrDriver(Engine* engine, LrConfig config);
+
+  /// Runs `seconds` of simulated traffic. Returns non-OK on engine errors.
+  Status Run(int64_t seconds);
+
+  const SampleStats& tick_time_us() const { return tick_time_us_; }
+  int64_t total_reports() const { return generator_.total_reports(); }
+  int64_t accidents_started() const { return generator_.accidents_started(); }
+
+ private:
+  Engine* engine_;
+  LrGenerator generator_;
+  SampleStats tick_time_us_;
+};
+
+}  // namespace linearroad
+}  // namespace datacell
+
+#endif  // DATACELL_LINEARROAD_DRIVER_H_

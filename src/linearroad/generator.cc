@@ -1,0 +1,98 @@
+#include "linearroad/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datacell {
+namespace linearroad {
+
+Row PositionReport::ToRow() const {
+  return Row{Value::Int64(time_s), Value::Int64(vid),  Value::Int64(speed),
+             Value::Int64(xway),   Value::Int64(lane), Value::Int64(dir),
+             Value::Int64(seg),    Value::Int64(pos)};
+}
+
+Schema ReportSchema() {
+  Schema s;
+  for (const char* name :
+       {"time", "vid", "speed", "xway", "lane", "dir", "seg", "pos"}) {
+    s.AddField(Field{name, DataType::kInt64});
+  }
+  return s;
+}
+
+LrGenerator::LrGenerator(LrConfig config)
+    : config_(config), rng_(config.seed) {
+  int64_t vid = 0;
+  double road_length = config_.segments * kFeetPerSegment;
+  for (int x = 0; x < config_.num_xways; ++x) {
+    for (int i = 0; i < config_.vehicles_per_xway; ++i) {
+      Vehicle v;
+      v.vid = vid++;
+      v.xway = x;
+      v.dir = static_cast<int>(rng_.Uniform(0, 1));
+      v.pos_ft = rng_.UniformReal(0.0, road_length);
+      v.speed_mph = static_cast<int>(rng_.Uniform(40, 100));
+      vehicles_.push_back(v);
+    }
+  }
+}
+
+void LrGenerator::MoveVehicle(Vehicle* v) {
+  if (v->stopped_ticks_left > 0) {
+    --v->stopped_ticks_left;
+    if (v->stopped_ticks_left == 0) {
+      v->speed_mph = static_cast<int>(rng_.Uniform(30, 60));
+    }
+    return;
+  }
+  // Random speed drift within [10, 100] mph.
+  int drift = static_cast<int>(rng_.Uniform(-5, 5));
+  v->speed_mph = std::clamp(v->speed_mph + drift, 10, 100);
+  // Accident initiation: the vehicle stops where it is; the next vehicle to
+  // stop in the same segment completes the benchmark's 2-car accident.
+  if (rng_.Bernoulli(config_.accident_prob)) {
+    v->stopped_ticks_left = config_.accident_duration_ticks *
+                            config_.report_interval_s;
+    v->speed_mph = 0;
+    ++accidents_started_;
+    return;
+  }
+  // mph -> feet/second = * 5280/3600.
+  double fps = v->speed_mph * (kFeetPerSegment / 3600.0);
+  double road_length = config_.segments * kFeetPerSegment;
+  v->pos_ft += (v->dir == 0 ? fps : -fps);
+  // Wrap around (vehicles re-enter; keeps the population constant).
+  if (v->pos_ft >= road_length) v->pos_ft -= road_length;
+  if (v->pos_ft < 0) v->pos_ft += road_length;
+}
+
+std::vector<PositionReport> LrGenerator::Tick() {
+  std::vector<PositionReport> out;
+  for (Vehicle& v : vehicles_) {
+    MoveVehicle(&v);
+    // Staggered reporting: vehicle v reports when (now + vid) is a multiple
+    // of the report interval, spreading load evenly across seconds.
+    if ((now_s_ + v.vid) % config_.report_interval_s != 0) continue;
+    PositionReport r;
+    r.time_s = now_s_;
+    r.vid = v.vid;
+    r.speed = v.stopped_ticks_left > 0 ? 0 : v.speed_mph;
+    r.xway = v.xway;
+    r.lane = v.stopped_ticks_left > 0
+                 ? 0
+                 : rng_.Uniform(1, 3);  // lane 0 only when stopped
+    r.dir = v.dir;
+    r.seg = std::clamp<int64_t>(
+        static_cast<int64_t>(v.pos_ft / kFeetPerSegment), 0,
+        config_.segments - 1);
+    r.pos = static_cast<int64_t>(v.pos_ft);
+    out.push_back(r);
+    ++total_reports_;
+  }
+  ++now_s_;
+  return out;
+}
+
+}  // namespace linearroad
+}  // namespace datacell

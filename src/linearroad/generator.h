@@ -1,0 +1,88 @@
+#ifndef DATACELL_LINEARROAD_GENERATOR_H_
+#define DATACELL_LINEARROAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/schema.h"
+#include "storage/types.h"
+
+namespace datacell {
+namespace linearroad {
+
+/// Configuration of the simulated Linear Road traffic (Arasu et al., VLDB'04).
+/// The benchmark's input is itself synthetic; this generator reproduces its
+/// schema and workload shape — vehicles on L expressways emitting position
+/// reports every 30 seconds, with occasional accidents congesting a segment —
+/// deterministically from a seed.
+struct LrConfig {
+  int num_xways = 1;           // the benchmark's scale factor L
+  int segments = 100;          // segments per expressway
+  int vehicles_per_xway = 1000;
+  int report_interval_s = 30;  // seconds between two reports of one vehicle
+  double accident_prob = 0.0005;  // per vehicle per tick
+  int accident_duration_ticks = 4;
+  uint64_t seed = 42;
+};
+
+/// One position report: the type-0 tuple of the LR input stream.
+/// Field order matches `ReportSchema()`.
+struct PositionReport {
+  int64_t time_s;  // simulation time
+  int64_t vid;
+  int64_t speed;   // mph; 0 = stopped
+  int64_t xway;
+  int64_t lane;    // 0..4
+  int64_t dir;     // 0 east, 1 west
+  int64_t seg;     // 0..segments-1
+  int64_t pos;     // feet from expressway start
+
+  Row ToRow() const;
+};
+
+/// Schema of the position-report stream (without the implicit ts column):
+/// time, vid, speed, xway, lane, dir, seg, pos — all int64.
+Schema ReportSchema();
+
+/// Deterministic traffic simulator. Call `Tick()` once per simulated second;
+/// it returns the position reports due that second (each vehicle reports
+/// every `report_interval_s` seconds, staggered by vehicle id).
+class LrGenerator {
+ public:
+  explicit LrGenerator(LrConfig config);
+
+  /// Advances the simulation by one second and returns the reports emitted.
+  std::vector<PositionReport> Tick();
+
+  int64_t now_s() const { return now_s_; }
+  int64_t total_reports() const { return total_reports_; }
+  /// Number of accidents started so far.
+  int64_t accidents_started() const { return accidents_started_; }
+
+ private:
+  struct Vehicle {
+    int64_t vid;
+    int xway;
+    int dir;
+    double pos_ft;     // absolute position along the expressway
+    int speed_mph;     // current speed
+    int stopped_ticks_left = 0;  // >0: part of an accident, speed 0
+  };
+
+  static constexpr double kFeetPerSegment = 5280.0;
+
+  void MoveVehicle(Vehicle* v);
+
+  LrConfig config_;
+  Rng rng_;
+  std::vector<Vehicle> vehicles_;
+  int64_t now_s_ = 0;
+  int64_t total_reports_ = 0;
+  int64_t accidents_started_ = 0;
+};
+
+}  // namespace linearroad
+}  // namespace datacell
+
+#endif  // DATACELL_LINEARROAD_GENERATOR_H_

@@ -1,0 +1,55 @@
+#include "linearroad/history.h"
+
+#include "common/check.h"
+
+namespace datacell {
+namespace linearroad {
+
+Result<std::unique_ptr<TollHistory>> TollHistory::Install(Engine* engine,
+                                                          QueryId toll_query) {
+  DC_RETURN_NOT_OK(
+      engine
+          ->ExecuteSql("create table toll_history (day int, xway int, "
+                       "dir int, seg int, toll int)")
+          .status());
+  DC_ASSIGN_OR_RETURN(TablePtr table, engine->catalog().Get(kTableName));
+
+  auto history = std::unique_ptr<TollHistory>(new TollHistory());
+  TollHistory* raw = history.get();
+  // Toll query output schema: xway, dir, seg, avg_speed, toll (+ result ts).
+  history->sink_ = std::make_shared<CallbackSink>(
+      [table, raw](const Table& batch, Timestamp /*now*/) {
+        size_t ts_col = batch.num_columns() - 1;
+        for (size_t i = 0; i < batch.num_rows(); ++i) {
+          Row r = batch.GetRow(i);
+          int64_t day = r[ts_col].int64_value() / (int64_t{86400} * 1000000);
+          Row out{Value::Int64(day), r[0], r[1], r[2], r[4]};
+          // Stepped engines deliver between sweeps, so this append does not
+          // race with readers; errors here indicate schema drift and abort.
+          DC_CHECK_OK(table->AppendRow(out));
+          raw->rows_.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  DC_RETURN_NOT_OK(engine->Subscribe(toll_query, history->sink_));
+  return history;
+}
+
+Result<int64_t> TollHistory::ExpresswayBalance(Engine* engine,
+                                               int64_t xway) const {
+  DC_ASSIGN_OR_RETURN(
+      TablePtr result,
+      engine->ExecuteSql("select sum(toll) as total from toll_history "
+                         "where xway = " +
+                         std::to_string(xway)));
+  Value total = result->GetRow(0)[0];
+  return total.is_null() ? 0 : static_cast<int64_t>(total.AsDouble());
+}
+
+Result<TablePtr> TollHistory::DailyExpenditure(Engine* engine) const {
+  return engine->ExecuteSql(
+      "select day, xway, sum(toll) as spent, count(*) as assessments "
+      "from toll_history group by day, xway order by spent desc");
+}
+
+}  // namespace linearroad
+}  // namespace datacell

@@ -1,0 +1,53 @@
+#ifndef DATACELL_LINEARROAD_HISTORY_H_
+#define DATACELL_LINEARROAD_HISTORY_H_
+
+#include <memory>
+
+#include "core/engine.h"
+
+namespace datacell {
+namespace linearroad {
+
+/// Linear Road's historical queries (types 2/3: account balance and daily
+/// expenditure) ask one-time questions over previously assessed tolls. This
+/// demonstrates the paper's central selling point — streams and tables live
+/// in ONE engine, so the continuous toll query feeds an ordinary table that
+/// plain SQL then queries.
+///
+/// Our tolls are assessed per congested segment (see queries.h), so the
+/// historical unit is (day, xway, dir, seg) rather than per-vehicle; the
+/// code path (continuous result -> stored history -> one-time SQL) is the
+/// faithful part.
+class TollHistory {
+ public:
+  /// Creates the `toll_history` table and subscribes to the toll query's
+  /// output; every assessed toll lands as one history row. The engine must
+  /// run single-stepped (the sink writes the table between sweeps).
+  static Result<std::unique_ptr<TollHistory>> Install(Engine* engine,
+                                                      QueryId toll_query);
+
+  /// Total tolls assessed so far on `xway` (type-2 account balance,
+  /// aggregated per expressway).
+  Result<int64_t> ExpresswayBalance(Engine* engine, int64_t xway) const;
+
+  /// Tolls per (day, xway), most expensive day first (type-3 daily
+  /// expenditure report).
+  Result<TablePtr> DailyExpenditure(Engine* engine) const;
+
+  int64_t rows_recorded() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr const char* kTableName = "toll_history";
+
+ private:
+  TollHistory() = default;
+
+  std::shared_ptr<ResultSink> sink_;
+  std::atomic<int64_t> rows_{0};
+};
+
+}  // namespace linearroad
+}  // namespace datacell
+
+#endif  // DATACELL_LINEARROAD_HISTORY_H_

@@ -1,0 +1,58 @@
+#include "linearroad/queries.h"
+
+#include "linearroad/generator.h"
+
+namespace datacell {
+namespace linearroad {
+
+Result<LrQueries> InstallLrQueries(Engine* engine) {
+  DC_RETURN_NOT_OK(engine->CreateStream(kLrStreamName, ReportSchema()).status());
+
+  LrQueries out;
+
+  // Segment statistics: LR's 5-minute moving average per segment.
+  DC_ASSIGN_OR_RETURN(
+      out.segstats,
+      engine->SubmitContinuousQuery(
+          "segstats",
+          "select xway, dir, seg, avg(speed) as avg_speed, count(*) as cars "
+          "from [select * from lr] as s "
+          "group by xway, dir, seg "
+          "window range 300 seconds slide 60 seconds"));
+
+  // Accident detection: four zero-speed reports of one vehicle within 120s
+  // (a stopped vehicle reports every 30s, so 4 reports ~ continuously
+  // stopped; LR's 2-car rule is approximated per segment downstream).
+  DC_ASSIGN_OR_RETURN(
+      out.accidents,
+      engine->SubmitContinuousQuery(
+          "accidents",
+          "select xway, dir, seg, vid, count(*) as stopped_reports "
+          "from [select * from lr where speed = 0] as s "
+          "group by xway, dir, seg, vid "
+          "having count(*) >= 4 "
+          "window range 120 seconds slide 30 seconds"));
+
+  // Toll computation, cascaded on segstats' output basket: congested
+  // segments (avg speed < 40) are priced 2*(cars-50)^2; negative tolls for
+  // light traffic clamp at the HAVING-like filter cars > 50.
+  DC_ASSIGN_OR_RETURN(
+      out.tolls,
+      engine->SubmitContinuousQuery(
+          "tolls",
+          "select xway, dir, seg, avg_speed, 2 * (cars - 50) * (cars - 50) "
+          "as toll "
+          "from [select * from segstats_out where avg_speed < 40.0] as t "
+          "where t.cars > 50"));
+
+  out.segstats_sink = std::make_shared<CountingSink>();
+  out.accidents_sink = std::make_shared<CountingSink>();
+  out.tolls_sink = std::make_shared<CountingSink>();
+  DC_RETURN_NOT_OK(engine->Subscribe(out.segstats, out.segstats_sink));
+  DC_RETURN_NOT_OK(engine->Subscribe(out.accidents, out.accidents_sink));
+  DC_RETURN_NOT_OK(engine->Subscribe(out.tolls, out.tolls_sink));
+  return out;
+}
+
+}  // namespace linearroad
+}  // namespace datacell

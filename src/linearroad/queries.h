@@ -1,0 +1,46 @@
+#ifndef DATACELL_LINEARROAD_QUERIES_H_
+#define DATACELL_LINEARROAD_QUERIES_H_
+
+#include <memory>
+#include <string>
+
+#include "adapters/sink.h"
+#include "core/engine.h"
+
+namespace datacell {
+namespace linearroad {
+
+/// The Linear Road continuous-query network installed on a DataCell engine.
+/// Three cascaded queries demonstrate the paper's "network of queries inside
+/// the kernel" (§4):
+///
+///   lr (position reports)
+///    ├─ segstats : per-(xway,dir,seg) average speed and car count over a
+///    │             sliding 300s time window (the LR segment statistics)
+///    ├─ accidents: vehicles with >= 4 consecutive zero-speed reports in a
+///    │             120s window (the LR accident detection, simplified to
+///    │             per-vehicle stopped-report counting)
+///    └─ tolls    : reads segstats' OUTPUT basket and prices congested
+///                  segments (avg speed < 40) with the LR toll formula
+///                  2*(cars-50)^2
+struct LrQueries {
+  QueryId segstats;
+  QueryId accidents;
+  QueryId tolls;
+  std::shared_ptr<CountingSink> segstats_sink;
+  std::shared_ptr<CountingSink> accidents_sink;
+  std::shared_ptr<CountingSink> tolls_sink;
+};
+
+/// Creates the `lr` stream and installs the query network. The engine
+/// should use a simulated clock driven at one tick per simulated second so
+/// the time windows line up with generator time.
+Result<LrQueries> InstallLrQueries(Engine* engine);
+
+/// Name of the input stream the queries read.
+inline constexpr const char* kLrStreamName = "lr";
+
+}  // namespace linearroad
+}  // namespace datacell
+
+#endif  // DATACELL_LINEARROAD_QUERIES_H_

@@ -1,0 +1,117 @@
+#ifndef DATACELL_MAL_MAL_H_
+#define DATACELL_MAL_MAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/basket.h"
+#include "core/transition.h"
+
+namespace datacell {
+namespace mal {
+
+/// A miniature MAL — MonetDB's assembly language — sufficient to write the
+/// paper's Algorithm 1 by hand:
+///
+///     input := basket.bind("X");
+///     output := basket.bind("Y");
+///     basket.lock(input);
+///     basket.lock(output);
+///     result := algebra.select(input, "v", 10, 20);
+///     basket.empty(input);
+///     basket.append(output, result);
+///     basket.unlock(input);
+///     basket.unlock(output);
+///     suspend();
+///
+/// One statement per line: `var := module.fn(args);` or `module.fn(args);`.
+/// Arguments are variables, quoted strings, integer or float literals.
+/// Comments run from '#' to end of line.
+///
+/// Supported operations:
+///   basket.bind("name")            -> basket handle (from the context)
+///   basket.peek(b)                 -> table snapshot (non-consuming)
+///   basket.drain(b)                -> table, emptying the basket
+///   basket.empty(b)                   clears the basket
+///   basket.append(b, t)               appends a table (with ts column)
+///   basket.lock(b) / basket.unlock(b) accepted no-ops: baskets are
+///                                     monitor-style, each op is atomic
+///   algebra.select(t, "col", lo, hi) -> rows with col in [lo, hi]
+///   algebra.project(t, "c1", ...)  -> column subset
+///   algebra.join(t1, "c1", t2, "c2") -> equi-join
+///   aggr.count(t) / aggr.sum(t, "c") / aggr.min / aggr.max / aggr.avg
+///                                  -> 1x1 table
+///   io.print(t)                       renders into the context's output log
+///   suspend()                         ends this activation (Algorithm 1's
+///                                     yield back to the scheduler)
+class Program;
+using ProgramPtr = std::shared_ptr<const Program>;
+
+/// One parsed instruction.
+struct Instruction {
+  std::string result;  // assigned variable; empty for statements
+  std::string module;  // "basket", "algebra", "aggr", "io", "" for suspend
+  std::string function;
+  struct Arg {
+    enum class Kind { kVariable, kString, kInt, kFloat } kind = Kind::kInt;
+    std::string text;  // variable name or string literal
+    int64_t int_value = 0;
+    double float_value = 0;
+  };
+  std::vector<Arg> args;
+  int line = 0;  // 1-based source line, for diagnostics
+};
+
+class Program {
+ public:
+  /// Parses a program; fails with the offending line number on bad syntax.
+  static Result<ProgramPtr> Parse(const std::string& text);
+
+  const std::vector<Instruction>& instructions() const { return instrs_; }
+  /// Canonical listing of the parsed program.
+  std::string ToString() const;
+
+ private:
+  std::vector<Instruction> instrs_;
+};
+
+/// Execution context: the baskets a program may bind plus the print log.
+struct Context {
+  std::map<std::string, BasketPtr> baskets;
+  std::vector<std::string> printed;  // io.print output, one entry per call
+};
+
+/// Runs `program` once against `context` — one factory activation: executes
+/// until `suspend()` or the end of the program.
+Status Run(const Program& program, Context* context);
+
+/// A hand-written MAL factory: a Petri-net transition whose Fire() runs the
+/// program once, exactly as Algorithm 1's loop body (the infinite loop and
+/// suspension are supplied by the scheduler).
+class MalFactory final : public Transition {
+ public:
+  /// `input` gates readiness; the program usually binds more baskets from
+  /// `context`. The context must outlive the factory.
+  MalFactory(std::string name, ProgramPtr program, Context* context,
+             BasketPtr input, const Clock* clock);
+
+  bool Ready() const override;
+  int64_t Backlog() const override;
+  Result<int64_t> Fire() override;
+
+ private:
+  ProgramPtr program_;
+  Context* context_;
+  BasketPtr input_;
+  const Clock* clock_;
+};
+
+}  // namespace mal
+}  // namespace datacell
+
+#endif  // DATACELL_MAL_MAL_H_

@@ -1,0 +1,121 @@
+#include "sql/ast.h"
+
+namespace datacell {
+namespace sql {
+
+namespace {
+
+const char* BinOpStr(AstBinaryOp op) {
+  switch (op) {
+    case AstBinaryOp::kAdd:
+      return "+";
+    case AstBinaryOp::kSub:
+      return "-";
+    case AstBinaryOp::kMul:
+      return "*";
+    case AstBinaryOp::kDiv:
+      return "/";
+    case AstBinaryOp::kMod:
+      return "%";
+    case AstBinaryOp::kEq:
+      return "=";
+    case AstBinaryOp::kNe:
+      return "<>";
+    case AstBinaryOp::kLt:
+      return "<";
+    case AstBinaryOp::kLe:
+      return "<=";
+    case AstBinaryOp::kGt:
+      return ">";
+    case AstBinaryOp::kGe:
+      return ">=";
+    case AstBinaryOp::kAnd:
+      return "and";
+    case AstBinaryOp::kOr:
+      return "or";
+    case AstBinaryOp::kLike:
+      return "like";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool IsAggregateFuncName(const std::string& lower_name) {
+  return lower_name == "count" || lower_name == "sum" ||
+         lower_name == "min" || lower_name == "max" || lower_name == "avg";
+}
+
+AstExprPtr AstExpr::Clone() const {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = kind;
+  e->qualifier = qualifier;
+  e->column = column;
+  e->literal = literal;
+  e->binary_op = binary_op;
+  e->unary_op = unary_op;
+  e->func_name = func_name;
+  e->star = star;
+  for (const AstExprPtr& c : children) {
+    e->children.push_back(c == nullptr ? nullptr : c->Clone());
+  }
+  return e;
+}
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case AstExprKind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case AstExprKind::kLiteral:
+      if (literal.is_null()) return "null";
+      return literal.is_string() ? "'" + literal.ToString() + "'"
+                                 : literal.ToString();
+    case AstExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinOpStr(binary_op) + " " +
+             children[1]->ToString() + ")";
+    case AstExprKind::kUnary:
+      switch (unary_op) {
+        case AstUnaryOp::kNot:
+          return "not (" + children[0]->ToString() + ")";
+        case AstUnaryOp::kNeg:
+          return "-(" + children[0]->ToString() + ")";
+        case AstUnaryOp::kIsNull:
+          return "(" + children[0]->ToString() + " is null)";
+        case AstUnaryOp::kIsNotNull:
+          return "(" + children[0]->ToString() + " is not null)";
+      }
+      return "?";
+    case AstExprKind::kCase: {
+      std::string s = "case";
+      size_t branches = (children.size() - 1) / 2;
+      for (size_t i = 0; i < branches; ++i) {
+        s += " when " + children[2 * i]->ToString() + " then " +
+             children[2 * i + 1]->ToString();
+      }
+      return s + " else " + children.back()->ToString() + " end";
+    }
+    case AstExprKind::kFuncCall: {
+      std::string s = func_name + "(";
+      if (star) {
+        s += "*";
+      } else {
+        for (size_t i = 0; i < children.size(); ++i) {
+          if (i > 0) s += ", ";
+          s += children[i]->ToString();
+        }
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+bool SelectStmt::IsContinuous() const {
+  for (const TableRef& ref : from) {
+    if (ref.is_basket_expr()) return true;
+  }
+  return false;
+}
+
+}  // namespace sql
+}  // namespace datacell

@@ -1,0 +1,161 @@
+#ifndef DATACELL_SQL_AST_H_
+#define DATACELL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace datacell {
+namespace sql {
+
+// ---------------------------------------------------------------------------
+// Expressions (unresolved; names are bound against the catalog later)
+// ---------------------------------------------------------------------------
+
+enum class AstExprKind {
+  kColumnRef,  // [qualifier.]name
+  kLiteral,
+  kBinary,
+  kUnary,
+  kFuncCall,  // aggregates: count/sum/avg/min/max; count(*) sets star
+  kCase,      // children: cond0,val0,cond1,val1,...,else (else mandatory)
+};
+
+enum class AstBinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kLike,
+};
+
+enum class AstUnaryOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kLiteral;
+  // kColumnRef
+  std::string qualifier;  // optional table/alias prefix
+  std::string column;
+  // kLiteral
+  Value literal;
+  // kBinary / kUnary
+  AstBinaryOp binary_op = AstBinaryOp::kAdd;
+  AstUnaryOp unary_op = AstUnaryOp::kNot;
+  // kFuncCall
+  std::string func_name;  // lower-cased
+  bool star = false;      // count(*)
+  // children: binary = {lhs, rhs}; unary/func = {operand/args...}
+  std::vector<AstExprPtr> children;
+
+  /// SQL-ish rendering for diagnostics.
+  std::string ToString() const;
+
+  /// Deep copy (used when desugaring BETWEEN/IN duplicates an operand).
+  AstExprPtr Clone() const;
+};
+
+/// True for the five aggregate function names (count/sum/min/max/avg);
+/// any other kFuncCall is a scalar function.
+bool IsAggregateFuncName(const std::string& lower_name);
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+struct SelectStmt;
+
+/// A FROM item: either a named relation or a bracketed basket expression
+/// `[select ...]` (the DataCell predicate-window construct, §2.6).
+struct TableRef {
+  std::string name;   // named relation (empty for basket expressions)
+  std::string alias;  // optional; basket expressions require one ("as S")
+  std::unique_ptr<SelectStmt> basket_expr;  // non-null for [select ...]
+  bool is_basket_expr() const { return basket_expr != nullptr; }
+  /// Join clause: this ref joins the previous FROM item on `join_on`.
+  bool is_join = false;
+  AstExprPtr join_on;
+};
+
+struct SelectItem {
+  AstExprPtr expr;     // null when star
+  std::string alias;
+  bool star = false;   // bare '*'
+};
+
+struct OrderItem {
+  AstExprPtr expr;  // column name or output position literal
+  bool ascending = true;
+};
+
+/// Window clause of a continuous query (DataCell extension, §3.1):
+///   WINDOW SIZE <n> [SLIDE <m>]               -- count-based
+///   WINDOW RANGE <n> <unit> [SLIDE <m> <unit>] -- time-based on the
+///                                                 implicit timestamp column
+struct WindowClause {
+  enum class Kind { kNone, kCount, kTime } kind = Kind::kNone;
+  int64_t size = 0;   // tuples, or microseconds for kTime
+  int64_t slide = 0;  // 0 => tumbling (slide == size)
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+  WindowClause window;
+  /// THRESHOLD n (DataCell extension, §2.4): the factory fires only when at
+  /// least n tuples wait in its input basket.
+  std::optional<int64_t> threshold;
+
+  /// True when any FROM item (recursively) is a basket expression — the
+  /// paper's criterion for classifying a query as continuous (§2.6).
+  bool IsContinuous() const;
+};
+
+// ---------------------------------------------------------------------------
+// Other statements
+// ---------------------------------------------------------------------------
+
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+struct CreateStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  bool is_basket = false;  // CREATE BASKET vs CREATE TABLE
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;        // optional explicit column list
+  std::vector<std::vector<AstExprPtr>> rows;  // literal rows
+};
+
+struct DropStmt {
+  std::string name;
+};
+
+/// One parsed statement (a tagged union of the statement kinds).
+struct Statement {
+  enum class Kind { kSelect, kCreate, kInsert, kDrop } kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<CreateStmt> create;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<DropStmt> drop;
+};
+
+}  // namespace sql
+}  // namespace datacell
+
+#endif  // DATACELL_SQL_AST_H_

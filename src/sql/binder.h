@@ -1,0 +1,61 @@
+#ifndef DATACELL_SQL_BINDER_H_
+#define DATACELL_SQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expression.h"
+#include "sql/ast.h"
+#include "storage/schema.h"
+
+namespace datacell {
+namespace sql {
+
+/// Name-resolution scope: an ordered list of FROM sources, each contributing
+/// a qualifier (alias or relation name) and a schema. Column positions are
+/// global across the scope, in source order — matching the column layout of
+/// the joined plan.
+class Scope {
+ public:
+  void AddSource(std::string qualifier, const Schema& schema);
+
+  /// Resolves `[qualifier.]column` to a global column index and type.
+  /// Unqualified names must be unambiguous across all sources.
+  Result<ExprPtr> ResolveColumn(const std::string& qualifier,
+                                const std::string& column) const;
+
+  /// All columns in scope order (star expansion).
+  std::vector<ExprPtr> AllColumns() const;
+  /// Output field names in scope order.
+  std::vector<std::string> AllColumnNames() const;
+
+  size_t num_columns() const;
+  /// The flattened schema of the whole scope.
+  Schema CombinedSchema() const;
+
+ private:
+  struct Source {
+    std::string qualifier;
+    Schema schema;
+    size_t offset;  // global index of this source's first column
+  };
+  std::vector<Source> sources_;
+};
+
+/// Binds an unresolved AST expression to a typed algebra expression against
+/// `scope`. Aggregate function calls are rejected here — the planner handles
+/// them structurally (this binder is for scalar contexts: WHERE, JOIN ON,
+/// projection arguments).
+Result<ExprPtr> BindScalarExpr(const AstExpr& ast, const Scope& scope);
+
+/// True when `ast` contains an aggregate function call anywhere (scalar
+/// function calls do not count).
+bool ContainsAggregate(const AstExpr& ast);
+
+/// Maps a lower-cased scalar function name to its ScalarFunc.
+Result<ScalarFunc> ScalarFuncFromName(const std::string& lower_name);
+
+}  // namespace sql
+}  // namespace datacell
+
+#endif  // DATACELL_SQL_BINDER_H_

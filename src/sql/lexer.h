@@ -1,0 +1,18 @@
+#ifndef DATACELL_SQL_LEXER_H_
+#define DATACELL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace datacell {
+
+/// Tokenises one SQL statement. Comments (`-- ...` to end of line) are
+/// skipped; string literals use single quotes with '' as the escape.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace datacell
+
+#endif  // DATACELL_SQL_LEXER_H_

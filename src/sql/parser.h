@@ -1,0 +1,36 @@
+#ifndef DATACELL_SQL_PARSER_H_
+#define DATACELL_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace datacell {
+namespace sql {
+
+/// Parses one SQL statement (a trailing ';' is allowed).
+///
+/// Supported statements:
+///   SELECT [DISTINCT] items FROM ref [JOIN ref ON expr]...
+///     [WHERE expr] [GROUP BY cols] [HAVING expr] [ORDER BY items]
+///     [LIMIT n [OFFSET m]]
+///     [WINDOW SIZE n [SLIDE m] | WINDOW RANGE n unit [SLIDE m unit]]
+///     [THRESHOLD n]
+///   CREATE TABLE|BASKET name (col type, ...)
+///   INSERT INTO name [(cols)] VALUES (lits), ...
+///   DROP TABLE|BASKET name
+///
+/// A FROM ref is a relation name or a DataCell basket expression
+/// `[select ...] AS alias` (§2.6).
+Result<Statement> ParseStatement(std::string_view sql);
+
+/// Parses a script of ';'-separated statements.
+Result<std::vector<Statement>> ParseScript(std::string_view sql);
+
+}  // namespace sql
+}  // namespace datacell
+
+#endif  // DATACELL_SQL_PARSER_H_

@@ -1,0 +1,49 @@
+#ifndef DATACELL_SQL_TOKEN_H_
+#define DATACELL_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace datacell {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,   // table/column names; keywords are classified by the parser
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  // punctuation & operators
+  kComma,
+  kSemicolon,
+  kLParen,
+  kRParen,
+  kLBracket,  // [  — opens a basket expression
+  kRBracket,  // ]
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,       // =
+  kNe,       // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kDot,
+};
+
+/// One lexical token with its source location (for error messages).
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;       // identifier/keyword text (original case) or literal
+  int64_t int_value = 0;  // kIntLiteral
+  double float_value = 0; // kFloatLiteral
+  size_t offset = 0;      // byte offset in the statement
+};
+
+const char* TokenTypeToString(TokenType t);
+
+}  // namespace datacell
+
+#endif  // DATACELL_SQL_TOKEN_H_

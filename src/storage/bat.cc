@@ -1,0 +1,353 @@
+#include "storage/bat.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace datacell {
+
+Bat::Bat(DataType type, Oid hseqbase) : type_(type), hseqbase_(hseqbase) {}
+
+size_t Bat::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return int64_data_.size();
+    case DataType::kDouble:
+      return double_data_.size();
+    case DataType::kBool:
+      return bool_data_.size();
+    case DataType::kString:
+      return string_data_.size();
+  }
+  return 0;
+}
+
+void Bat::EnsureValidity() {
+  if (validity_.empty()) validity_.assign(size(), 1);
+}
+
+void Bat::AppendInt64(int64_t v) {
+  DC_CHECK(IsIntegerBacked(type_));
+  int64_data_.push_back(v);
+  if (!validity_.empty()) validity_.push_back(1);
+}
+
+void Bat::AppendDouble(double v) {
+  DC_CHECK(type_ == DataType::kDouble);
+  double_data_.push_back(v);
+  if (!validity_.empty()) validity_.push_back(1);
+}
+
+void Bat::AppendBool(bool v) {
+  DC_CHECK(type_ == DataType::kBool);
+  bool_data_.push_back(v ? 1 : 0);
+  if (!validity_.empty()) validity_.push_back(1);
+}
+
+void Bat::AppendString(std::string v) {
+  DC_CHECK(type_ == DataType::kString);
+  string_data_.push_back(std::move(v));
+  if (!validity_.empty()) validity_.push_back(1);
+}
+
+void Bat::AppendNull() {
+  EnsureValidity();
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      int64_data_.push_back(0);
+      break;
+    case DataType::kDouble:
+      double_data_.push_back(0.0);
+      break;
+    case DataType::kBool:
+      bool_data_.push_back(0);
+      break;
+    case DataType::kString:
+      string_data_.emplace_back();
+      break;
+  }
+  validity_.push_back(0);
+}
+
+Status Bat::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (!v.is_int64()) {
+        return Status::TypeError("expected int64 value");
+      }
+      AppendInt64(v.int64_value());
+      return Status::OK();
+    case DataType::kTimestamp:
+      if (!v.is_timestamp() && !v.is_int64()) {
+        return Status::TypeError("expected timestamp value");
+      }
+      AppendInt64(v.int64_value());
+      return Status::OK();
+    case DataType::kDouble:
+      if (v.is_double()) {
+        AppendDouble(v.double_value());
+      } else if (v.is_int64()) {
+        AppendDouble(static_cast<double>(v.int64_value()));
+      } else {
+        return Status::TypeError("expected double value");
+      }
+      return Status::OK();
+    case DataType::kBool:
+      if (!v.is_bool()) return Status::TypeError("expected bool value");
+      AppendBool(v.bool_value());
+      return Status::OK();
+    case DataType::kString:
+      if (!v.is_string()) return Status::TypeError("expected string value");
+      AppendString(v.string_value());
+      return Status::OK();
+  }
+  return Status::Internal("unreachable type");
+}
+
+void Bat::AppendBat(const Bat& other) {
+  DC_CHECK(type_ == other.type_);
+  // Track validity when either side already does; note an empty destination
+  // has an empty validity vector even after EnsureValidity, so the decision
+  // must not depend on it becoming non-empty.
+  if (!validity_.empty() || other.has_nulls()) {
+    EnsureValidity();
+    if (other.has_nulls()) {
+      validity_.insert(validity_.end(), other.validity_.begin(),
+                       other.validity_.end());
+    } else {
+      validity_.insert(validity_.end(), other.size(), 1);
+    }
+  }
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      int64_data_.insert(int64_data_.end(), other.int64_data_.begin(),
+                         other.int64_data_.end());
+      break;
+    case DataType::kDouble:
+      double_data_.insert(double_data_.end(), other.double_data_.begin(),
+                          other.double_data_.end());
+      break;
+    case DataType::kBool:
+      bool_data_.insert(bool_data_.end(), other.bool_data_.begin(),
+                        other.bool_data_.end());
+      break;
+    case DataType::kString:
+      string_data_.insert(string_data_.end(), other.string_data_.begin(),
+                          other.string_data_.end());
+      break;
+  }
+}
+
+void Bat::AppendPositions(const Bat& other, const std::vector<size_t>& positions) {
+  DC_CHECK(type_ == other.type_);
+  bool track = !validity_.empty() || other.has_nulls();
+  if (track) EnsureValidity();
+  for (size_t pos : positions) {
+    DC_CHECK_LT(pos, other.size());
+    if (track) {
+      validity_.push_back(other.IsNull(pos) ? 0 : 1);
+    }
+    switch (type_) {
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        int64_data_.push_back(other.int64_data_[pos]);
+        break;
+      case DataType::kDouble:
+        double_data_.push_back(other.double_data_[pos]);
+        break;
+      case DataType::kBool:
+        bool_data_.push_back(other.bool_data_[pos]);
+        break;
+      case DataType::kString:
+        string_data_.push_back(other.string_data_[pos]);
+        break;
+    }
+  }
+}
+
+bool Bat::IsNull(size_t pos) const {
+  return !validity_.empty() && validity_[pos] == 0;
+}
+
+Value Bat::GetValue(size_t pos) const {
+  DC_CHECK_LT(pos, size());
+  if (IsNull(pos)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int64(int64_data_[pos]);
+    case DataType::kTimestamp:
+      return Value::TimestampVal(int64_data_[pos]);
+    case DataType::kDouble:
+      return Value::Double(double_data_[pos]);
+    case DataType::kBool:
+      return Value::Bool(bool_data_[pos] != 0);
+    case DataType::kString:
+      return Value::String(string_data_[pos]);
+  }
+  return Value::Null();
+}
+
+std::unique_ptr<Bat> Bat::Slice(size_t offset, size_t length) const {
+  DC_CHECK_LE(offset, size());
+  length = std::min(length, size() - offset);
+  auto out = std::make_unique<Bat>(type_, hseqbase_ + offset);
+  auto copy_range = [&](auto& dst, const auto& src) {
+    dst.assign(src.begin() + static_cast<ptrdiff_t>(offset),
+               src.begin() + static_cast<ptrdiff_t>(offset + length));
+  };
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      copy_range(out->int64_data_, int64_data_);
+      break;
+    case DataType::kDouble:
+      copy_range(out->double_data_, double_data_);
+      break;
+    case DataType::kBool:
+      copy_range(out->bool_data_, bool_data_);
+      break;
+    case DataType::kString:
+      copy_range(out->string_data_, string_data_);
+      break;
+  }
+  if (!validity_.empty()) copy_range(out->validity_, validity_);
+  return out;
+}
+
+std::unique_ptr<Bat> Bat::Take(const std::vector<size_t>& positions,
+                               Oid new_hseqbase) const {
+  auto out = std::make_unique<Bat>(type_, new_hseqbase);
+  out->AppendPositions(*this, positions);
+  return out;
+}
+
+std::unique_ptr<Bat> Bat::Clone() const { return Slice(0, size()); }
+
+void Bat::RemovePrefix(size_t n) {
+  n = std::min(n, size());
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      RemovePrefixImpl(int64_data_, n);
+      break;
+    case DataType::kDouble:
+      RemovePrefixImpl(double_data_, n);
+      break;
+    case DataType::kBool:
+      RemovePrefixImpl(bool_data_, n);
+      break;
+    case DataType::kString:
+      RemovePrefixImpl(string_data_, n);
+      break;
+  }
+  if (!validity_.empty()) RemovePrefixImpl(validity_, n);
+  hseqbase_ += n;
+}
+
+void Bat::RemovePositions(const std::vector<size_t>& sorted_positions) {
+  if (sorted_positions.empty()) return;
+  auto compact = [&](auto& vec) {
+    size_t write = 0;
+    size_t next_del = 0;
+    for (size_t read = 0; read < vec.size(); ++read) {
+      if (next_del < sorted_positions.size() &&
+          sorted_positions[next_del] == read) {
+        ++next_del;
+        continue;
+      }
+      if (write != read) vec[write] = std::move(vec[read]);
+      ++write;
+    }
+    vec.resize(write);
+  };
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      compact(int64_data_);
+      break;
+    case DataType::kDouble:
+      compact(double_data_);
+      break;
+    case DataType::kBool:
+      compact(bool_data_);
+      break;
+    case DataType::kString:
+      compact(string_data_);
+      break;
+  }
+  if (!validity_.empty()) compact(validity_);
+}
+
+void Bat::Clear() {
+  hseqbase_ += size();
+  int64_data_.clear();
+  double_data_.clear();
+  bool_data_.clear();
+  string_data_.clear();
+  validity_.clear();
+}
+
+size_t Bat::MemoryUsage() const {
+  size_t bytes = validity_.capacity();
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      bytes += int64_data_.capacity() * sizeof(int64_t);
+      break;
+    case DataType::kDouble:
+      bytes += double_data_.capacity() * sizeof(double);
+      break;
+    case DataType::kBool:
+      bytes += bool_data_.capacity();
+      break;
+    case DataType::kString:
+      for (const auto& s : string_data_) bytes += sizeof(std::string) + s.capacity();
+      break;
+  }
+  return bytes;
+}
+
+std::string Bat::ToString() const {
+  std::string out = "[";
+  size_t n = std::min<size_t>(size(), 32);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += IsNull(i) ? "null" : GetValue(i).ToString();
+  }
+  if (size() > n) out += ", ...";
+  out += "]";
+  return out;
+}
+
+BatPtr MakeInt64Bat(const std::vector<int64_t>& values, Oid hseqbase) {
+  auto b = std::make_shared<Bat>(DataType::kInt64, hseqbase);
+  for (int64_t v : values) b->AppendInt64(v);
+  return b;
+}
+
+BatPtr MakeDoubleBat(const std::vector<double>& values, Oid hseqbase) {
+  auto b = std::make_shared<Bat>(DataType::kDouble, hseqbase);
+  for (double v : values) b->AppendDouble(v);
+  return b;
+}
+
+BatPtr MakeStringBat(const std::vector<std::string>& values, Oid hseqbase) {
+  auto b = std::make_shared<Bat>(DataType::kString, hseqbase);
+  for (const auto& v : values) b->AppendString(v);
+  return b;
+}
+
+BatPtr MakeBoolBat(const std::vector<bool>& values, Oid hseqbase) {
+  auto b = std::make_shared<Bat>(DataType::kBool, hseqbase);
+  for (bool v : values) b->AppendBool(v);
+  return b;
+}
+
+}  // namespace datacell

@@ -1,0 +1,67 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace datacell {
+
+Result<TablePtr> Catalog::CreateRelation(const std::string& name,
+                                         const Schema& schema,
+                                         RelationKind kind) {
+  auto table = std::make_shared<Table>(name, schema);
+  DC_RETURN_NOT_OK(RegisterRelation(table, kind));
+  return table;
+}
+
+Status Catalog::RegisterRelation(TablePtr table, RelationKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = ToLower(table->name());
+  if (entries_.count(key) > 0) {
+    return Status::AlreadyExists("relation '" + table->name() +
+                                 "' already exists");
+  }
+  entries_[key] = Entry{std::move(table), kind};
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown relation '" + name + "'");
+  }
+  return it->second.table;
+}
+
+Result<RelationKind> Catalog::KindOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown relation '" + name + "'");
+  }
+  return it->second.kind;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown relation '" + name + "'");
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(entry.table->name());
+  return out;
+}
+
+}  // namespace datacell

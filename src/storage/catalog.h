@@ -1,0 +1,55 @@
+#ifndef DATACELL_STORAGE_CATALOG_H_
+#define DATACELL_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace datacell {
+
+/// Kind of relation registered in the catalog. Baskets are the DataCell
+/// extension: temporary stream tables with consume-on-read retention.
+enum class RelationKind { kTable, kBasket };
+
+/// Name → relation registry shared by the SQL binder and the DataCell
+/// engine. Thread-safe: registration happens from the client thread while
+/// the scheduler runs.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a new empty relation; fails on duplicate names
+  /// (case-insensitive).
+  Result<TablePtr> CreateRelation(const std::string& name, const Schema& schema,
+                                  RelationKind kind);
+  /// Registers an existing table object under its own name.
+  Status RegisterRelation(TablePtr table, RelationKind kind);
+
+  Result<TablePtr> Get(const std::string& name) const;
+  Result<RelationKind> KindOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  Status Drop(const std::string& name);
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    TablePtr table;
+    RelationKind kind;
+  };
+  mutable std::mutex mu_;
+  // Keyed by lower-cased name; Entry.table->name() keeps the original.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_STORAGE_CATALOG_H_

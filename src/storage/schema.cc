@@ -1,0 +1,25 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace datacell {
+
+std::optional<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace datacell

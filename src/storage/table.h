@@ -1,0 +1,70 @@
+#ifndef DATACELL_STORAGE_TABLE_H_
+#define DATACELL_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/bat.h"
+#include "storage/schema.h"
+
+namespace datacell {
+
+/// A relation represented the MonetDB way: one BAT per attribute, positions
+/// aligned across all BATs (tuple-order alignment). Also the container for
+/// intermediate results inside the algebra interpreter.
+///
+/// Not thread-safe; baskets (core) add the locking discipline on top.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const;
+  bool empty() const { return num_rows() == 0; }
+  /// Oid of row 0 (rows carry oids hseqbase+i, aligned across columns).
+  Oid hseqbase() const;
+
+  const BatPtr& column(size_t i) const { return columns_[i]; }
+  Result<BatPtr> ColumnByName(std::string_view column_name) const;
+
+  /// Appends a full tuple; arity and types are checked.
+  Status AppendRow(const Row& row);
+  /// Appends all rows of `other` (schemas must be type-compatible).
+  Status AppendTable(const Table& other);
+
+  /// Reads row `i` back as peripheral values.
+  Row GetRow(size_t i) const;
+  /// Materialises all rows (tests / emitters only).
+  std::vector<Row> ToRows() const;
+
+  /// New table with rows [offset, offset+length).
+  std::unique_ptr<Table> Slice(size_t offset, size_t length) const;
+  /// New table with the given row positions (re-numbered oids from 0).
+  std::unique_ptr<Table> Take(const std::vector<size_t>& positions) const;
+  std::unique_ptr<Table> Clone() const;
+
+  /// Basket-consumption primitives; keep all columns aligned.
+  void RemovePrefix(size_t n);
+  void RemovePositions(const std::vector<size_t>& sorted_positions);
+  void Clear();
+
+  size_t MemoryUsage() const;
+
+  /// Header plus first rows, for debugging.
+  std::string ToString(size_t max_rows = 16) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<BatPtr> columns_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace datacell
+
+#endif  // DATACELL_STORAGE_TABLE_H_

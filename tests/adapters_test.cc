@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "adapters/channel.h"
+#include "adapters/csv.h"
+#include "adapters/generator.h"
+#include "adapters/replayer.h"
+#include "adapters/sink.h"
+
+namespace datacell {
+namespace {
+
+// --- Channel -------------------------------------------------------------
+
+TEST(ChannelTest, PushPopFifo) {
+  Channel c;
+  c.Push("a");
+  c.Push("b");
+  std::string out;
+  ASSERT_TRUE(c.TryPop(&out));
+  EXPECT_EQ(out, "a");
+  ASSERT_TRUE(c.TryPop(&out));
+  EXPECT_EQ(out, "b");
+  EXPECT_FALSE(c.TryPop(&out));
+  EXPECT_EQ(c.total_pushed(), 2);
+}
+
+TEST(ChannelTest, DrainUpTo) {
+  Channel c;
+  for (int i = 0; i < 5; ++i) c.Push(std::to_string(i));
+  auto batch = c.DrainUpTo(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[2], "2");
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.DrainUpTo(100).size(), 2u);
+}
+
+TEST(ChannelTest, CapacityDropsOldest) {
+  Channel c(2);
+  c.Push("1");
+  c.Push("2");
+  c.Push("3");  // drops "1"
+  EXPECT_EQ(c.total_dropped(), 1);
+  std::string out;
+  ASSERT_TRUE(c.TryPop(&out));
+  EXPECT_EQ(out, "2");
+}
+
+TEST(ChannelTest, PushBatch) {
+  Channel c;
+  c.PushBatch({"x", "y", "z"});
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(ChannelTest, PopBlockingTimesOut) {
+  Channel c;
+  std::string out;
+  EXPECT_FALSE(c.PopBlocking(&out, 1000));
+}
+
+TEST(ChannelTest, PopBlockingWakesOnPush) {
+  Channel c;
+  std::string out;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    c.Push("wake");
+  });
+  EXPECT_TRUE(c.PopBlocking(&out, 5 * 1000 * 1000));
+  EXPECT_EQ(out, "wake");
+  producer.join();
+}
+
+TEST(ChannelTest, CloseUnblocks) {
+  Channel c;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    c.Close();
+  });
+  std::string out;
+  EXPECT_FALSE(c.PopBlocking(&out, 5 * 1000 * 1000));
+  EXPECT_TRUE(c.closed());
+  closer.join();
+}
+
+// --- CSV -------------------------------------------------------------------
+
+TEST(CsvTest, FormatBasicRow) {
+  Row row{Value::Int64(1), Value::String("abc"), Value::Double(2.5)};
+  EXPECT_EQ(FormatCsvRow(row), "1,abc,2.5");
+}
+
+TEST(CsvTest, NullIsEmptyField) {
+  Row row{Value::Int64(1), Value::Null(), Value::Int64(3)};
+  EXPECT_EQ(FormatCsvRow(row), "1,,3");
+}
+
+TEST(CsvTest, QuotingRoundTrip) {
+  Schema schema({{"s", DataType::kString}});
+  for (const std::string& s :
+       {std::string("with,comma"), std::string("with\"quote"),
+        std::string("multi\nline"), std::string("")}) {
+    std::string line = FormatCsvRow({Value::String(s)});
+    auto row = ParseCsvRow(line, schema);
+    ASSERT_TRUE(row.ok()) << line;
+    EXPECT_EQ((*row)[0], Value::String(s)) << line;
+  }
+}
+
+TEST(CsvTest, ParseTypedRow) {
+  Schema schema({{"a", DataType::kInt64},
+                 {"b", DataType::kDouble},
+                 {"c", DataType::kString},
+                 {"d", DataType::kBool}});
+  auto row = ParseCsvRow("7,0.5,hello,true", schema);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0], Value::Int64(7));
+  EXPECT_EQ((*row)[1], Value::Double(0.5));
+  EXPECT_EQ((*row)[2], Value::String("hello"));
+  EXPECT_EQ((*row)[3], Value::Bool(true));
+}
+
+TEST(CsvTest, ParseNulls) {
+  Schema schema({{"a", DataType::kInt64}, {"s", DataType::kString}});
+  auto row = ParseCsvRow(",", schema);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE((*row)[0].is_null());
+  EXPECT_TRUE((*row)[1].is_null());  // unquoted empty string field = null
+  auto row2 = ParseCsvRow(",\"\"", schema);
+  ASSERT_TRUE(row2.ok());
+  EXPECT_EQ((*row2)[1], Value::String(""));  // quoted empty = empty string
+}
+
+TEST(CsvTest, ArityAndTypeValidation) {
+  Schema schema({{"a", DataType::kInt64}});
+  EXPECT_FALSE(ParseCsvRow("1,2", schema).ok());
+  EXPECT_FALSE(ParseCsvRow("xyz", schema).ok());
+  EXPECT_FALSE(ParseCsvRow("\"unterminated", schema).ok());
+}
+
+TEST(CsvTest, TimestampColumn) {
+  Schema schema({{"ts", DataType::kTimestamp}});
+  auto row = ParseCsvRow("123456789", schema);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE((*row)[0].is_timestamp());
+}
+
+// --- generators --------------------------------------------------------------
+
+TEST(GeneratorTest, UniformDeterministic) {
+  std::vector<ColumnSpec> cols(2);
+  cols[0].type = DataType::kInt64;
+  cols[0].int_min = 0;
+  cols[0].int_max = 100;
+  cols[1].type = DataType::kDouble;
+  UniformRowGenerator g1(cols, 7);
+  UniformRowGenerator g2(cols, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(g1.Next(), g2.Next());
+  }
+}
+
+TEST(GeneratorTest, RespectsRangesAndSchema) {
+  std::vector<ColumnSpec> cols(3);
+  cols[0].type = DataType::kInt64;
+  cols[0].int_min = 10;
+  cols[0].int_max = 20;
+  cols[1].type = DataType::kString;
+  cols[1].cardinality = 3;
+  cols[2].type = DataType::kBool;
+  UniformRowGenerator gen(cols, 1);
+  Schema schema = gen.MakeSchema();
+  EXPECT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.field(1).type, DataType::kString);
+  for (int i = 0; i < 200; ++i) {
+    Row row = gen.Next();
+    int64_t a = row[0].int64_value();
+    EXPECT_GE(a, 10);
+    EXPECT_LE(a, 20);
+    const std::string& s = row[1].string_value();
+    EXPECT_TRUE(s == "s0" || s == "s1" || s == "s2") << s;
+  }
+}
+
+TEST(GeneratorTest, OutOfOrderPreservesMultiset) {
+  std::vector<ColumnSpec> cols(1);
+  cols[0].type = DataType::kInt64;
+  cols[0].int_min = 0;
+  cols[0].int_max = 1000000;
+  auto inner = std::make_unique<UniformRowGenerator>(cols, 5);
+  UniformRowGenerator reference(cols, 5);
+  OutOfOrderGenerator ooo(std::move(inner), 8, 0.5, 99);
+  std::multiset<int64_t> got, want;
+  // Drawing n rows from the shuffler covers the first n+displacement inner
+  // rows minus the buffered tail; compare prefixes conservatively.
+  constexpr int kN = 100;
+  std::vector<int64_t> ordered;
+  for (int i = 0; i < kN + 8; ++i) {
+    ordered.push_back(reference.Next()[0].int64_value());
+  }
+  std::vector<int64_t> shuffled;
+  for (int i = 0; i < kN; ++i) {
+    shuffled.push_back(ooo.Next()[0].int64_value());
+  }
+  // Every emitted value must appear in the ordered prefix...
+  std::multiset<int64_t> prefix(ordered.begin(), ordered.end());
+  bool disorder_seen = false;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(prefix.count(shuffled[i]) > 0);
+    prefix.erase(prefix.find(shuffled[i]));
+    if (shuffled[i] != ordered[i]) disorder_seen = true;
+  }
+  // ...and with 50% disorder some displacement must actually happen.
+  EXPECT_TRUE(disorder_seen);
+}
+
+TEST(GeneratorTest, OutOfOrderZeroDisplacementIsIdentity) {
+  std::vector<ColumnSpec> cols(1);
+  cols[0].type = DataType::kInt64;
+  auto inner = std::make_unique<UniformRowGenerator>(cols, 5);
+  UniformRowGenerator reference(cols, 5);
+  OutOfOrderGenerator ooo(std::move(inner), 0, 1.0, 1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ooo.Next(), reference.Next());
+  }
+}
+
+// --- sinks -------------------------------------------------------------------
+
+Table OneRowTable() {
+  Table t("", Schema({{"x", DataType::kInt64}}));
+  EXPECT_TRUE(t.AppendRow({Value::Int64(42)}).ok());
+  return t;
+}
+
+TEST(SinkTest, CollectingSink) {
+  CollectingSink sink;
+  Table t = OneRowTable();
+  sink.OnBatch(t, 1);
+  sink.OnBatch(t, 2);
+  EXPECT_EQ(sink.row_count(), 2u);
+  EXPECT_EQ(sink.batch_count(), 2u);
+  auto rows = sink.TakeRows();
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(sink.row_count(), 0u);  // take drains
+}
+
+TEST(SinkTest, CountingSink) {
+  CountingSink sink;
+  Table t = OneRowTable();
+  sink.OnBatch(t, 55);
+  EXPECT_EQ(sink.rows(), 1);
+  EXPECT_EQ(sink.batches(), 1);
+  EXPECT_EQ(sink.last_delivery_us(), 55);
+}
+
+TEST(SinkTest, CallbackSink) {
+  int called = 0;
+  CallbackSink sink([&](const Table& batch, Timestamp ts) {
+    ++called;
+    EXPECT_EQ(batch.num_rows(), 1u);
+    EXPECT_EQ(ts, 9);
+  });
+  Table t = OneRowTable();
+  sink.OnBatch(t, 9);
+  EXPECT_EQ(called, 1);
+}
+
+TEST(SinkTest, ChannelSinkWritesCsv) {
+  Channel c;
+  ChannelSink sink(&c);
+  Table t = OneRowTable();
+  sink.OnBatch(t, 0);
+  std::string line;
+  ASSERT_TRUE(c.TryPop(&line));
+  EXPECT_EQ(line, "42");
+}
+
+TEST(SinkTest, LatencyTrackingSink) {
+  // Rows: (payload, arrival_ts, delivery_ts-last-col).
+  Table t("", Schema({{"x", DataType::kInt64},
+                      {"ts", DataType::kTimestamp},
+                      {"out_ts", DataType::kTimestamp}}));
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1), Value::TimestampVal(100),
+                           Value::TimestampVal(0)})
+                  .ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(2), Value::TimestampVal(250),
+                           Value::TimestampVal(0)})
+                  .ok());
+  LatencyTrackingSink sink(/*ts_column=*/1);
+  sink.OnBatch(t, /*now_us=*/300);
+  EXPECT_EQ(sink.rows(), 2);
+  SampleStats stats = sink.latencies_us();
+  EXPECT_DOUBLE_EQ(stats.Min(), 50.0);   // 300 - 250
+  EXPECT_DOUBLE_EQ(stats.Max(), 200.0);  // 300 - 100
+}
+
+TEST(SinkTest, LatencyTrackingSinkIgnoresBadColumn) {
+  Table t("", Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1)}).ok());
+  LatencyTrackingSink sink(/*ts_column=*/5);
+  sink.OnBatch(t, 10);
+  EXPECT_EQ(sink.rows(), 0);
+}
+
+// --- replayer ----------------------------------------------------------------
+
+std::unique_ptr<RowGenerator> IntGenerator() {
+  std::vector<ColumnSpec> cols(1);
+  cols[0].type = DataType::kInt64;
+  return std::make_unique<UniformRowGenerator>(cols, 7);
+}
+
+TEST(ReplayerTest, SendsExactlyTotalRows) {
+  Channel wire;
+  Replayer::Options opts;
+  opts.rows_per_second = 1e6;  // effectively unthrottled
+  opts.batch_size = 64;
+  opts.total_rows = 1000;
+  Replayer replayer(&wire, IntGenerator(), opts);
+  ASSERT_TRUE(replayer.Start().ok());
+  for (int i = 0; i < 5000 && !replayer.finished(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  replayer.Stop();
+  EXPECT_TRUE(replayer.finished());
+  EXPECT_EQ(replayer.rows_sent(), 1000);
+  EXPECT_EQ(wire.size(), 1000u);
+}
+
+TEST(ReplayerTest, RateIsRoughlyHeld) {
+  Channel wire;
+  Replayer::Options opts;
+  opts.rows_per_second = 5000;
+  opts.batch_size = 50;
+  opts.total_rows = 1000;  // should take ~200 ms
+  Replayer replayer(&wire, IntGenerator(), opts);
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(replayer.Start().ok());
+  while (!replayer.finished()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  replayer.Stop();
+  EXPECT_GE(elapsed_ms, 150);   // not wildly fast
+  EXPECT_LE(elapsed_ms, 2000);  // not stalled
+}
+
+TEST(ReplayerTest, StopInterruptsUnboundedRun) {
+  Channel wire;
+  Replayer::Options opts;
+  opts.rows_per_second = 1e6;
+  opts.total_rows = 0;  // unbounded
+  Replayer replayer(&wire, IntGenerator(), opts);
+  ASSERT_TRUE(replayer.Start().ok());
+  EXPECT_FALSE(replayer.Start().ok());  // one-shot
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  replayer.Stop();
+  EXPECT_FALSE(replayer.finished());
+  EXPECT_GT(replayer.rows_sent(), 0);
+}
+
+}  // namespace
+}  // namespace datacell

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace datacell {
+namespace {
+
+EngineOptions Deterministic() {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  return opts;
+}
+
+TEST(EngineExtrasTest, MultipleSinksPerQuery) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "all", "select x from [select * from r] as s");
+  ASSERT_TRUE(q.ok());
+  auto a = std::make_shared<CountingSink>();
+  auto b = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, a).ok());
+  ASSERT_TRUE(engine.Subscribe(*q, b).ok());
+  ASSERT_TRUE(engine.Ingest("r", {Value::Int64(1)}).ok());
+  engine.Drain();
+  EXPECT_EQ(a->rows(), 1);
+  EXPECT_EQ(b->row_count(), 1u);
+  auto info = engine.GetQuery(*q);
+  EXPECT_EQ((*info)->emitter->num_sinks(), 2u);
+}
+
+TEST(EngineExtrasTest, MultipleReceptorsOneStream) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "all", "select x from [select * from r] as s");
+  ASSERT_TRUE(q.ok());
+  auto sink = std::make_shared<CountingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+  Channel wire1;
+  Channel wire2;
+  ASSERT_TRUE(engine.AttachReceptor("r", &wire1).ok());
+  ASSERT_TRUE(engine.AttachReceptor("r", &wire2).ok());
+  wire1.Push("1");
+  wire2.Push("2");
+  wire1.Push("3");
+  engine.Drain();
+  EXPECT_EQ(sink->rows(), 3);
+}
+
+TEST(EngineExtrasTest, AdaptivePolicyEndToEnd) {
+  EngineOptions opts = Deterministic();
+  opts.scheduling_policy = SchedulingPolicy::kAdaptive;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "all", "select x from [select * from r] as s");
+  ASSERT_TRUE(q.ok());
+  auto sink = std::make_shared<CountingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine.Drain();
+  EXPECT_EQ(sink->rows(), 100);
+}
+
+TEST(EngineExtrasTest, QueryOutputStreamNotDroppable) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "q", "select x from [select * from r] as s")
+                  .ok());
+  EXPECT_FALSE(engine.ExecuteSql("drop basket q_out").ok());
+}
+
+TEST(EngineExtrasTest, DuplicateQueryNameRejected) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "dup", "select x from [select * from r] as s")
+                  .ok());
+  // The output basket name collides.
+  EXPECT_FALSE(engine
+                   .SubmitContinuousQuery(
+                       "dup", "select x from [select * from r] as s")
+                   .ok());
+}
+
+TEST(EngineExtrasTest, OutputStreamInspectableWhileEmitterReads) {
+  // The output basket is trimmed only when every reader (the emitter AND
+  // any downstream factory) passed the tuples; a one-time query inspects
+  // whatever currently sits there.
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "all", "select x from [select * from r] as s");
+  ASSERT_TRUE(q.ok());
+  // No sink subscribed: the emitter still drains (delivering to nobody).
+  ASSERT_TRUE(engine.Ingest("r", {Value::Int64(5)}).ok());
+  engine.Drain();
+  auto rows = engine.ExecuteSql("select count(*) as c from all_out");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)->GetRow(0)[0], Value::Int64(0));  // trimmed after read
+}
+
+TEST(EngineExtrasTest, ThresholdAndWindowCompose) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "w", "select sum(x) as s from [select * from r] as w "
+           "window size 4 threshold 8");
+  ASSERT_TRUE(q.ok());
+  auto sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+  // 7 tuples: below the firing threshold, nothing happens at all.
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(engine.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine.Drain();
+  EXPECT_EQ(sink->row_count(), 0u);
+  // The 8th tuple lets the factory fire; two complete windows emit.
+  ASSERT_TRUE(engine.Ingest("r", {Value::Int64(7)}).ok());
+  engine.Drain();
+  ASSERT_EQ(sink->row_count(), 2u);
+  EXPECT_EQ(sink->SnapshotRows()[0][0], Value::Double(0 + 1 + 2 + 3));
+  EXPECT_EQ(sink->SnapshotRows()[1][0], Value::Double(4 + 5 + 6 + 7));
+}
+
+TEST(EngineExtrasTest, MixedStrategiesSharedAndSeparateCoexist) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  QueryOptions sep;
+  sep.strategy = ProcessingStrategy::kSeparateBaskets;
+  QueryOptions shared;
+  shared.strategy = ProcessingStrategy::kSharedBaskets;
+  auto q1 = engine.SubmitContinuousQuery(
+      "a", "select x from [select * from r] as s", sep);
+  auto q2 = engine.SubmitContinuousQuery(
+      "b", "select x from [select * from r] as s", shared);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto s1 = std::make_shared<CountingSink>();
+  auto s2 = std::make_shared<CountingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q1, s1).ok());
+  ASSERT_TRUE(engine.Subscribe(*q2, s2).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine.Drain();
+  EXPECT_EQ(s1->rows(), 10);
+  EXPECT_EQ(s2->rows(), 10);
+}
+
+TEST(EngineExtrasTest, ProjectedArrivalTsFlowsThrough) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "good", "select x, ts as arrival from [select * from r] as s");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto sink = std::make_shared<LatencyTrackingSink>(/*ts_column=*/1);
+  ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+  engine.simulated_clock()->SetTime(1000);
+  ASSERT_TRUE(engine.Ingest("r", {Value::Int64(1)}).ok());
+  engine.simulated_clock()->Advance(500);
+  engine.Drain();
+  ASSERT_EQ(sink->rows(), 1);
+  EXPECT_DOUBLE_EQ(sink->latencies_us().Max(), 500.0);
+}
+
+TEST(EngineExtrasTest, SelectStarContinuousPreservesArrivalTs) {
+  // `select *` projects the stream's ts last; the output basket reuses it
+  // as its implicit timestamp, so arrival times survive the whole pipeline
+  // (and a cascaded query's time windows stay anchored to arrival).
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "star", "select * from [select * from r] as s where s.x > 0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+  engine.simulated_clock()->SetTime(7777);
+  ASSERT_TRUE(engine.Ingest("r", {Value::Int64(5)}).ok());
+  engine.simulated_clock()->Advance(100000);
+  engine.Drain();
+  auto rows = sink->TakeRows();
+  ASSERT_EQ(rows.size(), 1u);
+  // (x, ts): the delivered ts is the ARRIVAL time, not production time.
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int64(5));
+  EXPECT_EQ(rows[0][1], Value::TimestampVal(7777));
+  // The output stream's schema matches the input stream's user schema.
+  auto out_basket = engine.GetBasket("star_out");
+  ASSERT_TRUE(out_basket.ok());
+  EXPECT_EQ((*out_basket)->schema().num_fields(), 2u);
+}
+
+TEST(EngineExtrasTest, SelectStarCascadeWorks) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "hop1", "select * from [select * from r] as s")
+                  .ok());
+  auto q2 = engine.SubmitContinuousQuery(
+      "hop2", "select * from [select * from hop1_out] as t where t.x > 1");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  auto sink = std::make_shared<CountingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q2, sink).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine.Drain();
+  EXPECT_EQ(sink->rows(), 2);  // 2, 3
+}
+
+TEST(EngineExtrasTest, TuplesIngestedCounter) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  ASSERT_TRUE(engine.IngestBatch("r", {{Value::Int64(1)}, {Value::Int64(2)}})
+                  .ok());
+  Table batch("", Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(batch.AppendRow({Value::Int64(3)}).ok());
+  ASSERT_TRUE(engine.IngestTable("r", batch).ok());
+  EXPECT_EQ(engine.tuples_ingested(), 3);
+}
+
+TEST(EngineExtrasTest, WindowedSharedSubplanWithThreshold) {
+  EngineOptions opts = Deterministic();
+  opts.factor_common_subplans = true;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q1 = engine.SubmitContinuousQuery(
+      "sum4", "select sum(x) as s from [select * from r where r.x > 10] as w "
+              "window size 4");
+  auto q2 = engine.SubmitContinuousQuery(
+      "cnt4", "select count(*) as c from [select * from r where r.x > 10] "
+              "as w window size 4");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(engine.num_shared_subplans(), 1u);
+  auto s1 = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q1, s1).ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(engine.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine.Drain();
+  // Qualifying tuples: 11..29 (19 tuples) -> 4 complete windows of 4.
+  ASSERT_EQ(s1->row_count(), 4u);
+  EXPECT_EQ(s1->SnapshotRows()[0][0], Value::Double(11 + 12 + 13 + 14));
+}
+
+}  // namespace
+}  // namespace datacell

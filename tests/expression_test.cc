@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "algebra/expression.h"
+
+namespace datacell {
+namespace {
+
+/// Builds a two-column table: a int64 {1..n}, b double {0.5*i}.
+std::shared_ptr<Table> NumTable(int n) {
+  auto t = std::make_shared<Table>(
+      "t", Schema({{"a", DataType::kInt64}, {"b", DataType::kDouble}}));
+  for (int i = 1; i <= n; ++i) {
+    EXPECT_TRUE(t->AppendRow({Value::Int64(i), Value::Double(0.5 * i)}).ok());
+  }
+  return t;
+}
+
+ExprPtr ColA() { return Expr::Column(0, "a", DataType::kInt64); }
+ExprPtr ColB() { return Expr::Column(1, "b", DataType::kDouble); }
+
+TEST(ExprBuildTest, TypesResolve) {
+  EXPECT_EQ(ColA()->type(), DataType::kInt64);
+  EXPECT_EQ(Expr::Binary(BinaryOp::kAdd, ColA(), Expr::Int(1))->type(),
+            DataType::kInt64);
+  EXPECT_EQ(Expr::Binary(BinaryOp::kAdd, ColA(), ColB())->type(),
+            DataType::kDouble);
+  EXPECT_EQ(Expr::Binary(BinaryOp::kLt, ColA(), Expr::Int(3))->type(),
+            DataType::kBool);
+  EXPECT_EQ(Expr::Unary(UnaryOp::kNeg, ColB())->type(), DataType::kDouble);
+  EXPECT_EQ(Expr::Unary(UnaryOp::kIsNull, ColA())->type(), DataType::kBool);
+}
+
+TEST(ExprBuildTest, ToStringReadable) {
+  auto e = Expr::Binary(BinaryOp::kGt,
+                        Expr::Binary(BinaryOp::kAdd, ColA(), Expr::Int(1)),
+                        Expr::Int(10));
+  EXPECT_EQ(e->ToString(), "((a + 1) > 10)");
+  EXPECT_EQ(Expr::Str("x")->ToString(), "'x'");
+  EXPECT_EQ(Expr::Literal(Value::Null())->ToString(), "null");
+}
+
+TEST(ExprBuildTest, IsConstant) {
+  EXPECT_TRUE(Expr::Int(1)->IsConstant());
+  EXPECT_TRUE(Expr::Binary(BinaryOp::kAdd, Expr::Int(1), Expr::Int(2))
+                  ->IsConstant());
+  EXPECT_FALSE(ColA()->IsConstant());
+}
+
+TEST(ExprEvalTest, ColumnRefZeroCopy) {
+  auto t = NumTable(3);
+  auto r = EvaluateExpr(*ColA(), *t);
+  ASSERT_TRUE(r.ok());
+  // Shares the input column (no copy).
+  EXPECT_EQ(r->get(), t->column(0).get());
+}
+
+TEST(ExprEvalTest, LiteralBroadcast) {
+  auto t = NumTable(4);
+  auto r = EvaluateExpr(*Expr::Int(7), *t);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->size(), 4u);
+  EXPECT_EQ((*r)->Int64At(3), 7);
+}
+
+TEST(ExprEvalTest, IntArithmetic) {
+  auto t = NumTable(3);
+  auto e = Expr::Binary(BinaryOp::kMul, ColA(), Expr::Int(10));
+  auto r = EvaluateExpr(*e, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->Int64At(0), 10);
+  EXPECT_EQ((*r)->Int64At(2), 30);
+}
+
+TEST(ExprEvalTest, MixedArithmeticIsDouble) {
+  auto t = NumTable(2);
+  auto e = Expr::Binary(BinaryOp::kAdd, ColA(), ColB());
+  auto r = EvaluateExpr(*e, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ((*r)->DoubleAt(1), 2 + 1.0);
+}
+
+TEST(ExprEvalTest, IntDivisionTruncates) {
+  auto t = NumTable(5);
+  auto e = Expr::Binary(BinaryOp::kDiv, ColA(), Expr::Int(2));
+  auto r = EvaluateExpr(*e, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->Int64At(0), 0);  // 1/2
+  EXPECT_EQ((*r)->Int64At(4), 2);  // 5/2
+}
+
+TEST(ExprEvalTest, DivisionByZeroYieldsNull) {
+  auto t = NumTable(2);
+  auto int_div = Expr::Binary(BinaryOp::kDiv, ColA(), Expr::Int(0));
+  auto r = EvaluateExpr(*int_div, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->IsNull(0));
+  auto mod = Expr::Binary(BinaryOp::kMod, ColA(), Expr::Int(0));
+  auto m = EvaluateExpr(*mod, *t);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE((*m)->IsNull(1));
+}
+
+TEST(ExprEvalTest, Comparisons) {
+  auto t = NumTable(4);
+  struct Case {
+    BinaryOp op;
+    std::vector<bool> expect;  // a OP 2 for a = 1..4
+  };
+  for (const Case& c : std::vector<Case>{
+           {BinaryOp::kEq, {false, true, false, false}},
+           {BinaryOp::kNe, {true, false, true, true}},
+           {BinaryOp::kLt, {true, false, false, false}},
+           {BinaryOp::kLe, {true, true, false, false}},
+           {BinaryOp::kGt, {false, false, true, true}},
+           {BinaryOp::kGe, {false, true, true, true}},
+       }) {
+    auto e = Expr::Binary(c.op, ColA(), Expr::Int(2));
+    auto r = EvaluateExpr(*e, *t);
+    ASSERT_TRUE(r.ok());
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ((*r)->BoolAt(i), c.expect[i])
+          << BinaryOpToString(c.op) << " row " << i;
+    }
+  }
+}
+
+TEST(ExprEvalTest, StringComparison) {
+  auto t = std::make_shared<Table>("t", Schema({{"s", DataType::kString}}));
+  ASSERT_TRUE(t->AppendRow({Value::String("apple")}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::String("banana")}).ok());
+  auto e = Expr::Binary(BinaryOp::kLt, Expr::Column(0, "s", DataType::kString),
+                        Expr::Str("b"));
+  auto r = EvaluateExpr(*e, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->BoolAt(0));
+  EXPECT_FALSE((*r)->BoolAt(1));
+}
+
+TEST(ExprEvalTest, StringVsNumberComparisonIsTypeError) {
+  auto t = NumTable(1);
+  auto e = Expr::Binary(BinaryOp::kEq, ColA(), Expr::Str("1"));
+  EXPECT_FALSE(EvaluateExpr(*e, *t).ok());
+}
+
+TEST(ExprEvalTest, LogicalOps) {
+  auto t = NumTable(4);
+  auto lt3 = Expr::Binary(BinaryOp::kLt, ColA(), Expr::Int(3));
+  auto gt1 = Expr::Binary(BinaryOp::kGt, ColA(), Expr::Int(1));
+  auto both = Expr::Binary(BinaryOp::kAnd, lt3, gt1);
+  auto r = EvaluateExpr(*both, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE((*r)->BoolAt(0));
+  EXPECT_TRUE((*r)->BoolAt(1));
+  EXPECT_FALSE((*r)->BoolAt(2));
+  auto either = Expr::Binary(BinaryOp::kOr, lt3, gt1);
+  auto r2 = EvaluateExpr(*either, *t);
+  ASSERT_TRUE(r2.ok());
+  for (size_t i = 0; i < 4; ++i) EXPECT_TRUE((*r2)->BoolAt(i));
+}
+
+TEST(ExprEvalTest, NotAndNeg) {
+  auto t = NumTable(2);
+  auto not_lt = Expr::Unary(
+      UnaryOp::kNot, Expr::Binary(BinaryOp::kLt, ColA(), Expr::Int(2)));
+  auto r = EvaluateExpr(*not_lt, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE((*r)->BoolAt(0));
+  EXPECT_TRUE((*r)->BoolAt(1));
+  auto neg = Expr::Unary(UnaryOp::kNeg, ColA());
+  auto n = EvaluateExpr(*neg, *t);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ((*n)->Int64At(0), -1);
+}
+
+TEST(ExprEvalTest, NullPropagationInArithmetic) {
+  auto t = std::make_shared<Table>("t", Schema({{"a", DataType::kInt64}}));
+  ASSERT_TRUE(t->AppendRow({Value::Int64(1)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Null()}).ok());
+  auto e = Expr::Binary(BinaryOp::kAdd, Expr::Column(0, "a", DataType::kInt64),
+                        Expr::Int(1));
+  auto r = EvaluateExpr(*e, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->Int64At(0), 2);
+  EXPECT_TRUE((*r)->IsNull(1));
+}
+
+TEST(ExprEvalTest, NullComparisonIsFalse) {
+  auto t = std::make_shared<Table>("t", Schema({{"a", DataType::kInt64}}));
+  ASSERT_TRUE(t->AppendRow({Value::Null()}).ok());
+  auto e = Expr::Binary(BinaryOp::kEq, Expr::Column(0, "a", DataType::kInt64),
+                        Expr::Int(0));
+  auto r = EvaluateExpr(*e, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE((*r)->BoolAt(0));
+}
+
+TEST(ExprEvalTest, IsNullOperators) {
+  auto t = std::make_shared<Table>("t", Schema({{"a", DataType::kInt64}}));
+  ASSERT_TRUE(t->AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Int64(5)}).ok());
+  auto col = Expr::Column(0, "a", DataType::kInt64);
+  auto r = EvaluateExpr(*Expr::Unary(UnaryOp::kIsNull, col), *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->BoolAt(0));
+  EXPECT_FALSE((*r)->BoolAt(1));
+  auto r2 = EvaluateExpr(*Expr::Unary(UnaryOp::kIsNotNull, col), *t);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE((*r2)->BoolAt(0));
+  EXPECT_TRUE((*r2)->BoolAt(1));
+}
+
+TEST(ExprEvalTest, LargeIntComparisonStaysExact) {
+  // Values beyond 2^53 would collide if compared as double.
+  auto t = std::make_shared<Table>("t", Schema({{"a", DataType::kInt64}}));
+  int64_t big = (int64_t{1} << 60);
+  ASSERT_TRUE(t->AppendRow({Value::Int64(big)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Int64(big + 1)}).ok());
+  auto e = Expr::Binary(BinaryOp::kEq, Expr::Column(0, "a", DataType::kInt64),
+                        Expr::Int(big));
+  auto r = EvaluateExpr(*e, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->BoolAt(0));
+  EXPECT_FALSE((*r)->BoolAt(1));
+}
+
+TEST(PredicateTest, ReturnsMatchingPositions) {
+  auto t = NumTable(10);
+  auto e = Expr::Binary(BinaryOp::kGt, ColA(), Expr::Int(7));
+  auto r = EvaluatePredicate(*e, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<size_t>{7, 8, 9}));
+}
+
+TEST(PredicateTest, NonBooleanRejected) {
+  auto t = NumTable(1);
+  EXPECT_FALSE(EvaluatePredicate(*ColA(), *t).ok());
+}
+
+TEST(PredicateTest, EmptyInputEmptyOutput) {
+  auto t = NumTable(0);
+  auto e = Expr::Binary(BinaryOp::kGt, ColA(), Expr::Int(0));
+  auto r = EvaluatePredicate(*e, *t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+// Property: De Morgan — not(p and q) == (not p) or (not q) over a sweep of
+// thresholds.
+class DeMorganTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeMorganTest, Holds) {
+  auto t = NumTable(50);
+  int k = GetParam();
+  auto p = Expr::Binary(BinaryOp::kLt, ColA(), Expr::Int(k));
+  auto q = Expr::Binary(BinaryOp::kGt, ColA(), Expr::Int(k / 2));
+  auto lhs = Expr::Unary(UnaryOp::kNot, Expr::Binary(BinaryOp::kAnd, p, q));
+  auto rhs = Expr::Binary(BinaryOp::kOr, Expr::Unary(UnaryOp::kNot, p),
+                          Expr::Unary(UnaryOp::kNot, q));
+  auto l = EvaluatePredicate(*lhs, *t);
+  auto r = EvaluatePredicate(*rhs, *t);
+  ASSERT_TRUE(l.ok());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*l, *r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, DeMorganTest,
+                         ::testing::Values(0, 1, 5, 10, 25, 49, 50, 100));
+
+}  // namespace
+}  // namespace datacell

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "adapters/generator.h"
+#include "baseline/tuple_engine.h"
+#include "core/engine.h"
+
+namespace datacell {
+namespace {
+
+EngineOptions Deterministic() {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  return opts;
+}
+
+/// Multiset of result rows (ignoring the trailing delivery-ts column),
+/// rendered as sorted strings for order-insensitive comparison.
+std::multiset<std::string> ResultBag(const std::vector<Row>& rows) {
+  std::multiset<std::string> bag;
+  for (const Row& r : rows) {
+    std::string key;
+    for (size_t i = 0; i + 1 < r.size(); ++i) {
+      key += r[i].ToString();
+      key.push_back('|');
+    }
+    bag.insert(std::move(key));
+  }
+  return bag;
+}
+
+// --- out-of-order processing (§2.2) ----------------------------------------
+
+// Property: for order-insensitive queries (selections, full-stream
+// aggregates), delivering the same multiset of tuples in any order produces
+// the same multiset of results — the paper's argument that baskets, being
+// sets, make disorder a non-issue.
+class OutOfOrderEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OutOfOrderEquivalenceTest, SelectionResultsOrderInsensitive) {
+  int disorder_pct = GetParam();
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (k int, v int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "sel", "select k, v from [select * from r] as s "
+             "where s.v % 7 = 0 and s.k < 3");
+  ASSERT_TRUE(q.ok());
+  auto sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+
+  std::vector<ColumnSpec> cols(2);
+  cols[0].type = DataType::kInt64;
+  cols[0].int_max = 5;
+  cols[1].type = DataType::kInt64;
+  cols[1].int_max = 1000;
+  std::unique_ptr<RowGenerator> gen = std::make_unique<OutOfOrderGenerator>(
+      std::make_unique<UniformRowGenerator>(cols, 123), 32,
+      disorder_pct / 100.0, 7);
+
+  // The reference answer is computed from the *actually ingested* multiset:
+  // whatever order tuples arrive in, the query must select exactly the
+  // qualifying ones.
+  std::multiset<std::string> expected;
+  for (int i = 0; i < 500; ++i) {
+    Row row = gen->Next();
+    if (row[1].int64_value() % 7 == 0 && row[0].int64_value() < 3) {
+      expected.insert(row[0].ToString() + "|" + row[1].ToString() + "|");
+    }
+    ASSERT_TRUE(engine.Ingest("r", row).ok());
+    if (i % 37 == 0) engine.Drain();
+  }
+  engine.Drain();
+  EXPECT_EQ(ResultBag(sink->TakeRows()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Disorder, OutOfOrderEquivalenceTest,
+                         ::testing::Values(0, 10, 50, 100));
+
+// --- DataCell vs tuple-at-a-time result equivalence -------------------------
+
+TEST(EngineBaselineEquivalenceTest, SelectionAndProjectionAgree) {
+  // The two architectures must compute identical answers; E2 then compares
+  // only their speed.
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "sel", "select x * 3 + 1 as y from [select * from r] as s "
+             "where s.x % 2 = 0");
+  ASSERT_TRUE(q.ok());
+  auto cell_sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, cell_sink).ok());
+
+  baseline::TuplePipeline pipe;
+  auto col = Expr::Column(0, "x", DataType::kInt64);
+  pipe.Add(std::make_unique<baseline::FilterOp>(Expr::Binary(
+      BinaryOp::kEq, Expr::Binary(BinaryOp::kMod, col, Expr::Int(2)),
+      Expr::Int(0))));
+  pipe.Add(std::make_unique<baseline::MapOp>(std::vector<ExprPtr>{
+      Expr::Binary(BinaryOp::kAdd,
+                   Expr::Binary(BinaryOp::kMul, col, Expr::Int(3)),
+                   Expr::Int(1))}));
+  auto* tuple_sink = static_cast<baseline::SinkOp*>(
+      pipe.Add(std::make_unique<baseline::SinkOp>(/*collect=*/true)));
+
+  std::vector<ColumnSpec> cols(1);
+  cols[0].type = DataType::kInt64;
+  cols[0].int_max = 100000;
+  UniformRowGenerator gen(cols, 99);
+  for (int i = 0; i < 1000; ++i) {
+    Row row = gen.Next();
+    ASSERT_TRUE(engine.Ingest("r", row).ok());
+    ASSERT_TRUE(pipe.Push(row).ok());
+  }
+  engine.Drain();
+  EXPECT_EQ(ResultBag(cell_sink->TakeRows()),
+            ResultBag([&] {
+              // Pad baseline rows with a dummy trailing column so ResultBag
+              // strips symmetrically.
+              std::vector<Row> rows = tuple_sink->rows();
+              for (Row& r : rows) r.push_back(Value::Int64(0));
+              return rows;
+            }()));
+}
+
+TEST(EngineBaselineEquivalenceTest, SlidingWindowAggregatesAgree) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (k int, v int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "agg", "select k, sum(v) as s from [select * from r] as w group by k "
+             "order by k window size 64 slide 16");
+  ASSERT_TRUE(q.ok());
+  auto cell_sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, cell_sink).ok());
+
+  baseline::TuplePipeline pipe;
+  pipe.Add(std::make_unique<baseline::WindowAggregateOp>(
+      std::vector<size_t>{0}, std::vector<size_t>{1},
+      std::vector<AggFunc>{AggFunc::kSum}, 64, 16));
+  auto* tuple_sink = static_cast<baseline::SinkOp*>(
+      pipe.Add(std::make_unique<baseline::SinkOp>(/*collect=*/true)));
+
+  std::vector<ColumnSpec> cols(2);
+  cols[0].type = DataType::kInt64;
+  cols[0].int_max = 3;
+  cols[1].type = DataType::kInt64;
+  cols[1].int_max = 100;
+  UniformRowGenerator gen(cols, 5);
+  for (int i = 0; i < 640; ++i) {
+    Row row = gen.Next();
+    ASSERT_TRUE(engine.Ingest("r", row).ok());
+    ASSERT_TRUE(pipe.Push(row).ok());
+  }
+  engine.Drain();
+  std::vector<Row> baseline_rows = tuple_sink->rows();
+  for (Row& r : baseline_rows) r.push_back(Value::Int64(0));
+  EXPECT_EQ(ResultBag(cell_sink->TakeRows()), ResultBag(baseline_rows));
+}
+
+// --- failure injection --------------------------------------------------------
+
+TEST(FailureInjectionTest, MalformedStreamDataDoesNotStopTheEngine) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int, s string)").ok());
+  Channel wire;
+  auto receptor = engine.AttachReceptor("r", &wire);
+  ASSERT_TRUE(receptor.ok());
+  auto q = engine.SubmitContinuousQuery(
+      "all", "select x, s from [select * from r] as w");
+  ASSERT_TRUE(q.ok());
+  auto sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+  // Interleave garbage with valid tuples.
+  for (int i = 0; i < 50; ++i) {
+    wire.Push(std::to_string(i) + ",ok");
+    wire.Push("garbage line");
+    wire.Push("1,2,3,4,5");
+    wire.Push("\"unterminated");
+  }
+  engine.Drain();
+  EXPECT_EQ(sink->row_count(), 50u);
+  EXPECT_EQ((*receptor)->malformed_lines(), 150);
+  EXPECT_EQ(engine.scheduler().error_count(), 0);
+}
+
+TEST(FailureInjectionTest, IngestTypeErrorsRejectedAtomically) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int, s string)").ok());
+  // Bad tuple in the middle of a batch: nothing from the batch lands.
+  std::vector<Row> batch = {
+      {Value::Int64(1), Value::String("a")},
+      {Value::String("wrong"), Value::String("b")},
+      {Value::Int64(3), Value::String("c")},
+  };
+  EXPECT_FALSE(engine.IngestBatch("r", batch).ok());
+  auto count = engine.ExecuteSql("select count(*) as c from r");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ((*count)->GetRow(0)[0], Value::Int64(0));
+}
+
+TEST(FailureInjectionTest, LexerFuzzDoesNotCrash) {
+  // Feed pseudo-random byte strings through the full SQL entry point; every
+  // outcome must be a clean Status, never a crash.
+  Rng rng(2029);
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create table t (a int)").ok());
+  const std::string alphabet =
+      "abcdef select from where [(')]*,.<>=!% \t\n0123456789'\"";
+  for (int i = 0; i < 500; ++i) {
+    std::string sql;
+    int len = static_cast<int>(rng.Uniform(1, 60));
+    for (int j = 0; j < len; ++j) {
+      sql.push_back(
+          alphabet[static_cast<size_t>(rng.Uniform(0, alphabet.size() - 1))]);
+    }
+    auto result = engine.ExecuteSql(sql);
+    (void)result;  // any Status is fine; crashing is not
+  }
+}
+
+TEST(FailureInjectionTest, QueryOnDroppedTableFailsGracefully) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create table t (a int)").ok());
+  ASSERT_TRUE(engine.ExecuteSql("drop table t").ok());
+  auto r = engine.ExecuteSql("select * from t");
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+// --- threaded stress ---------------------------------------------------------
+
+TEST(ThreadedStressTest, MultiWorkerSchedulerProcessesEverything) {
+  Engine engine;  // wall clock
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (k int, v int)").ok());
+  constexpr int kQueries = 4;
+  std::vector<std::shared_ptr<CountingSink>> sinks;
+  for (int i = 0; i < kQueries; ++i) {
+    auto q = engine.SubmitContinuousQuery(
+        "q" + std::to_string(i),
+        "select k, v from [select * from r where r.k = " + std::to_string(i) +
+            "] as s");
+    ASSERT_TRUE(q.ok());
+    auto sink = std::make_shared<CountingSink>();
+    ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+    sinks.push_back(std::move(sink));
+  }
+  ASSERT_TRUE(engine.Start(/*num_threads=*/4).ok());
+  EXPECT_FALSE(engine.Start(2).ok());  // double start still rejected
+  constexpr int kTuples = 8000;
+  Rng rng(99);
+  for (int i = 0; i < kTuples; ++i) {
+    ASSERT_TRUE(engine
+                    .Ingest("r", {Value::Int64(i % kQueries),
+                                  Value::Int64(rng.Uniform(0, 100))})
+                    .ok());
+  }
+  int64_t total = 0;
+  for (int spin = 0; spin < 10000; ++spin) {
+    total = 0;
+    for (const auto& sink : sinks) total += sink->rows();
+    if (total == kTuples) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  engine.Stop();
+  EXPECT_EQ(total, kTuples);
+  for (const auto& sink : sinks) {
+    EXPECT_EQ(sink->rows(), kTuples / kQueries);
+  }
+  EXPECT_EQ(engine.scheduler().error_count(), 0);
+}
+
+TEST(ThreadedStressTest, ConcurrentIngestAndQueries) {
+  EngineOptions opts;  // wall clock; threaded
+  Engine engine(opts);
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (k int, v int)").ok());
+  auto q1 = engine.SubmitContinuousQuery(
+      "evens", "select k, v from [select * from r where r.v % 2 = 0] as s");
+  auto q2 = engine.SubmitContinuousQuery(
+      "odds", "select k, v from [select * from r where r.v % 2 = 1] as s");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto s1 = std::make_shared<CountingSink>();
+  auto s2 = std::make_shared<CountingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q1, s1).ok());
+  ASSERT_TRUE(engine.Subscribe(*q2, s2).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine, p] {
+      Rng rng(static_cast<uint64_t>(p));
+      for (int i = 0; i < kPerProducer; ++i) {
+        Status st = engine.Ingest(
+            "r", {Value::Int64(p), Value::Int64(rng.Uniform(0, 1000))});
+        ASSERT_TRUE(st.ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  // Every tuple goes to exactly one of the two queries.
+  constexpr int64_t kTotal = kProducers * kPerProducer;
+  for (int i = 0; i < 10000 && s1->rows() + s2->rows() < kTotal; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  engine.Stop();
+  EXPECT_EQ(s1->rows() + s2->rows(), kTotal);
+  EXPECT_EQ(engine.scheduler().error_count(), 0);
+}
+
+}  // namespace
+}  // namespace datacell

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "linearroad/driver.h"
+#include "linearroad/generator.h"
+#include "linearroad/history.h"
+#include "linearroad/queries.h"
+
+namespace datacell {
+namespace linearroad {
+namespace {
+
+LrConfig SmallConfig() {
+  LrConfig cfg;
+  cfg.num_xways = 1;
+  cfg.vehicles_per_xway = 50;
+  cfg.report_interval_s = 5;
+  cfg.accident_prob = 0.01;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(LrGeneratorTest, SchemaShape) {
+  Schema s = ReportSchema();
+  EXPECT_EQ(s.num_fields(), 8u);
+  EXPECT_EQ(s.field(0).name, "time");
+  EXPECT_EQ(s.field(2).name, "speed");
+  for (const Field& f : s.fields()) {
+    EXPECT_EQ(f.type, DataType::kInt64);
+  }
+}
+
+TEST(LrGeneratorTest, Deterministic) {
+  LrGenerator g1(SmallConfig());
+  LrGenerator g2(SmallConfig());
+  for (int t = 0; t < 20; ++t) {
+    auto a = g1.Tick();
+    auto b = g2.Tick();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].ToRow(), b[i].ToRow());
+    }
+  }
+}
+
+TEST(LrGeneratorTest, ReportsStaggeredByInterval) {
+  LrGenerator gen(SmallConfig());
+  int64_t total = 0;
+  for (int t = 0; t < 5; ++t) {  // one full report interval
+    total += static_cast<int64_t>(gen.Tick().size());
+  }
+  // Every vehicle reports exactly once per interval.
+  EXPECT_EQ(total, 50);
+  EXPECT_EQ(gen.total_reports(), 50);
+}
+
+TEST(LrGeneratorTest, ReportsAreWellFormed) {
+  LrConfig cfg = SmallConfig();
+  LrGenerator gen(cfg);
+  for (int t = 0; t < 50; ++t) {
+    for (const PositionReport& r : gen.Tick()) {
+      EXPECT_EQ(r.time_s, t);
+      EXPECT_GE(r.speed, 0);
+      EXPECT_LE(r.speed, 100);
+      EXPECT_EQ(r.xway, 0);
+      EXPECT_GE(r.seg, 0);
+      EXPECT_LT(r.seg, cfg.segments);
+      EXPECT_TRUE(r.dir == 0 || r.dir == 1);
+      EXPECT_GE(r.pos, 0);
+    }
+  }
+}
+
+TEST(LrGeneratorTest, AccidentsProduceStoppedVehicles) {
+  LrConfig cfg = SmallConfig();
+  cfg.accident_prob = 0.05;  // force accidents quickly
+  LrGenerator gen(cfg);
+  int64_t zero_speed_reports = 0;
+  for (int t = 0; t < 100; ++t) {
+    for (const PositionReport& r : gen.Tick()) {
+      if (r.speed == 0) ++zero_speed_reports;
+    }
+  }
+  EXPECT_GT(gen.accidents_started(), 0);
+  EXPECT_GT(zero_speed_reports, 0);
+}
+
+TEST(LrGeneratorTest, ScaleFactorMultipliesLoad) {
+  LrConfig one = SmallConfig();
+  LrConfig two = SmallConfig();
+  two.num_xways = 2;
+  LrGenerator g1(one);
+  LrGenerator g2(two);
+  int64_t r1 = 0, r2 = 0;
+  for (int t = 0; t < 10; ++t) {
+    r1 += static_cast<int64_t>(g1.Tick().size());
+    r2 += static_cast<int64_t>(g2.Tick().size());
+  }
+  EXPECT_EQ(r2, 2 * r1);
+}
+
+TEST(LrQueriesTest, InstallCreatesNetwork) {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  Engine engine(opts);
+  auto queries = InstallLrQueries(&engine);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  EXPECT_EQ(engine.num_queries(), 3u);
+  // The toll query reads segstats' output basket: a cascaded network.
+  auto info = engine.GetQuery(queries->tolls);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->factory->query().inputs[0].basket, "segstats_out");
+}
+
+TEST(LrDriverTest, EndToEndProducesSegmentStats) {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  Engine engine(opts);
+  auto queries = InstallLrQueries(&engine);
+  ASSERT_TRUE(queries.ok());
+  LrConfig cfg = SmallConfig();
+  cfg.vehicles_per_xway = 200;
+  cfg.accident_prob = 0.02;
+  LrDriver driver(&engine, cfg);
+  // 2 simulated 5-min windows plus slide: 8 minutes.
+  ASSERT_TRUE(driver.Run(8 * 60).ok());
+  EXPECT_GT(driver.total_reports(), 0);
+  EXPECT_GT(queries->segstats_sink->rows(), 0);
+  EXPECT_EQ(driver.tick_time_us().count(), 8u * 60u);
+  // Accidents were simulated, so stopped-vehicle detections should appear.
+  EXPECT_GT(driver.accidents_started(), 0);
+  EXPECT_GT(queries->accidents_sink->rows(), 0);
+}
+
+TEST(LrHistoryTest, TollsAccumulateIntoHistory) {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  Engine engine(opts);
+  auto queries = InstallLrQueries(&engine);
+  ASSERT_TRUE(queries.ok());
+  auto history = TollHistory::Install(&engine, queries->tolls);
+  ASSERT_TRUE(history.ok()) << history.status().ToString();
+
+  // Congested traffic: many slow vehicles on one expressway.
+  LrConfig cfg = SmallConfig();
+  cfg.vehicles_per_xway = 400;
+  cfg.accident_prob = 0.05;  // plenty of slowdowns
+  LrDriver driver(&engine, cfg);
+  ASSERT_TRUE(driver.Run(8 * 60).ok());
+
+  ASSERT_GT(queries->tolls_sink->rows(), 0);
+  EXPECT_EQ((*history)->rows_recorded(), queries->tolls_sink->rows());
+
+  // Type-2: expressway balance equals the sum of recorded tolls.
+  auto balance = (*history)->ExpresswayBalance(&engine, 0);
+  ASSERT_TRUE(balance.ok());
+  EXPECT_GT(*balance, 0);
+  auto none = (*history)->ExpresswayBalance(&engine, 99);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0);
+
+  // Type-3: daily expenditure rows aggregate the same history.
+  auto daily = (*history)->DailyExpenditure(&engine);
+  ASSERT_TRUE(daily.ok());
+  ASSERT_GE((*daily)->num_rows(), 1u);
+  double daily_sum = 0;
+  auto spent_idx = (*daily)->schema().IndexOf("spent");
+  ASSERT_TRUE(spent_idx.has_value());
+  for (size_t i = 0; i < (*daily)->num_rows(); ++i) {
+    daily_sum += (*daily)->GetRow(i)[*spent_idx].AsDouble();
+  }
+  EXPECT_EQ(static_cast<int64_t>(daily_sum), *balance);
+}
+
+}  // namespace
+}  // namespace linearroad
+}  // namespace datacell

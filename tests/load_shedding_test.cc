@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace datacell {
+namespace {
+
+EngineOptions SheddingOptions(size_t cap, Basket::DropPolicy policy) {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  opts.max_basket_tuples = cap;
+  opts.drop_policy = policy;
+  return opts;
+}
+
+TEST(LoadSheddingTest, StreamBasketBounded) {
+  Engine engine(SheddingOptions(10, Basket::DropPolicy::kDropOldest));
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  // No consumer: the basket would grow unboundedly without shedding.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  auto basket = engine.GetBasket("r");
+  ASSERT_TRUE(basket.ok());
+  EXPECT_EQ((*basket)->size(), 10u);
+  EXPECT_EQ(engine.total_shed(), 90);
+  // The freshest 10 tuples survive (drop-oldest).
+  auto snap = (*basket)->PeekSnapshot();
+  EXPECT_EQ(snap->GetRow(0)[0], Value::Int64(90));
+}
+
+TEST(LoadSheddingTest, QueryStillRunsUnderOverload) {
+  Engine engine(SheddingOptions(50, Basket::DropPolicy::kDropOldest));
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "all", "select x from [select * from r] as s");
+  ASSERT_TRUE(q.ok());
+  auto sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+  // Burst far beyond capacity without draining: shedding kicks in; then the
+  // query processes what survived.
+  std::vector<Row> burst;
+  for (int i = 0; i < 500; ++i) burst.push_back({Value::Int64(i)});
+  ASSERT_TRUE(engine.IngestBatch("r", burst).ok());
+  engine.Drain();
+  EXPECT_EQ(sink->row_count(), 50u);
+  EXPECT_EQ(engine.total_shed(), 450);
+  // Under normal load nothing is shed.
+  ASSERT_TRUE(engine.Ingest("r", {Value::Int64(1)}).ok());
+  engine.Drain();
+  EXPECT_EQ(engine.total_shed(), 450);
+  EXPECT_EQ(sink->row_count(), 51u);
+}
+
+TEST(LoadSheddingTest, PrivateReplicasBoundedToo) {
+  Engine engine(SheddingOptions(8, Basket::DropPolicy::kDropNewest));
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  QueryOptions sep;
+  sep.strategy = ProcessingStrategy::kSeparateBaskets;
+  auto q = engine.SubmitContinuousQuery(
+      "all", "select x from [select * from r] as s", sep);
+  ASSERT_TRUE(q.ok());
+  auto sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+  std::vector<Row> burst;
+  for (int i = 0; i < 20; ++i) burst.push_back({Value::Int64(i)});
+  ASSERT_TRUE(engine.IngestBatch("r", burst).ok());
+  engine.Drain();
+  // Drop-newest: the first 8 of the burst survive in the replica.
+  ASSERT_EQ(sink->row_count(), 8u);
+  EXPECT_EQ(sink->SnapshotRows()[0][0], Value::Int64(0));
+  EXPECT_GT(engine.total_shed(), 0);
+}
+
+TEST(LoadSheddingTest, StatsReportMentionsState) {
+  Engine engine(SheddingOptions(5, Basket::DropPolicy::kDropOldest));
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "all", "select x from [select * from r] as s");
+  ASSERT_TRUE(q.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine.Drain();
+  std::string report = engine.StatsReport();
+  EXPECT_NE(report.find("factory_all"), std::string::npos);
+  EXPECT_NE(report.find("emitter_all"), std::string::npos);
+  EXPECT_NE(report.find("-- streams --"), std::string::npos);
+  EXPECT_NE(report.find("shed="), std::string::npos);
+  EXPECT_NE(report.find("sweeps="), std::string::npos);
+}
+
+TEST(LoadSheddingTest, UnboundedByDefault) {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(engine.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  EXPECT_EQ((*engine.GetBasket("r"))->size(), 1000u);
+  EXPECT_EQ(engine.total_shed(), 0);
+}
+
+}  // namespace
+}  // namespace datacell

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "mal/mal.h"
+
+namespace datacell {
+namespace mal {
+namespace {
+
+// The paper's Algorithm 1, verbatim modulo the select arguments.
+constexpr char kAlgorithm1[] = R"(
+  # Factory for a simple query selecting X values in a range v1-v2.
+  input := basket.bind("X");
+  output := basket.bind("Y");
+  basket.lock(input);
+  basket.lock(output);
+  result := algebra.select(input, "v", 10, 20);
+  basket.empty(input);
+  basket.append(output, result);
+  basket.unlock(input);
+  basket.unlock(output);
+  suspend();
+)";
+
+Schema VSchema() { return Schema({{"v", DataType::kInt64}}); }
+
+std::shared_ptr<Basket> MakeVBasket(const std::string& name) {
+  return std::make_shared<Basket>(Basket::MakeBasketTable(name, VSchema()));
+}
+
+// --- parsing -------------------------------------------------------------
+
+TEST(MalParseTest, ParsesAlgorithm1) {
+  auto program = Program::Parse(kAlgorithm1);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ((*program)->instructions().size(), 10u);
+  const Instruction& select = (*program)->instructions()[4];
+  EXPECT_EQ(select.result, "result");
+  EXPECT_EQ(select.module, "algebra");
+  EXPECT_EQ(select.function, "select");
+  ASSERT_EQ(select.args.size(), 4u);
+  EXPECT_EQ(select.args[1].text, "v");
+  EXPECT_EQ(select.args[2].int_value, 10);
+}
+
+TEST(MalParseTest, ToStringRoundTrips) {
+  auto program = Program::Parse(kAlgorithm1);
+  ASSERT_TRUE(program.ok());
+  auto again = Program::Parse((*program)->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->ToString(), (*program)->ToString());
+}
+
+TEST(MalParseTest, SyntaxErrorsCarryLineNumbers) {
+  auto r1 = Program::Parse("x := nonsense");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("line 1"), std::string::npos);
+  EXPECT_FALSE(Program::Parse("x := f(\"unterminated);").ok());
+  EXPECT_FALSE(Program::Parse("x := f(a b);").ok());
+  EXPECT_FALSE(Program::Parse(":= f(a);").ok());
+}
+
+TEST(MalParseTest, CommentsAndBlanksIgnored)  {
+  auto program = Program::Parse("# nothing\n\n  # more\nsuspend();\n");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ((*program)->instructions().size(), 1u);
+}
+
+// --- execution -------------------------------------------------------------
+
+TEST(MalRunTest, Algorithm1MovesQualifyingTuples) {
+  auto program = Program::Parse(kAlgorithm1);
+  ASSERT_TRUE(program.ok());
+  Context ctx;
+  ctx.baskets["X"] = MakeVBasket("X");
+  ctx.baskets["Y"] = MakeVBasket("Y");
+  for (int v : {5, 12, 20, 25, 15}) {
+    ASSERT_TRUE(ctx.baskets["X"]->Append({Value::Int64(v)}, v).ok());
+  }
+  ASSERT_TRUE(mal::Run(**program, &ctx).ok());
+  // Input emptied (Algorithm 1's bulk consume) and qualifying tuples moved.
+  EXPECT_EQ(ctx.baskets["X"]->size(), 0u);
+  ASSERT_EQ(ctx.baskets["Y"]->size(), 3u);  // 12, 20, 15
+  auto out = ctx.baskets["Y"]->PeekSnapshot();
+  EXPECT_EQ(out->GetRow(0)[0], Value::Int64(12));
+  // Original timestamps preserved through basket.append.
+  EXPECT_EQ(out->GetRow(0)[1], Value::TimestampVal(12));
+}
+
+TEST(MalRunTest, UnknownBasketFails) {
+  auto program = Program::Parse("b := basket.bind(\"nope\");");
+  ASSERT_TRUE(program.ok());
+  Context ctx;
+  EXPECT_FALSE(mal::Run(**program, &ctx).ok());
+}
+
+TEST(MalRunTest, UnknownVariableFails) {
+  auto program = Program::Parse("basket.empty(ghost);");
+  ASSERT_TRUE(program.ok());
+  Context ctx;
+  auto st = mal::Run(**program, &ctx);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ghost"), std::string::npos);
+}
+
+TEST(MalRunTest, ProjectJoinAndAggregates) {
+  Context ctx;
+  auto left = std::make_shared<Basket>(Basket::MakeBasketTable(
+      "L", Schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}})));
+  auto right = std::make_shared<Basket>(Basket::MakeBasketTable(
+      "R", Schema({{"k", DataType::kInt64}, {"w", DataType::kInt64}})));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        left->Append({Value::Int64(i), Value::Int64(10 * i)}, 0).ok());
+    ASSERT_TRUE(
+        right->Append({Value::Int64(i * 2), Value::Int64(i)}, 0).ok());
+  }
+  ctx.baskets["L"] = left;
+  ctx.baskets["R"] = right;
+  auto program = Program::Parse(R"(
+    l := basket.bind("L");
+    r := basket.bind("R");
+    j := algebra.join(l, "k", r, "k");
+    p := algebra.project(j, "v");
+    s := aggr.sum(p, "v");
+    io.print(j);
+    io.print(s);
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_TRUE(mal::Run(**program, &ctx).ok());
+  ASSERT_EQ(ctx.printed.size(), 2u);
+  // join keys 0 and 2 match -> v values 0 and 20 -> sum 20.
+  EXPECT_NE(ctx.printed[1].find("20"), std::string::npos);
+}
+
+TEST(MalRunTest, PeekDoesNotConsume) {
+  Context ctx;
+  ctx.baskets["X"] = MakeVBasket("X");
+  ASSERT_TRUE(ctx.baskets["X"]->Append({Value::Int64(1)}, 0).ok());
+  auto program = Program::Parse(R"(
+    b := basket.bind("X");
+    t := basket.peek(b);
+    c := aggr.count(t);
+    io.print(c);
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(mal::Run(**program, &ctx).ok());
+  EXPECT_EQ(ctx.baskets["X"]->size(), 1u);
+}
+
+TEST(MalRunTest, SuspendStopsExecution) {
+  Context ctx;
+  ctx.baskets["X"] = MakeVBasket("X");
+  ASSERT_TRUE(ctx.baskets["X"]->Append({Value::Int64(1)}, 0).ok());
+  auto program = Program::Parse(R"(
+    b := basket.bind("X");
+    suspend();
+    basket.empty(b);
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(mal::Run(**program, &ctx).ok());
+  EXPECT_EQ(ctx.baskets["X"]->size(), 1u);  // empty() never ran
+}
+
+// --- MalFactory under the scheduler ------------------------------------------
+
+TEST(MalFactoryTest, RunsUnderScheduler) {
+  Context ctx;
+  ctx.baskets["X"] = MakeVBasket("X");
+  ctx.baskets["Y"] = MakeVBasket("Y");
+  auto program = Program::Parse(kAlgorithm1);
+  ASSERT_TRUE(program.ok());
+  SimulatedClock clock;
+  auto factory = std::make_shared<MalFactory>(
+      "alg1", *program, &ctx, ctx.baskets["X"], &clock);
+  Scheduler sched;
+  sched.AddTransition(factory);
+  EXPECT_FALSE(factory->Ready());
+  sched.RunUntilQuiescent();
+  EXPECT_EQ(factory->runs(), 0);
+
+  for (int v : {15, 50}) {
+    ASSERT_TRUE(ctx.baskets["X"]->Append({Value::Int64(v)}, 0).ok());
+  }
+  EXPECT_TRUE(factory->Ready());
+  EXPECT_EQ(factory->Backlog(), 2);
+  sched.RunUntilQuiescent();
+  EXPECT_EQ(factory->runs(), 1);
+  EXPECT_EQ(ctx.baskets["X"]->size(), 0u);
+  EXPECT_EQ(ctx.baskets["Y"]->size(), 1u);  // only 15 in [10, 20]
+}
+
+}  // namespace
+}  // namespace mal
+}  // namespace datacell

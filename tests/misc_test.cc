@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "core/petri.h"
+
+namespace datacell {
+namespace {
+
+EngineOptions Deterministic() {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  return opts;
+}
+
+// --- ExecuteScript ----------------------------------------------------------
+
+TEST(ScriptTest, RunsStatementsInOrder) {
+  Engine engine(Deterministic());
+  auto result = engine.ExecuteScript(
+      "create table t (a int, b varchar);"
+      "insert into t values (1, 'x'), (2, 'y');"
+      "insert into t values (3, 'z');"
+      "select count(*) as c from t;");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->GetRow(0)[0], Value::Int64(3));
+}
+
+TEST(ScriptTest, StopsAtFirstError) {
+  Engine engine(Deterministic());
+  auto result = engine.ExecuteScript(
+      "create table t (a int);"
+      "insert into missing values (1);"
+      "create table u (a int);");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(engine.catalog().Contains("t"));
+  EXPECT_FALSE(engine.catalog().Contains("u"));  // never reached
+}
+
+TEST(ScriptTest, LastSelectWins) {
+  Engine engine(Deterministic());
+  auto result = engine.ExecuteScript(
+      "create table t (a int);"
+      "insert into t values (7);"
+      "select a from t;"
+      "select a + 1 as b from t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->GetRow(0)[0], Value::Int64(8));
+}
+
+TEST(ScriptTest, ParseErrorRejectsWholeScript) {
+  Engine engine(Deterministic());
+  EXPECT_FALSE(
+      engine.ExecuteScript("create table t (a int); garbage;").ok());
+  EXPECT_FALSE(engine.catalog().Contains("t"));  // nothing executed
+}
+
+// --- DumpCatalogSql ---------------------------------------------------------
+
+TEST(CatalogDumpTest, RoundTripsThroughExecuteScript) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteScript("create table dim (k int, label varchar);"
+                                 "create basket s (x int, y double);")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "q", "select x from [select * from s] as w")
+                  .ok());
+  std::string dump = engine.DumpCatalogSql();
+  EXPECT_NE(dump.find("create table dim (k int64, label string);"),
+            std::string::npos);
+  // The implicit ts column is not declared, and the output basket appears.
+  EXPECT_NE(dump.find("create basket s (x int64, y double);"),
+            std::string::npos);
+  EXPECT_NE(dump.find("create basket q_out"), std::string::npos);
+  EXPECT_NE(dump.find("-- continuous query 'q'"), std::string::npos);
+
+  // A fresh engine accepts the dump (queries are comments, schemas apply).
+  Engine clone(Deterministic());
+  auto replay = clone.ExecuteScript(dump);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString() << "\n" << dump;
+  EXPECT_TRUE(clone.catalog().Contains("dim"));
+  EXPECT_TRUE(clone.catalog().Contains("s"));
+  // The cloned basket is a working stream with an implicit ts again.
+  EXPECT_TRUE(clone.Ingest("s", {Value::Int64(1), Value::Double(2.0)}).ok());
+}
+
+// --- Petri dead-transition analysis ----------------------------------------
+
+TEST(PetriAnalysisTest, DetectsUnfeedableTransition) {
+  PetriNet net;
+  auto src = net.AddPlace("stream", 1);
+  auto mid = net.AddPlace("B1");
+  auto orphan = net.AddPlace("nothing_feeds_me");
+  auto out = net.AddPlace("out");
+  auto ok1 = *net.AddTransition("R", {{src}}, {{mid}});
+  auto ok2 = *net.AddTransition("Q", {{mid}}, {{out}});
+  auto dead = *net.AddTransition("zombie", {{orphan}}, {{out}});
+  (void)ok1;
+  (void)ok2;
+  auto dead_list = net.DeadTransitions();
+  ASSERT_EQ(dead_list.size(), 1u);
+  EXPECT_EQ(dead_list[0], dead);
+}
+
+TEST(PetriAnalysisTest, InitialTokensKeepTransitionAlive) {
+  PetriNet net;
+  auto buffered = net.AddPlace("preloaded", 5);
+  auto out = net.AddPlace("out");
+  ASSERT_TRUE(net.AddTransition("drainer", {{buffered}}, {{out}}).ok());
+  EXPECT_TRUE(net.DeadTransitions().empty());
+}
+
+TEST(PetriAnalysisTest, WeightAboveBufferedTokensIsDead) {
+  PetriNet net;
+  auto buffered = net.AddPlace("preloaded", 3);
+  auto out = net.AddPlace("out");
+  auto t = *net.AddTransition("needs4", {{buffered, 4}}, {{out}});
+  auto dead = net.DeadTransitions();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], t);
+}
+
+// --- logging ------------------------------------------------------------------
+
+TEST(LoggingTest, LevelsFilter) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold messages are cheap no-ops; this must not crash or emit.
+  DC_LOG(Debug) << "invisible " << 42;
+  DC_LOG(Info) << "also invisible";
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(old_level);
+}
+
+}  // namespace
+}  // namespace datacell

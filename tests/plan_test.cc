@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "algebra/plan.h"
+
+namespace datacell {
+namespace {
+
+Schema AbSchema() {
+  return Schema({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+}
+
+TablePtr AbTable(int n) {
+  auto t = std::make_shared<Table>("r", AbSchema());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(t->AppendRow({Value::Int64(i), Value::Double(i * 0.5)}).ok());
+  }
+  return t;
+}
+
+ExprPtr ColA() { return Expr::Column(0, "a", DataType::kInt64); }
+
+PlanPtr Scan() { return *MakeScan("r", AbSchema()); }
+
+TEST(PlanBuildTest, ScanValidation) {
+  EXPECT_TRUE(MakeScan("r", AbSchema()).ok());
+  EXPECT_FALSE(MakeScan("", AbSchema()).ok());
+}
+
+TEST(PlanBuildTest, FilterValidation) {
+  auto pred = Expr::Binary(BinaryOp::kGt, ColA(), Expr::Int(1));
+  EXPECT_TRUE(MakeFilter(Scan(), pred).ok());
+  EXPECT_FALSE(MakeFilter(nullptr, pred).ok());
+  EXPECT_FALSE(MakeFilter(Scan(), ColA()).ok());  // non-boolean predicate
+}
+
+TEST(PlanBuildTest, ProjectSchemaInference) {
+  auto p = MakeProject(Scan(),
+                       {ColA(), Expr::Binary(BinaryOp::kMul, ColA(),
+                                             Expr::Int(2))},
+                       {"a", "a2"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->output_schema().num_fields(), 2u);
+  EXPECT_EQ((*p)->output_schema().field(1).name, "a2");
+  EXPECT_EQ((*p)->output_schema().field(1).type, DataType::kInt64);
+  EXPECT_FALSE(MakeProject(Scan(), {ColA()}, {"x", "y"}).ok());
+}
+
+TEST(PlanBuildTest, JoinSchemaConcatAndKeyChecks) {
+  auto j = MakeHashJoin(Scan(), Scan(), 0, 0);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->output_schema().num_fields(), 4u);
+  EXPECT_FALSE(MakeHashJoin(Scan(), Scan(), 9, 0).ok());
+  EXPECT_FALSE(MakeHashJoin(Scan(), Scan(), 0, 1).ok());  // int vs double key
+}
+
+TEST(PlanBuildTest, AggregateSchemaAndNames) {
+  AggSpec count_star;
+  count_star.func = AggFunc::kCount;
+  count_star.count_star = true;
+  AggSpec sum_b;
+  sum_b.func = AggFunc::kSum;
+  sum_b.input_column = 1;
+  auto a = MakeAggregate(Scan(), {0}, {count_star, sum_b});
+  ASSERT_TRUE(a.ok());
+  const Schema& s = (*a)->output_schema();
+  ASSERT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.field(0).name, "a");
+  EXPECT_EQ(s.field(1).type, DataType::kInt64);   // count
+  EXPECT_EQ(s.field(2).type, DataType::kDouble);  // sum
+  EXPECT_FALSE(MakeAggregate(Scan(), {5}, {count_star}).ok());
+  EXPECT_FALSE(MakeAggregate(Scan(), {}, {}).ok());
+}
+
+TEST(PlanBuildTest, SortLimitDistinctUnion) {
+  EXPECT_TRUE(MakeSort(Scan(), {{0, true}}).ok());
+  EXPECT_FALSE(MakeSort(Scan(), {}).ok());
+  EXPECT_FALSE(MakeSort(Scan(), {{7, true}}).ok());
+  EXPECT_TRUE(MakeLimit(Scan(), 0, 5).ok());
+  EXPECT_FALSE(MakeLimit(Scan(), 0, 0).ok());
+  EXPECT_TRUE(MakeDistinct(Scan()).ok());
+  EXPECT_TRUE(MakeUnion(Scan(), Scan()).ok());
+  auto one_col = MakeProject(Scan(), {ColA()}, {"a"});
+  EXPECT_FALSE(MakeUnion(Scan(), *one_col).ok());
+}
+
+TEST(PlanExecTest, ScanBindsByName) {
+  auto plan = Scan();
+  PlanBindings bindings{{"r", AbTable(3)}};
+  auto result = ExecutePlan(*plan, bindings);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 3u);
+  EXPECT_FALSE(ExecutePlan(*plan, {}).ok());  // missing binding
+}
+
+TEST(PlanExecTest, FilterKeepsMatching) {
+  auto plan = *MakeFilter(Scan(),
+                          Expr::Binary(BinaryOp::kGe, ColA(), Expr::Int(3)));
+  auto result = ExecutePlan(*plan, {{"r", AbTable(5)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 2u);
+  EXPECT_EQ((*result)->GetRow(0)[0], Value::Int64(3));
+}
+
+TEST(PlanExecTest, ProjectComputes) {
+  auto plan = *MakeProject(
+      Scan(), {Expr::Binary(BinaryOp::kAdd, ColA(), Expr::Int(100))}, {"a100"});
+  auto result = ExecutePlan(*plan, {{"r", AbTable(2)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->GetRow(1)[0], Value::Int64(101));
+}
+
+TEST(PlanExecTest, JoinProducesPairs) {
+  auto plan = *MakeHashJoin(Scan(), Scan(), 0, 0);
+  auto result = ExecutePlan(*plan, {{"r", AbTable(4)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 4u);  // self-join on unique keys
+  EXPECT_EQ((*result)->num_columns(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*result)->GetRow(i)[0], (*result)->GetRow(i)[2]);
+  }
+}
+
+TEST(PlanExecTest, ScalarAggregateEmptyInputOneRow) {
+  AggSpec c;
+  c.func = AggFunc::kCount;
+  c.count_star = true;
+  auto plan = *MakeAggregate(Scan(), {}, {c});
+  auto result = ExecutePlan(*plan, {{"r", AbTable(0)}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 1u);
+  EXPECT_EQ((*result)->GetRow(0)[0], Value::Int64(0));
+}
+
+TEST(PlanExecTest, GroupedAggregate) {
+  // Group by a % 2 via pre-projection.
+  auto pre = *MakeProject(
+      Scan(),
+      {Expr::Binary(BinaryOp::kMod, ColA(), Expr::Int(2)),
+       Expr::Column(1, "b", DataType::kDouble)},
+      {"parity", "b"});
+  AggSpec sum_b;
+  sum_b.func = AggFunc::kSum;
+  sum_b.input_column = 1;
+  AggSpec cnt;
+  cnt.func = AggFunc::kCount;
+  cnt.count_star = true;
+  auto plan = *MakeAggregate(pre, {0}, {sum_b, cnt});
+  auto result = ExecutePlan(*plan, {{"r", AbTable(6)}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ((*result)->num_rows(), 2u);
+  // parity 0: rows 0,2,4 -> b sum = (0+2+4)*0.5 = 3 ; parity 1: 1+3+5 -> 4.5
+  EXPECT_EQ((*result)->GetRow(0)[0], Value::Int64(0));
+  EXPECT_EQ((*result)->GetRow(0)[1], Value::Double(3.0));
+  EXPECT_EQ((*result)->GetRow(0)[2], Value::Int64(3));
+  EXPECT_EQ((*result)->GetRow(1)[1], Value::Double(4.5));
+}
+
+TEST(PlanExecTest, SortDistinctLimitUnion) {
+  auto sorted = *MakeSort(Scan(), {{0, false}});
+  auto result = ExecutePlan(*sorted, {{"r", AbTable(3)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->GetRow(0)[0], Value::Int64(2));
+
+  auto unioned = *MakeUnion(Scan(), Scan());
+  auto u = ExecutePlan(*unioned, {{"r", AbTable(2)}});
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ((*u)->num_rows(), 4u);
+
+  auto distinct = *MakeDistinct(unioned);
+  auto d = ExecutePlan(*distinct, {{"r", AbTable(2)}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->num_rows(), 2u);
+
+  auto limited = *MakeLimit(Scan(), 1, 1);
+  auto l = ExecutePlan(*limited, {{"r", AbTable(3)}});
+  ASSERT_TRUE(l.ok());
+  ASSERT_EQ((*l)->num_rows(), 1u);
+  EXPECT_EQ((*l)->GetRow(0)[0], Value::Int64(1));
+}
+
+TEST(PlanExecTest, LimitBeyondEnd) {
+  auto plan = *MakeLimit(Scan(), 5, 10);
+  auto result = ExecutePlan(*plan, {{"r", AbTable(3)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 0u);
+}
+
+TEST(PlanIntrospectionTest, InputRelations) {
+  auto join = *MakeHashJoin(*MakeScan("left", AbSchema()),
+                            *MakeScan("right", AbSchema()), 0, 0);
+  EXPECT_EQ(join->InputRelations(),
+            (std::vector<std::string>{"left", "right"}));
+}
+
+TEST(PlanIntrospectionTest, DescribeAndToString) {
+  auto plan = *MakeFilter(Scan(),
+                          Expr::Binary(BinaryOp::kGt, ColA(), Expr::Int(1)));
+  EXPECT_NE(plan->Describe().find("Filter"), std::string::npos);
+  std::string tree = plan->ToString();
+  EXPECT_NE(tree.find("Scan(r)"), std::string::npos);
+}
+
+TEST(PlanIntrospectionTest, ExplainMalShape) {
+  auto plan = *MakeFilter(Scan(),
+                          Expr::Binary(BinaryOp::kGt, ColA(), Expr::Int(1)));
+  std::string mal = ExplainMal(*plan);
+  EXPECT_NE(mal.find("basket.bind(\"r\")"), std::string::npos);
+  EXPECT_NE(mal.find("algebra.select"), std::string::npos);
+  EXPECT_NE(mal.find("X_0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datacell

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace datacell {
+namespace sql {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .CreateRelation(
+                        "t",
+                        Schema({{"a", DataType::kInt64},
+                                {"b", DataType::kDouble},
+                                {"s", DataType::kString}}),
+                        RelationKind::kTable)
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .CreateRelation(
+                        "r",
+                        Schema({{"x", DataType::kInt64},
+                                {"y", DataType::kDouble},
+                                {"ts", DataType::kTimestamp}}),
+                        RelationKind::kBasket)
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .CreateRelation("dim",
+                                    Schema({{"x", DataType::kInt64},
+                                            {"label", DataType::kString}}),
+                                    RelationKind::kTable)
+                    .ok());
+  }
+
+  Result<CompiledQuery> Compile(const std::string& sql) {
+    auto stmt = ParseStatement(sql);
+    if (!stmt.ok()) return stmt.status();
+    Planner planner(&catalog_);
+    return planner.CompileSelect(*stmt->select);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PlannerTest, SimpleSelectStar) {
+  auto q = Compile("select * from t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->continuous);
+  EXPECT_EQ(q->output_schema.num_fields(), 3u);
+  EXPECT_EQ(q->plan->kind(), PlanKind::kScan);
+}
+
+TEST_F(PlannerTest, ProjectionAndAliases) {
+  auto q = Compile("select a + 1 as a1, s from t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->output_schema.field(0).name, "a1");
+  EXPECT_EQ(q->output_schema.field(0).type, DataType::kInt64);
+  EXPECT_EQ(q->output_schema.field(1).name, "s");
+}
+
+TEST_F(PlannerTest, WhereBecomesFilter) {
+  auto q = Compile("select * from t where a > 5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->plan->kind(), PlanKind::kFilter);
+}
+
+TEST_F(PlannerTest, UnknownColumnRejected) {
+  EXPECT_FALSE(Compile("select zz from t").ok());
+  EXPECT_FALSE(Compile("select * from t where zz > 0").ok());
+}
+
+TEST_F(PlannerTest, UnknownTableRejected) {
+  EXPECT_FALSE(Compile("select * from nope").ok());
+}
+
+TEST_F(PlannerTest, TypeErrorsRejected) {
+  EXPECT_FALSE(Compile("select * from t where s > 5").ok());
+  EXPECT_FALSE(Compile("select s + 1 from t").ok());
+  EXPECT_FALSE(Compile("select * from t where a").ok());  // non-bool predicate
+}
+
+TEST_F(PlannerTest, JoinCompiles) {
+  auto q = Compile("select t.a, dim.label from t join dim on t.a = dim.x");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->output_schema.num_fields(), 2u);
+  // Output column names resolve through qualifiers.
+  EXPECT_EQ(q->output_schema.field(1).name, "label");
+}
+
+TEST_F(PlannerTest, JoinRequiresBothSides) {
+  EXPECT_FALSE(Compile("select * from t join dim on t.a = t.a").ok());
+  EXPECT_FALSE(Compile("select * from t join dim on t.a > dim.x").ok());
+}
+
+TEST_F(PlannerTest, AmbiguousColumnRejected) {
+  // x exists in r and dim.
+  EXPECT_FALSE(Compile("select x from r join dim on x = x").ok());
+}
+
+TEST_F(PlannerTest, ScalarAggregate) {
+  auto q = Compile("select count(*), sum(a), avg(b) from t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->output_schema.num_fields(), 3u);
+  EXPECT_EQ(q->output_schema.field(0).type, DataType::kInt64);
+  EXPECT_EQ(q->output_schema.field(1).type, DataType::kDouble);
+}
+
+TEST_F(PlannerTest, GroupByWithHaving) {
+  auto q = Compile(
+      "select s, count(*) as c from t group by s having count(*) > 2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->output_schema.field(0).name, "s");
+  EXPECT_EQ(q->output_schema.field(1).name, "c");
+}
+
+TEST_F(PlannerTest, AggregateArithmeticInSelect) {
+  auto q = Compile("select sum(a) / count(*) as mean from t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->output_schema.field(0).name, "mean");
+}
+
+TEST_F(PlannerTest, NonGroupedColumnRejected) {
+  EXPECT_FALSE(Compile("select a, count(*) from t group by s").ok());
+}
+
+TEST_F(PlannerTest, AggregateInWhereRejected) {
+  EXPECT_FALSE(Compile("select a from t where sum(a) > 1").ok());
+}
+
+TEST_F(PlannerTest, HavingWithoutAggregatesRejected) {
+  EXPECT_FALSE(Compile("select a from t having a > 1").ok());
+}
+
+TEST_F(PlannerTest, StarWithAggregateRejected) {
+  EXPECT_FALSE(Compile("select *, count(*) from t").ok());
+}
+
+TEST_F(PlannerTest, OrderByNameAndPosition) {
+  EXPECT_TRUE(Compile("select a, b from t order by b desc, 1").ok());
+  EXPECT_FALSE(Compile("select a from t order by 5").ok());
+  EXPECT_FALSE(Compile("select a from t order by zz").ok());
+}
+
+TEST_F(PlannerTest, LimitOffset) {
+  auto q = Compile("select a from t limit 10 offset 5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->plan->kind(), PlanKind::kLimit);
+  EXPECT_EQ(q->plan->limit(), 10u);
+  EXPECT_EQ(q->plan->offset(), 5u);
+}
+
+TEST_F(PlannerTest, DistinctAddsNode) {
+  auto q = Compile("select distinct s from t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->plan->kind(), PlanKind::kDistinct);
+}
+
+// --- continuous queries ------------------------------------------------
+
+TEST_F(PlannerTest, BasketExpressionMakesContinuous) {
+  auto q = Compile("select * from [select * from r] as s where s.x > 1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->continuous);
+  ASSERT_EQ(q->inputs.size(), 1u);
+  EXPECT_EQ(q->inputs[0].basket, "r");
+  EXPECT_EQ(q->inputs[0].consume_predicate, nullptr);
+  // The basket's full schema (incl. ts) flows through the scan.
+  EXPECT_EQ(q->inputs[0].basket_schema.num_fields(), 3u);
+}
+
+TEST_F(PlannerTest, ConsumePredicateBound) {
+  auto q = Compile(
+      "select * from [select * from r where r.x < 100] as s");
+  ASSERT_TRUE(q.ok());
+  ASSERT_NE(q->inputs[0].consume_predicate, nullptr);
+  EXPECT_EQ(q->inputs[0].consume_predicate->type(), DataType::kBool);
+}
+
+TEST_F(PlannerTest, BasketExprInnerProjection) {
+  auto q = Compile("select x2 from [select x * 2 as x2 from r] as s");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->output_schema.field(0).name, "x2");
+}
+
+TEST_F(PlannerTest, BasketExprOverTableRejected) {
+  EXPECT_FALSE(Compile("select * from [select * from t] as s").ok());
+}
+
+TEST_F(PlannerTest, BasketExprComplexInnerRejected) {
+  EXPECT_FALSE(
+      Compile("select * from [select x from r group by x] as s").ok());
+  EXPECT_FALSE(
+      Compile("select * from [select * from r limit 5] as s").ok());
+  EXPECT_FALSE(Compile(
+      "select * from [select * from [select * from r] as q] as s").ok());
+}
+
+TEST_F(PlannerTest, StreamTableJoin) {
+  auto q = Compile(
+      "select s.x, dim.label from [select * from r] as s "
+      "join dim on s.x = dim.x");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->continuous);
+  EXPECT_EQ(q->inputs.size(), 1u);
+}
+
+TEST_F(PlannerTest, TwoStreamJoin) {
+  auto q = Compile(
+      "select * from [select * from r] as s1 "
+      "join [select * from r] as s2 on s1.x = s2.x");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->inputs.size(), 2u);
+  EXPECT_NE(q->inputs[0].bind_name, q->inputs[1].bind_name);
+}
+
+TEST_F(PlannerTest, WindowRequiresContinuous) {
+  EXPECT_FALSE(Compile("select avg(a) from t window size 10").ok());
+}
+
+TEST_F(PlannerTest, WindowValidation) {
+  EXPECT_TRUE(Compile("select avg(x) from [select * from r] as s "
+                      "window size 10 slide 5")
+                  .ok());
+  EXPECT_FALSE(Compile("select avg(x) from [select * from r] as s "
+                       "window size 10 slide 20")
+                   .ok());
+  EXPECT_FALSE(Compile("select avg(x) from [select * from r] as s "
+                       "window size 0")
+                   .ok());
+}
+
+TEST_F(PlannerTest, WindowSpecCarried) {
+  auto q = Compile(
+      "select avg(x) from [select * from r] as s window size 100 slide 25");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->window.kind, WindowSpec::Kind::kCount);
+  EXPECT_EQ(q->window.size, 100);
+  EXPECT_EQ(q->window.slide, 25);
+}
+
+TEST_F(PlannerTest, ThresholdCarried) {
+  auto q = Compile("select * from [select * from r] as s threshold 32");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->threshold, 32);
+}
+
+TEST_F(PlannerTest, TsColumnAccessible) {
+  // The implicit timestamp column participates in queries (paper §2.2).
+  auto q = Compile("select ts from [select * from r] as s where ts > 0");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->output_schema.field(0).type, DataType::kTimestamp);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace datacell

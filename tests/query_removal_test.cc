@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace datacell {
+namespace {
+
+EngineOptions Deterministic() {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  return opts;
+}
+
+class QueryRemovalTest : public ::testing::Test {
+ protected:
+  QueryRemovalTest() : engine_(Deterministic()) {
+    EXPECT_TRUE(engine_.ExecuteSql("create basket r (x int)").ok());
+  }
+
+  QueryId Submit(const std::string& name, const std::string& sql,
+                 QueryOptions opts = {}) {
+    auto q = engine_.SubmitContinuousQuery(name, sql, opts);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(QueryRemovalTest, RemovedQueryStopsProducing) {
+  QueryId q = Submit("all", "select x from [select * from r] as s");
+  auto sink = std::make_shared<CountingSink>();
+  ASSERT_TRUE(engine_.Subscribe(q, sink).ok());
+  ASSERT_TRUE(engine_.Ingest("r", {Value::Int64(1)}).ok());
+  engine_.Drain();
+  EXPECT_EQ(sink->rows(), 1);
+
+  ASSERT_TRUE(engine_.RemoveContinuousQuery(q).ok());
+  ASSERT_TRUE(engine_.Ingest("r", {Value::Int64(2)}).ok());
+  engine_.Drain();
+  EXPECT_EQ(sink->rows(), 1);  // nothing new
+  auto info = engine_.GetQuery(q);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE((*info)->removed);
+}
+
+TEST_F(QueryRemovalTest, RemovalReleasesSharedWatermark) {
+  // Two shared readers; removing one must not stall the other's trimming.
+  QueryId keep = Submit("keep", "select x from [select * from r] as s");
+  QueryId drop = Submit("drop_me", "select x from [select * from r] as s");
+  auto sink = std::make_shared<CountingSink>();
+  ASSERT_TRUE(engine_.Subscribe(keep, sink).ok());
+  ASSERT_TRUE(engine_.RemoveContinuousQuery(drop).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine_.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine_.Drain();
+  EXPECT_EQ(sink->rows(), 10);
+  // The stream basket fully trims: the retired reader no longer holds it.
+  EXPECT_EQ((*engine_.GetBasket("r"))->size(), 0u);
+}
+
+TEST_F(QueryRemovalTest, StaleWatermarkWouldOtherwiseGrow) {
+  // Control experiment for the test above: with the second query merely
+  // idle (not removed), tuples it has not read stay buffered.
+  Submit("keep", "select x from [select * from r] as s");
+  QueryId lazy = Submit("lazy", "select x from [select * from r] as s "
+                                "threshold 1000000");
+  (void)lazy;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine_.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine_.Drain();
+  EXPECT_EQ((*engine_.GetBasket("r"))->size(), 10u);
+}
+
+TEST_F(QueryRemovalTest, SeparateReplicaStopsBeingFed) {
+  QueryOptions sep;
+  sep.strategy = ProcessingStrategy::kSeparateBaskets;
+  QueryId keep = Submit("keep", "select x from [select * from r] as s", sep);
+  QueryId drop = Submit("gone", "select x from [select * from r] as s", sep);
+  auto sink = std::make_shared<CountingSink>();
+  ASSERT_TRUE(engine_.Subscribe(keep, sink).ok());
+  ASSERT_TRUE(engine_.RemoveContinuousQuery(drop).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine_.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine_.Drain();
+  EXPECT_EQ(sink->rows(), 5);
+  // The retired replica no longer accumulates copies.
+  auto info = engine_.GetQuery(drop);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->factory->input_baskets()[0]->size(), 0u);
+}
+
+TEST_F(QueryRemovalTest, SubplanGroupRetiresWithLastReader) {
+  EngineOptions opts = Deterministic();
+  opts.factor_common_subplans = true;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q1 = engine.SubmitContinuousQuery(
+      "a", "select x from [select * from r where r.x > 5] as s");
+  auto q2 = engine.SubmitContinuousQuery(
+      "b", "select x from [select * from r where r.x > 5] as s");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(engine.num_shared_subplans(), 1u);
+  ASSERT_TRUE(engine.RemoveContinuousQuery(*q1).ok());
+  EXPECT_EQ(engine.num_shared_subplans(), 1u);  // q2 still reads the group
+  ASSERT_TRUE(engine.RemoveContinuousQuery(*q2).ok());
+  EXPECT_EQ(engine.num_shared_subplans(), 0u);  // filter retired with it
+  // The stream keeps flowing and trimming with no queries left... tuples
+  // now simply buffer in the base basket for inspection.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine.Drain();
+  EXPECT_EQ(engine.scheduler().error_count(), 0);
+}
+
+TEST_F(QueryRemovalTest, Validations) {
+  QueryId q = Submit("all", "select x from [select * from r] as s");
+  EXPECT_TRUE(engine_.RemoveContinuousQuery(999).IsNotFound());
+  ASSERT_TRUE(engine_.RemoveContinuousQuery(q).ok());
+  // Double removal rejected.
+  EXPECT_FALSE(engine_.RemoveContinuousQuery(q).ok());
+  // Subscribing to a removed query is pointless but harmless.
+  EXPECT_TRUE(engine_.Subscribe(q, std::make_shared<CountingSink>()).ok());
+}
+
+TEST_F(QueryRemovalTest, RunningSchedulerRejected) {
+  QueryId q = Submit("all", "select x from [select * from r] as s");
+  ASSERT_TRUE(engine_.Start().ok());
+  EXPECT_EQ(engine_.RemoveContinuousQuery(q).code(),
+            StatusCode::kFailedPrecondition);
+  engine_.Stop();
+  EXPECT_TRUE(engine_.RemoveContinuousQuery(q).ok());
+}
+
+TEST_F(QueryRemovalTest, ChainedRemovalUnimplemented) {
+  QueryOptions chained;
+  chained.strategy = ProcessingStrategy::kChained;
+  QueryId q = Submit("c1", "select x from [select * from r where r.x < 5] "
+                           "as s", chained);
+  EXPECT_TRUE(engine_.RemoveContinuousQuery(q).IsUnimplemented());
+}
+
+}  // namespace
+}  // namespace datacell

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace datacell {
+namespace {
+
+EngineOptions FactoringOptions() {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  opts.factor_common_subplans = true;
+  return opts;
+}
+
+constexpr char kHotSql1[] =
+    "select x from [select * from r where r.x > 100] as s";
+constexpr char kHotSql2[] =
+    "select x * 2 as x2 from [select * from r where r.x > 100] as s";
+constexpr char kColdSql[] =
+    "select x from [select * from r where r.x <= 100] as s";
+
+class SharedSubplanTest : public ::testing::Test {
+ protected:
+  SharedSubplanTest() : engine_(FactoringOptions()) {
+    EXPECT_TRUE(engine_.ExecuteSql("create basket r (x int)").ok());
+  }
+
+  std::shared_ptr<CollectingSink> SubmitAndWatch(const std::string& name,
+                                                 const std::string& sql) {
+    auto q = engine_.SubmitContinuousQuery(name, sql);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto sink = std::make_shared<CollectingSink>();
+    EXPECT_TRUE(engine_.Subscribe(*q, sink).ok());
+    return sink;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(SharedSubplanTest, IdenticalPredicatesShareOneGroup) {
+  SubmitAndWatch("q1", kHotSql1);
+  SubmitAndWatch("q2", kHotSql2);
+  EXPECT_EQ(engine_.num_shared_subplans(), 1u);
+  SubmitAndWatch("q3", kColdSql);
+  EXPECT_EQ(engine_.num_shared_subplans(), 2u);  // different predicate
+}
+
+TEST_F(SharedSubplanTest, FactoredQueriesProduceCorrectResults) {
+  auto s1 = SubmitAndWatch("q1", kHotSql1);
+  auto s2 = SubmitAndWatch("q2", kHotSql2);
+  auto s3 = SubmitAndWatch("q3", kColdSql);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(engine_.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine_.Drain();
+  EXPECT_EQ(s1->row_count(), 99u);   // 101..199
+  EXPECT_EQ(s2->row_count(), 99u);
+  EXPECT_EQ(s3->row_count(), 101u);  // 0..100
+  // q2's projection really ran over the shared slice.
+  auto rows = s2->TakeRows();
+  EXPECT_EQ(rows[0][0], Value::Int64(202));
+}
+
+TEST_F(SharedSubplanTest, PredicateEvaluatedOnceNotPerQuery) {
+  constexpr int kQueries = 5;
+  for (int i = 0; i < kQueries; ++i) {
+    SubmitAndWatch("q" + std::to_string(i), kHotSql1);
+  }
+  EXPECT_EQ(engine_.num_shared_subplans(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine_.Ingest("r", {Value::Int64(i + 200)}).ok());
+  }
+  engine_.Drain();
+  // The stream basket has exactly one reader: the shared filter. Every
+  // query factory consumed the pre-filtered group basket instead.
+  for (size_t q = 0; q < engine_.num_queries(); ++q) {
+    auto info = engine_.GetQuery(q);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ((*info)->factory->query().inputs[0].consume_predicate, nullptr);
+  }
+}
+
+TEST_F(SharedSubplanTest, TimestampsSurviveTheGroupBasket) {
+  auto sink = SubmitAndWatch("q1", kHotSql1);
+  engine_.simulated_clock()->SetTime(12345);
+  ASSERT_TRUE(engine_.Ingest("r", {Value::Int64(500)}).ok());
+  engine_.simulated_clock()->Advance(1000);
+  engine_.Drain();
+  // The factory sees the original arrival ts through the group basket; the
+  // delivered row's trailing ts is the *result* stamp (later).
+  auto rows = sink->TakeRows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int64(500));
+}
+
+TEST_F(SharedSubplanTest, WindowedQueriesCanShareTheSubplan) {
+  auto q = engine_.SubmitContinuousQuery(
+      "wagg",
+      "select count(*) as c from [select * from r where r.x > 100] as s "
+      "window size 10");
+  ASSERT_TRUE(q.ok());
+  auto sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine_.Subscribe(*q, sink).ok());
+  EXPECT_EQ(engine_.num_shared_subplans(), 1u);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(engine_.Ingest("r", {Value::Int64(i)}).ok());
+  }
+  engine_.Drain();
+  // 199 qualifying tuples -> 19 complete tumbling windows of 10.
+  ASSERT_EQ(sink->row_count(), 19u);
+  EXPECT_EQ(sink->SnapshotRows()[0][0], Value::Int64(10));
+}
+
+TEST_F(SharedSubplanTest, DisabledByDefault) {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  Engine plain(opts);
+  ASSERT_TRUE(plain.ExecuteSql("create basket r (x int)").ok());
+  ASSERT_TRUE(plain.SubmitContinuousQuery("q1", kHotSql1).ok());
+  ASSERT_TRUE(plain.SubmitContinuousQuery("q2", kHotSql1).ok());
+  EXPECT_EQ(plain.num_shared_subplans(), 0u);
+}
+
+TEST_F(SharedSubplanTest, ConsumeAllQueriesNotFactored) {
+  // Without a predicate there is no common work to factor.
+  SubmitAndWatch("q1", "select x from [select * from r] as s");
+  EXPECT_EQ(engine_.num_shared_subplans(), 0u);
+}
+
+}  // namespace
+}  // namespace datacell

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sql/parser.h"
+
+namespace datacell {
+namespace {
+
+// --- LikeMatch unit behaviour ------------------------------------------
+
+TEST(LikeMatchTest, Literals) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+  EXPECT_FALSE(LikeMatch("ab", "abc"));
+  EXPECT_TRUE(LikeMatch("", ""));
+}
+
+TEST(LikeMatchTest, Underscore) {
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_TRUE(LikeMatch("abc", "___"));
+  EXPECT_FALSE(LikeMatch("abc", "__"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+}
+
+TEST(LikeMatchTest, Percent) {
+  EXPECT_TRUE(LikeMatch("abc", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("abc", "a%"));
+  EXPECT_TRUE(LikeMatch("abc", "%c"));
+  EXPECT_TRUE(LikeMatch("abc", "%b%"));
+  EXPECT_TRUE(LikeMatch("abc", "a%c"));
+  EXPECT_FALSE(LikeMatch("abc", "a%d"));
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%b%c"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%ss%pp%"));
+  EXPECT_FALSE(LikeMatch("mississippi", "%ss%xx%"));
+}
+
+TEST(LikeMatchTest, MixedWildcards) {
+  EXPECT_TRUE(LikeMatch("server-room-3", "server%_"));
+  EXPECT_TRUE(LikeMatch("abcdef", "a_c%f"));
+  EXPECT_FALSE(LikeMatch("abcdef", "a_c%g"));
+}
+
+// --- parser desugaring -------------------------------------------------
+
+TEST(SqlSugarParseTest, BetweenDesugars) {
+  auto stmt = sql::ParseStatement("select * from t where a between 1 and 5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->where->ToString(), "((a >= 1) and (a <= 5))");
+}
+
+TEST(SqlSugarParseTest, NotBetweenDesugars) {
+  auto stmt =
+      sql::ParseStatement("select * from t where a not between 1 and 5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->where->ToString(),
+            "not (((a >= 1) and (a <= 5)))");
+}
+
+TEST(SqlSugarParseTest, InListDesugars) {
+  auto stmt = sql::ParseStatement("select * from t where a in (1, 2, 3)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->where->ToString(),
+            "(((a = 1) or (a = 2)) or (a = 3))");
+}
+
+TEST(SqlSugarParseTest, NotInDesugars) {
+  auto stmt = sql::ParseStatement("select * from t where a not in (1)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->where->ToString(), "not ((a = 1))");
+}
+
+TEST(SqlSugarParseTest, LikeParses) {
+  auto stmt = sql::ParseStatement("select * from t where s like 'a%'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->where->ToString(), "(s like 'a%')");
+  auto neg = sql::ParseStatement("select * from t where s not like 'a%'");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg->select->where->ToString(), "not ((s like 'a%'))");
+}
+
+TEST(SqlSugarParseTest, ScalarFunctionsParse) {
+  auto stmt = sql::ParseStatement(
+      "select abs(a), round(b), upper(s) as u from t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->items[0].expr->func_name, "abs");
+  EXPECT_EQ(stmt->select->items[2].alias, "u");
+}
+
+TEST(SqlSugarParseTest, DanglingNotRejected) {
+  EXPECT_FALSE(sql::ParseStatement("select * from t where a not 5").ok());
+}
+
+// --- end-to-end through the engine ------------------------------------------
+
+class SqlFunctionsTest : public ::testing::Test {
+ protected:
+  SqlFunctionsTest() {
+    EngineOptions opts;
+    opts.use_wall_clock = false;
+    engine_ = std::make_unique<Engine>(opts);
+    EXPECT_TRUE(
+        engine_->ExecuteSql("create table t (a int, b double, s string)").ok());
+    EXPECT_TRUE(engine_
+                    ->ExecuteSql("insert into t values "
+                                 "(-3, 2.7, 'Alpha'), (1, -1.2, 'beta'), "
+                                 "(7, 0.5, 'alphabet'), (12, 3.5, 'Gamma')")
+                    .ok());
+  }
+
+  std::vector<Row> Query(const std::string& sql) {
+    auto r = engine_->ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? (*r)->ToRows() : std::vector<Row>{};
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(SqlFunctionsTest, BetweenFilters) {
+  auto rows = Query("select a from t where a between 0 and 10");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int64(1));
+  EXPECT_EQ(rows[1][0], Value::Int64(7));
+}
+
+TEST_F(SqlFunctionsTest, InFilters) {
+  auto rows = Query("select a from t where a in (7, -3, 99)");
+  ASSERT_EQ(rows.size(), 2u);
+  auto none = Query("select a from t where a not in (-3, 1, 7, 12)");
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(SqlFunctionsTest, InWithStrings) {
+  auto rows = Query("select s from t where s in ('beta', 'Gamma')");
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST_F(SqlFunctionsTest, LikeFilters) {
+  auto rows = Query("select s from t where s like 'alpha%'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::String("alphabet"));
+  auto rows2 = Query("select s from t where lower(s) like '%a'");
+  // 'Alpha'->alpha, 'beta', 'Gamma'->gamma all end in a.
+  EXPECT_EQ(rows2.size(), 3u);
+}
+
+TEST_F(SqlFunctionsTest, LikeTypeChecked) {
+  EXPECT_FALSE(engine_->ExecuteSql("select * from t where a like 'x'").ok());
+}
+
+TEST_F(SqlFunctionsTest, NumericFunctions) {
+  auto rows = Query(
+      "select abs(a), floor(b), ceil(b), round(b), sqrt(a * a) from t "
+      "where a = -3");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int64(3));
+  EXPECT_EQ(rows[0][1], Value::Double(2.0));
+  EXPECT_EQ(rows[0][2], Value::Double(3.0));
+  EXPECT_EQ(rows[0][3], Value::Double(3.0));
+  EXPECT_EQ(rows[0][4], Value::Double(3.0));
+}
+
+TEST_F(SqlFunctionsTest, SqrtOfNegativeIsNull) {
+  auto rows = Query("select sqrt(b) from t where a = 1");  // b = -1.2
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].is_null());
+}
+
+TEST_F(SqlFunctionsTest, StringFunctions) {
+  auto rows = Query(
+      "select length(s), lower(s), upper(s) from t where s = 'Alpha'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int64(5));
+  EXPECT_EQ(rows[0][1], Value::String("alpha"));
+  EXPECT_EQ(rows[0][2], Value::String("ALPHA"));
+}
+
+TEST_F(SqlFunctionsTest, FunctionTypeChecks) {
+  EXPECT_FALSE(engine_->ExecuteSql("select abs(s) from t").ok());
+  EXPECT_FALSE(engine_->ExecuteSql("select length(a) from t").ok());
+  EXPECT_FALSE(engine_->ExecuteSql("select upper(b) from t").ok());
+}
+
+TEST_F(SqlFunctionsTest, FunctionOverAggregate) {
+  auto rows = Query("select round(avg(b)) as r, abs(sum(a)) as s from t");
+  ASSERT_EQ(rows.size(), 1u);
+  // avg(2.7, -1.2, 0.5, 3.5) = 1.375 -> 1 ; sum(a) = 17.
+  EXPECT_EQ(rows[0][0], Value::Double(1.0));
+  EXPECT_EQ(rows[0][1], Value::Double(17.0));
+}
+
+TEST_F(SqlFunctionsTest, FunctionInsideAggregate) {
+  auto rows = Query("select sum(abs(a)) from t");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Double(3 + 1 + 7 + 12));
+}
+
+TEST_F(SqlFunctionsTest, GroupByScalarFunction) {
+  auto rows = Query(
+      "select a % 2 as parity, count(*) as c from t group by a % 2 "
+      "order by parity");
+  // a values: -3, 1, 7, 12 -> parities -1, 1, 1, 0.
+  ASSERT_EQ(rows.size(), 3u);
+}
+
+TEST_F(SqlFunctionsTest, ContinuousQueryWithSugar) {
+  ASSERT_TRUE(
+      engine_->ExecuteSql("create basket logs (level string, msg string)").ok());
+  auto q = engine_->SubmitContinuousQuery(
+      "errors",
+      "select upper(level) as lvl, msg from "
+      "[select * from logs where level in ('error', 'fatal')] as l "
+      "where l.msg like '%disk%'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine_->Subscribe(*q, sink).ok());
+  for (auto [lvl, msg] : std::vector<std::pair<std::string, std::string>>{
+           {"info", "disk ok"},
+           {"error", "disk full"},
+           {"error", "network down"},
+           {"fatal", "disk on fire"}}) {
+    ASSERT_TRUE(
+        engine_->Ingest("logs", {Value::String(lvl), Value::String(msg)}).ok());
+  }
+  engine_->Drain();
+  auto rows = sink->TakeRows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::String("ERROR"));
+  EXPECT_EQ(rows[1][0], Value::String("FATAL"));
+}
+
+TEST_F(SqlFunctionsTest, CaseExpression) {
+  auto rows = Query(
+      "select a, case when a < 0 then 'neg' when a = 1 then 'one' "
+      "else 'big' end as bucket from t order by a");
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][1], Value::String("neg"));   // -3
+  EXPECT_EQ(rows[1][1], Value::String("one"));   // 1
+  EXPECT_EQ(rows[2][1], Value::String("big"));   // 7
+  EXPECT_EQ(rows[3][1], Value::String("big"));   // 12
+}
+
+TEST_F(SqlFunctionsTest, CaseNumericWidening) {
+  // Int and double branches widen to double.
+  auto rows = Query(
+      "select case when a > 0 then a else b end as v from t where a = -3");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Double(2.7));
+  auto rows2 = Query(
+      "select case when a > 0 then a else b end as v from t where a = 7");
+  EXPECT_EQ(rows2[0][0], Value::Double(7.0));
+}
+
+TEST_F(SqlFunctionsTest, CaseInWhere) {
+  auto rows = Query(
+      "select a from t where case when a < 0 then true else a > 10 end");
+  // -3 (neg branch) and 12 (> 10).
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST_F(SqlFunctionsTest, CaseOverAggregates) {
+  auto rows = Query(
+      "select case when count(*) > 3 then 'many' else 'few' end as n from t");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::String("many"));
+}
+
+TEST_F(SqlFunctionsTest, CaseFirstMatchingBranchWins) {
+  auto rows = Query(
+      "select case when a > 0 then 'pos' when a > 5 then 'big' "
+      "else 'other' end as c from t where a = 7");
+  EXPECT_EQ(rows[0][0], Value::String("pos"));
+}
+
+TEST_F(SqlFunctionsTest, CaseValidation) {
+  // Mixed non-numeric branch types.
+  EXPECT_FALSE(engine_
+                   ->ExecuteSql("select case when a > 0 then 'x' else 1 end "
+                                "from t")
+                   .ok());
+  // ELSE is mandatory in this dialect.
+  EXPECT_FALSE(
+      engine_->ExecuteSql("select case when a > 0 then 1 end from t").ok());
+  // Non-boolean condition.
+  EXPECT_FALSE(
+      engine_->ExecuteSql("select case when a then 1 else 2 end from t").ok());
+  // Simple CASE form unsupported.
+  EXPECT_FALSE(
+      engine_->ExecuteSql("select case a when 1 then 2 else 3 end from t")
+          .ok());
+}
+
+TEST_F(SqlFunctionsTest, CaseInContinuousQuery) {
+  ASSERT_TRUE(engine_->ExecuteSql("create basket m (v int)").ok());
+  auto q = engine_->SubmitContinuousQuery(
+      "graded",
+      "select v, case when v >= 90 then 'A' when v >= 60 then 'B' "
+      "else 'C' end as grade from [select * from m] as s");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto sink = std::make_shared<CollectingSink>();
+  ASSERT_TRUE(engine_->Subscribe(*q, sink).ok());
+  for (int v : {95, 70, 10}) {
+    ASSERT_TRUE(engine_->Ingest("m", {Value::Int64(v)}).ok());
+  }
+  engine_->Drain();
+  auto rows = sink->TakeRows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][1], Value::String("A"));
+  EXPECT_EQ(rows[1][1], Value::String("B"));
+  EXPECT_EQ(rows[2][1], Value::String("C"));
+}
+
+TEST_F(SqlFunctionsTest, ColumnsCannotUseNewKeywords) {
+  EXPECT_FALSE(engine_->ExecuteSql("create table bad (between int)").ok());
+  EXPECT_FALSE(engine_->ExecuteSql("create table bad (in int)").ok());
+  EXPECT_FALSE(engine_->ExecuteSql("create table bad (like int)").ok());
+}
+
+}  // namespace
+}  // namespace datacell

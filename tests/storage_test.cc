@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include "storage/bat.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace datacell {
+namespace {
+
+// --- Value ------------------------------------------------------------
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "");
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int64(42).int64_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).double_value(), 1.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::TimestampVal(99).int64_value(), 99);
+}
+
+TEST(ValueTest, TypeDiscrimination) {
+  EXPECT_TRUE(Value::Int64(1).is_int64());
+  EXPECT_FALSE(Value::Int64(1).is_timestamp());
+  EXPECT_TRUE(Value::TimestampVal(1).is_timestamp());
+  EXPECT_FALSE(Value::TimestampVal(1).is_int64());
+  EXPECT_EQ(Value::Int64(1).type(), DataType::kInt64);
+  EXPECT_EQ(Value::TimestampVal(1).type(), DataType::kTimestamp);
+  EXPECT_EQ(Value::Double(1).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("").type(), DataType::kString);
+  EXPECT_EQ(Value::Bool(false).type(), DataType::kBool);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int64(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, FromStringRoundTrips) {
+  EXPECT_EQ(*Value::FromString("17", DataType::kInt64), Value::Int64(17));
+  EXPECT_EQ(*Value::FromString("2.5", DataType::kDouble), Value::Double(2.5));
+  EXPECT_EQ(*Value::FromString("x", DataType::kString), Value::String("x"));
+  EXPECT_EQ(*Value::FromString("true", DataType::kBool), Value::Bool(true));
+  EXPECT_EQ(*Value::FromString("0", DataType::kBool), Value::Bool(false));
+  EXPECT_TRUE(Value::FromString("", DataType::kInt64)->is_null());
+  EXPECT_FALSE(Value::FromString("abc", DataType::kInt64).ok());
+  EXPECT_FALSE(Value::FromString("maybe", DataType::kBool).ok());
+}
+
+TEST(ValueTest, ComparisonSemantics) {
+  EXPECT_EQ(Value::Int64(3), Value::Int64(3));
+  EXPECT_NE(Value::Int64(3), Value::Int64(4));
+  // Cross numeric comparison as double.
+  EXPECT_EQ(Value::Int64(3), Value::Double(3.0));
+  EXPECT_LT(Value::Int64(2), Value::Double(2.5));
+  // Null equals null, sorts first.
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_LT(Value::Null(), Value::Int64(-100));
+  EXPECT_NE(Value::Null(), Value::Int64(0));
+  // Strings lexicographic.
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+}
+
+TEST(ValueTest, CheckValueTypeWidening) {
+  EXPECT_TRUE(CheckValueType(Value::Int64(1), DataType::kInt64).ok());
+  EXPECT_TRUE(CheckValueType(Value::Int64(1), DataType::kDouble).ok());
+  EXPECT_TRUE(CheckValueType(Value::Int64(1), DataType::kTimestamp).ok());
+  EXPECT_FALSE(CheckValueType(Value::Double(1), DataType::kInt64).ok());
+  EXPECT_FALSE(CheckValueType(Value::String("x"), DataType::kInt64).ok());
+  EXPECT_TRUE(CheckValueType(Value::Null(), DataType::kString).ok());
+}
+
+TEST(DataTypeTest, NamesAndParsing) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_EQ(*DataTypeFromString("INT"), DataType::kInt64);
+  EXPECT_EQ(*DataTypeFromString("bigint"), DataType::kInt64);
+  EXPECT_EQ(*DataTypeFromString("Double"), DataType::kDouble);
+  EXPECT_EQ(*DataTypeFromString("varchar"), DataType::kString);
+  EXPECT_EQ(*DataTypeFromString("timestamp"), DataType::kTimestamp);
+  EXPECT_EQ(*DataTypeFromString("boolean"), DataType::kBool);
+  EXPECT_FALSE(DataTypeFromString("blob").ok());
+}
+
+// --- Bat -----------------------------------------------------------------
+
+TEST(BatTest, AppendAndRead) {
+  Bat b(DataType::kInt64);
+  b.AppendInt64(10);
+  b.AppendInt64(20);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.Int64At(0), 10);
+  EXPECT_EQ(b.GetValue(1), Value::Int64(20));
+  EXPECT_FALSE(b.has_nulls());
+}
+
+TEST(BatTest, VirtualHeadOids) {
+  Bat b(DataType::kInt64, 100);
+  b.AppendInt64(1);
+  b.AppendInt64(2);
+  EXPECT_EQ(b.hseqbase(), 100u);
+  b.RemovePrefix(1);
+  EXPECT_EQ(b.hseqbase(), 101u);
+  EXPECT_EQ(b.Int64At(0), 2);
+}
+
+TEST(BatTest, NullsLazyValidity) {
+  Bat b(DataType::kDouble);
+  b.AppendDouble(1.0);
+  EXPECT_FALSE(b.has_nulls());
+  b.AppendNull();
+  EXPECT_TRUE(b.has_nulls());
+  EXPECT_FALSE(b.IsNull(0));
+  EXPECT_TRUE(b.IsNull(1));
+  EXPECT_TRUE(b.GetValue(1).is_null());
+  b.AppendDouble(2.0);
+  EXPECT_FALSE(b.IsNull(2));
+}
+
+TEST(BatTest, AppendValueTypeChecked) {
+  Bat b(DataType::kInt64);
+  EXPECT_TRUE(b.AppendValue(Value::Int64(5)).ok());
+  EXPECT_FALSE(b.AppendValue(Value::Double(5.0)).ok());
+  EXPECT_TRUE(b.AppendValue(Value::Null()).ok());
+  EXPECT_EQ(b.size(), 2u);
+  // Int widens into double columns.
+  Bat d(DataType::kDouble);
+  EXPECT_TRUE(d.AppendValue(Value::Int64(5)).ok());
+  EXPECT_DOUBLE_EQ(d.DoubleAt(0), 5.0);
+}
+
+TEST(BatTest, SliceCarriesOidsAndNulls) {
+  Bat b(DataType::kInt64, 10);
+  for (int i = 0; i < 5; ++i) b.AppendInt64(i);
+  b.AppendNull();
+  auto s = b.Slice(2, 3);
+  EXPECT_EQ(s->size(), 3u);
+  EXPECT_EQ(s->hseqbase(), 12u);
+  EXPECT_EQ(s->Int64At(0), 2);
+  auto tail = b.Slice(4, 10);  // over-long length clamps
+  EXPECT_EQ(tail->size(), 2u);
+  EXPECT_TRUE(tail->IsNull(1));
+}
+
+TEST(BatTest, TakeRenumbers) {
+  Bat b(DataType::kString);
+  b.AppendString("a");
+  b.AppendString("b");
+  b.AppendString("c");
+  auto t = b.Take({2, 0}, 50);
+  EXPECT_EQ(t->size(), 2u);
+  EXPECT_EQ(t->hseqbase(), 50u);
+  EXPECT_EQ(t->StringAt(0), "c");
+  EXPECT_EQ(t->StringAt(1), "a");
+}
+
+TEST(BatTest, RemovePositionsCompacts) {
+  Bat b(DataType::kInt64);
+  for (int i = 0; i < 6; ++i) b.AppendInt64(i);
+  b.RemovePositions({1, 3, 5});
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.Int64At(0), 0);
+  EXPECT_EQ(b.Int64At(1), 2);
+  EXPECT_EQ(b.Int64At(2), 4);
+}
+
+TEST(BatTest, RemovePositionsEmptyNoop) {
+  Bat b(DataType::kInt64);
+  b.AppendInt64(1);
+  b.RemovePositions({});
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BatTest, ClearAdvancesHseqbase) {
+  Bat b(DataType::kInt64);
+  b.AppendInt64(1);
+  b.AppendInt64(2);
+  b.Clear();
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.hseqbase(), 2u);
+}
+
+TEST(BatTest, AppendBatMergesNullTracking) {
+  Bat a(DataType::kInt64);
+  a.AppendInt64(1);
+  Bat b(DataType::kInt64);
+  b.AppendNull();
+  b.AppendInt64(2);
+  a.AppendBat(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_FALSE(a.IsNull(0));
+  EXPECT_TRUE(a.IsNull(1));
+  EXPECT_FALSE(a.IsNull(2));
+}
+
+TEST(BatTest, AppendBatIntoEmptyKeepsNulls) {
+  // Regression: appending a null-bearing BAT into an *empty* BAT used to
+  // drop the null flags (EnsureValidity on size 0 leaves the vector empty).
+  Bat src(DataType::kDouble);
+  src.AppendNull();
+  src.AppendDouble(1.5);
+  Bat dst(DataType::kDouble);
+  dst.AppendBat(src);
+  ASSERT_TRUE(dst.has_nulls());
+  EXPECT_TRUE(dst.IsNull(0));
+  EXPECT_FALSE(dst.IsNull(1));
+}
+
+TEST(BatTest, AppendPositionsIntoEmptyKeepsNulls) {
+  Bat src(DataType::kInt64);
+  src.AppendInt64(1);
+  src.AppendNull();
+  Bat dst(DataType::kInt64);
+  dst.AppendPositions(src, {1, 0});
+  ASSERT_TRUE(dst.has_nulls());
+  EXPECT_TRUE(dst.IsNull(0));
+  EXPECT_FALSE(dst.IsNull(1));
+}
+
+TEST(BatTest, AppendPositions) {
+  Bat src(DataType::kDouble);
+  src.AppendDouble(0.5);
+  src.AppendDouble(1.5);
+  src.AppendDouble(2.5);
+  Bat dst(DataType::kDouble);
+  dst.AppendPositions(src, {2, 1});
+  EXPECT_EQ(dst.size(), 2u);
+  EXPECT_DOUBLE_EQ(dst.DoubleAt(0), 2.5);
+  EXPECT_DOUBLE_EQ(dst.DoubleAt(1), 1.5);
+}
+
+TEST(BatTest, BoolAndTimestampBacked) {
+  Bat b(DataType::kBool);
+  b.AppendBool(true);
+  b.AppendBool(false);
+  EXPECT_TRUE(b.BoolAt(0));
+  EXPECT_FALSE(b.BoolAt(1));
+  Bat t(DataType::kTimestamp);
+  t.AppendInt64(123456);
+  EXPECT_EQ(t.GetValue(0), Value::TimestampVal(123456));
+  EXPECT_TRUE(t.GetValue(0).is_timestamp());
+}
+
+TEST(BatTest, MemoryUsageGrows) {
+  Bat b(DataType::kInt64);
+  size_t before = b.MemoryUsage();
+  for (int i = 0; i < 1000; ++i) b.AppendInt64(i);
+  EXPECT_GT(b.MemoryUsage(), before);
+}
+
+TEST(BatTest, MakeHelpers) {
+  EXPECT_EQ(MakeInt64Bat({1, 2, 3})->size(), 3u);
+  EXPECT_EQ(MakeDoubleBat({1.0})->type(), DataType::kDouble);
+  EXPECT_EQ(MakeStringBat({"x", "y"})->StringAt(1), "y");
+  EXPECT_TRUE(MakeBoolBat({true})->BoolAt(0));
+}
+
+// --- Schema ---------------------------------------------------------------
+
+TEST(SchemaTest, IndexOfCaseInsensitive) {
+  Schema s({{"Alpha", DataType::kInt64}, {"beta", DataType::kString}});
+  EXPECT_EQ(*s.IndexOf("alpha"), 0u);
+  EXPECT_EQ(*s.IndexOf("BETA"), 1u);
+  EXPECT_FALSE(s.IndexOf("gamma").has_value());
+}
+
+TEST(SchemaTest, ToStringAndEquality) {
+  Schema s({{"a", DataType::kInt64}});
+  EXPECT_EQ(s.ToString(), "a int64");
+  Schema t({{"a", DataType::kInt64}});
+  EXPECT_EQ(s, t);
+}
+
+// --- Table ------------------------------------------------------------------
+
+Schema TwoColSchema() {
+  return Schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+}
+
+TEST(TableTest, AppendRowAndRead) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1), Value::String("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(2), Value::String("y")}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetRow(1)[1], Value::String("y"));
+}
+
+TEST(TableTest, AppendRowArityMismatch) {
+  Table t("t", TwoColSchema());
+  EXPECT_FALSE(t.AppendRow({Value::Int64(1)}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, AppendRowTypeMismatchLeavesColumnsAligned) {
+  Table t("t", TwoColSchema());
+  EXPECT_FALSE(t.AppendRow({Value::String("no"), Value::String("x")}).ok());
+  // The failed append must not have touched any column.
+  EXPECT_EQ(t.column(0)->size(), 0u);
+  EXPECT_EQ(t.column(1)->size(), 0u);
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t("t", TwoColSchema());
+  EXPECT_TRUE(t.ColumnByName("b").ok());
+  EXPECT_FALSE(t.ColumnByName("zz").ok());
+}
+
+TEST(TableTest, SliceTakeClone) {
+  Table t("t", TwoColSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value::Int64(i), Value::String(std::to_string(i))}).ok());
+  }
+  auto s = t.Slice(1, 2);
+  EXPECT_EQ(s->num_rows(), 2u);
+  EXPECT_EQ(s->GetRow(0)[0], Value::Int64(1));
+  auto k = t.Take({4, 0});
+  EXPECT_EQ(k->GetRow(0)[0], Value::Int64(4));
+  auto c = t.Clone();
+  EXPECT_EQ(c->num_rows(), 5u);
+}
+
+TEST(TableTest, RemovePrefixKeepsAlignment) {
+  Table t("t", TwoColSchema());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value::Int64(i), Value::String(std::to_string(i))}).ok());
+  }
+  t.RemovePrefix(2);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetRow(0)[0], Value::Int64(2));
+  EXPECT_EQ(t.GetRow(0)[1], Value::String("2"));
+  EXPECT_EQ(t.hseqbase(), 2u);
+}
+
+TEST(TableTest, AppendTableChecksTypes) {
+  Table t("t", TwoColSchema());
+  Table u("u", TwoColSchema());
+  ASSERT_TRUE(u.AppendRow({Value::Int64(9), Value::String("z")}).ok());
+  ASSERT_TRUE(t.AppendTable(u).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  Table w("w", Schema({{"a", DataType::kDouble}, {"b", DataType::kString}}));
+  EXPECT_FALSE(t.AppendTable(w).ok());
+}
+
+TEST(TableTest, ToRows) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(7), Value::String("q")}).ok());
+  auto rows = t.ToRows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int64(7));
+}
+
+// --- Catalog -------------------------------------------------------------
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog cat;
+  auto t = cat.CreateRelation("T1", TwoColSchema(), RelationKind::kTable);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(cat.Contains("t1"));  // case-insensitive
+  EXPECT_EQ(*cat.KindOf("T1"), RelationKind::kTable);
+  EXPECT_TRUE(cat.Get("t1").ok());
+  EXPECT_TRUE(cat.Drop("T1").ok());
+  EXPECT_FALSE(cat.Contains("t1"));
+  EXPECT_FALSE(cat.Get("t1").ok());
+}
+
+TEST(CatalogTest, DuplicateRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateRelation("x", TwoColSchema(), RelationKind::kBasket).ok());
+  EXPECT_TRUE(cat.CreateRelation("X", TwoColSchema(), RelationKind::kTable)
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(CatalogTest, NamesSorted) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateRelation("bb", TwoColSchema(), RelationKind::kTable).ok());
+  ASSERT_TRUE(cat.CreateRelation("aa", TwoColSchema(), RelationKind::kTable).ok());
+  auto names = cat.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "aa");
+  EXPECT_EQ(names[1], "bb");
+}
+
+TEST(CatalogTest, KindDistinguishesBaskets) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateRelation("s", TwoColSchema(), RelationKind::kBasket).ok());
+  EXPECT_EQ(*cat.KindOf("s"), RelationKind::kBasket);
+}
+
+}  // namespace
+}  // namespace datacell
