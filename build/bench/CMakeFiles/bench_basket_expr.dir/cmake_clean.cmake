@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_basket_expr.dir/bench_basket_expr.cc.o"
+  "CMakeFiles/bench_basket_expr.dir/bench_basket_expr.cc.o.d"
+  "bench_basket_expr"
+  "bench_basket_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_basket_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_vs_tuple.dir/bench_batch_vs_tuple.cc.o"
+  "CMakeFiles/bench_batch_vs_tuple.dir/bench_batch_vs_tuple.cc.o.d"
+  "bench_batch_vs_tuple"
+  "bench_batch_vs_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_vs_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

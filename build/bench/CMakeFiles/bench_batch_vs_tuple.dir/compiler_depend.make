@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_batch_vs_tuple.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disjoint_chain.dir/bench_disjoint_chain.cc.o"
+  "CMakeFiles/bench_disjoint_chain.dir/bench_disjoint_chain.cc.o.d"
+  "bench_disjoint_chain"
+  "bench_disjoint_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disjoint_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linearroad.dir/bench_linearroad.cc.o"
+  "CMakeFiles/bench_linearroad.dir/bench_linearroad.cc.o.d"
+  "bench_linearroad"
+  "bench_linearroad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linearroad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_split.dir/bench_plan_split.cc.o"
+  "CMakeFiles/bench_plan_split.dir/bench_plan_split.cc.o.d"
+  "bench_plan_split"
+  "bench_plan_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shared_subplan.dir/bench_shared_subplan.cc.o"
+  "CMakeFiles/bench_shared_subplan.dir/bench_shared_subplan.cc.o.d"
+  "bench_shared_subplan"
+  "bench_shared_subplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shared_subplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shedding.dir/bench_shedding.cc.o"
+  "CMakeFiles/bench_shedding.dir/bench_shedding.cc.o.d"
+  "bench_shedding"
+  "bench_shedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_shell.dir/datacell_shell.cpp.o"
+  "CMakeFiles/datacell_shell.dir/datacell_shell.cpp.o.d"
+  "datacell_shell"
+  "datacell_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_ticks.dir/financial_ticks.cpp.o"
+  "CMakeFiles/financial_ticks.dir/financial_ticks.cpp.o.d"
+  "financial_ticks"
+  "financial_ticks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_ticks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for financial_ticks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearroad_demo.dir/linearroad_demo.cpp.o"
+  "CMakeFiles/linearroad_demo.dir/linearroad_demo.cpp.o.d"
+  "linearroad_demo"
+  "linearroad_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearroad_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_monitor.dir/network_monitor.cpp.o"
+  "CMakeFiles/network_monitor.dir/network_monitor.cpp.o.d"
+  "network_monitor"
+  "network_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapters/channel.cc" "src/adapters/CMakeFiles/datacell_adapters.dir/channel.cc.o" "gcc" "src/adapters/CMakeFiles/datacell_adapters.dir/channel.cc.o.d"
+  "/root/repo/src/adapters/csv.cc" "src/adapters/CMakeFiles/datacell_adapters.dir/csv.cc.o" "gcc" "src/adapters/CMakeFiles/datacell_adapters.dir/csv.cc.o.d"
+  "/root/repo/src/adapters/generator.cc" "src/adapters/CMakeFiles/datacell_adapters.dir/generator.cc.o" "gcc" "src/adapters/CMakeFiles/datacell_adapters.dir/generator.cc.o.d"
+  "/root/repo/src/adapters/replayer.cc" "src/adapters/CMakeFiles/datacell_adapters.dir/replayer.cc.o" "gcc" "src/adapters/CMakeFiles/datacell_adapters.dir/replayer.cc.o.d"
+  "/root/repo/src/adapters/sink.cc" "src/adapters/CMakeFiles/datacell_adapters.dir/sink.cc.o" "gcc" "src/adapters/CMakeFiles/datacell_adapters.dir/sink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/datacell_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/datacell_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_adapters.dir/channel.cc.o"
+  "CMakeFiles/datacell_adapters.dir/channel.cc.o.d"
+  "CMakeFiles/datacell_adapters.dir/csv.cc.o"
+  "CMakeFiles/datacell_adapters.dir/csv.cc.o.d"
+  "CMakeFiles/datacell_adapters.dir/generator.cc.o"
+  "CMakeFiles/datacell_adapters.dir/generator.cc.o.d"
+  "CMakeFiles/datacell_adapters.dir/replayer.cc.o"
+  "CMakeFiles/datacell_adapters.dir/replayer.cc.o.d"
+  "CMakeFiles/datacell_adapters.dir/sink.cc.o"
+  "CMakeFiles/datacell_adapters.dir/sink.cc.o.d"
+  "libdatacell_adapters.a"
+  "libdatacell_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for datacell_adapters.
+# This may be replaced when dependencies are built.

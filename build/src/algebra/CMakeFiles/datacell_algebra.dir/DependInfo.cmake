@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/expression.cc" "src/algebra/CMakeFiles/datacell_algebra.dir/expression.cc.o" "gcc" "src/algebra/CMakeFiles/datacell_algebra.dir/expression.cc.o.d"
+  "/root/repo/src/algebra/interpreter.cc" "src/algebra/CMakeFiles/datacell_algebra.dir/interpreter.cc.o" "gcc" "src/algebra/CMakeFiles/datacell_algebra.dir/interpreter.cc.o.d"
+  "/root/repo/src/algebra/operators.cc" "src/algebra/CMakeFiles/datacell_algebra.dir/operators.cc.o" "gcc" "src/algebra/CMakeFiles/datacell_algebra.dir/operators.cc.o.d"
+  "/root/repo/src/algebra/plan.cc" "src/algebra/CMakeFiles/datacell_algebra.dir/plan.cc.o" "gcc" "src/algebra/CMakeFiles/datacell_algebra.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/datacell_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/datacell_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_algebra.dir/expression.cc.o"
+  "CMakeFiles/datacell_algebra.dir/expression.cc.o.d"
+  "CMakeFiles/datacell_algebra.dir/interpreter.cc.o"
+  "CMakeFiles/datacell_algebra.dir/interpreter.cc.o.d"
+  "CMakeFiles/datacell_algebra.dir/operators.cc.o"
+  "CMakeFiles/datacell_algebra.dir/operators.cc.o.d"
+  "CMakeFiles/datacell_algebra.dir/plan.cc.o"
+  "CMakeFiles/datacell_algebra.dir/plan.cc.o.d"
+  "libdatacell_algebra.a"
+  "libdatacell_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

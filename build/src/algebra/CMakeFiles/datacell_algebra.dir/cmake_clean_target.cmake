@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdatacell_algebra.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/row_eval.cc" "src/baseline/CMakeFiles/datacell_baseline.dir/row_eval.cc.o" "gcc" "src/baseline/CMakeFiles/datacell_baseline.dir/row_eval.cc.o.d"
+  "/root/repo/src/baseline/tuple_engine.cc" "src/baseline/CMakeFiles/datacell_baseline.dir/tuple_engine.cc.o" "gcc" "src/baseline/CMakeFiles/datacell_baseline.dir/tuple_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/datacell_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/datacell_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/datacell_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_baseline.dir/row_eval.cc.o"
+  "CMakeFiles/datacell_baseline.dir/row_eval.cc.o.d"
+  "CMakeFiles/datacell_baseline.dir/tuple_engine.cc.o"
+  "CMakeFiles/datacell_baseline.dir/tuple_engine.cc.o.d"
+  "libdatacell_baseline.a"
+  "libdatacell_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_common.dir/clock.cc.o"
+  "CMakeFiles/datacell_common.dir/clock.cc.o.d"
+  "CMakeFiles/datacell_common.dir/logging.cc.o"
+  "CMakeFiles/datacell_common.dir/logging.cc.o.d"
+  "CMakeFiles/datacell_common.dir/metrics.cc.o"
+  "CMakeFiles/datacell_common.dir/metrics.cc.o.d"
+  "CMakeFiles/datacell_common.dir/random.cc.o"
+  "CMakeFiles/datacell_common.dir/random.cc.o.d"
+  "CMakeFiles/datacell_common.dir/status.cc.o"
+  "CMakeFiles/datacell_common.dir/status.cc.o.d"
+  "CMakeFiles/datacell_common.dir/string_util.cc.o"
+  "CMakeFiles/datacell_common.dir/string_util.cc.o.d"
+  "libdatacell_common.a"
+  "libdatacell_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/basket.cc" "src/core/CMakeFiles/datacell_core.dir/basket.cc.o" "gcc" "src/core/CMakeFiles/datacell_core.dir/basket.cc.o.d"
+  "/root/repo/src/core/emitter.cc" "src/core/CMakeFiles/datacell_core.dir/emitter.cc.o" "gcc" "src/core/CMakeFiles/datacell_core.dir/emitter.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/datacell_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/datacell_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/core/CMakeFiles/datacell_core.dir/factory.cc.o" "gcc" "src/core/CMakeFiles/datacell_core.dir/factory.cc.o.d"
+  "/root/repo/src/core/petri.cc" "src/core/CMakeFiles/datacell_core.dir/petri.cc.o" "gcc" "src/core/CMakeFiles/datacell_core.dir/petri.cc.o.d"
+  "/root/repo/src/core/receptor.cc" "src/core/CMakeFiles/datacell_core.dir/receptor.cc.o" "gcc" "src/core/CMakeFiles/datacell_core.dir/receptor.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/datacell_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/datacell_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/shared_filter.cc" "src/core/CMakeFiles/datacell_core.dir/shared_filter.cc.o" "gcc" "src/core/CMakeFiles/datacell_core.dir/shared_filter.cc.o.d"
+  "/root/repo/src/core/window.cc" "src/core/CMakeFiles/datacell_core.dir/window.cc.o" "gcc" "src/core/CMakeFiles/datacell_core.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/datacell_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapters/CMakeFiles/datacell_adapters.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/datacell_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/datacell_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/datacell_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_core.dir/basket.cc.o"
+  "CMakeFiles/datacell_core.dir/basket.cc.o.d"
+  "CMakeFiles/datacell_core.dir/emitter.cc.o"
+  "CMakeFiles/datacell_core.dir/emitter.cc.o.d"
+  "CMakeFiles/datacell_core.dir/engine.cc.o"
+  "CMakeFiles/datacell_core.dir/engine.cc.o.d"
+  "CMakeFiles/datacell_core.dir/factory.cc.o"
+  "CMakeFiles/datacell_core.dir/factory.cc.o.d"
+  "CMakeFiles/datacell_core.dir/petri.cc.o"
+  "CMakeFiles/datacell_core.dir/petri.cc.o.d"
+  "CMakeFiles/datacell_core.dir/receptor.cc.o"
+  "CMakeFiles/datacell_core.dir/receptor.cc.o.d"
+  "CMakeFiles/datacell_core.dir/scheduler.cc.o"
+  "CMakeFiles/datacell_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/datacell_core.dir/shared_filter.cc.o"
+  "CMakeFiles/datacell_core.dir/shared_filter.cc.o.d"
+  "CMakeFiles/datacell_core.dir/window.cc.o"
+  "CMakeFiles/datacell_core.dir/window.cc.o.d"
+  "libdatacell_core.a"
+  "libdatacell_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_linearroad.dir/driver.cc.o"
+  "CMakeFiles/datacell_linearroad.dir/driver.cc.o.d"
+  "CMakeFiles/datacell_linearroad.dir/generator.cc.o"
+  "CMakeFiles/datacell_linearroad.dir/generator.cc.o.d"
+  "CMakeFiles/datacell_linearroad.dir/history.cc.o"
+  "CMakeFiles/datacell_linearroad.dir/history.cc.o.d"
+  "CMakeFiles/datacell_linearroad.dir/queries.cc.o"
+  "CMakeFiles/datacell_linearroad.dir/queries.cc.o.d"
+  "libdatacell_linearroad.a"
+  "libdatacell_linearroad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_linearroad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

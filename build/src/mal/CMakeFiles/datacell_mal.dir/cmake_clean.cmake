@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_mal.dir/mal.cc.o"
+  "CMakeFiles/datacell_mal.dir/mal.cc.o.d"
+  "libdatacell_mal.a"
+  "libdatacell_mal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_mal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

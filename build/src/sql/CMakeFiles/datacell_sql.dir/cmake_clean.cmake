@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_sql.dir/ast.cc.o"
+  "CMakeFiles/datacell_sql.dir/ast.cc.o.d"
+  "CMakeFiles/datacell_sql.dir/binder.cc.o"
+  "CMakeFiles/datacell_sql.dir/binder.cc.o.d"
+  "CMakeFiles/datacell_sql.dir/lexer.cc.o"
+  "CMakeFiles/datacell_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/datacell_sql.dir/parser.cc.o"
+  "CMakeFiles/datacell_sql.dir/parser.cc.o.d"
+  "CMakeFiles/datacell_sql.dir/planner.cc.o"
+  "CMakeFiles/datacell_sql.dir/planner.cc.o.d"
+  "libdatacell_sql.a"
+  "libdatacell_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_storage.dir/bat.cc.o"
+  "CMakeFiles/datacell_storage.dir/bat.cc.o.d"
+  "CMakeFiles/datacell_storage.dir/catalog.cc.o"
+  "CMakeFiles/datacell_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/datacell_storage.dir/schema.cc.o"
+  "CMakeFiles/datacell_storage.dir/schema.cc.o.d"
+  "CMakeFiles/datacell_storage.dir/table.cc.o"
+  "CMakeFiles/datacell_storage.dir/table.cc.o.d"
+  "CMakeFiles/datacell_storage.dir/types.cc.o"
+  "CMakeFiles/datacell_storage.dir/types.cc.o.d"
+  "libdatacell_storage.a"
+  "libdatacell_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

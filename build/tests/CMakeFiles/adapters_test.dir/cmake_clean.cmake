@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapters_test.dir/adapters_test.cc.o"
+  "CMakeFiles/adapters_test.dir/adapters_test.cc.o.d"
+  "adapters_test"
+  "adapters_test.pdb"
+  "adapters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basket_test.dir/basket_test.cc.o"
+  "CMakeFiles/basket_test.dir/basket_test.cc.o.d"
+  "basket_test"
+  "basket_test.pdb"
+  "basket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factory_scheduler_test.dir/factory_scheduler_test.cc.o"
+  "CMakeFiles/factory_scheduler_test.dir/factory_scheduler_test.cc.o.d"
+  "factory_scheduler_test"
+  "factory_scheduler_test.pdb"
+  "factory_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factory_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

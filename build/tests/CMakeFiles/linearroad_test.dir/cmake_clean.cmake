@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearroad_test.dir/linearroad_test.cc.o"
+  "CMakeFiles/linearroad_test.dir/linearroad_test.cc.o.d"
+  "linearroad_test"
+  "linearroad_test.pdb"
+  "linearroad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearroad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/load_shedding_test.cc" "tests/CMakeFiles/load_shedding_test.dir/load_shedding_test.cc.o" "gcc" "tests/CMakeFiles/load_shedding_test.dir/load_shedding_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mal/CMakeFiles/datacell_mal.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/datacell_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/linearroad/CMakeFiles/datacell_linearroad.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/datacell_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/datacell_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/datacell_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapters/CMakeFiles/datacell_adapters.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/datacell_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/datacell_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

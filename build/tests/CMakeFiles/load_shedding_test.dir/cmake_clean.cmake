@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_shedding_test.dir/load_shedding_test.cc.o"
+  "CMakeFiles/load_shedding_test.dir/load_shedding_test.cc.o.d"
+  "load_shedding_test"
+  "load_shedding_test.pdb"
+  "load_shedding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_shedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_test.dir/mal_test.cc.o"
+  "CMakeFiles/mal_test.dir/mal_test.cc.o.d"
+  "mal_test"
+  "mal_test.pdb"
+  "mal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

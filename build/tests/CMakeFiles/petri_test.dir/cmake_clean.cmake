@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petri_test.dir/petri_test.cc.o"
+  "CMakeFiles/petri_test.dir/petri_test.cc.o.d"
+  "petri_test"
+  "petri_test.pdb"
+  "petri_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

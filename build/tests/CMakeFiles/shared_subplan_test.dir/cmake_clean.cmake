@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_subplan_test.dir/shared_subplan_test.cc.o"
+  "CMakeFiles/shared_subplan_test.dir/shared_subplan_test.cc.o.d"
+  "shared_subplan_test"
+  "shared_subplan_test.pdb"
+  "shared_subplan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_subplan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_functions_test.dir/sql_functions_test.cc.o"
+  "CMakeFiles/sql_functions_test.dir/sql_functions_test.cc.o.d"
+  "sql_functions_test"
+  "sql_functions_test.pdb"
+  "sql_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

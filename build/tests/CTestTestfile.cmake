@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/expression_test[1]_include.cmake")
+include("/root/repo/build/tests/operators_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/basket_test[1]_include.cmake")
+include("/root/repo/build/tests/petri_test[1]_include.cmake")
+include("/root/repo/build/tests/window_test[1]_include.cmake")
+include("/root/repo/build/tests/factory_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/adapters_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/linearroad_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/shared_subplan_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_functions_test[1]_include.cmake")
+include("/root/repo/build/tests/load_shedding_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/mal_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/query_removal_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
