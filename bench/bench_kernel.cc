@@ -115,4 +115,4 @@ BENCHMARK(BM_PlanExecution)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 }  // namespace
 }  // namespace datacell
 
-BENCHMARK_MAIN();
+DATACELL_BENCH_MAIN()

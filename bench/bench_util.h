@@ -3,7 +3,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "adapters/generator.h"
@@ -73,7 +75,43 @@ inline void ReportTuplesPerSecond(benchmark::State& state, int64_t tuples) {
   state.SetItemsProcessed(tuples);
 }
 
+/// Benchmark entry point with a `--json <file>` convenience flag: it expands
+/// to google-benchmark's `--benchmark_out=<file> --benchmark_out_format=json`
+/// so CI can collect machine-readable results with one short flag, e.g.
+///   bench_parallel --json BENCH_parallel.json
+inline int BenchMain(int argc, char** argv) {
+  std::vector<std::string> expanded;
+  expanded.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      expanded.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      expanded.push_back("--benchmark_out_format=json");
+      ++i;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      expanded.push_back(std::string("--benchmark_out=") + (argv[i] + 7));
+      expanded.push_back("--benchmark_out_format=json");
+    } else {
+      expanded.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(expanded.size());
+  for (std::string& s : expanded) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace bench
 }  // namespace datacell
+
+/// Replaces BENCHMARK_MAIN() to get the --json flag.
+#define DATACELL_BENCH_MAIN()                                   \
+  int main(int argc, char** argv) {                             \
+    return ::datacell::bench::BenchMain(argc, argv);            \
+  }
 
 #endif  // DATACELL_BENCH_BENCH_UTIL_H_

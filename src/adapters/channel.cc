@@ -4,6 +4,20 @@
 
 namespace datacell {
 
+void Channel::SetWakeCallback(std::function<void()> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wake_cb_ = std::move(cb);
+}
+
+void Channel::NotifyWake() {
+  std::function<void()> cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = wake_cb_;
+  }
+  if (cb) cb();
+}
+
 void Channel::Push(std::string line) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -15,6 +29,7 @@ void Channel::Push(std::string line) {
     ++total_pushed_;
   }
   cv_.notify_one();
+  NotifyWake();
 }
 
 void Channel::PushBatch(std::vector<std::string> lines) {
@@ -30,6 +45,7 @@ void Channel::PushBatch(std::vector<std::string> lines) {
     }
   }
   cv_.notify_all();
+  NotifyWake();
 }
 
 bool Channel::TryPop(std::string* out) {
@@ -68,6 +84,7 @@ void Channel::Close() {
     closed_ = true;
   }
   cv_.notify_all();
+  NotifyWake();
 }
 
 bool Channel::closed() const {

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -39,14 +40,24 @@ class Channel {
   void Close();
   bool closed() const;
 
+  /// Installs a callback invoked (outside the channel lock) after every push
+  /// and on close. The engine wires attached receptors' channels to the
+  /// scheduler's wakeup, so a line arriving on an idle stream fires its
+  /// receptor immediately instead of on the next poll tick.
+  void SetWakeCallback(std::function<void()> cb);
+
   size_t size() const;
   bool empty() const { return size() == 0; }
   int64_t total_pushed() const;
   int64_t total_dropped() const;
 
  private:
+  /// Copies the wake callback under the lock and invokes it outside.
+  void NotifyWake();
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::function<void()> wake_cb_;  // guarded by mu_; invoked outside it
   std::deque<std::string> lines_;
   size_t capacity_ = 0;  // 0 = unbounded
   bool closed_ = false;

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cmath>
+#include <optional>
 
 #include "algebra/plan.h"
 #include "common/check.h"
@@ -7,7 +9,8 @@ namespace datacell {
 
 namespace {
 
-Result<TablePtr> Exec(const PlanNode& n, const PlanBindings& bindings);
+Result<TablePtr> Exec(const PlanNode& n, const PlanBindings& bindings,
+                      const ExecContext& ctx);
 
 Result<TablePtr> ExecScan(const PlanNode& n, const PlanBindings& bindings) {
   auto it = bindings.find(n.scan_relation());
@@ -23,16 +26,181 @@ Result<TablePtr> ExecScan(const PlanNode& n, const PlanBindings& bindings) {
   return t;
 }
 
-Result<TablePtr> ExecFilter(const PlanNode& n, const PlanBindings& bindings) {
-  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings));
-  DC_ASSIGN_OR_RETURN(std::vector<size_t> positions,
-                      EvaluatePredicate(*n.predicate(), *in));
+/// A filter predicate lowered onto one column: an inclusive range over an
+/// int64/timestamp or double column, or string equality. `empty` marks a
+/// statically unsatisfiable predicate (e.g. `x < INT64_MIN`).
+struct LoweredSelect {
+  size_t column = 0;
+  bool empty = false;
+  bool is_string = false;
+  std::string str_value;
+  std::optional<int64_t> ilo, ihi;
+  std::optional<double> dlo, dhi;
+};
+
+/// Extracts (column, cmp-op, numeric-or-string literal) from `e`, accepting
+/// the literal on either side. Returns false when the shape does not match.
+bool MatchComparison(const Expr& e, const Table& input, size_t* column,
+                     BinaryOp* op, Value* literal) {
+  if (e.kind() != ExprKind::kBinary) return false;
+  BinaryOp bop = e.binary_op();
+  if (bop != BinaryOp::kEq && bop != BinaryOp::kLt && bop != BinaryOp::kLe &&
+      bop != BinaryOp::kGt && bop != BinaryOp::kGe) {
+    return false;
+  }
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  if (e.left()->kind() == ExprKind::kColumnRef &&
+      e.right()->kind() == ExprKind::kLiteral) {
+    col = e.left().get();
+    lit = e.right().get();
+  } else if (e.right()->kind() == ExprKind::kColumnRef &&
+             e.left()->kind() == ExprKind::kLiteral) {
+    col = e.right().get();
+    lit = e.left().get();
+    // Mirror the comparison so the column is always on the left.
+    switch (bop) {
+      case BinaryOp::kLt: bop = BinaryOp::kGt; break;
+      case BinaryOp::kLe: bop = BinaryOp::kGe; break;
+      case BinaryOp::kGt: bop = BinaryOp::kLt; break;
+      case BinaryOp::kGe: bop = BinaryOp::kLe; break;
+      default: break;
+    }
+  } else {
+    return false;
+  }
+  if (lit->literal().is_null()) return false;
+  if (col->column_index() >= input.num_columns()) return false;
+  *column = col->column_index();
+  *op = bop;
+  *literal = lit->literal();
+  return true;
+}
+
+/// Lowers one comparison into range bounds on `out`. Returns false when the
+/// column/literal type combination is not kernel-representable.
+bool LowerComparison(const Table& input, size_t column, BinaryOp op,
+                     const Value& literal, LoweredSelect* out) {
+  DataType col_type = input.column(column)->type();
+  out->column = column;
+  if (col_type == DataType::kString) {
+    if (op != BinaryOp::kEq || !literal.is_string()) return false;
+    out->is_string = true;
+    out->str_value = literal.string_value();
+    return true;
+  }
+  if (IsIntegerBacked(col_type)) {
+    // int vs double literal: generic path (timestamps are int64-backed).
+    if (!literal.is_int64() && !literal.is_timestamp()) return false;
+    int64_t v = literal.int64_value();
+    switch (op) {
+      case BinaryOp::kEq: out->ilo = out->ihi = v; break;
+      case BinaryOp::kLe: out->ihi = v; break;
+      case BinaryOp::kGe: out->ilo = v; break;
+      case BinaryOp::kLt:
+        if (v == std::numeric_limits<int64_t>::min()) out->empty = true;
+        else out->ihi = v - 1;
+        break;
+      case BinaryOp::kGt:
+        if (v == std::numeric_limits<int64_t>::max()) out->empty = true;
+        else out->ilo = v + 1;
+        break;
+      default: return false;
+    }
+    return true;
+  }
+  if (col_type == DataType::kDouble) {
+    double v;
+    if (literal.is_double()) {
+      v = literal.double_value();
+    } else if (literal.is_int64()) {
+      v = static_cast<double>(literal.int64_value());
+      // A 64-bit int that doesn't round-trip through double would silently
+      // shift the bound; leave those to the generic evaluator.
+      if (static_cast<int64_t>(v) != literal.int64_value()) return false;
+    } else {
+      return false;
+    }
+    if (std::isnan(v)) return false;
+    switch (op) {
+      case BinaryOp::kEq: out->dlo = out->dhi = v; break;
+      case BinaryOp::kLe: out->dhi = v; break;
+      case BinaryOp::kGe: out->dlo = v; break;
+      case BinaryOp::kLt:
+        // The kernel bound is inclusive; the next representable double down
+        // expresses the strict inequality exactly.
+        out->dhi = std::nextafter(v, -std::numeric_limits<double>::infinity());
+        break;
+      case BinaryOp::kGt:
+        out->dlo = std::nextafter(v, std::numeric_limits<double>::infinity());
+        break;
+      default: return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+void IntersectBounds(LoweredSelect* into, const LoweredSelect& other) {
+  into->empty = into->empty || other.empty;
+  if (other.ilo && (!into->ilo || *other.ilo > *into->ilo)) into->ilo = other.ilo;
+  if (other.ihi && (!into->ihi || *other.ihi < *into->ihi)) into->ihi = other.ihi;
+  if (other.dlo && (!into->dlo || *other.dlo > *into->dlo)) into->dlo = other.dlo;
+  if (other.dhi && (!into->dhi || *other.dhi < *into->dhi)) into->dhi = other.dhi;
+}
+
+/// Tries to express `e` as a single-column kernel selection: one comparison,
+/// or an AND of two comparisons on the same column (a range). Nulls never
+/// qualify under either evaluator, so semantics match the generic path.
+std::optional<LoweredSelect> TryLowerSelect(const Expr& e, const Table& input) {
+  size_t column;
+  BinaryOp op;
+  Value literal;
+  if (MatchComparison(e, input, &column, &op, &literal)) {
+    LoweredSelect out;
+    if (!LowerComparison(input, column, op, literal, &out)) return std::nullopt;
+    return out;
+  }
+  if (e.kind() == ExprKind::kBinary && e.binary_op() == BinaryOp::kAnd) {
+    auto lhs = TryLowerSelect(*e.left(), input);
+    if (!lhs || lhs->is_string) return std::nullopt;
+    auto rhs = TryLowerSelect(*e.right(), input);
+    if (!rhs || rhs->is_string) return std::nullopt;
+    if (lhs->column != rhs->column) return std::nullopt;
+    IntersectBounds(&*lhs, *rhs);
+    return lhs;
+  }
+  return std::nullopt;
+}
+
+std::vector<size_t> RunLoweredSelect(const LoweredSelect& sel,
+                                     const Table& input,
+                                     const ExecContext& ctx) {
+  if (sel.empty) return {};
+  const Bat& col = *input.column(sel.column);
+  if (sel.is_string) return SelectEqString(col, sel.str_value, ctx);
+  if (col.type() == DataType::kDouble) {
+    return SelectRangeDouble(col, sel.dlo, sel.dhi, ctx);
+  }
+  return SelectRangeInt64(col, sel.ilo, sel.ihi, ctx);
+}
+
+Result<TablePtr> ExecFilter(const PlanNode& n, const PlanBindings& bindings,
+                            const ExecContext& ctx) {
+  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings, ctx));
+  std::vector<size_t> positions;
+  if (auto lowered = TryLowerSelect(*n.predicate(), *in)) {
+    positions = RunLoweredSelect(*lowered, *in, ctx);
+  } else {
+    DC_ASSIGN_OR_RETURN(positions, EvaluatePredicate(*n.predicate(), *in));
+  }
   if (positions.size() == in->num_rows()) return in;  // nothing filtered out
   return TablePtr(in->Take(positions));
 }
 
-Result<TablePtr> ExecProject(const PlanNode& n, const PlanBindings& bindings) {
-  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings));
+Result<TablePtr> ExecProject(const PlanNode& n, const PlanBindings& bindings,
+                             const ExecContext& ctx) {
+  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings, ctx));
   auto out = std::make_shared<Table>("", n.output_schema());
   for (size_t i = 0; i < n.projections().size(); ++i) {
     DC_ASSIGN_OR_RETURN(BatPtr col, EvaluateExpr(*n.projections()[i], *in));
@@ -44,12 +212,13 @@ Result<TablePtr> ExecProject(const PlanNode& n, const PlanBindings& bindings) {
   return out;
 }
 
-Result<TablePtr> ExecHashJoin(const PlanNode& n, const PlanBindings& bindings) {
-  DC_ASSIGN_OR_RETURN(TablePtr left, Exec(*n.child(0), bindings));
-  DC_ASSIGN_OR_RETURN(TablePtr right, Exec(*n.child(1), bindings));
-  DC_ASSIGN_OR_RETURN(
-      JoinResult jr,
-      HashJoin(*left->column(n.left_key()), *right->column(n.right_key())));
+Result<TablePtr> ExecHashJoin(const PlanNode& n, const PlanBindings& bindings,
+                              const ExecContext& ctx) {
+  DC_ASSIGN_OR_RETURN(TablePtr left, Exec(*n.child(0), bindings, ctx));
+  DC_ASSIGN_OR_RETURN(TablePtr right, Exec(*n.child(1), bindings, ctx));
+  DC_ASSIGN_OR_RETURN(JoinResult jr,
+                      HashJoin(*left->column(n.left_key()),
+                               *right->column(n.right_key()), ctx));
   auto out = std::make_shared<Table>("", n.output_schema());
   size_t lcols = left->num_columns();
   for (size_t c = 0; c < lcols; ++c) {
@@ -62,8 +231,9 @@ Result<TablePtr> ExecHashJoin(const PlanNode& n, const PlanBindings& bindings) {
   return out;
 }
 
-Result<TablePtr> ExecAggregate(const PlanNode& n, const PlanBindings& bindings) {
-  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings));
+Result<TablePtr> ExecAggregate(const PlanNode& n, const PlanBindings& bindings,
+                               const ExecContext& ctx) {
+  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings, ctx));
   auto out = std::make_shared<Table>("", n.output_schema());
   if (n.group_columns().empty()) {
     // Scalar aggregate: exactly one output row, even for empty input.
@@ -74,7 +244,8 @@ Result<TablePtr> ExecAggregate(const PlanNode& n, const PlanBindings& bindings) 
         p.count = static_cast<int64_t>(in->num_rows());
         // sum/min/max not meaningful for count(*); Finalize(kCount) is used.
       } else {
-        DC_ASSIGN_OR_RETURN(p, AggregateAll(*in->column(a.input_column), nullptr));
+        DC_ASSIGN_OR_RETURN(
+            p, AggregateAll(*in->column(a.input_column), nullptr, ctx));
       }
       row.push_back(p.Finalize(a.func));
     }
@@ -96,8 +267,9 @@ Result<TablePtr> ExecAggregate(const PlanNode& n, const PlanBindings& bindings) 
       for (size_t g : grouping.group_ids) ++counts[g];
       for (int64_t c : counts) dst->AppendInt64(c);
     } else {
-      DC_ASSIGN_OR_RETURN(std::vector<AggPartial> partials,
-                          AggregateByGroup(*in->column(a.input_column), grouping));
+      DC_ASSIGN_OR_RETURN(
+          std::vector<AggPartial> partials,
+          AggregateByGroup(*in->column(a.input_column), grouping, ctx));
       for (const AggPartial& p : partials) {
         DC_RETURN_NOT_OK(dst->AppendValue(p.Finalize(a.func)));
       }
@@ -107,57 +279,62 @@ Result<TablePtr> ExecAggregate(const PlanNode& n, const PlanBindings& bindings) 
   return out;
 }
 
-Result<TablePtr> ExecSort(const PlanNode& n, const PlanBindings& bindings) {
-  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings));
+Result<TablePtr> ExecSort(const PlanNode& n, const PlanBindings& bindings,
+                          const ExecContext& ctx) {
+  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings, ctx));
   DC_ASSIGN_OR_RETURN(std::vector<size_t> perm,
                       SortPositions(*in, n.sort_keys()));
   return TablePtr(in->Take(perm));
 }
 
-Result<TablePtr> ExecDistinct(const PlanNode& n, const PlanBindings& bindings) {
-  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings));
+Result<TablePtr> ExecDistinct(const PlanNode& n, const PlanBindings& bindings,
+                              const ExecContext& ctx) {
+  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings, ctx));
   std::vector<size_t> positions = DistinctPositions(*in);
   if (positions.size() == in->num_rows()) return in;
   return TablePtr(in->Take(positions));
 }
 
-Result<TablePtr> ExecLimit(const PlanNode& n, const PlanBindings& bindings) {
-  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings));
+Result<TablePtr> ExecLimit(const PlanNode& n, const PlanBindings& bindings,
+                           const ExecContext& ctx) {
+  DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings, ctx));
   size_t offset = std::min(n.offset(), in->num_rows());
   size_t length = std::min(n.limit(), in->num_rows() - offset);
   if (offset == 0 && length == in->num_rows()) return in;
   return TablePtr(in->Slice(offset, length));
 }
 
-Result<TablePtr> ExecUnion(const PlanNode& n, const PlanBindings& bindings) {
-  DC_ASSIGN_OR_RETURN(TablePtr left, Exec(*n.child(0), bindings));
-  DC_ASSIGN_OR_RETURN(TablePtr right, Exec(*n.child(1), bindings));
+Result<TablePtr> ExecUnion(const PlanNode& n, const PlanBindings& bindings,
+                           const ExecContext& ctx) {
+  DC_ASSIGN_OR_RETURN(TablePtr left, Exec(*n.child(0), bindings, ctx));
+  DC_ASSIGN_OR_RETURN(TablePtr right, Exec(*n.child(1), bindings, ctx));
   auto out = std::make_shared<Table>("", n.output_schema());
   DC_RETURN_NOT_OK(out->AppendTable(*left));
   DC_RETURN_NOT_OK(out->AppendTable(*right));
   return out;
 }
 
-Result<TablePtr> Exec(const PlanNode& n, const PlanBindings& bindings) {
+Result<TablePtr> Exec(const PlanNode& n, const PlanBindings& bindings,
+                      const ExecContext& ctx) {
   switch (n.kind()) {
     case PlanKind::kScan:
       return ExecScan(n, bindings);
     case PlanKind::kFilter:
-      return ExecFilter(n, bindings);
+      return ExecFilter(n, bindings, ctx);
     case PlanKind::kProject:
-      return ExecProject(n, bindings);
+      return ExecProject(n, bindings, ctx);
     case PlanKind::kHashJoin:
-      return ExecHashJoin(n, bindings);
+      return ExecHashJoin(n, bindings, ctx);
     case PlanKind::kAggregate:
-      return ExecAggregate(n, bindings);
+      return ExecAggregate(n, bindings, ctx);
     case PlanKind::kSort:
-      return ExecSort(n, bindings);
+      return ExecSort(n, bindings, ctx);
     case PlanKind::kDistinct:
-      return ExecDistinct(n, bindings);
+      return ExecDistinct(n, bindings, ctx);
     case PlanKind::kLimit:
-      return ExecLimit(n, bindings);
+      return ExecLimit(n, bindings, ctx);
     case PlanKind::kUnion:
-      return ExecUnion(n, bindings);
+      return ExecUnion(n, bindings, ctx);
   }
   return Status::Internal("bad plan kind");
 }
@@ -215,9 +392,14 @@ int ExplainRec(const PlanNode& n, int* next_var, std::string* out) {
 
 }  // namespace
 
+Result<TablePtr> ExecutePlan(const PlanNode& plan, const PlanBindings& bindings,
+                             const ExecContext& ctx) {
+  return Exec(plan, bindings, ctx);
+}
+
 Result<TablePtr> ExecutePlan(const PlanNode& plan,
                              const PlanBindings& bindings) {
-  return Exec(plan, bindings);
+  return Exec(plan, bindings, ExecContext{});
 }
 
 std::string ExplainMal(const PlanNode& plan) {

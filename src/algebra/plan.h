@@ -135,6 +135,13 @@ using PlanBindings = std::map<std::string, TablePtr>;
 /// Executes `plan` against `bindings`; returns a fresh result table. Pure:
 /// never mutates the inputs (consumption is the *factory's* job, per the
 /// paper's separation between plan execution and basket management).
+/// `ctx` carries the intra-operator parallelism knobs (see ExecContext);
+/// the default context runs everything scalar. Filter predicates of the
+/// form `column <cmp> literal` (and conjunctions of two such on one column)
+/// are lowered to the Select* kernels, which both skips the generic
+/// expression evaluator and picks up morsel parallelism.
+Result<TablePtr> ExecutePlan(const PlanNode& plan, const PlanBindings& bindings,
+                             const ExecContext& ctx);
 Result<TablePtr> ExecutePlan(const PlanNode& plan, const PlanBindings& bindings);
 
 /// Renders `plan` as the equivalent MAL program, e.g.

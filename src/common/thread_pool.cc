@@ -1,0 +1,140 @@
+#include "common/thread_pool.h"
+
+#include "common/check.h"
+
+namespace datacell {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  DC_CHECK(task != nullptr);
+  if (workers_.empty()) {
+    // Degenerate pool: run inline.
+    task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  // pending_ is bumped under idle_mu_ so a worker cannot check it and block
+  // between our increment and our notify (the classic lost-wakeup window).
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::PopLocal(size_t id, std::function<void()>* task) {
+  Queue& q = *queues_[id];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  *task = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::Steal(size_t thief, std::function<void()>* task) {
+  size_t n = queues_.size();
+  for (size_t d = 1; d < n; ++d) {
+    Queue& q = *queues_[(thief + d) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    *task = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t id) {
+  std::function<void()> task;
+  while (true) {
+    if (PopLocal(id, &task) || Steal(id, &task)) {
+      task();
+      task = nullptr;
+      pending_.fetch_sub(1, std::memory_order_release);
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) > 0 ||
+             stop_.load(std::memory_order_acquire);
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared morsel dispatcher: every participant claims the next unclaimed
+  // index until the range is exhausted. The caller blocks until helpers that
+  // actually started have finished, so capturing `state` by shared_ptr keeps
+  // it alive even for helpers scheduled after the loop already drained.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n;
+    const std::function<void(size_t)>* fn;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+  auto run = [](ForState& s) {
+    size_t i;
+    while ((i = s.next.fetch_add(1, std::memory_order_relaxed)) < s.n) {
+      (*s.fn)(i);
+      if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.n) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.cv.notify_all();
+      }
+    }
+  };
+  size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, run] { run(*state); });
+  }
+  run(*state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  // `fn` lives on the caller's stack: helpers still inside run() at this
+  // point have already observed next >= n and touch only their own locals.
+}
+
+}  // namespace datacell

@@ -1,0 +1,77 @@
+#ifndef DATACELL_COMMON_THREAD_POOL_H_
+#define DATACELL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace datacell {
+
+/// Work-stealing thread pool for intra-operator (morsel-driven) parallelism.
+///
+/// Each worker owns a deque: it pushes and pops at the back (LIFO keeps the
+/// working set cache-hot) and idle workers steal from the front of a victim's
+/// deque (FIFO steals take the oldest — largest-granularity — task).
+/// External submissions are distributed round-robin across the worker deques.
+///
+/// The pool is shared engine-wide: kernels fan morsels over it via
+/// `ParallelFor`, where the *calling* thread participates in the loop, so a
+/// pool of N threads yields N+1-way parallelism and a pool is never deadlocked
+/// by a worker waiting on its own pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 is allowed: every ParallelFor then runs
+  /// entirely on the calling thread (handy for tests and the scalar path).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for every i in [0, n). Chunks are claimed dynamically from
+  /// a shared counter (the morsel dispatcher: a fast worker steals the slow
+  /// worker's remaining morsels by simply claiming the next index), the
+  /// calling thread participates, and the call returns only when all n
+  /// invocations completed. `fn` must be safe to call concurrently for
+  /// distinct i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Tasks executed since construction (stats/tests).
+  int64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t id);
+  bool PopLocal(size_t id, std::function<void()>* task);
+  bool Steal(size_t thief, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<int64_t> pending_{0};
+  std::atomic<int64_t> executed_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_COMMON_THREAD_POOL_H_

@@ -24,18 +24,41 @@ TablePtr Basket::MakeBasketTable(const std::string& name,
   return std::make_shared<Table>(name, full);
 }
 
+void Basket::SetWakeCallback(std::function<void()> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wake_cb_ = std::move(cb);
+}
+
+void Basket::NotifyAppend() {
+  std::function<void()> cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = wake_cb_;
+  }
+  if (cb) cb();
+}
+
 Status Basket::Append(const Row& values, Timestamp ts) {
   Row full = values;
   full.push_back(Value::TimestampVal(ts));
-  std::lock_guard<std::mutex> lock(mu_);
-  DC_RETURN_NOT_OK(table_->AppendRow(full));
-  ++total_appended_;
-  ShedLocked(1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DC_RETURN_NOT_OK(table_->AppendRow(full));
+    ++total_appended_;
+    ShedLocked(1);
+  }
+  NotifyAppend();
   return Status::OK();
 }
 
 Status Basket::AppendBatch(const std::vector<Row>& rows, Timestamp ts) {
   if (rows.empty()) return Status::OK();
+  DC_RETURN_NOT_OK(AppendBatchLocked(rows, ts));
+  NotifyAppend();
+  return Status::OK();
+}
+
+Status Basket::AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t user_cols = table_->num_columns() - 1;
   // Validate the whole batch before mutating any column, so a bad tuple
@@ -105,37 +128,43 @@ Status Basket::AppendBatch(const std::vector<Row>& rows, Timestamp ts) {
 }
 
 Status Basket::AppendWithTs(const Table& rows_with_ts) {
-  std::lock_guard<std::mutex> lock(mu_);
-  DC_RETURN_NOT_OK(table_->AppendTable(rows_with_ts));
-  total_appended_ += static_cast<int64_t>(rows_with_ts.num_rows());
-  ShedLocked(rows_with_ts.num_rows());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DC_RETURN_NOT_OK(table_->AppendTable(rows_with_ts));
+    total_appended_ += static_cast<int64_t>(rows_with_ts.num_rows());
+    ShedLocked(rows_with_ts.num_rows());
+  }
+  if (rows_with_ts.num_rows() > 0) NotifyAppend();
   return Status::OK();
 }
 
 Status Basket::AppendStamped(const Table& rows, Timestamp ts) {
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t n_cols = table_->num_columns();
-  if (rows.num_columns() != n_cols - 1) {
-    return Status::InvalidArgument(
-        "stamped append arity mismatch: got " +
-        std::to_string(rows.num_columns()) + " columns, basket '" + name() +
-        "' holds " + std::to_string(n_cols - 1) + " (plus ts)");
-  }
-  for (size_t c = 0; c + 1 < n_cols; ++c) {
-    if (table_->column(c)->type() != rows.column(c)->type()) {
-      return Status::TypeError("stamped append type mismatch at column " +
-                               std::to_string(c));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n_cols = table_->num_columns();
+    if (rows.num_columns() != n_cols - 1) {
+      return Status::InvalidArgument(
+          "stamped append arity mismatch: got " +
+          std::to_string(rows.num_columns()) + " columns, basket '" + name() +
+          "' holds " + std::to_string(n_cols - 1) + " (plus ts)");
     }
+    for (size_t c = 0; c + 1 < n_cols; ++c) {
+      if (table_->column(c)->type() != rows.column(c)->type()) {
+        return Status::TypeError("stamped append type mismatch at column " +
+                                 std::to_string(c));
+      }
+    }
+    for (size_t c = 0; c + 1 < n_cols; ++c) {
+      table_->column(c)->AppendBat(*rows.column(c));
+    }
+    Bat& ts_col = *table_->column(n_cols - 1);
+    for (size_t i = 0; i < rows.num_rows(); ++i) {
+      ts_col.AppendInt64(ts);
+    }
+    total_appended_ += static_cast<int64_t>(rows.num_rows());
+    ShedLocked(rows.num_rows());
   }
-  for (size_t c = 0; c + 1 < n_cols; ++c) {
-    table_->column(c)->AppendBat(*rows.column(c));
-  }
-  Bat& ts_col = *table_->column(n_cols - 1);
-  for (size_t i = 0; i < rows.num_rows(); ++i) {
-    ts_col.AppendInt64(ts);
-  }
-  total_appended_ += static_cast<int64_t>(rows.num_rows());
-  ShedLocked(rows.num_rows());
+  if (rows.num_rows() > 0) NotifyAppend();
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef DATACELL_CORE_BASKET_H_
 #define DATACELL_CORE_BASKET_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -112,6 +113,14 @@ class Basket {
   /// Tuples shed so far due to the capacity bound.
   int64_t total_shed() const;
 
+  /// Installs a callback invoked (outside the basket lock) after every
+  /// append that added at least one tuple. The engine wires this to
+  /// Scheduler::NotifyWork, realising the Petri-net edge from token arrival
+  /// to transition wakeup: an idle scheduler blocks until a basket gains
+  /// tuples instead of polling. Pass nullptr to detach (the engine does, on
+  /// destruction, so retained baskets never call into a dead scheduler).
+  void SetWakeCallback(std::function<void()> cb);
+
   int64_t total_appended() const;
   int64_t total_consumed() const;
   size_t memory_usage() const;
@@ -130,12 +139,18 @@ class Basket {
   static constexpr const char* kTsColumnName = "ts";
 
  private:
+  Status AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts);
   TablePtr DrainPositionsLocked(const std::vector<size_t>& positions);
   /// Applies the capacity bound after appends (locked). `appended` is how
   /// many tuples the current call added (bounds kDropNewest).
   void ShedLocked(size_t appended);
+  /// Invokes the wake callback (if set) without holding the basket lock —
+  /// the callback takes the scheduler's wake mutex, and nesting it inside
+  /// `mu_` would order the two locks.
+  void NotifyAppend();
 
   mutable std::mutex mu_;
+  std::function<void()> wake_cb_;  // guarded by mu_; invoked outside it
   TablePtr table_;
   std::map<size_t, Oid> watermarks_;  // reader id -> first unseen oid
   size_t next_reader_ = 0;

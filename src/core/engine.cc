@@ -39,9 +39,27 @@ Engine::Engine(EngineOptions options)
     owned_clock_ = std::move(sim);
     clock_ = owned_clock_.get();
   }
+  if (options_.kernel_threads > 0) {
+    kernel_pool_ = std::make_unique<ThreadPool>(options_.kernel_threads);
+  }
 }
 
-Engine::~Engine() { Stop(); }
+Engine::~Engine() {
+  Stop();
+  // Detach every wake callback: baskets and channels may be retained by the
+  // caller past the engine's lifetime, and their lambdas capture `this`.
+  for (const BasketPtr& basket : wired_baskets_) {
+    basket->SetWakeCallback(nullptr);
+  }
+  for (Channel* channel : wired_channels_) {
+    channel->SetWakeCallback(nullptr);
+  }
+}
+
+void Engine::WireBasketWake(const BasketPtr& basket) {
+  basket->SetWakeCallback([this] { scheduler_.NotifyWork(); });
+  wired_baskets_.push_back(basket);
+}
 
 Engine::StreamInfo* Engine::FindStream(const std::string& name) {
   auto it = streams_.find(ToLower(name));
@@ -66,6 +84,7 @@ Result<BasketPtr> Engine::CreateStream(const std::string& name,
   if (options_.max_basket_tuples > 0) {
     basket->SetCapacity(options_.max_basket_tuples, options_.drop_policy);
   }
+  WireBasketWake(basket);
   StreamInfo info;
   info.base = basket;
   info.user_schema = user_schema;
@@ -107,7 +126,8 @@ Status Engine::IngestBatch(const std::string& name,
     // inspectable by one-time queries, §2.6).
     DC_RETURN_NOT_OK(stream->base->AppendBatch(rows, ts));
   }
-  tuples_ingested_ += static_cast<int64_t>(rows.size());
+  tuples_ingested_.fetch_add(static_cast<int64_t>(rows.size()),
+                             std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -129,7 +149,8 @@ Status Engine::IngestTable(const std::string& name, const Table& batch) {
   } else {
     DC_RETURN_NOT_OK(stream->base->AppendStamped(batch, ts));
   }
-  tuples_ingested_ += static_cast<int64_t>(batch.num_rows());
+  tuples_ingested_.fetch_add(static_cast<int64_t>(batch.num_rows()),
+                             std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -151,6 +172,10 @@ Result<Receptor*> Engine::AttachReceptor(const std::string& name,
       channel, stream->user_schema, deliver, clock_, options_.receptor_batch);
   stream->receptors.push_back(receptor.get());
   receptors_.push_back(receptor);
+  // A line arriving on an idle channel must wake the scheduler, or the
+  // receptor would only fire on the next fallback tick.
+  channel->SetWakeCallback([this] { scheduler_.NotifyWork(); });
+  wired_channels_.push_back(channel);
   scheduler_.AddTransition(receptor);
   return receptor.get();
 }
@@ -189,6 +214,7 @@ Result<BasketPtr> Engine::MakePrivateBasket(const std::string& stream,
   if (options_.max_basket_tuples > 0) {
     basket->SetCapacity(options_.max_basket_tuples, options_.drop_policy);
   }
+  WireBasketWake(basket);
   return basket;
 }
 
@@ -266,6 +292,7 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
                     std::to_string(subplan_groups_.size()),
                 stream->user_schema);
             auto group_basket = std::make_shared<Basket>(group_table);
+            WireBasketWake(group_basket);
             auto filter = std::make_shared<SharedFilterTransition>(
                 "sharedfilter_" + group_table->name(), stream->base,
                 in.consume_predicate, group_basket, clock_);
@@ -331,6 +358,8 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
   foptions.exclusive_private_inputs =
       strategy == ProcessingStrategy::kSeparateBaskets;
   foptions.output_carries_ts = output_carries_ts;
+  foptions.exec.pool = kernel_pool_.get();
+  foptions.exec.parallel_threshold = options_.parallel_threshold;
   DC_ASSIGN_OR_RETURN(
       FactoryPtr factory,
       Factory::Create("factory_" + ToLower(name), std::move(query),
@@ -549,7 +578,7 @@ std::string Engine::StatsReport() const {
          (scheduler_.policy() == SchedulingPolicy::kPriority ? "priority"
                                                              : "round-robin") +
          "\n";
-  out += "ingested tuples: " + std::to_string(tuples_ingested_) + "\n";
+  out += "ingested tuples: " + std::to_string(tuples_ingested()) + "\n";
   out += "-- transitions --\n";
   for (const TransitionPtr& t : scheduler_.transitions()) {
     out += "  [" + std::string(TransitionKindToString(t->kind())) + "] " +

@@ -1,6 +1,7 @@
 #ifndef DATACELL_CORE_ENGINE_H_
 #define DATACELL_CORE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -10,6 +11,7 @@
 #include "adapters/channel.h"
 #include "adapters/sink.h"
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "core/emitter.h"
 #include "core/factory.h"
 #include "core/receptor.h"
@@ -42,6 +44,15 @@ struct EngineOptions {
   /// then sheds by `drop_policy` instead of growing without bound (§1).
   size_t max_basket_tuples = 0;
   Basket::DropPolicy drop_policy = Basket::DropPolicy::kDropOldest;
+  /// Intra-factory parallelism: size of the shared kernel thread pool the
+  /// engine hands every factory through its ExecContext. 0 (the default)
+  /// keeps all kernels scalar — the right choice when the scheduler already
+  /// runs one worker per core. Set >0 when few fat queries must each use
+  /// the whole machine (morsel-driven parallel selection/join/aggregation).
+  size_t kernel_threads = 0;
+  /// Minimum input size (values) before a kernel fans out over the pool;
+  /// smaller baskets stay on the scalar path, whose latency is lower.
+  size_t parallel_threshold = 128 * 1024;
 };
 
 /// Per-query overrides for SubmitContinuousQuery.
@@ -168,7 +179,9 @@ class Engine {
   /// queries as comments. Feed back through ExecuteScript to clone schemas.
   std::string DumpCatalogSql() const;
 
-  int64_t tuples_ingested() const { return tuples_ingested_; }
+  int64_t tuples_ingested() const {
+    return tuples_ingested_.load(std::memory_order_relaxed);
+  }
   /// Number of factored common-subplan groups currently installed.
   size_t num_shared_subplans() const { return subplan_groups_.size(); }
 
@@ -199,6 +212,10 @@ class Engine {
   Result<PlanBindings> ResolveStaticBindings(
       const sql::CompiledQuery& query) const;
   StreamInfo* FindStream(const std::string& name);
+  /// Points `basket`'s wake callback at the scheduler and remembers it for
+  /// detachment in the destructor (a retained BasketPtr must never call
+  /// into a destroyed scheduler).
+  void WireBasketWake(const BasketPtr& basket);
 
   EngineOptions options_;
   Catalog catalog_;
@@ -206,6 +223,12 @@ class Engine {
   Clock* clock_;
   SimulatedClock* sim_clock_ = nullptr;
   Scheduler scheduler_;
+  /// Shared by all factories' ExecContexts; null when kernel_threads == 0.
+  std::unique_ptr<ThreadPool> kernel_pool_;
+  /// Baskets and channels whose wake callbacks point at scheduler_; the
+  /// destructor detaches them before the scheduler dies.
+  std::vector<BasketPtr> wired_baskets_;
+  std::vector<Channel*> wired_channels_;
   std::map<std::string, StreamInfo> streams_;  // key: lower-cased name
   std::vector<QueryInfo> queries_;
   std::vector<std::unique_ptr<Channel>> owned_channels_;
@@ -213,7 +236,8 @@ class Engine {
   // Factored common-subplan groups: "(stream)|(predicate)" -> group basket.
   std::map<std::string, BasketPtr> subplan_groups_;
   std::vector<std::shared_ptr<SharedFilterTransition>> shared_filters_;
-  int64_t tuples_ingested_ = 0;
+  // Atomic: receptors and application threads ingest concurrently.
+  std::atomic<int64_t> tuples_ingested_{0};
 };
 
 }  // namespace datacell

@@ -175,7 +175,7 @@ Result<int64_t> Factory::Fire() {
     for (size_t i = 0; i < inputs_.size(); ++i) {
       bindings[inputs_[i].spec->bind_name] = slices[i];
     }
-    Result<TablePtr> r = ExecutePlan(*query_.plan, bindings);
+    Result<TablePtr> r = ExecutePlan(*query_.plan, bindings, options_.exec);
     if (!r.ok()) {
       plan_errors_.fetch_add(1, std::memory_order_relaxed);
       return r.status();

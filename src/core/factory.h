@@ -45,6 +45,10 @@ struct FactoryOptions {
   /// it as its implicit timestamp — arrival times flow through unchanged —
   /// instead of stamping result-production time.
   bool output_carries_ts = false;
+  /// Execution context handed to every plan run this factory performs. When
+  /// `exec.pool` is set, large input slices are processed by the parallel
+  /// kernel variants; small slices stay on the scalar path.
+  ExecContext exec;
 };
 
 /// A continuous query cast into a resumable unit of execution (§2.3): it

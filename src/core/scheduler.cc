@@ -10,8 +10,20 @@ namespace datacell {
 Scheduler::~Scheduler() { Stop(); }
 
 void Scheduler::AddTransition(TransitionPtr t) {
-  std::lock_guard<std::mutex> lock(transitions_mu_);
-  transitions_.push_back(std::move(t));
+  {
+    std::lock_guard<std::mutex> lock(transitions_mu_);
+    transitions_.push_back(std::move(t));
+  }
+  // The new transition may already be enabled; idle workers must see it.
+  NotifyWork();
+}
+
+void Scheduler::NotifyWork() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    work_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
 }
 
 bool Scheduler::RemoveTransition(const Transition* t) {
@@ -121,7 +133,11 @@ Status Scheduler::Start(size_t num_threads) {
 
 void Scheduler::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
-  stop_requested_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -131,12 +147,24 @@ void Scheduler::Stop() {
 
 void Scheduler::Loop() {
   // The paper's infinite loop: continuously re-evaluate firing conditions.
-  // Briefly sleep when a sweep finds nothing to do, to avoid a hot spin on
-  // an idle stream.
+  // When a sweep fires nothing, block on the wake signal instead of
+  // sleep-polling: producers notify on append, so an idle scheduler costs
+  // (almost) no CPU and a newly enabled transition fires immediately. The
+  // fallback wait bounds the latency of readiness changes that have no
+  // notifier (e.g. a wall-clock window boundary passing).
+  constexpr auto kIdleFallback = std::chrono::milliseconds(2);
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    // Snapshot before the sweep: anything appended after this point, even
+    // mid-sweep, moves the epoch and defeats the wait below.
+    uint64_t seen = work_epoch_.load(std::memory_order_acquire);
     int fired = Step();
     if (fired == 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      idle_waits_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_for(lock, kIdleFallback, [&] {
+        return work_epoch_.load(std::memory_order_acquire) != seen ||
+               stop_requested_.load(std::memory_order_acquire);
+      });
     }
   }
 }

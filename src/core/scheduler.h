@@ -2,6 +2,8 @@
 #define DATACELL_CORE_SCHEDULER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -66,6 +68,14 @@ class Scheduler {
   void Stop();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Wakes idle scheduler workers: a Petri-net input place gained tokens
+  /// (basket append, channel push, transition added). Baskets created by the
+  /// engine call this from their append paths, so transitions fire the
+  /// moment their inputs become available instead of on the next poll tick.
+  /// Cheap and safe to call from any thread, including under a basket lock's
+  /// shadow (it takes only the scheduler's wake mutex).
+  void NotifyWork();
+
   SchedulingPolicy policy() const { return policy_; }
   void set_policy(SchedulingPolicy p) { policy_ = p; }
 
@@ -75,6 +85,12 @@ class Scheduler {
   }
   int64_t error_count() const {
     return errors_.load(std::memory_order_relaxed);
+  }
+  /// Times a worker found nothing to fire and blocked on the wake signal
+  /// (idle behaviour diagnostics: an idle scheduler should accumulate waits,
+  /// not sweeps).
+  int64_t idle_waits() const {
+    return idle_waits_.load(std::memory_order_relaxed);
   }
   Status last_error() const;
 
@@ -95,6 +111,18 @@ class Scheduler {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::vector<std::thread> threads_;
+
+  // Event-driven idle handling: NotifyWork bumps the epoch (under wake_mu_,
+  // so a worker cannot slip between its epoch snapshot check and the wait)
+  // and wakes the workers. A worker whose sweep fired nothing blocks until
+  // the epoch moves past the snapshot it took *before* that sweep — tokens
+  // that arrived mid-sweep are never missed. A bounded fallback wait covers
+  // readiness changes with no notifier (wall-clock windows, direct channel
+  // writes).
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<uint64_t> work_epoch_{0};
+  std::atomic<int64_t> idle_waits_{0};
 
   std::atomic<int64_t> sweeps_{0};
   std::atomic<int64_t> firings_{0};
