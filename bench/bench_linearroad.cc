@@ -39,9 +39,7 @@ void BM_LinearRoad(benchmark::State& state) {
     state.counters["reports/s"] = benchmark::Counter(
         static_cast<double>(driver.total_reports()),
         benchmark::Counter::kIsRate);
-    state.counters["tick_p50_us"] = driver.tick_time_us().Percentile(0.5);
-    state.counters["tick_p99_us"] = driver.tick_time_us().Percentile(0.99);
-    state.counters["tick_max_us"] = driver.tick_time_us().Max();
+    bench::ReportLatencyPercentiles(state, "tick", driver.tick_time_us());
     state.counters["segstats_rows"] =
         static_cast<double>(queries->segstats_sink->rows());
     state.counters["accident_rows"] =

@@ -93,9 +93,15 @@ void BM_PipelineLatency(benchmark::State& state) {
     tuples += static_cast<int64_t>(batch);
   }
   bench::ReportTuplesPerSecond(state, tuples);
-  SampleStats lat = sink->latencies_us();
-  state.counters["lat_p50_us"] = lat.Percentile(0.5);
-  state.counters["lat_p99_us"] = lat.Percentile(0.99);
+  bench::ReportLatencyPercentiles(state, "lat", sink->latencies_us());
+  // The engine-side view of the same distribution (emitter-observed,
+  // log2-bucketed) — lets the JSON output cross-check sink vs engine.
+  MetricsSnapshotData snap = engine.MetricsSnapshot();
+  const HistogramSnapshot* e2e =
+      snap.FindHistogram("datacell_query_e2e_latency_us", "sel");
+  if (e2e != nullptr) {
+    bench::ReportLatencyPercentiles(state, "engine_e2e", *e2e);
+  }
 }
 BENCHMARK(BM_PipelineLatency)
     ->RangeMultiplier(8)

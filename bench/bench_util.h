@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "adapters/generator.h"
+#include "common/metrics.h"
+#include "common/metrics_registry.h"
 #include "core/engine.h"
 
 namespace datacell {
@@ -73,6 +75,31 @@ inline void ReportTuplesPerSecond(benchmark::State& state, int64_t tuples) {
   state.counters["tuples/s"] =
       benchmark::Counter(static_cast<double>(tuples), benchmark::Counter::kIsRate);
   state.SetItemsProcessed(tuples);
+}
+
+/// Reports the standard latency percentile set as benchmark counters —
+/// `<prefix>_p50_us`, `_p99_us`, `_mean_us`, `_max_us` — so the `--json`
+/// output carries full distributions, not just means. No-op on empty stats.
+inline void ReportLatencyPercentiles(benchmark::State& state,
+                                     const std::string& prefix,
+                                     const SampleStats& stats) {
+  if (stats.count() == 0) return;
+  state.counters[prefix + "_p50_us"] = stats.Percentile(0.5);
+  state.counters[prefix + "_p99_us"] = stats.Percentile(0.99);
+  state.counters[prefix + "_mean_us"] = stats.Mean();
+  state.counters[prefix + "_max_us"] = stats.Max();
+}
+
+/// Same, from a live registry histogram (e.g. the engine's per-query
+/// end-to-end latency): percentiles are log2-bucket estimates.
+inline void ReportLatencyPercentiles(benchmark::State& state,
+                                     const std::string& prefix,
+                                     const HistogramSnapshot& hist) {
+  if (hist.count == 0) return;
+  state.counters[prefix + "_p50_us"] = hist.Percentile(0.5);
+  state.counters[prefix + "_p99_us"] = hist.Percentile(0.99);
+  state.counters[prefix + "_mean_us"] = hist.Mean();
+  state.counters[prefix + "_max_us"] = static_cast<double>(hist.max);
 }
 
 /// Benchmark entry point with a `--json <file>` convenience flag: it expands

@@ -12,6 +12,7 @@
 //   datacell> \quit
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -47,6 +48,8 @@ class Shell {
     // deterministic mode gives immediate, ordered output.
     EngineOptions opts;
     opts.factor_common_subplans = true;
+    // Keep a bounded event timeline so \trace has something to dump.
+    opts.trace_capacity = 1 << 14;
     engine_ = std::make_unique<Engine>(opts);
   }
 
@@ -107,6 +110,10 @@ class Shell {
           "print as they arrive\n"
           "  \\explain <sql>         show the MAL plan of a query\n"
           "  \\stats                 engine statistics\n"
+          "  \\metrics               Prometheus text exposition of all "
+          "metrics\n"
+          "  \\trace <file>          dump the event timeline as Chrome "
+          "trace JSON\n"
           "  \\tables                list catalog relations\n"
           "  \\dump                  catalog as CREATE statements\n"
           "  \\quit                  exit\n");
@@ -114,6 +121,31 @@ class Shell {
     }
     if (StartsWith(cmd, "\\stats")) {
       std::printf("%s", engine_->StatsReport().c_str());
+      return true;
+    }
+    if (StartsWith(cmd, "\\metrics")) {
+      std::printf("%s", engine_->MetricsText().c_str());
+      return true;
+    }
+    if (StartsWith(cmd, "\\trace")) {
+      std::string path(Trim(cmd.substr(6)));
+      if (engine_->trace() == nullptr) {
+        std::printf("tracing is disabled (rebuild with -DDATACELL_TRACE=ON to enable)\n");
+        return true;
+      }
+      if (path.empty()) {
+        std::printf("usage: \\trace <file>  (open in chrome://tracing or "
+                    "ui.perfetto.dev)\n");
+        return true;
+      }
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::printf("error: cannot open '%s'\n", path.c_str());
+        return true;
+      }
+      out << engine_->TraceJson();
+      std::printf("wrote %zu trace events to %s\n", engine_->trace()->size(),
+                  path.c_str());
       return true;
     }
     if (StartsWith(cmd, "\\dump")) {

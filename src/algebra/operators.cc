@@ -52,6 +52,7 @@ std::vector<size_t> SelectRangeImpl(const Bat& b, const T* data, size_t n,
     return out;
   }
   size_t morsels = ctx.NumMorsels(n);
+  ctx.CountMorsels(morsels);
   std::vector<std::vector<size_t>> parts(morsels);
   ctx.pool->ParallelFor(morsels, [&](size_t m) {
     size_t begin = m * ctx.morsel_size;
@@ -106,6 +107,7 @@ std::vector<size_t> SelectEqString(const Bat& b, const std::string& v,
     return out;
   }
   size_t morsels = ctx.NumMorsels(n);
+  ctx.CountMorsels(morsels);
   std::vector<std::vector<size_t>> parts(morsels);
   ctx.pool->ParallelFor(morsels, [&](size_t m) {
     size_t begin = m * ctx.morsel_size;
@@ -234,6 +236,7 @@ Result<JoinResult> HashJoin(const Bat& left_key, const Bat& right_key,
     return out;
   }
   size_t morsels = ctx.NumMorsels(n);
+  ctx.CountMorsels(morsels);
   std::vector<JoinResult> parts(morsels);
   ctx.pool->ParallelFor(morsels, [&](size_t m) {
     size_t begin = m * ctx.morsel_size;
@@ -371,6 +374,7 @@ Result<std::vector<AggPartial>> AggregateByGroup(const Bat& values,
     return partials;
   }
   size_t morsels = ctx.NumMorsels(n);
+  ctx.CountMorsels(morsels);
   std::vector<std::vector<AggPartial>> parts(morsels);
   ctx.pool->ParallelFor(morsels, [&](size_t m) {
     size_t begin = m * ctx.morsel_size;
@@ -410,6 +414,7 @@ Result<AggPartial> AggregateAll(const Bat& values,
     return p;
   }
   size_t morsels = ctx.NumMorsels(n);
+  ctx.CountMorsels(morsels);
   std::vector<AggPartial> parts(morsels);
   ctx.pool->ParallelFor(morsels, [&](size_t m) {
     size_t begin = m * ctx.morsel_size;

@@ -1,6 +1,7 @@
 #ifndef DATACELL_ALGEBRA_OPERATORS_H_
 #define DATACELL_ALGEBRA_OPERATORS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -43,6 +44,16 @@ struct ExecContext {
   }
   size_t NumMorsels(size_t n) const {
     return (n + morsel_size - 1) / morsel_size;
+  }
+  /// Observability: morsels dispatched by the parallel kernels accumulate
+  /// here when set. A raw atomic (not a registry Counter) keeps the kernel
+  /// layer free of metric types; the engine points it at its registry cell.
+  std::atomic<int64_t>* morsel_counter = nullptr;
+  void CountMorsels(size_t n) const {
+    if (morsel_counter != nullptr) {
+      morsel_counter->fetch_add(static_cast<int64_t>(n),
+                                std::memory_order_relaxed);
+    }
   }
 };
 

@@ -41,15 +41,9 @@ class SampleStats {
   void EnsureSorted() const;
 };
 
-/// Monotone counters grouped by name, for engine introspection.
-struct EngineCounters {
-  int64_t tuples_received = 0;
-  int64_t tuples_emitted = 0;
-  int64_t factory_runs = 0;
-  int64_t factory_idle_checks = 0;
-  int64_t tuples_processed = 0;
-  int64_t scheduler_iterations = 0;
-};
+// Live engine counters moved to common/metrics_registry.h: the old plain-
+// int64_t EngineCounters struct was racy under scheduler worker threads and
+// is replaced by the atomic Counter/Gauge/Histogram cells there.
 
 }  // namespace datacell
 

@@ -1,0 +1,146 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace datacell {
+
+namespace {
+
+uint32_t CurrentTid() {
+  // A stable small-ish id per thread; Chrome's viewer only needs distinct
+  // lanes, not OS thread ids.
+  return static_cast<uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff);
+}
+
+void CopyName(char* dst, size_t cap, std::string_view src) {
+  size_t n = std::min(src.size(), cap - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+void AppendJsonEscaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity) : ring_(std::max<size_t>(1, capacity)) {}
+
+void TraceRing::Push(const TraceEvent& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+  ++total_;
+}
+
+void TraceRing::RecordComplete(const char* category, std::string_view name,
+                               Timestamp start_us, Timestamp dur_us,
+                               const char* arg_name, int64_t arg) {
+  TraceEvent e;
+  CopyName(e.name, TraceEvent::kNameCapacity, name);
+  e.category = category;
+  e.phase = 'X';
+  e.ts_us = start_us;
+  e.dur_us = dur_us;
+  e.tid = CurrentTid();
+  e.arg_name = arg_name;
+  e.arg = arg;
+  Push(e);
+}
+
+void TraceRing::RecordInstant(const char* category, std::string_view name,
+                              Timestamp ts_us, const char* arg_name,
+                              int64_t arg) {
+  TraceEvent e;
+  CopyName(e.name, TraceEvent::kNameCapacity, name);
+  e.category = category;
+  e.phase = 'i';
+  e.ts_us = ts_us;
+  e.dur_us = 0;
+  e.tid = CurrentTid();
+  e.arg_name = arg_name;
+  e.arg = arg;
+  Push(e);
+}
+
+size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - count_;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+  count_ = 0;
+  total_ = 0;
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  // Oldest event sits at head_ once the ring has wrapped, else at 0.
+  size_t start = count_ == ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRing::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, e.name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(out, e.category);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":" + std::to_string(e.ts_us);
+    if (e.phase == 'X') {
+      out += ",\"dur\":" + std::to_string(e.dur_us);
+    } else if (e.phase == 'i') {
+      // Instant events need a scope; "t" = thread-scoped.
+      out += ",\"s\":\"t\"";
+    }
+    if (e.arg_name != nullptr) {
+      out += ",\"args\":{\"";
+      AppendJsonEscaped(out, e.arg_name);
+      out += "\":" + std::to_string(e.arg) + "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace datacell

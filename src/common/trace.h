@@ -1,0 +1,123 @@
+#ifndef DATACELL_COMMON_TRACE_H_
+#define DATACELL_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace datacell {
+
+/// Bounded event-trace buffer for timeline inspection of the Petri-net
+/// pipeline: scheduler sweeps, transition firings and basket lock waits are
+/// recorded as timestamped events and exported as Chrome `trace_event` JSON
+/// (load the file in chrome://tracing or https://ui.perfetto.dev).
+///
+/// The ring overwrites its oldest events when full, so a long-running engine
+/// keeps the most recent window of activity at a fixed memory cost. Record
+/// takes a plain mutex: tracing is an opt-in diagnostic (engines run with it
+/// off by default), so the hot paths only pay a null-pointer check — or
+/// nothing at all when compiled out with -DDATACELL_TRACE=OFF.
+
+/// One trace event. Names are copied into a fixed inline buffer (no
+/// allocation while recording); categories and argument names must be
+/// string literals (static storage).
+struct TraceEvent {
+  static constexpr size_t kNameCapacity = 48;
+
+  char name[kNameCapacity];
+  const char* category = "";
+  /// Chrome trace phase: 'X' = complete (has dur), 'i' = instant.
+  char phase = 'X';
+  Timestamp ts_us = 0;
+  Timestamp dur_us = 0;
+  uint32_t tid = 0;
+  /// Optional single argument, shown in the trace viewer's detail pane.
+  const char* arg_name = nullptr;
+  int64_t arg = 0;
+};
+
+class TraceRing {
+ public:
+  /// `capacity` is the maximum number of retained events (>= 1).
+  explicit TraceRing(size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// A span with a duration ('X'): a transition firing, a basket lock wait.
+  void RecordComplete(const char* category, std::string_view name,
+                      Timestamp start_us, Timestamp dur_us,
+                      const char* arg_name = nullptr, int64_t arg = 0);
+  /// A point event ('i'): a scheduler wakeup, an error.
+  void RecordInstant(const char* category, std::string_view name,
+                     Timestamp ts_us, const char* arg_name = nullptr,
+                     int64_t arg = 0);
+
+  size_t capacity() const { return ring_.size(); }
+  /// Events currently retained (<= capacity).
+  size_t size() const;
+  /// Events ever recorded.
+  uint64_t total_recorded() const;
+  /// Events overwritten by wraparound: total_recorded() - size().
+  uint64_t dropped() const;
+  void Clear();
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace_event JSON object: {"traceEvents":[...]}. Timestamps are
+  /// microseconds, as the format expects.
+  std::string ToChromeJson() const;
+
+ private:
+  void Push(const TraceEvent& e);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;     // next write position
+  size_t count_ = 0;    // retained events
+  uint64_t total_ = 0;  // lifetime events
+};
+
+/// True when the DC_TRACE_* instrumentation below is compiled in.
+#ifndef DATACELL_TRACE_ENABLED
+#define DATACELL_TRACE_ENABLED 1
+#endif
+inline constexpr bool kTraceCompiled = DATACELL_TRACE_ENABLED != 0;
+
+// Hot-path hooks. `ring` is a TraceRing* that may be null (tracing disabled
+// at runtime); with -DDATACELL_TRACE=OFF the macros expand to nothing and
+// even the null check disappears from the pipeline.
+#if DATACELL_TRACE_ENABLED
+#define DC_TRACE_COMPLETE(ring, category, name, start_us, dur_us, arg_name, \
+                          arg)                                              \
+  do {                                                                      \
+    ::datacell::TraceRing* dc_trace_ring_ = (ring);                         \
+    if (dc_trace_ring_ != nullptr) {                                        \
+      dc_trace_ring_->RecordComplete((category), (name), (start_us),        \
+                                     (dur_us), (arg_name), (arg));          \
+    }                                                                       \
+  } while (0)
+#define DC_TRACE_INSTANT(ring, category, name, ts_us, arg_name, arg) \
+  do {                                                               \
+    ::datacell::TraceRing* dc_trace_ring_ = (ring);                  \
+    if (dc_trace_ring_ != nullptr) {                                 \
+      dc_trace_ring_->RecordInstant((category), (name), (ts_us),     \
+                                    (arg_name), (arg));              \
+    }                                                                \
+  } while (0)
+#else
+#define DC_TRACE_COMPLETE(ring, category, name, start_us, dur_us, arg_name, \
+                          arg)                                              \
+  ((void)0)
+#define DC_TRACE_INSTANT(ring, category, name, ts_us, arg_name, arg) ((void)0)
+#endif
+
+}  // namespace datacell
+
+#endif  // DATACELL_COMMON_TRACE_H_

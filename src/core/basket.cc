@@ -29,6 +29,19 @@ void Basket::SetWakeCallback(std::function<void()> cb) {
   wake_cb_ = std::move(cb);
 }
 
+std::unique_lock<std::mutex> Basket::LockTracked() const {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (lock.owns_lock()) return lock;
+  Timestamp t0 = trace_clock_->Now();
+  lock.lock();
+  Timestamp waited = trace_clock_->Now() - t0;
+  // The ring's mutex is a leaf lock (TraceRing never calls back out), so
+  // recording under mu_ cannot deadlock.
+  trace_ring_->RecordComplete("basket", name(), t0, waited, "lock_wait_us",
+                              waited);
+  return lock;
+}
+
 void Basket::NotifyAppend() {
   std::function<void()> cb;
   {
@@ -42,10 +55,11 @@ Status Basket::Append(const Row& values, Timestamp ts) {
   Row full = values;
   full.push_back(Value::TimestampVal(ts));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock = LockTraced();
     DC_RETURN_NOT_OK(table_->AppendRow(full));
     ++total_appended_;
     ShedLocked(1);
+    NoteOccupancyLocked();
   }
   NotifyAppend();
   return Status::OK();
@@ -59,7 +73,7 @@ Status Basket::AppendBatch(const std::vector<Row>& rows, Timestamp ts) {
 }
 
 Status Basket::AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = LockTraced();
   size_t user_cols = table_->num_columns() - 1;
   // Validate the whole batch before mutating any column, so a bad tuple
   // cannot leave the columns misaligned.
@@ -124,15 +138,17 @@ Status Basket::AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts) {
   for (size_t i = 0; i < rows.size(); ++i) ts_col.AppendInt64(ts);
   total_appended_ += static_cast<int64_t>(rows.size());
   ShedLocked(rows.size());
+  NoteOccupancyLocked();
   return Status::OK();
 }
 
 Status Basket::AppendWithTs(const Table& rows_with_ts) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock = LockTraced();
     DC_RETURN_NOT_OK(table_->AppendTable(rows_with_ts));
     total_appended_ += static_cast<int64_t>(rows_with_ts.num_rows());
     ShedLocked(rows_with_ts.num_rows());
+    NoteOccupancyLocked();
   }
   if (rows_with_ts.num_rows() > 0) NotifyAppend();
   return Status::OK();
@@ -140,7 +156,7 @@ Status Basket::AppendWithTs(const Table& rows_with_ts) {
 
 Status Basket::AppendStamped(const Table& rows, Timestamp ts) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock = LockTraced();
     size_t n_cols = table_->num_columns();
     if (rows.num_columns() != n_cols - 1) {
       return Status::InvalidArgument(
@@ -163,6 +179,7 @@ Status Basket::AppendStamped(const Table& rows, Timestamp ts) {
     }
     total_appended_ += static_cast<int64_t>(rows.num_rows());
     ShedLocked(rows.num_rows());
+    NoteOccupancyLocked();
   }
   if (rows.num_rows() > 0) NotifyAppend();
   return Status::OK();
@@ -211,7 +228,7 @@ void Basket::ShedLocked(size_t appended) {
 }
 
 TablePtr Basket::DrainAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = LockTraced();
   TablePtr out = TablePtr(table_->Clone());
   total_consumed_ += static_cast<int64_t>(table_->num_rows());
   table_->Clear();
@@ -226,7 +243,7 @@ TablePtr Basket::DrainPositionsLocked(const std::vector<size_t>& positions) {
 }
 
 Result<TablePtr> Basket::DrainMatching(const Expr& predicate) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = LockTraced();
   DC_ASSIGN_OR_RETURN(std::vector<size_t> positions,
                       EvaluatePredicate(predicate, *table_));
   return DrainPositionsLocked(positions);
@@ -237,7 +254,7 @@ Result<TablePtr> Basket::DrainSplit(const Expr& predicate, Basket* passthrough) 
   TablePtr matching;
   TablePtr rest;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock = LockTraced();
     DC_ASSIGN_OR_RETURN(std::vector<size_t> positions,
                         EvaluatePredicate(predicate, *table_));
     matching = TablePtr(table_->Take(positions));
@@ -271,7 +288,7 @@ size_t Basket::num_readers() const {
 }
 
 TablePtr Basket::ReadNewFor(size_t reader_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = LockTraced();
   auto it = watermarks_.find(reader_id);
   DC_CHECK(it != watermarks_.end());
   Oid base = table_->hseqbase();
@@ -285,7 +302,7 @@ TablePtr Basket::ReadNewFor(size_t reader_id) {
 
 Result<TablePtr> Basket::ReadNewMatching(size_t reader_id,
                                          const Expr& predicate) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = LockTraced();
   auto it = watermarks_.find(reader_id);
   DC_CHECK(it != watermarks_.end());
   Oid base = table_->hseqbase();
@@ -305,7 +322,7 @@ Result<TablePtr> Basket::ReadNewMatching(size_t reader_id,
 }
 
 size_t Basket::TrimConsumed() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = LockTraced();
   if (watermarks_.empty()) return 0;
   Oid min_mark = watermarks_.begin()->second;
   for (const auto& [id, mark] : watermarks_) {
@@ -372,6 +389,11 @@ int64_t Basket::total_consumed() const {
 size_t Basket::memory_usage() const {
   std::lock_guard<std::mutex> lock(mu_);
   return table_->MemoryUsage();
+}
+
+size_t Basket::size_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_high_water_;
 }
 
 }  // namespace datacell

@@ -1,6 +1,7 @@
 #ifndef DATACELL_CORE_BASKET_H_
 #define DATACELL_CORE_BASKET_H_
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "algebra/operators.h"
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "storage/table.h"
 
 namespace datacell {
@@ -124,6 +126,18 @@ class Basket {
   int64_t total_appended() const;
   int64_t total_consumed() const;
   size_t memory_usage() const;
+  /// Largest occupancy (tuples) ever reached — the backlog high-water mark,
+  /// exported per basket by the engine's metrics snapshot.
+  size_t size_high_water() const;
+
+  /// Enables lock-wait tracing: when a producer or consumer blocks on this
+  /// basket's monitor, the wait is recorded into `ring` (category "basket",
+  /// named after the basket). Wire before concurrent use; pass nullptrs to
+  /// detach. Uncontended operations stay on the plain fast path.
+  void SetTrace(TraceRing* ring, const Clock* clock) {
+    trace_ring_ = ring;
+    trace_clock_ = clock;
+  }
 
   /// Index of the ts column (always the last).
   size_t ts_column() const { return table_->num_columns() - 1; }
@@ -141,6 +155,23 @@ class Basket {
  private:
   Status AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts);
   TablePtr DrainPositionsLocked(const std::vector<size_t>& positions);
+  /// Acquires mu_, recording the wait into the trace ring when the lock was
+  /// contended (tracing wired and compiled in; otherwise a plain lock).
+  /// Inline so the untraced fast path compiles to exactly the lock it
+  /// replaced; kTraceCompiled folds the branch away under
+  /// -DDATACELL_TRACE=OFF.
+  std::unique_lock<std::mutex> LockTraced() const {
+    if (!kTraceCompiled || trace_ring_ == nullptr || trace_clock_ == nullptr) {
+      return std::unique_lock<std::mutex>(mu_);
+    }
+    return LockTracked();
+  }
+  /// Traced slow path of LockTraced: try-lock, time the wait on contention.
+  std::unique_lock<std::mutex> LockTracked() const;
+  /// Call after any append (holding mu_) to advance the high-water mark.
+  void NoteOccupancyLocked() {
+    size_high_water_ = std::max(size_high_water_, table_->num_rows());
+  }
   /// Applies the capacity bound after appends (locked). `appended` is how
   /// many tuples the current call added (bounds kDropNewest).
   void ShedLocked(size_t appended);
@@ -159,6 +190,10 @@ class Basket {
   int64_t total_appended_ = 0;
   int64_t total_consumed_ = 0;
   int64_t total_shed_ = 0;
+  size_t size_high_water_ = 0;
+  // Tracing (null = off). Set at wiring time, before concurrent use.
+  TraceRing* trace_ring_ = nullptr;
+  const Clock* trace_clock_ = nullptr;
 };
 
 using BasketPtr = std::shared_ptr<Basket>;

@@ -21,6 +21,14 @@ Result<int64_t> Emitter::Fire() {
   input_->TrimConsumed();
   if (batch->num_rows() == 0) return 0;
   Timestamp now = clock_->Now();
+  if (latency_hist_ != nullptr) {
+    // Per-tuple response time: delivery minus the output basket's ts column
+    // (the stream arrival time when the query carries ts through).
+    const Bat& ts_col = *batch->column(batch->num_columns() - 1);
+    for (size_t i = 0; i < ts_col.size(); ++i) {
+      latency_hist_->Observe(now - ts_col.Int64At(i));
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(sinks_mu_);
     for (const auto& sink : sinks_) {

@@ -37,6 +37,14 @@ class Emitter : public Transition {
   void AddSink(std::shared_ptr<ResultSink> sink);
   size_t num_sinks() const;
 
+  /// Observes per-tuple delivery latency into `hist`: for every delivered
+  /// tuple, `delivery time - output basket ts`. When the query projects the
+  /// stream's arrival ts through (Engine's output_carries_ts), that is the
+  /// paper's per-tuple response time — ingest to emitter, end to end; for
+  /// stamped outputs it measures result-production to delivery. Bind before
+  /// the emitter enters the scheduler.
+  void SetLatencyHistogram(Histogram* hist) { latency_hist_ = hist; }
+
   /// Retires this emitter's watermark (see Factory::DetachReaders).
   void DetachReader() {
     input_->UnregisterReader(reader_id_);
@@ -49,6 +57,7 @@ class Emitter : public Transition {
   BasketPtr input_;
   const Clock* clock_;
   size_t reader_id_;
+  Histogram* latency_hist_ = nullptr;  // bound at wiring time; may stay null
   mutable std::mutex sinks_mu_;
   std::vector<std::shared_ptr<ResultSink>> sinks_;
 };

@@ -42,6 +42,10 @@ Engine::Engine(EngineOptions options)
   if (options_.kernel_threads > 0) {
     kernel_pool_ = std::make_unique<ThreadPool>(options_.kernel_threads);
   }
+  if (kTraceCompiled && options_.trace_capacity > 0) {
+    trace_ = std::make_unique<TraceRing>(options_.trace_capacity);
+  }
+  scheduler_.SetTrace(trace_.get(), clock_);
 }
 
 Engine::~Engine() {
@@ -50,6 +54,7 @@ Engine::~Engine() {
   // caller past the engine's lifetime, and their lambdas capture `this`.
   for (const BasketPtr& basket : wired_baskets_) {
     basket->SetWakeCallback(nullptr);
+    basket->SetTrace(nullptr, nullptr);  // ring and clock die with the engine
   }
   for (Channel* channel : wired_channels_) {
     channel->SetWakeCallback(nullptr);
@@ -58,7 +63,20 @@ Engine::~Engine() {
 
 void Engine::WireBasketWake(const BasketPtr& basket) {
   basket->SetWakeCallback([this] { scheduler_.NotifyWork(); });
+  basket->SetTrace(trace_.get(), clock_);
   wired_baskets_.push_back(basket);
+}
+
+void Engine::BindTransitionMetrics(Transition& t) const {
+  MetricLabels labels{{"transition", t.name()},
+                      {"kind", std::string(TransitionKindToString(t.kind()))}};
+  Transition::MetricsBinding binding;
+  binding.fires = metrics_.GetCounter("datacell_transition_fires_total", labels);
+  binding.tuples =
+      metrics_.GetCounter("datacell_transition_tuples_total", labels);
+  binding.fire_latency_us =
+      metrics_.GetHistogram("datacell_transition_fire_latency_us", labels);
+  t.BindMetrics(binding);
 }
 
 Engine::StreamInfo* Engine::FindStream(const std::string& name) {
@@ -176,6 +194,7 @@ Result<Receptor*> Engine::AttachReceptor(const std::string& name,
   // receptor would only fire on the next fallback tick.
   channel->SetWakeCallback([this] { scheduler_.NotifyWork(); });
   wired_channels_.push_back(channel);
+  BindTransitionMetrics(*receptor);
   scheduler_.AddTransition(receptor);
   return receptor.get();
 }
@@ -297,6 +316,7 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
                 "sharedfilter_" + group_table->name(), stream->base,
                 in.consume_predicate, group_basket, clock_);
             shared_filters_.push_back(filter);
+            BindTransitionMetrics(*filter);
             scheduler_.AddTransition(filter);
             group = subplan_groups_.emplace(key, group_basket).first;
           }
@@ -360,6 +380,8 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
   foptions.output_carries_ts = output_carries_ts;
   foptions.exec.pool = kernel_pool_.get();
   foptions.exec.parallel_threshold = options_.parallel_threshold;
+  foptions.exec.morsel_counter =
+      &metrics_.GetCounter("datacell_kernel_morsels_total")->cell();
   DC_ASSIGN_OR_RETURN(
       FactoryPtr factory,
       Factory::Create("factory_" + ToLower(name), std::move(query),
@@ -372,6 +394,18 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
 
   auto emitter =
       std::make_shared<Emitter>("emitter_" + ToLower(name), output, clock_);
+  // Per-query end-to-end tuple latency, observed at delivery time. Only
+  // bound when the query projects the stream's arrival ts through to the
+  // output (select *): that is the paper's per-tuple response time. For
+  // other queries the output ts is the production stamp and "latency" would
+  // be near-zero noise — not worth a per-tuple Observe on the hot path.
+  if (output_carries_ts) {
+    emitter->SetLatencyHistogram(
+        metrics_.GetHistogram("datacell_query_e2e_latency_us",
+                              {{"query", ToLower(name)}}));
+  }
+  BindTransitionMetrics(*factory);
+  BindTransitionMetrics(*emitter);
 
   scheduler_.AddTransition(factory);
   scheduler_.AddTransition(emitter);
@@ -569,30 +603,151 @@ Result<TablePtr> Engine::ExecuteSql(const std::string& sql) {
   return Status::Internal("bad statement kind");
 }
 
+void Engine::RefreshPulledMetrics() const {
+  // Mirror the pull-side sources into registry cells so one snapshot carries
+  // everything. Push-side metrics (transition fires, e2e latency, morsels)
+  // are already live in the registry.
+  metrics_.GetCounter("datacell_ingested_tuples_total")->Set(tuples_ingested());
+  metrics_.GetCounter("datacell_scheduler_sweeps_total")
+      ->Set(scheduler_.sweeps());
+  metrics_.GetCounter("datacell_scheduler_firings_total")
+      ->Set(scheduler_.total_firings());
+  metrics_.GetCounter("datacell_scheduler_errors_total")
+      ->Set(scheduler_.error_count());
+  metrics_.GetCounter("datacell_scheduler_idle_waits_total")
+      ->Set(scheduler_.idle_waits());
+  metrics_.GetCounter("datacell_scheduler_wakes_notified_total")
+      ->Set(scheduler_.wakes_notified());
+  metrics_.GetCounter("datacell_scheduler_wakes_timeout_total")
+      ->Set(scheduler_.wakes_timeout());
+  for (const auto& receptor : receptors_) {
+    metrics_
+        .GetCounter("datacell_receptor_malformed_total",
+                    {{"receptor", receptor->name()}})
+        ->Set(receptor->malformed_lines());
+  }
+  // wired_baskets_ holds every engine-created basket: stream bases, private
+  // replicas, chain links, output baskets and shared subplan group baskets.
+  for (const BasketPtr& basket : wired_baskets_) {
+    MetricLabels labels{{"basket", basket->name()}};
+    metrics_.GetGauge("datacell_basket_tuples", labels)
+        ->Set(static_cast<int64_t>(basket->size()));
+    metrics_.GetGauge("datacell_basket_high_water", labels)
+        ->Set(static_cast<int64_t>(basket->size_high_water()));
+    metrics_.GetGauge("datacell_basket_bytes", labels)
+        ->Set(static_cast<int64_t>(basket->memory_usage()));
+    metrics_.GetCounter("datacell_basket_appended_total", labels)
+        ->Set(basket->total_appended());
+    metrics_.GetCounter("datacell_basket_consumed_total", labels)
+        ->Set(basket->total_consumed());
+    metrics_.GetCounter("datacell_basket_shed_total", labels)
+        ->Set(basket->total_shed());
+  }
+}
+
+MetricsSnapshotData Engine::MetricsSnapshot() const {
+  RefreshPulledMetrics();
+  return metrics_.Snapshot();
+}
+
+std::string Engine::MetricsText() const {
+  RefreshPulledMetrics();
+  return metrics_.PrometheusText();
+}
+
+std::string Engine::TraceJson() const {
+  return trace_ == nullptr ? std::string() : trace_->ToChromeJson();
+}
+
 std::string Engine::StatsReport() const {
+  MetricsSnapshotData snap = MetricsSnapshot();
+  auto counter = [&snap](const std::string& name,
+                         const std::string& label_value = "") {
+    const CounterSnapshot* c = snap.FindCounter(name, label_value);
+    return c == nullptr ? int64_t{0} : c->value;
+  };
+  auto us = [](double v) {
+    return std::to_string(static_cast<int64_t>(v + 0.5));
+  };
+  const char* policy = "round-robin";
+  if (scheduler_.policy() == SchedulingPolicy::kPriority) policy = "priority";
+  if (scheduler_.policy() == SchedulingPolicy::kAdaptive) policy = "adaptive";
+
   std::string out = "== DataCell engine ==\n";
-  out += "scheduler: sweeps=" + std::to_string(scheduler_.sweeps()) +
-         " firings=" + std::to_string(scheduler_.total_firings()) +
-         " errors=" + std::to_string(scheduler_.error_count()) +
-         " policy=" +
-         (scheduler_.policy() == SchedulingPolicy::kPriority ? "priority"
-                                                             : "round-robin") +
-         "\n";
-  out += "ingested tuples: " + std::to_string(tuples_ingested()) + "\n";
+  out += "scheduler: sweeps=" +
+         std::to_string(counter("datacell_scheduler_sweeps_total")) +
+         " firings=" +
+         std::to_string(counter("datacell_scheduler_firings_total")) +
+         " errors=" +
+         std::to_string(counter("datacell_scheduler_errors_total")) +
+         " wakes_notified=" +
+         std::to_string(counter("datacell_scheduler_wakes_notified_total")) +
+         " wakes_timeout=" +
+         std::to_string(counter("datacell_scheduler_wakes_timeout_total")) +
+         " policy=" + policy + "\n";
+  out += "ingested tuples: " +
+         std::to_string(counter("datacell_ingested_tuples_total")) + "\n";
+  int64_t morsels = counter("datacell_kernel_morsels_total");
+  if (morsels > 0) {
+    out += "kernel morsels: " + std::to_string(morsels) + "\n";
+  }
   out += "-- transitions --\n";
   for (const TransitionPtr& t : scheduler_.transitions()) {
     out += "  [" + std::string(TransitionKindToString(t->kind())) + "] " +
-           t->name() + ": runs=" + std::to_string(t->runs()) +
-           " tuples=" + std::to_string(t->tuples_processed()) +
-           " busy_us=" + std::to_string(t->busy_time_us()) + "\n";
+           t->name() + ": fires=" +
+           std::to_string(counter("datacell_transition_fires_total",
+                                  t->name())) +
+           " tuples=" +
+           std::to_string(counter("datacell_transition_tuples_total",
+                                  t->name())) +
+           " busy_us=" + std::to_string(t->busy_time_us());
+    const HistogramSnapshot* lat =
+        snap.FindHistogram("datacell_transition_fire_latency_us", t->name());
+    if (lat != nullptr && lat->count > 0) {
+      out += " fire_us(p50=" + us(lat->Percentile(0.5)) +
+             " p99=" + us(lat->Percentile(0.99)) +
+             " max=" + std::to_string(lat->max) + ")";
+    }
+    out += "\n";
+  }
+  bool any_query = false;
+  for (const QueryInfo& q : queries_) {
+    if (q.removed) continue;
+    const HistogramSnapshot* lat =
+        snap.FindHistogram("datacell_query_e2e_latency_us", ToLower(q.name));
+    if (lat == nullptr) continue;
+    if (!any_query) {
+      out += "-- queries (end-to-end tuple latency) --\n";
+      any_query = true;
+    }
+    out += "  " + q.name + ": delivered=" + std::to_string(lat->count);
+    if (lat->count > 0) {
+      out += " e2e_us(p50=" + us(lat->Percentile(0.5)) +
+             " p99=" + us(lat->Percentile(0.99)) +
+             " mean=" + us(lat->Mean()) +
+             " max=" + std::to_string(lat->max) + ")";
+    }
+    out += "\n";
   }
   out += "-- streams --\n";
   for (const auto& [key, stream] : streams_) {
-    out += "  " + key + ": buffered=" + std::to_string(stream.base->size()) +
-           " in=" + std::to_string(stream.base->total_appended()) +
-           " out=" + std::to_string(stream.base->total_consumed()) +
-           " shed=" + std::to_string(stream.base->total_shed()) +
-           " bytes=" + std::to_string(stream.base->memory_usage()) + "\n";
+    const std::string& bname = stream.base->name();
+    auto gauge = [&snap](const std::string& name, const std::string& lv) {
+      const GaugeSnapshot* g = snap.FindGauge(name, lv);
+      return g == nullptr ? int64_t{0} : g->value;
+    };
+    out += "  " + key + ": buffered=" +
+           std::to_string(gauge("datacell_basket_tuples", bname)) +
+           " high_water=" +
+           std::to_string(gauge("datacell_basket_high_water", bname)) +
+           " in=" +
+           std::to_string(counter("datacell_basket_appended_total", bname)) +
+           " out=" +
+           std::to_string(counter("datacell_basket_consumed_total", bname)) +
+           " shed=" +
+           std::to_string(counter("datacell_basket_shed_total", bname)) +
+           " bytes=" +
+           std::to_string(gauge("datacell_basket_bytes", bname)) + "\n";
   }
   if (!subplan_groups_.empty()) {
     out += "-- shared subplan groups --\n";
@@ -600,6 +755,12 @@ std::string Engine::StatsReport() const {
       out += "  " + key + ": buffered=" + std::to_string(basket->size()) +
              "\n";
     }
+  }
+  if (trace_ != nullptr) {
+    out += "trace: events=" + std::to_string(trace_->size()) + "/" +
+           std::to_string(trace_->capacity()) +
+           " recorded=" + std::to_string(trace_->total_recorded()) +
+           " dropped=" + std::to_string(trace_->dropped()) + "\n";
   }
   return out;
 }

@@ -11,7 +11,9 @@
 #include "adapters/channel.h"
 #include "adapters/sink.h"
 #include "common/clock.h"
+#include "common/metrics_registry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/emitter.h"
 #include "core/factory.h"
 #include "core/receptor.h"
@@ -53,6 +55,14 @@ struct EngineOptions {
   /// Minimum input size (values) before a kernel fans out over the pool;
   /// smaller baskets stay on the scalar path, whose latency is lower.
   size_t parallel_threshold = 128 * 1024;
+  /// Event tracing (common/trace.h): capacity of the bounded trace ring in
+  /// events; 0 (the default) disables tracing — no ring is allocated and
+  /// the instrumented hot paths pay at most a null-pointer check. Takes
+  /// effect only in builds configured with -DDATACELL_TRACE=ON (the option
+  /// defaults OFF, which compiles the hooks out entirely). The ring keeps
+  /// the most recent `trace_capacity` scheduler sweeps, transition firings
+  /// and basket lock waits; export with Engine::TraceJson().
+  size_t trace_capacity = 0;
 };
 
 /// Per-query overrides for SubmitContinuousQuery.
@@ -185,8 +195,32 @@ class Engine {
   /// Number of factored common-subplan groups currently installed.
   size_t num_shared_subplans() const { return subplan_groups_.size(); }
 
-  /// Multi-line human-readable engine state: per-transition run counts and
-  /// busy time, per-stream basket occupancy/shedding, scheduler counters.
+  // --- observability --------------------------------------------------------
+  /// The engine's metric registry. Every receptor, factory, emitter and
+  /// shared filter pushes per-instance counters and fire-latency histograms
+  /// here as it runs; emitters additionally push per-query end-to-end tuple
+  /// latency (see Emitter::SetLatencyHistogram). Names follow the scheme
+  /// documented in docs/ARCHITECTURE.md ("Observability").
+  MetricsRegistry& metrics() const { return metrics_; }
+  /// Typed point-in-time view: refreshes the pull-side gauges (basket
+  /// occupancy/high-water/bytes, scheduler sweep and wake counters, ingest
+  /// totals, receptor malformed counts) and snapshots the whole registry.
+  /// Safe to call while the scheduler runs.
+  MetricsSnapshotData MetricsSnapshot() const;
+  /// Prometheus text exposition of MetricsSnapshot() — scrape or diff it.
+  std::string MetricsText() const;
+
+  /// Non-null when EngineOptions::trace_capacity > 0 (and tracing compiled).
+  TraceRing* trace() const { return trace_.get(); }
+  /// Chrome trace_event JSON of the current trace ring content; load in
+  /// chrome://tracing or ui.perfetto.dev. Empty trace => valid JSON with an
+  /// empty event array. Returns "" when tracing is disabled.
+  std::string TraceJson() const;
+
+  /// Multi-line human-readable engine state, built on MetricsSnapshot():
+  /// per-transition fire counts and latency percentiles, per-query
+  /// end-to-end latency, per-basket occupancy/shedding, scheduler and wake
+  /// counters.
   std::string StatsReport() const;
   /// Total tuples shed across all stream baskets.
   int64_t total_shed() const;
@@ -214,8 +248,13 @@ class Engine {
   StreamInfo* FindStream(const std::string& name);
   /// Points `basket`'s wake callback at the scheduler and remembers it for
   /// detachment in the destructor (a retained BasketPtr must never call
-  /// into a destroyed scheduler).
+  /// into a destroyed scheduler). Also wires lock-wait tracing when enabled.
   void WireBasketWake(const BasketPtr& basket);
+  /// Registers `t`'s per-instance metrics (fires/tuples/fire-latency) under
+  /// its name and kind. Call before the transition enters the scheduler.
+  void BindTransitionMetrics(Transition& t) const;
+  /// Pull-side refresh backing MetricsSnapshot().
+  void RefreshPulledMetrics() const;
 
   EngineOptions options_;
   Catalog catalog_;
@@ -238,6 +277,10 @@ class Engine {
   std::vector<std::shared_ptr<SharedFilterTransition>> shared_filters_;
   // Atomic: receptors and application threads ingest concurrently.
   std::atomic<int64_t> tuples_ingested_{0};
+  // Observability. The registry is mutable because snapshots refresh the
+  // pull-side gauges; all cells are atomic, so const readers are safe.
+  mutable MetricsRegistry metrics_;
+  std::unique_ptr<TraceRing> trace_;
 };
 
 }  // namespace datacell

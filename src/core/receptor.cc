@@ -42,7 +42,7 @@ Result<int64_t> Receptor::Fire() {
   for (const std::string& line : lines) {
     Result<Row> parsed = ParseCsvRow(line, user_schema_);
     if (!parsed.ok()) {
-      ++malformed_;
+      malformed_.fetch_add(1, std::memory_order_relaxed);
       DC_LOG(Warning) << name() << ": dropping malformed tuple: "
                       << parsed.status().ToString();
       continue;

@@ -1,6 +1,7 @@
 #ifndef DATACELL_CORE_RECEPTOR_H_
 #define DATACELL_CORE_RECEPTOR_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -39,7 +40,9 @@ class Receptor : public Transition {
   /// must not stall the stream on bad input).
   Result<int64_t> Fire() override;
 
-  int64_t malformed_lines() const { return malformed_; }
+  int64_t malformed_lines() const {
+    return malformed_.load(std::memory_order_relaxed);
+  }
 
  private:
   Channel* channel_;
@@ -47,7 +50,9 @@ class Receptor : public Transition {
   DeliverFn deliver_;
   const Clock* clock_;
   size_t max_batch_;
-  int64_t malformed_ = 0;
+  // Atomic: mutated by whichever scheduler worker fires the receptor, read
+  // by monitoring threads through the accessor and the metrics snapshot.
+  std::atomic<int64_t> malformed_{0};
 };
 
 }  // namespace datacell

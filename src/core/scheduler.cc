@@ -67,6 +67,12 @@ std::vector<size_t> Scheduler::FiringOrder() const {
 
 int Scheduler::FireSweep(const std::vector<TransitionPtr>& snapshot,
                          const std::vector<size_t>& order) {
+  // kTraceCompiled is constexpr false under -DDATACELL_TRACE=OFF, so the
+  // tracing branches below (including the clock reads) fold away entirely.
+  TraceRing* ring = kTraceCompiled ? trace_ring_ : nullptr;
+  const Clock* tclock = trace_clock_;
+  if (tclock == nullptr) ring = nullptr;
+  Timestamp sweep_start = ring != nullptr ? tclock->Now() : 0;
   int fired = 0;
   for (size_t idx : order) {
     Transition& t = *snapshot[idx];
@@ -74,6 +80,7 @@ int Scheduler::FireSweep(const std::vector<TransitionPtr>& snapshot,
     // A transition must not fire concurrently with itself (factory window
     // state is single-writer); workers skip claimed transitions.
     if (!t.TryClaim()) continue;
+    Timestamp fire_start = ring != nullptr ? tclock->Now() : 0;
     Result<int64_t> r = t.Fire();
     t.Release();
     if (!r.ok()) {
@@ -84,12 +91,27 @@ int Scheduler::FireSweep(const std::vector<TransitionPtr>& snapshot,
       }
       DC_LOG(Error) << "transition '" << t.name()
                     << "' failed: " << r.status().ToString();
+      if (ring != nullptr) {
+        ring->RecordInstant("scheduler", t.name(), tclock->Now(), "error", 1);
+      }
       continue;
     }
-    if (*r > 0) ++fired;
+    if (*r > 0) {
+      ++fired;
+      if (ring != nullptr) {
+        ring->RecordComplete("transition", t.name(), fire_start,
+                             tclock->Now() - fire_start, "tuples", *r);
+      }
+    }
   }
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   firings_.fetch_add(fired, std::memory_order_relaxed);
+  // Only productive sweeps enter the timeline; tracing every empty poll
+  // would flood the ring with noise.
+  if (ring != nullptr && fired > 0) {
+    ring->RecordComplete("scheduler", "sweep", sweep_start,
+                         tclock->Now() - sweep_start, "fired", fired);
+  }
   return fired;
 }
 
@@ -160,11 +182,28 @@ void Scheduler::Loop() {
     int fired = Step();
     if (fired == 0) {
       idle_waits_.fetch_add(1, std::memory_order_relaxed);
-      std::unique_lock<std::mutex> lock(wake_mu_);
-      wake_cv_.wait_for(lock, kIdleFallback, [&] {
-        return work_epoch_.load(std::memory_order_acquire) != seen ||
-               stop_requested_.load(std::memory_order_acquire);
-      });
+      {
+        std::unique_lock<std::mutex> lock(wake_mu_);
+        wake_cv_.wait_for(lock, kIdleFallback, [&] {
+          return work_epoch_.load(std::memory_order_acquire) != seen ||
+                 stop_requested_.load(std::memory_order_acquire);
+        });
+      }
+      // Wake-reason accounting: a moved epoch means a producer notified;
+      // otherwise the bounded fallback tick expired. An idle engine should
+      // accumulate timeouts, a loaded one notifications.
+      bool notified = work_epoch_.load(std::memory_order_acquire) != seen;
+      if (notified) {
+        wakes_notified_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        wakes_timeout_.fetch_add(1, std::memory_order_relaxed);
+      }
+      TraceRing* ring = kTraceCompiled ? trace_ring_ : nullptr;
+      if (ring != nullptr && trace_clock_ != nullptr) {
+        ring->RecordInstant("scheduler",
+                            notified ? "wake_notified" : "wake_timeout",
+                            trace_clock_->Now());
+      }
     }
   }
 }

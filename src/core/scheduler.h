@@ -10,7 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/transition.h"
 
 namespace datacell {
@@ -92,7 +94,26 @@ class Scheduler {
   int64_t idle_waits() const {
     return idle_waits_.load(std::memory_order_relaxed);
   }
+  /// Why idle waits ended: a NotifyWork signal (tokens arrived) vs the
+  /// bounded fallback tick (wall-clock window boundaries and other
+  /// notifier-less readiness changes). Together with idle_waits these are
+  /// the scheduler's wake-reason accounting.
+  int64_t wakes_notified() const {
+    return wakes_notified_.load(std::memory_order_relaxed);
+  }
+  int64_t wakes_timeout() const {
+    return wakes_timeout_.load(std::memory_order_relaxed);
+  }
   Status last_error() const;
+
+  /// Enables event tracing: sweeps, per-transition firings and idle wakes
+  /// are recorded into `ring`, timestamped by `clock`. Call before Start
+  /// (or between stepped sweeps); pass nullptrs to detach. The engine owns
+  /// both objects and wires them when EngineOptions::trace_capacity > 0.
+  void SetTrace(TraceRing* ring, const Clock* clock) {
+    trace_ring_ = ring;
+    trace_clock_ = clock;
+  }
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -123,6 +144,12 @@ class Scheduler {
   std::condition_variable wake_cv_;
   std::atomic<uint64_t> work_epoch_{0};
   std::atomic<int64_t> idle_waits_{0};
+  std::atomic<int64_t> wakes_notified_{0};
+  std::atomic<int64_t> wakes_timeout_{0};
+
+  // Tracing (null = off). Set during wiring, before workers run.
+  TraceRing* trace_ring_ = nullptr;
+  const Clock* trace_clock_ = nullptr;
 
   std::atomic<int64_t> sweeps_{0};
   std::atomic<int64_t> firings_{0};

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics_registry.h"
 #include "common/result.h"
 
 namespace datacell {
@@ -70,11 +71,26 @@ class Transition {
     return busy_us_.load(std::memory_order_relaxed);
   }
 
+  /// Per-instance registry cells this transition feeds from RecordRun.
+  /// Bound once by the engine at wiring time (before the transition enters
+  /// the scheduler); any pointer may be null.
+  struct MetricsBinding {
+    Counter* fires = nullptr;            // productive Fire() calls
+    Counter* tuples = nullptr;           // tuples processed
+    Histogram* fire_latency_us = nullptr;  // per-fire wall time
+  };
+  void BindMetrics(const MetricsBinding& binding) { metrics_ = binding; }
+
  protected:
   void RecordRun(int64_t tuples, int64_t elapsed_us) {
     runs_.fetch_add(1, std::memory_order_relaxed);
     tuples_.fetch_add(tuples, std::memory_order_relaxed);
     busy_us_.fetch_add(elapsed_us, std::memory_order_relaxed);
+    if (metrics_.fires != nullptr) metrics_.fires->Inc();
+    if (metrics_.tuples != nullptr) metrics_.tuples->Inc(tuples);
+    if (metrics_.fire_latency_us != nullptr) {
+      metrics_.fire_latency_us->Observe(elapsed_us);
+    }
   }
 
  private:
@@ -85,6 +101,7 @@ class Transition {
   std::atomic<int64_t> runs_{0};
   std::atomic<int64_t> tuples_{0};
   std::atomic<int64_t> busy_us_{0};
+  MetricsBinding metrics_;  // written before scheduling starts, then read-only
 };
 
 using TransitionPtr = std::shared_ptr<Transition>;

@@ -246,6 +246,79 @@ TEST(ConcurrencyStress, ParallelKernelsInsideThreadedScheduler) {
   EXPECT_EQ(engine.scheduler().error_count(), 0);
 }
 
+/// Regression for the observability layer's thread-safety: the engine's
+/// counters used to be plain int64_t fields written by scheduler workers and
+/// read by reporting threads — a data race TSan flags. Every metric now
+/// lives in atomic registry cells; this test scrapes MetricsSnapshot,
+/// MetricsText and StatsReport continuously while producers and scheduler
+/// workers hammer the pipeline, and must stay clean under
+/// -DDATACELL_SANITIZE=thread.
+TEST(ConcurrencyStress, MetricsScrapeWhilePipelineRuns) {
+  constexpr int kProducers = 2;
+  constexpr int kBatchesPerProducer = 40;
+  constexpr int kRowsPerBatch = 32;
+  constexpr int64_t kTotal =
+      int64_t{kProducers} * kBatchesPerProducer * kRowsPerBatch;
+
+  EngineOptions opts;
+  opts.trace_capacity = 1 << 10;  // trace recording races the scrapers too
+  Engine engine(opts);
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "scrape", "select * from [select * from s] as a");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto sink = std::make_shared<CountingSink>();
+  ASSERT_TRUE(engine.Subscribe(*q, sink).ok());
+  ASSERT_TRUE(engine.Start(4).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&engine, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshotData snap = engine.MetricsSnapshot();
+      const CounterSnapshot* fires =
+          snap.FindCounter("datacell_transition_fires_total", "factory_scrape");
+      ASSERT_NE(fires, nullptr);
+      ASSERT_GE(fires->value, 0);
+      std::string text = engine.MetricsText();
+      ASSERT_FALSE(text.empty());
+      std::string report = engine.StatsReport();
+      ASSERT_FALSE(report.empty());
+      std::string json = engine.TraceJson();
+      if (kTraceCompiled) ASSERT_FALSE(json.empty());
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine] {
+      for (int b = 0; b < kBatchesPerProducer; ++b) {
+        std::vector<Row> rows;
+        for (int i = 0; i < kRowsPerBatch; ++i) {
+          rows.push_back({Value::Int64(i)});
+        }
+        if (!engine.IngestBatch("s", rows).ok()) return;
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  ASSERT_TRUE(
+      WaitFor([&] { return sink->rows() >= kTotal; }, milliseconds(10000)))
+      << "rows=" << sink->rows();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  engine.Stop();
+
+  EXPECT_EQ(sink->rows(), kTotal);
+  MetricsSnapshotData snap = engine.MetricsSnapshot();
+  EXPECT_EQ(snap.FindCounter("datacell_transition_tuples_total",
+                             "factory_scrape")->value,
+            kTotal);
+  EXPECT_EQ(snap.FindHistogram("datacell_query_e2e_latency_us", "scrape")
+                ->count,
+            static_cast<uint64_t>(kTotal));
+  EXPECT_EQ(engine.scheduler().error_count(), 0);
+}
+
 TEST(ConcurrencyStress, ThreadPoolParallelForCoversAllIndices) {
   ThreadPool pool(4);
   constexpr size_t kN = 10000;
