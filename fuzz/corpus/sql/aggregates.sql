@@ -1,0 +1,1 @@
+select k, count(*), sum(a), min(a + b), avg(c) from t where v > 0 group by k having sum(a) > 2 order by k desc limit 10 offset 2

@@ -1,0 +1,2 @@
+select -- a comment
+ x from t

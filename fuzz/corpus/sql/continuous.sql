@@ -1,0 +1,1 @@
+select * from [select * from r where r.b < 5] as s where s.a > 1

@@ -1,0 +1,3 @@
+create basket r (x int, price float, name varchar);
+insert into r values (1, 2.5, 'a'), (2, 3.5, 'b');
+drop basket r;

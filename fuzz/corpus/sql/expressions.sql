@@ -1,0 +1,1 @@
+select * from t where not a is null and (a + -1) * 2 = -4 or b between 1 and 9 and c in (1, 2, 3)

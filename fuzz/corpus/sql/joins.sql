@@ -1,0 +1,1 @@
+select * from a join b on a.x = b.y join c on c.z = a.x

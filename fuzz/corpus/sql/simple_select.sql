@@ -1,0 +1,1 @@
+select a, b from t where a >= 10;

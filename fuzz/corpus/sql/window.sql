@@ -1,0 +1,1 @@
+select avg(a) from [select * from r] as s window size 100 slide 10

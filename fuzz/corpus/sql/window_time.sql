@@ -1,0 +1,1 @@
+select count(*) from [select * from r] as s window range 30 seconds slide 5 seconds threshold 2

@@ -1,0 +1,104 @@
+// Fuzz harness for the receptor ingest path: CSV line splitting and typed
+// row parsing (adapters/csv.{h,cc}). This is the engine's primary untrusted
+// input surface — every byte a receptor reads off a channel goes through
+// ParseCsvRow before touching a basket.
+//
+// Built two ways (see fuzz/CMakeLists.txt):
+//   - with clang: a real libFuzzer target (-fsanitize=fuzzer,address)
+//   - elsewhere: linked against the standalone replay/mutation driver, so
+//     the same harness still runs as a ctest smoke on a gcc-only box.
+//
+// The harness asserts parser *contracts*, not just absence-of-crash: a
+// successful parse yields exactly one value per schema field, with each
+// value either null or of the schema's type; a failed parse yields a
+// ParseError status, never any other kind.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "adapters/csv.h"
+#include "storage/table.h"
+
+namespace {
+
+using datacell::DataType;
+using datacell::Row;
+using datacell::Schema;
+using datacell::Value;
+
+const Schema& MixedSchema() {
+  static const Schema* s = new Schema({{"i", DataType::kInt64},
+                                       {"f", DataType::kDouble},
+                                       {"b", DataType::kBool},
+                                       {"s", DataType::kString}});
+  return *s;
+}
+
+const Schema& StringsSchema() {
+  static const Schema* s =
+      new Schema({{"a", DataType::kString}, {"b", DataType::kString}});
+  return *s;
+}
+
+void Check(bool cond, const char* what) {
+  if (cond) return;
+  std::fprintf(stderr, "fuzz_csv contract violated: %s\n", what);
+  std::abort();
+}
+
+void ExerciseSchema(std::string_view line, const Schema& schema) {
+  datacell::Result<Row> parsed = datacell::ParseCsvRow(line, schema);
+  if (!parsed.ok()) {
+    Check(parsed.status().code() == datacell::StatusCode::kParseError,
+          "rejection must be a ParseError");
+    return;
+  }
+  Check(parsed->size() == schema.num_fields(),
+        "accepted row arity must match schema");
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    const Value& v = (*parsed)[i];
+    if (v.is_null()) continue;
+    switch (schema.field(i).type) {
+      case DataType::kInt64:
+        Check(v.is_int64(), "int field holds non-int");
+        break;
+      case DataType::kDouble:
+        Check(v.is_double(), "float field holds non-float");
+        break;
+      case DataType::kBool:
+        Check(v.is_bool(), "bool field holds non-bool");
+        break;
+      case DataType::kString:
+        Check(v.is_string(), "string field holds non-string");
+        break;
+      default:
+        break;
+    }
+  }
+  // Round-trip: a row we accepted must re-format and re-parse to the same
+  // arity (formatting quotes whatever needs quoting).
+  std::string formatted = datacell::FormatCsvRow(*parsed);
+  datacell::Result<Row> again = datacell::ParseCsvRow(formatted, schema);
+  Check(again.ok(), "formatted accepted row must re-parse");
+  Check(again->size() == parsed->size(), "round-trip changed arity");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  // Each input is treated as a batch of lines, as a receptor would see it.
+  while (!input.empty()) {
+    size_t nl = input.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? input : input.substr(0, nl);
+    ExerciseSchema(line, MixedSchema());
+    ExerciseSchema(line, StringsSchema());
+    if (nl == std::string_view::npos) break;
+    input.remove_prefix(nl + 1);
+  }
+  return 0;
+}

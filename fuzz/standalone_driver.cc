@@ -1,0 +1,154 @@
+// Minimal libFuzzer-compatible driver for toolchains without libFuzzer
+// (e.g. gcc-only boxes): links against any harness exporting
+// LLVMFuzzerTestOneInput and provides
+//
+//   1. corpus replay  — every file/directory argument is fed to the harness
+//      once (also how a crasher reproduces: `fuzz_csv crash-1234`), and
+//   2. a deterministic mutation loop — seeded LCG, byte flips / inserts /
+//      erases / truncations / cross-splices over the corpus, `-runs=N`
+//      iterations (default 20000).
+//
+// No wall-clock, no entropy: the same binary + corpus + flags always
+// exercises the same inputs, which is what a ctest smoke needs. Real
+// coverage-guided runs should use the clang/libFuzzer build of the same
+// harness; the flags accepted here are a subset of libFuzzer's so corpus
+// directories and crash files are interchangeable between the two.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::vector<std::string> ReadSeed(const std::filesystem::path& p) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (std::filesystem::is_directory(p, ec)) {
+    // Deterministic order: directory iteration order is unspecified.
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(p, ec)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files) {
+      auto sub = ReadSeed(f);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+  }
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "standalone_driver: cannot read %s\n",
+                 p.string().c_str());
+    return out;
+  }
+  out.emplace_back(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  return out;
+}
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants).
+struct Lcg {
+  uint64_t state;
+  uint64_t Next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 17;
+  }
+};
+
+void Mutate(std::string* buf, const std::vector<std::string>& corpus,
+            Lcg* rng, size_t max_len) {
+  switch (rng->Next() % 5) {
+    case 0: {  // flip a byte
+      if (buf->empty()) break;
+      (*buf)[rng->Next() % buf->size()] =
+          static_cast<char>(rng->Next() & 0xff);
+      break;
+    }
+    case 1: {  // insert a byte
+      size_t pos = buf->empty() ? 0 : rng->Next() % (buf->size() + 1);
+      buf->insert(buf->begin() + static_cast<ptrdiff_t>(pos),
+                  static_cast<char>(rng->Next() & 0xff));
+      break;
+    }
+    case 2: {  // erase a span
+      if (buf->empty()) break;
+      size_t pos = rng->Next() % buf->size();
+      size_t len = 1 + rng->Next() % 8;
+      buf->erase(pos, len);
+      break;
+    }
+    case 3: {  // truncate
+      if (buf->empty()) break;
+      buf->resize(rng->Next() % buf->size());
+      break;
+    }
+    case 4: {  // splice a random corpus slice in
+      if (corpus.empty()) break;
+      const std::string& donor = corpus[rng->Next() % corpus.size()];
+      if (donor.empty()) break;
+      size_t from = rng->Next() % donor.size();
+      size_t len = 1 + rng->Next() % (donor.size() - from);
+      size_t pos = buf->empty() ? 0 : rng->Next() % (buf->size() + 1);
+      buf->insert(pos, donor, from, len);
+      break;
+    }
+  }
+  if (buf->size() > max_len) buf->resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 20000;
+  size_t max_len = 4096;
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  std::vector<std::string> corpus;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-runs=", 6) == 0) {
+      runs = std::atoll(arg + 6);
+    } else if (std::strncmp(arg, "-max_len=", 9) == 0) {
+      max_len = static_cast<size_t>(std::atoll(arg + 9));
+    } else if (std::strncmp(arg, "-seed=", 6) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(arg + 6));
+    } else if (arg[0] == '-') {
+      // Ignore unknown libFuzzer-style flags so ctest invocations written
+      // for the clang build also work here.
+      std::fprintf(stderr, "standalone_driver: ignoring flag %s\n", arg);
+    } else {
+      auto seeds = ReadSeed(arg);
+      corpus.insert(corpus.end(), seeds.begin(), seeds.end());
+    }
+  }
+
+  std::fprintf(stderr, "standalone_driver: %zu seed inputs, %lld runs\n",
+               corpus.size(), runs);
+  for (const std::string& input : corpus) {
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                           input.size());
+  }
+
+  Lcg rng{seed};
+  std::string buf;
+  for (long long i = 0; i < runs; ++i) {
+    if (corpus.empty()) {
+      buf.clear();
+    } else if (i % 4 == 0 || buf.size() > max_len) {
+      // Restart from a seed regularly so mutations stay near valid inputs.
+      buf = corpus[rng.Next() % corpus.size()];
+    }
+    Mutate(&buf, corpus, &rng, max_len);
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(buf.data()),
+                           buf.size());
+  }
+  std::fprintf(stderr, "standalone_driver: done (%lld runs)\n", runs);
+  return 0;
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# One-shot correctness gate: everything CI runs, runnable locally before a
+# push. Fails on the first broken stage.
+#
+#   stage 1  format       clang-format --dry-run on src/ tests/ fuzz/
+#   stage 2  werror       configure+build with -Wall -Wextra -Wconversion -Werror
+#   stage 3  tidy         clang-tidy over src/ (compile_commands from stage 2)
+#   stage 4  debug-checks full suite with DATACELL_DEBUG_CHECKS=ON
+#                         (lock-order checker + DC_DCHECK invariants live)
+#   stage 5  tsan         concurrency- and metrics-labelled tests under TSan
+#   stage 6  asan+ubsan   full suite under address,undefined
+#
+# Tool-dependent stages (format, tidy) are SKIPPED with a notice when the
+# binary is not installed — a gcc-only box still runs every compiled stage.
+# Environment knobs:
+#   JOBS=N          parallel build jobs (default: nproc)
+#   SKIP_SANITIZERS=1   stop after stage 4 (quick pre-commit loop)
+#   BUILD_ROOT=dir  where the gate builds go (default: build-check)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+BUILD_ROOT="${BUILD_ROOT:-build-check}"
+FAILED=0
+
+note()  { printf '\n==> %s\n' "$*"; }
+skip()  { printf '\n==> SKIP: %s\n' "$*"; }
+
+# --- stage 1: formatting (check-only) --------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+  note "clang-format (check only)"
+  # shellcheck disable=SC2046
+  clang-format --dry-run --Werror \
+    $(find src tests fuzz -name '*.cc' -o -name '*.h' -o -name '*.cpp') \
+    || { echo "clang-format: run 'clang-format -i' on the files above"; exit 1; }
+else
+  skip "clang-format not installed; formatting not checked"
+fi
+
+# --- stage 2: warnings-as-errors build -------------------------------------
+note "Werror build (-Wall -Wextra -Wconversion -Werror on src/)"
+cmake -B "$BUILD_ROOT/werror" -S . \
+      -DCMAKE_BUILD_TYPE=Release -DDATACELL_WERROR=ON \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake --build "$BUILD_ROOT/werror" -j "$JOBS"
+
+# --- stage 3: clang-tidy ----------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  note "clang-tidy (src/)"
+  # shellcheck disable=SC2046
+  clang-tidy -p "$BUILD_ROOT/werror" --quiet \
+    $(find src -name '*.cc')
+else
+  skip "clang-tidy not installed; static analysis not run"
+fi
+
+# --- stage 4: full suite with debug checks live -----------------------------
+note "full test suite with DATACELL_DEBUG_CHECKS=ON"
+cmake -B "$BUILD_ROOT/dbg" -S . \
+      -DCMAKE_BUILD_TYPE=Debug -DDATACELL_DEBUG_CHECKS=ON >/dev/null
+cmake --build "$BUILD_ROOT/dbg" -j "$JOBS"
+ctest --test-dir "$BUILD_ROOT/dbg" -j "$JOBS" --output-on-failure
+
+if [ "${SKIP_SANITIZERS:-0}" = "1" ]; then
+  note "SKIP_SANITIZERS=1: stopping before sanitizer stages"
+  exit 0
+fi
+
+# --- stage 5: TSan on the concurrent paths ----------------------------------
+note "TSan: concurrency + metrics tests"
+cmake -B "$BUILD_ROOT/tsan" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDATACELL_SANITIZE=thread >/dev/null
+cmake --build "$BUILD_ROOT/tsan" -j "$JOBS"
+ctest --test-dir "$BUILD_ROOT/tsan" -j "$JOBS" -L 'concurrency|metrics' \
+      --output-on-failure
+
+# --- stage 6: ASan + UBSan on everything ------------------------------------
+note "ASan+UBSan: full suite"
+cmake -B "$BUILD_ROOT/asan" -S . \
+      -DCMAKE_BUILD_TYPE=Debug -DDATACELL_SANITIZE=address,undefined >/dev/null
+cmake --build "$BUILD_ROOT/asan" -j "$JOBS"
+ctest --test-dir "$BUILD_ROOT/asan" -j "$JOBS" --output-on-failure
+
+note "all gates passed"

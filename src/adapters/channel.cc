@@ -2,10 +2,13 @@
 
 #include <chrono>
 
+#include "common/lock_order.h"
+
 namespace datacell {
 
 void Channel::SetWakeCallback(std::function<void()> cb) {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "channel", "channel");
   wake_cb_ = std::move(cb);
 }
 
@@ -13,6 +16,7 @@ void Channel::NotifyWake() {
   std::function<void()> cb;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    DC_LOCK_ORDER(&mu_, "channel", "channel");
     cb = wake_cb_;
   }
   if (cb) cb();
@@ -21,6 +25,7 @@ void Channel::NotifyWake() {
 void Channel::Push(std::string line) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    DC_LOCK_ORDER(&mu_, "channel", "channel");
     if (capacity_ > 0 && lines_.size() >= capacity_) {
       lines_.pop_front();
       ++total_dropped_;
@@ -35,6 +40,7 @@ void Channel::Push(std::string line) {
 void Channel::PushBatch(std::vector<std::string> lines) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    DC_LOCK_ORDER(&mu_, "channel", "channel");
     for (std::string& line : lines) {
       if (capacity_ > 0 && lines_.size() >= capacity_) {
         lines_.pop_front();
@@ -50,6 +56,7 @@ void Channel::PushBatch(std::vector<std::string> lines) {
 
 bool Channel::TryPop(std::string* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "channel", "channel");
   if (lines_.empty()) return false;
   *out = std::move(lines_.front());
   lines_.pop_front();
@@ -59,6 +66,7 @@ bool Channel::TryPop(std::string* out) {
 std::vector<std::string> Channel::DrainUpTo(size_t max) {
   std::vector<std::string> out;
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "channel", "channel");
   size_t n = std::min(max, lines_.size());
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -70,6 +78,7 @@ std::vector<std::string> Channel::DrainUpTo(size_t max) {
 
 bool Channel::PopBlocking(std::string* out, int64_t timeout_us) {
   std::unique_lock<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "channel", "channel");
   cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
                [&] { return !lines_.empty() || closed_; });
   if (lines_.empty()) return false;
@@ -81,6 +90,7 @@ bool Channel::PopBlocking(std::string* out, int64_t timeout_us) {
 void Channel::Close() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    DC_LOCK_ORDER(&mu_, "channel", "channel");
     closed_ = true;
   }
   cv_.notify_all();
@@ -89,21 +99,25 @@ void Channel::Close() {
 
 bool Channel::closed() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "channel", "channel");
   return closed_;
 }
 
 size_t Channel::size() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "channel", "channel");
   return lines_.size();
 }
 
 int64_t Channel::total_pushed() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "channel", "channel");
   return total_pushed_;
 }
 
 int64_t Channel::total_dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "channel", "channel");
   return total_dropped_;
 }
 

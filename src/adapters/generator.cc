@@ -22,10 +22,12 @@ Row UniformRowGenerator::Next() {
       case DataType::kDouble:
         row.push_back(Value::Double(rng_.UniformReal(c.real_min, c.real_max)));
         break;
-      case DataType::kString:
-        row.push_back(Value::String(
-            "s" + std::to_string(rng_.Uniform(0, c.cardinality - 1))));
+      case DataType::kString: {
+        std::string s = "s";
+        s += std::to_string(rng_.Uniform(0, c.cardinality - 1));
+        row.push_back(Value::String(std::move(s)));
         break;
+      }
       case DataType::kBool:
         row.push_back(Value::Bool(rng_.Bernoulli(0.5)));
         break;
@@ -40,7 +42,9 @@ Row UniformRowGenerator::Next() {
 Schema UniformRowGenerator::MakeSchema() const {
   Schema s;
   for (size_t i = 0; i < columns_.size(); ++i) {
-    s.AddField(Field{"c" + std::to_string(i), columns_[i].type});
+    std::string col = "c";
+    col += std::to_string(i);
+    s.AddField(Field{std::move(col), columns_[i].type});
   }
   return s;
 }

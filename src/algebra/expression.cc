@@ -231,20 +231,40 @@ ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
 }
 
 std::string Expr::ToString() const {
+  // Rendered by append throughout: one-char-literal operator+ chains trip
+  // GCC 12's -Wrestrict false positive (PR105329) inside libstdc++.
   switch (kind_) {
-    case ExprKind::kColumnRef:
-      return name_.empty() ? "$" + std::to_string(column_index_) : name_;
-    case ExprKind::kLiteral:
-      return literal_.is_null()
-                 ? "null"
-                 : (literal_.is_string() ? "'" + literal_.ToString() + "'"
-                                         : literal_.ToString());
-    case ExprKind::kBinary:
-      return "(" + left()->ToString() + " " + BinaryOpToString(bin_op_) + " " +
-             right()->ToString() + ")";
-    case ExprKind::kFunction:
-      return std::string(ScalarFuncToString(func_)) + "(" +
-             operand()->ToString() + ")";
+    case ExprKind::kColumnRef: {
+      if (!name_.empty()) return name_;
+      std::string s = "$";
+      s += std::to_string(column_index_);
+      return s;
+    }
+    case ExprKind::kLiteral: {
+      if (literal_.is_null()) return "null";
+      if (!literal_.is_string()) return literal_.ToString();
+      std::string quoted = "'";
+      quoted += literal_.ToString();
+      quoted += '\'';
+      return quoted;
+    }
+    case ExprKind::kBinary: {
+      std::string s = "(";
+      s += left()->ToString();
+      s += ' ';
+      s += BinaryOpToString(bin_op_);
+      s += ' ';
+      s += right()->ToString();
+      s += ')';
+      return s;
+    }
+    case ExprKind::kFunction: {
+      std::string s = ScalarFuncToString(func_);
+      s += '(';
+      s += operand()->ToString();
+      s += ')';
+      return s;
+    }
     case ExprKind::kCase: {
       std::string s = "case";
       for (size_t i = 0; i < num_when_branches(); ++i) {
@@ -253,12 +273,22 @@ std::string Expr::ToString() const {
       }
       return s + " else " + else_value()->ToString() + " end";
     }
-    case ExprKind::kUnary:
+    case ExprKind::kUnary: {
+      std::string s;
       if (un_op_ == UnaryOp::kIsNull || un_op_ == UnaryOp::kIsNotNull) {
-        return "(" + operand()->ToString() + " " + UnaryOpToString(un_op_) + ")";
+        s = "(";
+        s += operand()->ToString();
+        s += ' ';
+        s += UnaryOpToString(un_op_);
+        s += ')';
+        return s;
       }
-      return std::string(UnaryOpToString(un_op_)) + "(" +
-             operand()->ToString() + ")";
+      s = UnaryOpToString(un_op_);
+      s += '(';
+      s += operand()->ToString();
+      s += ')';
+      return s;
+    }
   }
   return "?";
 }

@@ -33,4 +33,36 @@
 #define DC_CHECK_GT(a, b) DC_CHECK((a) > (b))
 #define DC_CHECK_GE(a, b) DC_CHECK((a) >= (b))
 
+/// Debug-tier invariant checks (DC_DCHECK): the machine-checked Petri-net
+/// invariants — basket flow conservation, shared-basket watermark bounds,
+/// factory exactly-once firing — plus the lock-order discipline
+/// (common/lock_order.h). Compiled in only when the build is configured with
+/// -DDATACELL_DEBUG_CHECKS=ON (the default for Debug builds); release builds
+/// expand them to nothing so the pipeline hot path carries zero overhead.
+///
+/// DATACELL_DEBUG_CHECKS_ENABLED is always defined (0 or 1) by CMake on every
+/// target linking datacell_common, so `#if` (not `#ifdef`) is the correct
+/// guard in code that adds debug-only members or test hooks.
+#ifndef DATACELL_DEBUG_CHECKS_ENABLED
+#define DATACELL_DEBUG_CHECKS_ENABLED 0
+#endif
+
+#if DATACELL_DEBUG_CHECKS_ENABLED
+#define DC_DCHECK(cond) DC_CHECK(cond)
+#else
+/// Compiles to nothing, but keeps `cond` syntactically checked and marks the
+/// expansion with sizeof so operands need not be evaluable at runtime.
+#define DC_DCHECK(cond) \
+  do {                  \
+    (void)sizeof(cond); \
+  } while (0)
+#endif
+
+#define DC_DCHECK_EQ(a, b) DC_DCHECK((a) == (b))
+#define DC_DCHECK_NE(a, b) DC_DCHECK((a) != (b))
+#define DC_DCHECK_LT(a, b) DC_DCHECK((a) < (b))
+#define DC_DCHECK_LE(a, b) DC_DCHECK((a) <= (b))
+#define DC_DCHECK_GT(a, b) DC_DCHECK((a) > (b))
+#define DC_DCHECK_GE(a, b) DC_DCHECK((a) >= (b))
+
 #endif  // DATACELL_COMMON_CHECK_H_

@@ -1,0 +1,204 @@
+#include "common/lock_order.h"
+
+#if DATACELL_DEBUG_CHECKS_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace datacell {
+namespace lockorder {
+
+namespace {
+
+/// One lock currently held by a thread.
+struct HeldLock {
+  const void* lock;
+  int cls;
+  std::string instance;
+};
+
+/// The stack of annotated locks the current thread holds, innermost last.
+/// A plain thread_local: NoteAcquire/NoteRelease touch it without any global
+/// lock, so the common no-nesting case stays cheap even in debug builds.
+thread_local std::vector<HeldLock> t_held;
+
+/// First-witness record for an order edge `from -> to`: the full held stack
+/// at the moment the edge was established, for the abort diagnostic.
+struct EdgeWitness {
+  std::string description;  // rendered "thread T held [a, b] acquiring c"
+};
+
+/// Global acquisition-order graph over interned lock classes. `g_mu` is an
+/// internal leaf lock (nothing is called out while holding it), so the
+/// checker cannot itself deadlock with the locks it watches.
+struct Graph {
+  std::mutex mu;
+  std::map<std::string, int> class_ids;
+  std::vector<std::string> class_names;
+  // adjacency[from] = set of classes acquired while holding `from`.
+  std::map<int, std::set<int>> adjacency;
+  std::map<std::pair<int, int>, EdgeWitness> witnesses;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // leaked: alive for exiting threads
+  return *g;
+}
+
+int InternClassLocked(Graph& g, const char* cls) {
+  auto [it, inserted] = g.class_ids.emplace(cls, static_cast<int>(g.class_names.size()));
+  if (inserted) g.class_names.push_back(cls);
+  return it->second;
+}
+
+std::string RenderHeldStack(const std::vector<HeldLock>& held, const Graph& g,
+                            const char* acquiring_cls,
+                            const std::string& acquiring_inst) {
+  std::ostringstream os;
+  os << "thread " << std::this_thread::get_id() << " held [";
+  for (size_t i = 0; i < held.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << g.class_names[static_cast<size_t>(held[i].cls)] << "('"
+       << held[i].instance << "')";
+  }
+  os << "] while acquiring " << acquiring_cls << "('" << acquiring_inst
+     << "')";
+  return os.str();
+}
+
+/// True when `to` can already reach `from` in the order graph, i.e. adding
+/// the edge `from -> to` would close a cycle. On success fills `path` with
+/// the class chain to -> ... -> from.
+bool PathExistsLocked(const Graph& g, int to, int from, std::vector<int>* path) {
+  std::vector<int> stack{to};
+  std::map<int, int> parent;  // node -> predecessor on the search path
+  std::set<int> visited{to};
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    if (node == from) {
+      // Reconstruct to -> ... -> from.
+      std::vector<int> rev;
+      for (int n = from; n != to; n = parent.at(n)) rev.push_back(n);
+      rev.push_back(to);
+      path->assign(rev.rbegin(), rev.rend());
+      return true;
+    }
+    auto it = g.adjacency.find(node);
+    if (it == g.adjacency.end()) continue;
+    for (int next : it->second) {
+      if (visited.insert(next).second) {
+        parent[next] = node;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void AbortWithCycle(const Graph& g, const std::string& current,
+                                 const std::vector<int>& path) {
+  std::ostringstream os;
+  os << "LockOrderChecker: potential deadlock detected.\n"
+     << "  offending acquisition: " << current << "\n"
+     << "  conflicting established order:\n";
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto wit = g.witnesses.find({path[i], path[i + 1]});
+    os << "    " << g.class_names[static_cast<size_t>(path[i])] << " -> "
+       << g.class_names[static_cast<size_t>(path[i + 1])] << "  first seen: "
+       << (wit != g.witnesses.end() ? wit->second.description : "<unknown>")
+       << "\n";
+  }
+  std::fputs(os.str().c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void NoteAcquire(const void* lock, const char* cls,
+                 const std::string& instance) {
+  if (t_held.empty()) {
+    // Leaf acquisition: no ordering constraint to record; skip the global
+    // lock entirely. Class interning happens lazily on first nesting.
+    Graph& g = graph();
+    std::lock_guard<std::mutex> guard(g.mu);
+    t_held.push_back({lock, InternClassLocked(g, cls), instance});
+    return;
+  }
+  Graph& g = graph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  int to = InternClassLocked(g, cls);
+  std::string current = RenderHeldStack(t_held, g, cls, instance);
+  for (const HeldLock& held : t_held) {
+    if (held.cls == to) {
+      // Same-class nesting: either a recursive acquisition of one mutex
+      // (guaranteed deadlock on std::mutex) or two instances of a class the
+      // hierarchy declares unordered (e.g. two baskets): both abort.
+      std::fprintf(stderr,
+                   "LockOrderChecker: same-class nesting on lock class '%s'\n"
+                   "  %s\n"
+                   "  (already holding %s('%s'))\n",
+                   cls, current.c_str(),
+                   g.class_names[static_cast<size_t>(held.cls)].c_str(),
+                   held.instance.c_str());
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+  for (const HeldLock& held : t_held) {
+    int from = held.cls;
+    auto& out = g.adjacency[from];
+    if (out.find(to) != out.end()) continue;  // edge already known
+    std::vector<int> path;
+    if (PathExistsLocked(g, to, from, &path)) {
+      path.push_back(to);  // close the loop for the report: to..from -> to
+      AbortWithCycle(g, current, path);
+    }
+    out.insert(to);
+    g.witnesses[{from, to}] = EdgeWitness{current};
+  }
+  t_held.push_back({lock, to, instance});
+}
+
+void NoteRelease(const void* lock) {
+  // Out-of-order release is legal; scan innermost-first.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->lock == lock) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "LockOrderChecker: release of lock %p not held by this thread\n",
+               lock);
+  std::fflush(stderr);
+  std::abort();
+}
+
+size_t EdgeCount() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  size_t n = 0;
+  for (const auto& [from, out] : g.adjacency) n += out.size();
+  return n;
+}
+
+void ResetForTest() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> guard(g.mu);
+  g.adjacency.clear();
+  g.witnesses.clear();
+  t_held.clear();
+}
+
+}  // namespace lockorder
+}  // namespace datacell
+
+#endif  // DATACELL_DEBUG_CHECKS_ENABLED

@@ -1,5 +1,7 @@
 #include "common/metrics_registry.h"
 
+#include "common/lock_order.h"
+
 #include <algorithm>
 #include <bit>
 #include <limits>
@@ -148,6 +150,7 @@ std::string RenderMetricName(const std::string& name,
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      MetricLabels labels) {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "metrics_registry", "metrics_registry");
   auto& slot = counters_[Key{name, std::move(labels)}];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -155,6 +158,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name, MetricLabels labels) {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "metrics_registry", "metrics_registry");
   auto& slot = gauges_[Key{name, std::move(labels)}];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -163,6 +167,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name, MetricLabels labels) {
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          MetricLabels labels) {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "metrics_registry", "metrics_registry");
   auto& slot = histograms_[Key{name, std::move(labels)}];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -170,12 +175,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 size_t MetricsRegistry::num_metrics() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "metrics_registry", "metrics_registry");
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 MetricsSnapshotData MetricsRegistry::Snapshot() const {
   MetricsSnapshotData out;
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "metrics_registry", "metrics_registry");
   out.counters.reserve(counters_.size());
   for (const auto& [key, c] : counters_) {
     out.counters.push_back(CounterSnapshot{key.first, key.second, c->value()});

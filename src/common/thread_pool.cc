@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include "common/check.h"
+#include "common/lock_order.h"
 
 namespace datacell {
 
@@ -18,6 +19,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(idle_mu_);
+    DC_LOCK_ORDER(&idle_mu_, "pool_idle", "shutdown");
     stop_.store(true, std::memory_order_release);
   }
   idle_cv_.notify_all();
@@ -38,12 +40,14 @@ void ThreadPool::Submit(std::function<void()> task) {
              queues_.size();
   {
     std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    DC_LOCK_ORDER(&queues_[q]->mu, "pool_queue", "submit");
     queues_[q]->tasks.push_back(std::move(task));
   }
   // pending_ is bumped under idle_mu_ so a worker cannot check it and block
   // between our increment and our notify (the classic lost-wakeup window).
   {
     std::lock_guard<std::mutex> lock(idle_mu_);
+    DC_LOCK_ORDER(&idle_mu_, "pool_idle", "submit");
     pending_.fetch_add(1, std::memory_order_release);
   }
   idle_cv_.notify_one();
@@ -52,6 +56,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 bool ThreadPool::PopLocal(size_t id, std::function<void()>* task) {
   Queue& q = *queues_[id];
   std::lock_guard<std::mutex> lock(q.mu);
+  DC_LOCK_ORDER(&q.mu, "pool_queue", "pop_local");
   if (q.tasks.empty()) return false;
   *task = std::move(q.tasks.back());
   q.tasks.pop_back();
@@ -63,6 +68,7 @@ bool ThreadPool::Steal(size_t thief, std::function<void()>* task) {
   for (size_t d = 1; d < n; ++d) {
     Queue& q = *queues_[(thief + d) % n];
     std::lock_guard<std::mutex> lock(q.mu);
+    DC_LOCK_ORDER(&q.mu, "pool_queue", "steal");
     if (q.tasks.empty()) continue;
     *task = std::move(q.tasks.front());
     q.tasks.pop_front();
@@ -82,6 +88,7 @@ void ThreadPool::WorkerLoop(size_t id) {
       continue;
     }
     std::unique_lock<std::mutex> lock(idle_mu_);
+    DC_LOCK_ORDER(&idle_mu_, "pool_idle", "worker_wait");
     idle_cv_.wait(lock, [this] {
       return pending_.load(std::memory_order_acquire) > 0 ||
              stop_.load(std::memory_order_acquire);
@@ -120,6 +127,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       (*s.fn)(i);
       if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.n) {
         std::lock_guard<std::mutex> lock(s.mu);
+        DC_LOCK_ORDER(&s.mu, "pool_for", "parallel_for");
         s.cv.notify_all();
       }
     }
@@ -130,6 +138,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
   run(*state);
   std::unique_lock<std::mutex> lock(state->mu);
+  DC_LOCK_ORDER(&state->mu, "pool_for", "parallel_for");
   state->cv.wait(lock, [&] {
     return state->done.load(std::memory_order_acquire) == state->n;
   });

@@ -1,5 +1,7 @@
 #include "common/trace.h"
 
+#include "common/lock_order.h"
+
 #include <algorithm>
 #include <functional>
 #include <thread>
@@ -41,6 +43,7 @@ TraceRing::TraceRing(size_t capacity) : ring_(std::max<size_t>(1, capacity)) {}
 
 void TraceRing::Push(const TraceEvent& e) {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "trace_ring", "trace_ring");
   ring_[head_] = e;
   head_ = (head_ + 1) % ring_.size();
   count_ = std::min(count_ + 1, ring_.size());
@@ -79,21 +82,25 @@ void TraceRing::RecordInstant(const char* category, std::string_view name,
 
 size_t TraceRing::size() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "trace_ring", "trace_ring");
   return count_;
 }
 
 uint64_t TraceRing::total_recorded() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "trace_ring", "trace_ring");
   return total_;
 }
 
 uint64_t TraceRing::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "trace_ring", "trace_ring");
   return total_ - count_;
 }
 
 void TraceRing::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "trace_ring", "trace_ring");
   head_ = 0;
   count_ = 0;
   total_ = 0;
@@ -101,6 +108,7 @@ void TraceRing::Clear() {
 
 std::vector<TraceEvent> TraceRing::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "trace_ring", "trace_ring");
   std::vector<TraceEvent> out;
   out.reserve(count_);
   // Oldest event sits at head_ once the ring has wrapped, else at 0.

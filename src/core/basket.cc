@@ -26,6 +26,7 @@ TablePtr Basket::MakeBasketTable(const std::string& name,
 
 void Basket::SetWakeCallback(std::function<void()> cb) {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   wake_cb_ = std::move(cb);
 }
 
@@ -46,20 +47,72 @@ void Basket::NotifyAppend() {
   std::function<void()> cb;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    DC_LOCK_ORDER(&mu_, "basket", name());
     cb = wake_cb_;
   }
   if (cb) cb();
 }
+
+void Basket::ClampWatermarksLocked() {
+  // Interior removal (DrainMatching on a basket that also has registered
+  // readers) shrinks the oid range without advancing hseqbase; a watermark
+  // past the new end would make the next ReadNewFor compute an out-of-range
+  // slice. Clamp it back: the drained tuples are gone, so the reader has by
+  // definition seen everything that remains below its old mark.
+  Oid end = table_->hseqbase() + table_->num_rows();
+  for (auto& [id, mark] : watermarks_) {
+    if (mark > end) mark = end;
+  }
+}
+
+#if DATACELL_DEBUG_CHECKS_ENABLED
+void Basket::CheckInvariantsLocked() const {
+  // Petri-net flow conservation for this place: every tuple that ever
+  // entered is either still buffered, consumed by a factory/emitter, or
+  // shed by the capacity bound. Nothing is lost, nothing counted twice.
+  DC_DCHECK_EQ(total_appended_,
+               total_consumed_ + total_shed_ +
+                   static_cast<int64_t>(table_->num_rows()));
+  // Shared-basket reader accounting: a watermark never points past the end
+  // of the stream prefix present in the basket.
+  Oid end = table_->hseqbase() + table_->num_rows();
+  for (const auto& [id, mark] : watermarks_) {
+    (void)id;
+    DC_DCHECK_LE(mark, end);
+  }
+  // Derived counters are consistent with the current content.
+  DC_DCHECK_GE(total_appended_, 0);
+  DC_DCHECK_GE(total_consumed_, 0);
+  DC_DCHECK_GE(total_shed_, 0);
+  DC_DCHECK_GE(size_high_water_, table_->num_rows());
+}
+
+void Basket::TestOnlyCorruptAccounting(int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_appended_ += delta;
+  CheckInvariantsLocked();
+}
+
+void Basket::TestOnlyCorruptWatermark(size_t reader_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = watermarks_.find(reader_id);
+  DC_CHECK(it != watermarks_.end());
+  it->second = table_->hseqbase() + table_->num_rows() + 1;
+  CheckInvariantsLocked();
+}
+#endif  // DATACELL_DEBUG_CHECKS_ENABLED
 
 Status Basket::Append(const Row& values, Timestamp ts) {
   Row full = values;
   full.push_back(Value::TimestampVal(ts));
   {
     std::unique_lock<std::mutex> lock = LockTraced();
+    DC_LOCK_ORDER(&mu_, "basket", name());
     DC_RETURN_NOT_OK(table_->AppendRow(full));
     ++total_appended_;
     ShedLocked(1);
     NoteOccupancyLocked();
+    CheckInvariantsLocked();
   }
   NotifyAppend();
   return Status::OK();
@@ -74,6 +127,7 @@ Status Basket::AppendBatch(const std::vector<Row>& rows, Timestamp ts) {
 
 Status Basket::AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts) {
   std::unique_lock<std::mutex> lock = LockTraced();
+  DC_LOCK_ORDER(&mu_, "basket", name());
   size_t user_cols = table_->num_columns() - 1;
   // Validate the whole batch before mutating any column, so a bad tuple
   // cannot leave the columns misaligned.
@@ -139,16 +193,19 @@ Status Basket::AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts) {
   total_appended_ += static_cast<int64_t>(rows.size());
   ShedLocked(rows.size());
   NoteOccupancyLocked();
+  CheckInvariantsLocked();
   return Status::OK();
 }
 
 Status Basket::AppendWithTs(const Table& rows_with_ts) {
   {
     std::unique_lock<std::mutex> lock = LockTraced();
+    DC_LOCK_ORDER(&mu_, "basket", name());
     DC_RETURN_NOT_OK(table_->AppendTable(rows_with_ts));
     total_appended_ += static_cast<int64_t>(rows_with_ts.num_rows());
     ShedLocked(rows_with_ts.num_rows());
     NoteOccupancyLocked();
+    CheckInvariantsLocked();
   }
   if (rows_with_ts.num_rows() > 0) NotifyAppend();
   return Status::OK();
@@ -157,6 +214,7 @@ Status Basket::AppendWithTs(const Table& rows_with_ts) {
 Status Basket::AppendStamped(const Table& rows, Timestamp ts) {
   {
     std::unique_lock<std::mutex> lock = LockTraced();
+    DC_LOCK_ORDER(&mu_, "basket", name());
     size_t n_cols = table_->num_columns();
     if (rows.num_columns() != n_cols - 1) {
       return Status::InvalidArgument(
@@ -180,6 +238,7 @@ Status Basket::AppendStamped(const Table& rows, Timestamp ts) {
     total_appended_ += static_cast<int64_t>(rows.num_rows());
     ShedLocked(rows.num_rows());
     NoteOccupancyLocked();
+    CheckInvariantsLocked();
   }
   if (rows.num_rows() > 0) NotifyAppend();
   return Status::OK();
@@ -187,18 +246,22 @@ Status Basket::AppendStamped(const Table& rows, Timestamp ts) {
 
 void Basket::SetCapacity(size_t max_tuples, DropPolicy policy) {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   capacity_ = max_tuples;
   drop_policy_ = policy;
   ShedLocked(0);
+  CheckInvariantsLocked();
 }
 
 size_t Basket::capacity() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   return capacity_;
 }
 
 int64_t Basket::total_shed() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   return total_shed_;
 }
 
@@ -217,6 +280,7 @@ void Basket::ShedLocked(size_t appended) {
       suffix.reserve(drop_new);
       for (size_t i = n - drop_new; i < n; ++i) suffix.push_back(i);
       table_->RemovePositions(suffix);
+      ClampWatermarksLocked();
     }
     // A shrunken capacity can leave old excess behind; shed it oldest-first.
     size_t still = table_->num_rows() > capacity_
@@ -229,9 +293,11 @@ void Basket::ShedLocked(size_t appended) {
 
 TablePtr Basket::DrainAll() {
   std::unique_lock<std::mutex> lock = LockTraced();
+  DC_LOCK_ORDER(&mu_, "basket", name());
   TablePtr out = TablePtr(table_->Clone());
   total_consumed_ += static_cast<int64_t>(table_->num_rows());
   table_->Clear();
+  CheckInvariantsLocked();
   return out;
 }
 
@@ -239,11 +305,14 @@ TablePtr Basket::DrainPositionsLocked(const std::vector<size_t>& positions) {
   TablePtr out = TablePtr(table_->Take(positions));
   table_->RemovePositions(positions);
   total_consumed_ += static_cast<int64_t>(positions.size());
+  ClampWatermarksLocked();
+  CheckInvariantsLocked();
   return out;
 }
 
 Result<TablePtr> Basket::DrainMatching(const Expr& predicate) {
   std::unique_lock<std::mutex> lock = LockTraced();
+  DC_LOCK_ORDER(&mu_, "basket", name());
   DC_ASSIGN_OR_RETURN(std::vector<size_t> positions,
                       EvaluatePredicate(predicate, *table_));
   return DrainPositionsLocked(positions);
@@ -255,6 +324,7 @@ Result<TablePtr> Basket::DrainSplit(const Expr& predicate, Basket* passthrough) 
   TablePtr rest;
   {
     std::unique_lock<std::mutex> lock = LockTraced();
+    DC_LOCK_ORDER(&mu_, "basket", name());
     DC_ASSIGN_OR_RETURN(std::vector<size_t> positions,
                         EvaluatePredicate(predicate, *table_));
     matching = TablePtr(table_->Take(positions));
@@ -263,15 +333,18 @@ Result<TablePtr> Basket::DrainSplit(const Expr& predicate, Basket* passthrough) 
     rest = TablePtr(table_->Take(complement));
     total_consumed_ += static_cast<int64_t>(table_->num_rows());
     table_->Clear();
+    CheckInvariantsLocked();
   }
   // Append outside our own lock: passthrough has its own mutex, and locking
-  // two baskets at once invites deadlock.
+  // two baskets at once invites deadlock (the lock-order checker enforces
+  // that two "basket"-class locks are never held together).
   DC_RETURN_NOT_OK(passthrough->AppendWithTs(*rest));
   return matching;
 }
 
 size_t Basket::RegisterReader() {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   size_t id = next_reader_++;
   watermarks_[id] = table_->hseqbase() + table_->num_rows();
   return id;
@@ -279,16 +352,19 @@ size_t Basket::RegisterReader() {
 
 void Basket::UnregisterReader(size_t reader_id) {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   watermarks_.erase(reader_id);
 }
 
 size_t Basket::num_readers() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   return watermarks_.size();
 }
 
 TablePtr Basket::ReadNewFor(size_t reader_id) {
   std::unique_lock<std::mutex> lock = LockTraced();
+  DC_LOCK_ORDER(&mu_, "basket", name());
   auto it = watermarks_.find(reader_id);
   DC_CHECK(it != watermarks_.end());
   Oid base = table_->hseqbase();
@@ -297,12 +373,14 @@ TablePtr Basket::ReadNewFor(size_t reader_id) {
   TablePtr out = TablePtr(table_->Slice(static_cast<size_t>(from - base),
                                         static_cast<size_t>(end - from)));
   it->second = end;
+  CheckInvariantsLocked();
   return out;
 }
 
 Result<TablePtr> Basket::ReadNewMatching(size_t reader_id,
                                          const Expr& predicate) {
   std::unique_lock<std::mutex> lock = LockTraced();
+  DC_LOCK_ORDER(&mu_, "basket", name());
   auto it = watermarks_.find(reader_id);
   DC_CHECK(it != watermarks_.end());
   Oid base = table_->hseqbase();
@@ -318,11 +396,13 @@ Result<TablePtr> Basket::ReadNewMatching(size_t reader_id,
   for (size_t p : positions) {
     if (p >= first) unseen.push_back(p);
   }
+  CheckInvariantsLocked();
   return TablePtr(table_->Take(unseen));
 }
 
 size_t Basket::TrimConsumed() {
   std::unique_lock<std::mutex> lock = LockTraced();
+  DC_LOCK_ORDER(&mu_, "basket", name());
   if (watermarks_.empty()) return 0;
   Oid min_mark = watermarks_.begin()->second;
   for (const auto& [id, mark] : watermarks_) {
@@ -333,21 +413,25 @@ size_t Basket::TrimConsumed() {
   size_t n = std::min(static_cast<size_t>(min_mark - base), table_->num_rows());
   table_->RemovePrefix(n);
   total_consumed_ += static_cast<int64_t>(n);
+  CheckInvariantsLocked();
   return n;
 }
 
 TablePtr Basket::PeekSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   return TablePtr(table_->Clone());
 }
 
 size_t Basket::size() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   return table_->num_rows();
 }
 
 size_t Basket::UnseenCount(size_t reader_id) const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   auto it = watermarks_.find(reader_id);
   DC_CHECK(it != watermarks_.end());
   Oid end = table_->hseqbase() + table_->num_rows();
@@ -356,6 +440,7 @@ size_t Basket::UnseenCount(size_t reader_id) const {
 
 std::optional<Timestamp> Basket::OldestTs() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   if (table_->num_rows() == 0) return std::nullopt;
   const Bat& ts = *table_->column(table_->num_columns() - 1);
   Timestamp best = ts.Int64At(0);
@@ -367,6 +452,7 @@ std::optional<Timestamp> Basket::OldestTs() const {
 
 std::optional<Timestamp> Basket::NewestTs() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   if (table_->num_rows() == 0) return std::nullopt;
   const Bat& ts = *table_->column(table_->num_columns() - 1);
   Timestamp best = ts.Int64At(0);
@@ -378,21 +464,25 @@ std::optional<Timestamp> Basket::NewestTs() const {
 
 int64_t Basket::total_appended() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   return total_appended_;
 }
 
 int64_t Basket::total_consumed() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   return total_consumed_;
 }
 
 size_t Basket::memory_usage() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   return table_->MemoryUsage();
 }
 
 size_t Basket::size_high_water() const {
   std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
   return size_high_water_;
 }
 

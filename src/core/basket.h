@@ -13,6 +13,7 @@
 #include "algebra/expression.h"
 #include "algebra/operators.h"
 #include "common/clock.h"
+#include "common/lock_order.h"
 #include "common/result.h"
 #include "common/trace.h"
 #include "storage/table.h"
@@ -152,6 +153,16 @@ class Basket {
   /// Name of the implicit timestamp column.
   static constexpr const char* kTsColumnName = "ts";
 
+#if DATACELL_DEBUG_CHECKS_ENABLED
+  /// Test-only (debug-check builds): skews the flow-conservation counter by
+  /// `delta` and re-checks the Petri-net invariants — the deliberate
+  /// violation path for the invariant abort tests.
+  void TestOnlyCorruptAccounting(int64_t delta);
+  /// Test-only: forces reader `reader_id`'s watermark past the basket end,
+  /// violating the watermark bound invariant.
+  void TestOnlyCorruptWatermark(size_t reader_id);
+#endif
+
  private:
   Status AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts);
   TablePtr DrainPositionsLocked(const std::vector<size_t>& positions);
@@ -172,6 +183,18 @@ class Basket {
   void NoteOccupancyLocked() {
     size_high_water_ = std::max(size_high_water_, table_->num_rows());
   }
+  /// Call after interior removal (holding mu_): pulls reader watermarks back
+  /// inside the shrunken oid range so the next ReadNewFor cannot compute an
+  /// out-of-range slice.
+  void ClampWatermarksLocked();
+#if DATACELL_DEBUG_CHECKS_ENABLED
+  /// DC_DCHECK tier: re-verifies the Petri-net place invariants (flow
+  /// conservation appended == consumed + shed + occupancy; watermark bounds)
+  /// after every mutating operation. Compiled out in release builds.
+  void CheckInvariantsLocked() const;
+#else
+  void CheckInvariantsLocked() const {}
+#endif
   /// Applies the capacity bound after appends (locked). `appended` is how
   /// many tuples the current call added (bounds kDropNewest).
   void ShedLocked(size_t appended);

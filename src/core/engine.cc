@@ -46,23 +46,37 @@ Engine::Engine(EngineOptions options)
     trace_ = std::make_unique<TraceRing>(options_.trace_capacity);
   }
   scheduler_.SetTrace(trace_.get(), clock_);
+  wake_hub_ = std::make_shared<WakeHub>();
+  wake_hub_->scheduler = &scheduler_;
+}
+
+void Engine::WakeHub::Notify() {
+  std::lock_guard<std::mutex> lock(mu);
+  DC_LOCK_ORDER(&mu, "wake_hub", "wake_hub");
+  if (scheduler != nullptr) scheduler->NotifyWork();
+}
+
+void Engine::WakeHub::Disarm() {
+  std::lock_guard<std::mutex> lock(mu);
+  DC_LOCK_ORDER(&mu, "wake_hub", "wake_hub");
+  scheduler = nullptr;
 }
 
 Engine::~Engine() {
   Stop();
-  // Detach every wake callback: baskets and channels may be retained by the
-  // caller past the engine's lifetime, and their lambdas capture `this`.
+  // Cut producers off from the dying scheduler. Channels are NOT touched:
+  // an attached channel may already be destroyed (it is caller-owned, with
+  // no lifetime tie to the engine), and its callback only reaches the
+  // disarmed hub anyway.
+  wake_hub_->Disarm();
   for (const BasketPtr& basket : wired_baskets_) {
-    basket->SetWakeCallback(nullptr);
+    basket->SetWakeCallback(nullptr);  // drop the dead-weight hub reference
     basket->SetTrace(nullptr, nullptr);  // ring and clock die with the engine
-  }
-  for (Channel* channel : wired_channels_) {
-    channel->SetWakeCallback(nullptr);
   }
 }
 
 void Engine::WireBasketWake(const BasketPtr& basket) {
-  basket->SetWakeCallback([this] { scheduler_.NotifyWork(); });
+  basket->SetWakeCallback([hub = wake_hub_] { hub->Notify(); });
   basket->SetTrace(trace_.get(), clock_);
   wired_baskets_.push_back(basket);
 }
@@ -191,9 +205,9 @@ Result<Receptor*> Engine::AttachReceptor(const std::string& name,
   stream->receptors.push_back(receptor.get());
   receptors_.push_back(receptor);
   // A line arriving on an idle channel must wake the scheduler, or the
-  // receptor would only fire on the next fallback tick.
-  channel->SetWakeCallback([this] { scheduler_.NotifyWork(); });
-  wired_channels_.push_back(channel);
+  // receptor would only fire on the next fallback tick. The callback holds
+  // the wake hub, not the engine: either object may die first.
+  channel->SetWakeCallback([hub = wake_hub_] { hub->Notify(); });
   BindTransitionMetrics(*receptor);
   scheduler_.AddTransition(receptor);
   return receptor.get();

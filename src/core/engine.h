@@ -146,7 +146,11 @@ class Engine {
   Status IngestTable(const std::string& name, const Table& batch);
 
   /// Attaches a receptor thread-equivalent transition reading CSV tuples
-  /// from `channel` into stream `name`.
+  /// from `channel` into stream `name`. The channel's wake callback holds
+  /// only a shared wake hub, never the engine, so the channel may be
+  /// destroyed before the engine (or outlive it) — but the caller must stop
+  /// scheduling (no Step/Drain/Start) once the channel is gone, since the
+  /// receptor still reads from it when fired.
   Result<Receptor*> AttachReceptor(const std::string& name, Channel* channel);
 
   // --- execution control ----------------------------------------------------
@@ -246,9 +250,26 @@ class Engine {
   Result<PlanBindings> ResolveStaticBindings(
       const sql::CompiledQuery& query) const;
   StreamInfo* FindStream(const std::string& name);
-  /// Points `basket`'s wake callback at the scheduler and remembers it for
-  /// detachment in the destructor (a retained BasketPtr must never call
-  /// into a destroyed scheduler). Also wires lock-wait tracing when enabled.
+
+  /// Indirection between producer wake callbacks and the scheduler. Baskets
+  /// and channels can outlive the engine — or die before it (e.g. a
+  /// stack-allocated Channel in a narrower scope than the engine). Their
+  /// callbacks therefore capture a shared_ptr to this hub, never the engine:
+  /// the destructor disarms the hub instead of reaching into producers that
+  /// may already be gone, and a retained producer firing after engine death
+  /// finds the hub disarmed instead of a dangling scheduler.
+  struct WakeHub {
+    /// Forwards to Scheduler::NotifyWork while armed; no-op after Disarm().
+    void Notify();
+    void Disarm();
+
+    std::mutex mu;
+    Scheduler* scheduler = nullptr;  // guarded by mu; null once disarmed
+  };
+
+  /// Points `basket`'s wake callback at the wake hub and remembers the
+  /// basket for trace detachment in the destructor (the trace ring dies with
+  /// the engine). Also wires lock-wait tracing when enabled.
   void WireBasketWake(const BasketPtr& basket);
   /// Registers `t`'s per-instance metrics (fires/tuples/fire-latency) under
   /// its name and kind. Call before the transition enters the scheduler.
@@ -264,10 +285,11 @@ class Engine {
   Scheduler scheduler_;
   /// Shared by all factories' ExecContexts; null when kernel_threads == 0.
   std::unique_ptr<ThreadPool> kernel_pool_;
-  /// Baskets and channels whose wake callbacks point at scheduler_; the
-  /// destructor detaches them before the scheduler dies.
+  /// All wake callbacks route through this hub; disarmed in the destructor.
+  std::shared_ptr<WakeHub> wake_hub_;
+  /// Engine-created baskets (stream bases, private replicas, outputs): kept
+  /// for per-basket metrics and for trace detachment in the destructor.
   std::vector<BasketPtr> wired_baskets_;
-  std::vector<Channel*> wired_channels_;
   std::map<std::string, StreamInfo> streams_;  // key: lower-cased name
   std::vector<QueryInfo> queries_;
   std::vector<std::unique_ptr<Channel>> owned_channels_;

@@ -149,6 +149,16 @@ Result<TablePtr> Factory::TakeSlice(InputBinding& in) {
 }
 
 Result<int64_t> Factory::Fire() {
+#if DATACELL_DEBUG_CHECKS_ENABLED
+  // Exactly-once transition semantics (§2.4): the scheduler's claim flag
+  // guarantees at most one in-flight Fire per factory. A second concurrent
+  // entry would drain the same input tokens twice.
+  DC_CHECK(!in_fire_.exchange(true, std::memory_order_acq_rel));
+  struct FireGuard {
+    std::atomic<bool>* flag;
+    ~FireGuard() { flag->store(false, std::memory_order_release); }
+  } fire_guard{&in_fire_};
+#endif
   if (!Ready()) return 0;
   Timestamp start = clock_->Now();
   // Algorithm 1: read-and-consume each input basket (each TakeSlice call is
@@ -158,6 +168,13 @@ Result<int64_t> Factory::Fire() {
   int64_t in_tuples = 0;
   for (InputBinding& in : inputs_) {
     DC_ASSIGN_OR_RETURN(TablePtr slice, TakeSlice(in));
+#if DATACELL_DEBUG_CHECKS_ENABLED
+    // Flow conservation across the arc: everything this factory has ever
+    // taken from the basket must be covered by what was ever appended to it
+    // (total_appended only grows, so a stale read can't false-positive).
+    in.taken += static_cast<int64_t>(slice->num_rows());
+    DC_DCHECK_LE(in.taken, in.basket->total_appended());
+#endif
     in_tuples += static_cast<int64_t>(slice->num_rows());
     slices.push_back(std::move(slice));
   }

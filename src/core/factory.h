@@ -1,6 +1,7 @@
 #ifndef DATACELL_CORE_FACTORY_H_
 #define DATACELL_CORE_FACTORY_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -101,12 +102,26 @@ class Factory final : public Transition {
     return plan_errors_.load(std::memory_order_relaxed);
   }
 
+#if DATACELL_DEBUG_CHECKS_ENABLED
+  /// Test-only (debug-check builds): marks the factory as already in Fire(),
+  /// so the next Fire() trips the exactly-once re-entrancy check — the
+  /// deliberate violation path for the invariant abort tests.
+  void TestOnlyBeginFire() { in_fire_.store(true, std::memory_order_release); }
+#endif
+
  private:
   struct InputBinding {
     BasketPtr basket;
     const sql::ContinuousInput* spec;  // points into query_.inputs
     size_t reader_id = 0;              // shared strategy only
     BasketPtr passthrough;             // chained strategy only
+#if DATACELL_DEBUG_CHECKS_ENABLED
+    // Cumulative tuples this factory consumed from the basket; written only
+    // inside Fire() (single-writer by the exactly-once guard). A tuple
+    // consumed twice would eventually push this past the basket's appended
+    // total, which Fire() DC_CHECKs.
+    int64_t taken = 0;
+#endif
   };
 
   Factory(std::string name, sql::CompiledQuery query, BasketPtr output,
@@ -128,6 +143,13 @@ class Factory final : public Transition {
   std::unique_ptr<WindowExecutor> window_;  // null for unwindowed queries
   std::atomic<int64_t> results_emitted_{0};
   std::atomic<int64_t> plan_errors_{0};
+#if DATACELL_DEBUG_CHECKS_ENABLED
+  // Exactly-once firing guard: set for the duration of Fire(). The scheduler
+  // claims a transition before firing it, so two overlapping Fires on the
+  // same factory mean the claim protocol broke and inputs would be consumed
+  // twice — caught here instead of surfacing as silent duplicate results.
+  std::atomic<bool> in_fire_{false};
+#endif
 };
 
 using FactoryPtr = std::shared_ptr<Factory>;

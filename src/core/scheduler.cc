@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "common/lock_order.h"
 
 namespace datacell {
 
@@ -12,6 +13,7 @@ Scheduler::~Scheduler() { Stop(); }
 void Scheduler::AddTransition(TransitionPtr t) {
   {
     std::lock_guard<std::mutex> lock(transitions_mu_);
+    DC_LOCK_ORDER(&transitions_mu_, "scheduler_transitions", "scheduler");
     transitions_.push_back(std::move(t));
   }
   // The new transition may already be enabled; idle workers must see it.
@@ -21,6 +23,7 @@ void Scheduler::AddTransition(TransitionPtr t) {
 void Scheduler::NotifyWork() {
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
+    DC_LOCK_ORDER(&wake_mu_, "scheduler_wake", "scheduler");
     work_epoch_.fetch_add(1, std::memory_order_release);
   }
   wake_cv_.notify_all();
@@ -28,6 +31,7 @@ void Scheduler::NotifyWork() {
 
 bool Scheduler::RemoveTransition(const Transition* t) {
   std::lock_guard<std::mutex> lock(transitions_mu_);
+  DC_LOCK_ORDER(&transitions_mu_, "scheduler_transitions", "scheduler");
   for (auto it = transitions_.begin(); it != transitions_.end(); ++it) {
     if (it->get() == t) {
       transitions_.erase(it);
@@ -87,6 +91,7 @@ int Scheduler::FireSweep(const std::vector<TransitionPtr>& snapshot,
       errors_.fetch_add(1, std::memory_order_relaxed);
       {
         std::lock_guard<std::mutex> lock(error_mu_);
+        DC_LOCK_ORDER(&error_mu_, "scheduler_error", "scheduler");
         last_error_ = r.status();
       }
       DC_LOG(Error) << "transition '" << t.name()
@@ -120,6 +125,7 @@ int Scheduler::Step() {
   std::vector<size_t> order;
   {
     std::lock_guard<std::mutex> lock(transitions_mu_);
+    DC_LOCK_ORDER(&transitions_mu_, "scheduler_transitions", "scheduler");
     snapshot = transitions_;
     order = FiringOrder();
     ++rr_offset_;
@@ -157,6 +163,7 @@ void Scheduler::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
+    DC_LOCK_ORDER(&wake_mu_, "scheduler_wake", "scheduler");
     stop_requested_.store(true, std::memory_order_release);
   }
   wake_cv_.notify_all();
@@ -184,6 +191,7 @@ void Scheduler::Loop() {
       idle_waits_.fetch_add(1, std::memory_order_relaxed);
       {
         std::unique_lock<std::mutex> lock(wake_mu_);
+        DC_LOCK_ORDER(&wake_mu_, "scheduler_wake", "scheduler");
         wake_cv_.wait_for(lock, kIdleFallback, [&] {
           return work_epoch_.load(std::memory_order_acquire) != seen ||
                  stop_requested_.load(std::memory_order_acquire);
@@ -210,6 +218,7 @@ void Scheduler::Loop() {
 
 Status Scheduler::last_error() const {
   std::lock_guard<std::mutex> lock(error_mu_);
+  DC_LOCK_ORDER(&error_mu_, "scheduler_error", "scheduler");
   return last_error_;
 }
 

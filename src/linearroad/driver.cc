@@ -25,10 +25,10 @@ Status LrDriver::Run(int64_t seconds) {
     }
     engine_->Drain();
     auto wall_end = std::chrono::steady_clock::now();
-    tick_time_us_.Add(
+    tick_time_us_.Add(static_cast<double>(
         std::chrono::duration_cast<std::chrono::microseconds>(wall_end -
                                                               wall_start)
-            .count());
+            .count()));
     engine_->simulated_clock()->Advance(kMicrosPerSecond);
   }
   return Status::OK();

@@ -66,25 +66,53 @@ std::string AstExpr::ToString() const {
   switch (kind) {
     case AstExprKind::kColumnRef:
       return qualifier.empty() ? column : qualifier + "." + column;
-    case AstExprKind::kLiteral:
+    case AstExprKind::kLiteral: {
       if (literal.is_null()) return "null";
-      return literal.is_string() ? "'" + literal.ToString() + "'"
-                                 : literal.ToString();
-    case AstExprKind::kBinary:
-      return "(" + children[0]->ToString() + " " + BinOpStr(binary_op) + " " +
-             children[1]->ToString() + ")";
-    case AstExprKind::kUnary:
+      if (!literal.is_string()) return literal.ToString();
+      // Built by append: one-char-literal operator+ chains trip GCC 12's
+      // -Wrestrict false positive (PR105329) inside libstdc++.
+      std::string quoted = "'";
+      quoted += literal.ToString();
+      quoted += '\'';
+      return quoted;
+    }
+    case AstExprKind::kBinary: {
+      std::string s = "(";
+      s += children[0]->ToString();
+      s += ' ';
+      s += BinOpStr(binary_op);
+      s += ' ';
+      s += children[1]->ToString();
+      s += ')';
+      return s;
+    }
+    case AstExprKind::kUnary: {
+      // Append style, like kBinary above (GCC 12 -Wrestrict, PR105329).
+      std::string s;
       switch (unary_op) {
         case AstUnaryOp::kNot:
-          return "not (" + children[0]->ToString() + ")";
+          s = "not (";
+          s += children[0]->ToString();
+          s += ')';
+          return s;
         case AstUnaryOp::kNeg:
-          return "-(" + children[0]->ToString() + ")";
+          s = "-(";
+          s += children[0]->ToString();
+          s += ')';
+          return s;
         case AstUnaryOp::kIsNull:
-          return "(" + children[0]->ToString() + " is null)";
+          s = "(";
+          s += children[0]->ToString();
+          s += " is null)";
+          return s;
         case AstUnaryOp::kIsNotNull:
-          return "(" + children[0]->ToString() + " is not null)";
+          s = "(";
+          s += children[0]->ToString();
+          s += " is not null)";
+          return s;
       }
       return "?";
+    }
     case AstExprKind::kCase: {
       std::string s = "case";
       size_t branches = (children.size() - 1) / 2;

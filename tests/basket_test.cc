@@ -70,6 +70,33 @@ TEST(BasketTest, DrainMatchingLeavesRest) {
   EXPECT_EQ(snap->GetRow(0)[0], Value::Int64(5));
 }
 
+// Regression: an interior removal (DrainMatching keeps non-matching tuples
+// but shrinks the oid range without advancing hseqbase) used to leave a
+// registered reader's watermark pointing past the basket end, and the next
+// ReadNewFor aborted slicing out of range. Watermarks are now clamped back
+// to the end on interior removal; the reader resumes with fresh arrivals.
+TEST(BasketTest, ReaderWatermarkSurvivesInteriorDrain) {
+  auto b = MakeBasket();
+  size_t r = b->RegisterReader();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(b->Append(R(i, "v"), i).ok());
+  }
+  EXPECT_EQ(b->ReadNewFor(r)->num_rows(), 5u);  // watermark at oid 5
+  auto pred = Expr::Binary(BinaryOp::kLt,
+                           Expr::Column(0, "a", DataType::kInt64),
+                           Expr::Int(3));
+  auto matched = b->DrainMatching(*pred);  // removes 3 of 5; end is now oid 2
+  ASSERT_TRUE(matched.ok());
+  EXPECT_EQ((*matched)->num_rows(), 3u);
+  EXPECT_EQ(b->size(), 2u);
+  TablePtr again = b->ReadNewFor(r);  // used to abort here
+  EXPECT_EQ(again->num_rows(), 0u);
+  ASSERT_TRUE(b->Append(R(9, "z"), 9).ok());
+  TablePtr fresh = b->ReadNewFor(r);
+  ASSERT_EQ(fresh->num_rows(), 1u);
+  EXPECT_EQ(fresh->GetRow(0)[0], Value::Int64(9));
+}
+
 TEST(BasketTest, DrainSplitRoutesNonMatching) {
   auto src = MakeBasket("src");
   auto next = MakeBasket("next");

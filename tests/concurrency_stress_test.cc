@@ -284,7 +284,9 @@ TEST(ConcurrencyStress, MetricsScrapeWhilePipelineRuns) {
       std::string report = engine.StatsReport();
       ASSERT_FALSE(report.empty());
       std::string json = engine.TraceJson();
-      if (kTraceCompiled) ASSERT_FALSE(json.empty());
+      if (kTraceCompiled) {
+        ASSERT_FALSE(json.empty());
+      }
     }
   });
 

@@ -390,6 +390,23 @@ TEST_F(EngineTest, ReceptorParsesAndValidates) {
   EXPECT_EQ((*receptor)->malformed_lines(), 1);
 }
 
+// Regression (found by ASan): a caller-owned Channel died before the engine,
+// and ~Engine dereferenced it to detach the wake callback. The wake hub
+// decouples the lifetimes: the engine must never touch the channel again.
+TEST(EngineLifetimeTest, ChannelMayDieBeforeEngine) {
+  Engine engine(DeterministicOptions());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  {
+    Channel wire;
+    auto receptor = engine.AttachReceptor("r", &wire);
+    ASSERT_TRUE(receptor.ok());
+    wire.Push("1");
+    engine.Drain();
+    EXPECT_EQ((*receptor)->runs(), 1);
+  }  // `wire` dies here; no further scheduling — the engine may only be
+     // destroyed, which must not reach into the dead channel.
+}
+
 TEST_F(EngineTest, EmitterToChannel) {
   Sql("create basket r (x int)");
   QueryId q = Submit("big", "select x from [select * from r] as s "

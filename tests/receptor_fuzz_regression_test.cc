@@ -1,0 +1,114 @@
+// Replays the classes of malformed receptor input the fuzzers exercise
+// (see fuzz/) as a deterministic regression suite: every line must be either
+// parsed or rejected *gracefully* — dropped, counted in the
+// datacell_receptor_malformed_total metric, logged — never crash the engine
+// or corrupt the stream. Inputs that once misbehaved under the fuzzer belong
+// in kMalformed below (alongside a corpus file under fuzz/corpus/csv/).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adapters/channel.h"
+#include "core/engine.h"
+
+namespace datacell {
+namespace {
+
+class ReceptorFuzzRegressionTest : public ::testing::Test {
+ protected:
+  ReceptorFuzzRegressionTest() : engine_(Options()) {}
+
+  static EngineOptions Options() {
+    EngineOptions opts;
+    opts.use_wall_clock = false;
+    return opts;
+  }
+
+  void Attach(const std::string& schema_sql) {
+    ASSERT_TRUE(engine_.ExecuteSql(schema_sql).ok());
+    auto receptor = engine_.AttachReceptor("r", &wire_);
+    ASSERT_TRUE(receptor.ok());
+    receptor_ = *receptor;
+  }
+
+  int64_t MalformedMetric() {
+    auto snap = engine_.MetricsSnapshot();
+    const CounterSnapshot* c =
+        snap.FindCounter("datacell_receptor_malformed_total");
+    return c == nullptr ? 0 : c->value;
+  }
+
+  Engine engine_;
+  Channel wire_;
+  Receptor* receptor_ = nullptr;
+};
+
+TEST_F(ReceptorFuzzRegressionTest, MalformedLinesAreDroppedAndCounted) {
+  Attach("create basket r (x int, price float, name varchar)");
+  const std::vector<std::string> kMalformed = {
+      "",                          // empty line
+      ",",                         // too few fields, all empty
+      "1,2.5",                     // arity too low
+      "1,2.5,alice,extra",         // arity too high
+      "not-an-int,2.5,bob",        // int field garbage
+      "1,not-a-float,carol",       // float field garbage
+      "9223372036854775808,1,x",   // int64 overflow by one
+      "-9223372036854775809,1,x",  // int64 underflow by one
+      "1e999,1,x",                 // first field float-looking, not int
+      "\"unterminated,1,x",        // quote never closed
+      "1,\"2.5,name",              // quote opened mid-record
+      "\x01\x02\x7f,1,x",            // control bytes in an int field
+      std::string("1\0,2.5,x", 8),   // NUL embedded in an int field
+      std::string(1 << 12, ','),     // 4 KiB of separators
+  };
+  for (const std::string& line : kMalformed) {
+    wire_.Push(line);
+  }
+  wire_.Push("7,1.5,ok");  // one good line mixed in
+  engine_.Drain();
+
+  EXPECT_EQ(receptor_->malformed_lines(),
+            static_cast<int64_t>(kMalformed.size()));
+  EXPECT_EQ(MalformedMetric(), static_cast<int64_t>(kMalformed.size()));
+  // The good tuple made it through; the malformed ones left no trace.
+  auto depth = engine_.ExecuteSql("select x from r");
+  ASSERT_TRUE(depth.ok());
+  ASSERT_EQ((*depth)->num_rows(), 1u);
+  EXPECT_EQ((*depth)->GetRow(0)[0], Value::Int64(7));
+}
+
+TEST_F(ReceptorFuzzRegressionTest, WhitespaceAndQuotingEdgeCasesParse) {
+  Attach("create basket r (x int, price float, name varchar)");
+  // Near-miss well-formed lines: all must parse, none may be shed.
+  wire_.Push("1,2.5,\"quoted name\"");
+  wire_.Push("2,0.0,\"comma, inside\"");
+  wire_.Push("3,-1.25,\"\"");   // quoted empty string
+  wire_.Push("4,1e3,plain");    // exponent float
+  engine_.Drain();
+  EXPECT_EQ(receptor_->malformed_lines(), 0);
+  auto rows = engine_.ExecuteSql("select name from r");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)->num_rows(), 4u);
+  EXPECT_EQ((*rows)->GetRow(1)[0], Value::String("comma, inside"));
+}
+
+TEST_F(ReceptorFuzzRegressionTest, MalformedFloodDoesNotWedgeTheStream) {
+  Attach("create basket r (x int)");
+  for (int i = 0; i < 500; ++i) {
+    wire_.Push("garbage-" + std::to_string(i));
+  }
+  engine_.Drain();
+  // The stream stays usable after a burst of rejects.
+  wire_.Push("42");
+  engine_.Drain();
+  EXPECT_EQ(receptor_->malformed_lines(), 500);
+  auto rows = engine_.ExecuteSql("select x from r");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ((*rows)->num_rows(), 1u);
+  EXPECT_EQ((*rows)->GetRow(0)[0], Value::Int64(42));
+}
+
+}  // namespace
+}  // namespace datacell
