@@ -139,4 +139,4 @@ BENCHMARK(BM_PipelineCascade)
 }  // namespace
 }  // namespace datacell
 
-BENCHMARK_MAIN();
+DATACELL_BENCH_MAIN();

@@ -76,6 +76,19 @@ std::vector<std::string> Channel::DrainUpTo(size_t max) {
   return out;
 }
 
+size_t Channel::DrainInto(std::vector<std::string>* out, size_t max) {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "channel", "channel");
+  size_t n = std::min(max, lines_.size());
+  if (out->capacity() < n) out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(lines_.front()));
+    lines_.pop_front();
+  }
+  return n;
+}
+
 bool Channel::PopBlocking(std::string* out, int64_t timeout_us) {
   std::unique_lock<std::mutex> lock(mu_);
   DC_LOCK_ORDER(&mu_, "channel", "channel");

@@ -32,6 +32,10 @@ class Channel {
   bool TryPop(std::string* out);
   /// Pops up to `max` lines without blocking.
   std::vector<std::string> DrainUpTo(size_t max);
+  /// DrainUpTo into a caller-owned vector (cleared first): a long-lived
+  /// receptor reuses the same line buffer every fire instead of allocating a
+  /// fresh vector. Returns the number of lines drained.
+  size_t DrainInto(std::vector<std::string>* out, size_t max);
   /// Blocks until a line arrives, the channel closes, or `timeout_us`
   /// elapses; false on timeout/closed-and-empty.
   bool PopBlocking(std::string* out, int64_t timeout_us);

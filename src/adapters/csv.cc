@@ -1,5 +1,11 @@
 #include "adapters/csv.h"
 
+#include <charconv>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
 namespace datacell {
 
 namespace {
@@ -31,7 +37,114 @@ void AppendField(const Value& v, std::string* out) {
   *out += v.ToString();
 }
 
+/// One field of a quote-free line, appended straight into its typed column.
+/// Mirrors Value::FromString + Bat::AppendValue exactly: empty (or, for
+/// non-strings, whitespace-only) fields are null; bools accept the
+/// true/false/t/f/1/0 forms; integers via ParseInt64; doubles via from_chars
+/// with ParseDouble as the semantic fallback (strtod accepts a superset —
+/// hex floats, leading '+', inf/nan — that from_chars rejects).
+Status AppendCsvField(std::string_view field, Bat& col) {
+  if (col.type() == DataType::kString) {
+    if (field.empty()) {
+      col.AppendNull();  // unquoted empty = null, as in ParseCsvRow
+      return Status::OK();
+    }
+    col.AppendString(std::string(field));
+    return Status::OK();
+  }
+  std::string_view t = Trim(field);
+  if (t.empty()) {
+    col.AppendNull();
+    return Status::OK();
+  }
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      DC_ASSIGN_OR_RETURN(int64_t v, ParseInt64(t));
+      col.AppendInt64(v);
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      double v = 0.0;
+      auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+      if (ec != std::errc() || ptr != t.data() + t.size()) {
+        DC_ASSIGN_OR_RETURN(v, ParseDouble(t));
+      }
+      col.AppendDouble(v);
+      return Status::OK();
+    }
+    case DataType::kBool: {
+      if (EqualsIgnoreCase(t, "true") || EqualsIgnoreCase(t, "1") ||
+          EqualsIgnoreCase(t, "t")) {
+        col.AppendBool(true);
+        return Status::OK();
+      }
+      if (EqualsIgnoreCase(t, "false") || EqualsIgnoreCase(t, "0") ||
+          EqualsIgnoreCase(t, "f")) {
+        col.AppendBool(false);
+        return Status::OK();
+      }
+      return Status::ParseError("invalid bool literal: '" + std::string(field) +
+                                "'");
+    }
+    case DataType::kString:
+      break;  // handled above
+  }
+  return Status::Internal("unreachable type");
+}
+
+Status ArityError(size_t got, size_t want) {
+  return Status::ParseError("tuple arity " + std::to_string(got) +
+                            " does not match schema arity " +
+                            std::to_string(want));
+}
+
 }  // namespace
+
+Status AppendCsvToColumns(std::string_view line, ColumnBatch* batch) {
+  DC_CHECK(batch != nullptr);
+  const Schema& schema = batch->schema();
+  if (line.find('"') != std::string_view::npos) {
+    // Quoted fields: reuse the general row parser, then transpose the one
+    // validated row (rare path; quoting implies string payload anyway).
+    DC_ASSIGN_OR_RETURN(Row row, ParseCsvRow(line, schema));
+    batch->AppendRowUnchecked(row);
+    return Status::OK();
+  }
+  size_t rollback = batch->num_rows();
+  size_t n_cols = schema.num_fields();
+  size_t col = 0;
+  size_t start = 0;
+  Status st = Status::OK();
+  for (;;) {
+    size_t comma = line.find(',', start);
+    std::string_view field =
+        comma == std::string_view::npos
+            ? line.substr(start)
+            : line.substr(start, comma - start);
+    if (col >= n_cols) {
+      // Count the remaining fields for the same message the split path gives.
+      size_t total = col + 1;
+      while (comma != std::string_view::npos) {
+        comma = line.find(',', comma + 1);
+        ++total;
+      }
+      st = ArityError(total, n_cols);
+      break;
+    }
+    st = AppendCsvField(field, batch->column(col));
+    if (!st.ok()) break;
+    ++col;
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (st.ok() && col != n_cols) st = ArityError(col, n_cols);
+  if (!st.ok()) {
+    batch->TruncateTo(rollback);
+    return st;
+  }
+  return Status::OK();
+}
 
 std::string FormatCsvRow(const Row& row) {
   std::string out;
@@ -40,6 +153,47 @@ std::string FormatCsvRow(const Row& row) {
     AppendField(row[i], &out);
   }
   return out;
+}
+
+void FormatCsvLine(const ColumnBatch& batch, size_t row, std::string* out) {
+  out->clear();
+  // Numeric rendering matches Value::ToString exactly (%lld / %.6g), so a
+  // columnar-formatted line is byte-identical to the row path's.
+  char buf[32];
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    if (c > 0) out->push_back(',');
+    const Bat& col = batch.column(c);
+    if (col.IsNull(row)) continue;  // empty field = null
+    switch (col.type()) {
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(col.Int64At(row)));
+        *out += buf;
+        break;
+      case DataType::kDouble:
+        std::snprintf(buf, sizeof(buf), "%.6g", col.DoubleAt(row));
+        *out += buf;
+        break;
+      case DataType::kBool:
+        *out += col.BoolAt(row) ? "true" : "false";
+        break;
+      case DataType::kString: {
+        const std::string& s = col.StringAt(row);
+        if (!NeedsQuoting(s)) {
+          *out += s;
+          break;
+        }
+        out->push_back('"');
+        for (char ch : s) {
+          if (ch == '"') out->push_back('"');
+          out->push_back(ch);
+        }
+        out->push_back('"');
+        break;
+      }
+    }
+  }
 }
 
 Result<std::vector<std::string>> SplitCsvLine(std::string_view line) {

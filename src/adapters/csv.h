@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "storage/column_batch.h"
 #include "storage/schema.h"
 #include "storage/types.h"
 
@@ -21,6 +22,20 @@ Result<Row> ParseCsvRow(std::string_view line, const Schema& schema);
 
 /// Splits a raw CSV line into unescaped fields.
 Result<std::vector<std::string>> SplitCsvLine(std::string_view line);
+
+/// Parses one CSV line directly into `batch`'s typed columns (one value per
+/// column, matching batch->schema() positionally) — the zero-boxing ingest
+/// path: quote-free lines are split as string_views and parsed in place with
+/// no intermediate Row, Value or field-string allocation for fixed-width
+/// types. Lines containing quotes take the general ParseCsvRow path.
+/// Semantics are identical to ParseCsvRow + append. On error the batch is
+/// left unchanged (the partial row is rolled back).
+Status AppendCsvToColumns(std::string_view line, ColumnBatch* batch);
+
+/// Formats row `row` of `batch` into `out` (cleared first), byte-identical
+/// to FormatCsvRow on the equivalent Row — the replayer's columnar egress:
+/// values stream from the typed buffers into the line with no Value boxing.
+void FormatCsvLine(const ColumnBatch& batch, size_t row, std::string* out);
 
 }  // namespace datacell
 

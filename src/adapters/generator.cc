@@ -4,6 +4,16 @@
 
 namespace datacell {
 
+UniformRowGenerator::UniformRowGenerator(std::vector<ColumnSpec> columns,
+                                         uint64_t seed)
+    : columns_(std::move(columns)), rng_(seed) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::string col = "c";
+    col += std::to_string(i);
+    schema_.AddField(Field{std::move(col), columns_[i].type});
+  }
+}
+
 Row UniformRowGenerator::Next() {
   Row row;
   row.reserve(columns_.size());
@@ -39,14 +49,43 @@ Row UniformRowGenerator::Next() {
   return row;
 }
 
-Schema UniformRowGenerator::MakeSchema() const {
-  Schema s;
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    std::string col = "c";
-    col += std::to_string(i);
-    s.AddField(Field{std::move(col), columns_[i].type});
+void UniformRowGenerator::NextBatchColumns(size_t n, ColumnBatch* out) {
+  DC_CHECK_EQ(out->num_columns(), columns_.size());
+  // Row-major draw order, exactly as Next(): the RNG stream (and therefore
+  // the generated data) is identical whether rows or columns are requested.
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      const ColumnSpec& c = columns_[i];
+      Bat& col = out->column(i);
+      switch (c.type) {
+        case DataType::kInt64: {
+          int64_t v;
+          if (c.zipf_theta > 0.0) {
+            v = c.int_min + rng_.Zipf(c.int_max - c.int_min + 1, c.zipf_theta);
+          } else {
+            v = rng_.Uniform(c.int_min, c.int_max);
+          }
+          col.AppendInt64(v);
+          break;
+        }
+        case DataType::kDouble:
+          col.AppendDouble(rng_.UniformReal(c.real_min, c.real_max));
+          break;
+        case DataType::kString: {
+          std::string s = "s";
+          s += std::to_string(rng_.Uniform(0, c.cardinality - 1));
+          col.AppendString(std::move(s));
+          break;
+        }
+        case DataType::kBool:
+          col.AppendBool(rng_.Bernoulli(0.5));
+          break;
+        case DataType::kTimestamp:
+          col.AppendInt64(rng_.Uniform(c.int_min, c.int_max));
+          break;
+      }
+    }
   }
-  return s;
 }
 
 Row OutOfOrderGenerator::Next() {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "storage/column_batch.h"
 #include "storage/schema.h"
 #include "storage/types.h"
 
@@ -23,6 +24,18 @@ class RowGenerator {
     for (size_t i = 0; i < n; ++i) out.push_back(Next());
     return out;
   }
+  /// Appends `n` rows straight into `out`'s typed columns. The default
+  /// transposes through Next(); generators that know their layout override
+  /// with direct appends (no Row/Value boxing). Draws happen in the same
+  /// order either way, so for a given seed the row and columnar fills
+  /// produce identical data.
+  virtual void NextBatchColumns(size_t n, ColumnBatch* out) {
+    for (size_t i = 0; i < n; ++i) out->AppendRowUnchecked(Next());
+  }
+  /// Schema of the generated rows when the generator knows it statically —
+  /// lets columnar consumers (the replayer) size a ColumnBatch. Null means
+  /// rows-only.
+  virtual const Schema* schema() const { return nullptr; }
 };
 
 /// Per-column value distribution for UniformRowGenerator.
@@ -43,16 +56,20 @@ struct ColumnSpec {
 /// generator used by most benchmarks.
 class UniformRowGenerator : public RowGenerator {
  public:
-  UniformRowGenerator(std::vector<ColumnSpec> columns, uint64_t seed)
-      : columns_(std::move(columns)), rng_(seed) {}
+  UniformRowGenerator(std::vector<ColumnSpec> columns, uint64_t seed);
 
   Row Next() override;
+  /// Columnar fast path: draws in the same per-row, per-column order as
+  /// Next() but appends into the typed buffers directly.
+  void NextBatchColumns(size_t n, ColumnBatch* out) override;
+  const Schema* schema() const override { return &schema_; }
 
   /// Schema matching the generated rows, with columns named c0, c1, ...
-  Schema MakeSchema() const;
+  Schema MakeSchema() const { return schema_; }
 
  private:
   std::vector<ColumnSpec> columns_;
+  Schema schema_;
   Rng rng_;
 };
 
@@ -71,6 +88,7 @@ class OutOfOrderGenerator : public RowGenerator {
         rng_(seed) {}
 
   Row Next() override;
+  const Schema* schema() const override { return inner_->schema(); }
 
  private:
   std::unique_ptr<RowGenerator> inner_;

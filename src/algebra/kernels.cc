@@ -1,0 +1,139 @@
+#include "algebra/kernels.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace datacell {
+namespace kernel {
+
+size_t SelectRangeInt64Scalar(const int64_t* data, int64_t l, int64_t h,
+                              size_t begin, size_t end, size_t* out) {
+  size_t k = 0;
+  for (size_t i = begin; i < end; ++i) {
+    out[k] = i;
+    k += static_cast<size_t>((data[i] >= l) & (data[i] <= h));
+  }
+  return k;
+}
+
+size_t SelectRangeDoubleScalar(const double* data, double l, double h,
+                               size_t begin, size_t end, size_t* out) {
+  size_t k = 0;
+  for (size_t i = begin; i < end; ++i) {
+    out[k] = i;
+    k += static_cast<size_t>((data[i] >= l) & (data[i] <= h));
+  }
+  return k;
+}
+
+#if defined(__x86_64__)
+
+namespace {
+
+/// For each 4-bit keep mask, the qualifying lane indices packed LSB-first
+/// (trailing entries are padding, overwritten by the next block's stores).
+struct LaneLut {
+  uint8_t idx[4];
+};
+constexpr LaneLut kLanes[16] = {
+    {{0, 0, 0, 0}}, {{0, 0, 0, 0}}, {{1, 0, 0, 0}}, {{0, 1, 0, 0}},
+    {{2, 0, 0, 0}}, {{0, 2, 0, 0}}, {{1, 2, 0, 0}}, {{0, 1, 2, 0}},
+    {{3, 0, 0, 0}}, {{0, 3, 0, 0}}, {{1, 3, 0, 0}}, {{0, 1, 3, 0}},
+    {{2, 3, 0, 0}}, {{0, 2, 3, 0}}, {{1, 2, 3, 0}}, {{0, 1, 2, 3}},
+};
+
+/// Emits one 4-lane block: four unconditional stores, cursor advances by
+/// popcount. Writing past the live prefix is safe — with `k` qualifiers out
+/// of `i - begin` scanned, k + 3 <= end - begin - 1 inside the vector loop.
+inline size_t EmitBlock(size_t* out, size_t k, size_t i, int keep) {
+  const LaneLut& lut = kLanes[keep];
+  out[k + 0] = i + lut.idx[0];
+  out[k + 1] = i + lut.idx[1];
+  out[k + 2] = i + lut.idx[2];
+  out[k + 3] = i + lut.idx[3];
+  return k + static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(keep)));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) size_t SelectRangeInt64Avx2(
+    const int64_t* data, int64_t l, int64_t h, size_t begin, size_t end,
+    size_t* out) {
+  size_t k = 0;
+  size_t i = begin;
+  const __m256i vlo = _mm256_set1_epi64x(l);
+  const __m256i vhi = _mm256_set1_epi64x(h);
+  for (; i + 4 <= end; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    // keep = !(v < l) && !(v > h), via the only 64-bit compare AVX2 has.
+    __m256i lt = _mm256_cmpgt_epi64(vlo, v);
+    __m256i gt = _mm256_cmpgt_epi64(v, vhi);
+    int drop = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_or_si256(lt, gt)));
+    k = EmitBlock(out, k, i, ~drop & 0xF);
+  }
+  for (; i < end; ++i) {
+    out[k] = i;
+    k += static_cast<size_t>((data[i] >= l) & (data[i] <= h));
+  }
+  return k;
+}
+
+__attribute__((target("avx2"))) size_t SelectRangeDoubleAvx2(
+    const double* data, double l, double h, size_t begin, size_t end,
+    size_t* out) {
+  size_t k = 0;
+  size_t i = begin;
+  const __m256d vlo = _mm256_set1_pd(l);
+  const __m256d vhi = _mm256_set1_pd(h);
+  for (; i + 4 <= end; i += 4) {
+    __m256d v = _mm256_loadu_pd(data + i);
+    // Ordered-quiet compares: NaN fails both, as in the scalar kernel.
+    __m256d ge = _mm256_cmp_pd(v, vlo, _CMP_GE_OQ);
+    __m256d le = _mm256_cmp_pd(v, vhi, _CMP_LE_OQ);
+    int keep = _mm256_movemask_pd(_mm256_and_pd(ge, le));
+    k = EmitBlock(out, k, i, keep);
+  }
+  for (; i < end; ++i) {
+    out[k] = i;
+    k += static_cast<size_t>((data[i] >= l) & (data[i] <= h));
+  }
+  return k;
+}
+
+bool HasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+
+#else  // !defined(__x86_64__)
+
+size_t SelectRangeInt64Avx2(const int64_t* data, int64_t l, int64_t h,
+                            size_t begin, size_t end, size_t* out) {
+  return SelectRangeInt64Scalar(data, l, h, begin, end, out);
+}
+
+size_t SelectRangeDoubleAvx2(const double* data, double l, double h,
+                             size_t begin, size_t end, size_t* out) {
+  return SelectRangeDoubleScalar(data, l, h, begin, end, out);
+}
+
+bool HasAvx2() { return false; }
+
+#endif  // defined(__x86_64__)
+
+size_t SelectRangeInt64(const int64_t* data, int64_t l, int64_t h,
+                        size_t begin, size_t end, size_t* out) {
+  return HasAvx2() ? SelectRangeInt64Avx2(data, l, h, begin, end, out)
+                   : SelectRangeInt64Scalar(data, l, h, begin, end, out);
+}
+
+size_t SelectRangeDouble(const double* data, double l, double h, size_t begin,
+                         size_t end, size_t* out) {
+  return HasAvx2() ? SelectRangeDoubleAvx2(data, l, h, begin, end, out)
+                   : SelectRangeDoubleScalar(data, l, h, begin, end, out);
+}
+
+}  // namespace kernel
+}  // namespace datacell

@@ -1,0 +1,46 @@
+#ifndef DATACELL_ALGEBRA_KERNELS_H_
+#define DATACELL_ALGEBRA_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace datacell {
+/// Tight per-type selection kernels under the algebra operators. These work
+/// on raw buffers (no Bat, no nulls — callers handle the null path) so the
+/// compiler sees plain loops over contiguous data.
+///
+/// The scalar variants use the branch-free compress idiom
+/// (`out[k] = i; k += predicate`) whose loop-carried dependence on `k`
+/// defeats autovectorisation without AVX-512 compress stores — hence the
+/// explicit AVX2 variants: compare, movemask, a 16-entry lane-index LUT and
+/// four unconditional stores per block. Selected at runtime via
+/// __builtin_cpu_supports, so the binary stays portable.
+namespace kernel {
+
+/// True when the running CPU supports AVX2 (result cached after first call).
+bool HasAvx2();
+
+/// Writes every position i in [begin, end) with l <= data[i] <= h into
+/// `out`, which must have room for end - begin entries; returns the count.
+/// Bounds are inclusive. All variants of one type produce identical output.
+size_t SelectRangeInt64Scalar(const int64_t* data, int64_t l, int64_t h,
+                              size_t begin, size_t end, size_t* out);
+size_t SelectRangeInt64Avx2(const int64_t* data, int64_t l, int64_t h,
+                            size_t begin, size_t end, size_t* out);
+/// Runtime-dispatched: AVX2 when available, scalar otherwise.
+size_t SelectRangeInt64(const int64_t* data, int64_t l, int64_t h,
+                        size_t begin, size_t end, size_t* out);
+
+/// Double range select; NaN never qualifies (matches the scalar comparison
+/// and the ordered-quiet AVX2 compares).
+size_t SelectRangeDoubleScalar(const double* data, double l, double h,
+                               size_t begin, size_t end, size_t* out);
+size_t SelectRangeDoubleAvx2(const double* data, double l, double h,
+                             size_t begin, size_t end, size_t* out);
+size_t SelectRangeDouble(const double* data, double l, double h, size_t begin,
+                         size_t end, size_t* out);
+
+}  // namespace kernel
+}  // namespace datacell
+
+#endif  // DATACELL_ALGEBRA_KERNELS_H_

@@ -1,8 +1,10 @@
 #include "algebra/operators.h"
 
 #include <algorithm>
+#include <type_traits>
 #include <unordered_map>
 
+#include "algebra/kernels.h"
 #include "common/check.h"
 
 namespace datacell {
@@ -29,9 +31,17 @@ size_t SelectRangeMorsel(const T* data, const Bat& b, T l, T h, size_t begin,
                          size_t end, size_t* out) {
   size_t k = 0;
   if (!b.has_nulls()) {
-    for (size_t i = begin; i < end; ++i) {
-      out[k] = i;
-      k += static_cast<size_t>((data[i] >= l) & (data[i] <= h));
+    // Null-free columns hit the raw-buffer kernels, which pick the AVX2
+    // variant at runtime when the CPU has it.
+    if constexpr (std::is_same_v<T, int64_t>) {
+      return kernel::SelectRangeInt64(data, l, h, begin, end, out);
+    } else if constexpr (std::is_same_v<T, double>) {
+      return kernel::SelectRangeDouble(data, l, h, begin, end, out);
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        out[k] = i;
+        k += static_cast<size_t>((data[i] >= l) & (data[i] <= h));
+      }
     }
   } else {
     for (size_t i = begin; i < end; ++i) {

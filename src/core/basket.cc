@@ -2,12 +2,23 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "storage/batch_pool.h"
 
 namespace datacell {
 
 Basket::Basket(TablePtr table) : table_(std::move(table)) {
   DC_CHECK(table_ != nullptr);
   DC_CHECK(HasTsColumn(table_->schema()));
+  const Schema& full = table_->schema();
+  std::vector<Field> user_fields(full.fields().begin(),
+                                 full.fields().end() - 1);
+  user_schema_ = Schema(std::move(user_fields));
+}
+
+void Basket::SetBatchPool(BatchPool* pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "basket", name());
+  pool_ = pool;
 }
 
 bool Basket::HasTsColumn(const Schema& schema) {
@@ -120,17 +131,10 @@ Status Basket::Append(const Row& values, Timestamp ts) {
 
 Status Basket::AppendBatch(const std::vector<Row>& rows, Timestamp ts) {
   if (rows.empty()) return Status::OK();
-  DC_RETURN_NOT_OK(AppendBatchLocked(rows, ts));
-  NotifyAppend();
-  return Status::OK();
-}
-
-Status Basket::AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts) {
-  std::unique_lock<std::mutex> lock = LockTraced();
-  DC_LOCK_ORDER(&mu_, "basket", name());
-  size_t user_cols = table_->num_columns() - 1;
-  // Validate the whole batch before mutating any column, so a bad tuple
-  // cannot leave the columns misaligned.
+  // Compatibility shim over the columnar path: validate once per batch (a
+  // cheap boolean test per value — the detailed Status is built only on the
+  // failure path) and transpose outside the basket lock.
+  size_t user_cols = user_schema_.num_fields();
   for (const Row& r : rows) {
     if (r.size() != user_cols) {
       return Status::InvalidArgument(
@@ -138,60 +142,66 @@ Status Basket::AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts) {
           name() + "' arity " + std::to_string(user_cols));
     }
     for (size_t c = 0; c < user_cols; ++c) {
-      Status st = CheckValueType(r[c], table_->column(c)->type());
-      if (!st.ok()) {
-        return Status::TypeError("column '" + table_->schema().field(c).name +
+      if (!ValueMatchesType(r[c], user_schema_.field(c).type)) {
+        Status st = CheckValueType(r[c], user_schema_.field(c).type);
+        return Status::TypeError("column '" + user_schema_.field(c).name +
                                  "': " + st.message());
       }
     }
   }
-  // Column-at-a-time append: one type dispatch per column, not per value.
+  ColumnBatch batch(user_schema_);
+  for (const Row& r : rows) batch.AppendRowUnchecked(r);
+  return AppendColumns(std::move(batch), ts);
+}
+
+Status Basket::AppendColumns(ColumnBatch&& batch, Timestamp ts) {
+  if (batch.num_rows() == 0) return Status::OK();
+  DC_RETURN_NOT_OK(AppendColumnsLocked(&batch, ts, /*steal=*/true));
+  NotifyAppend();
+  return Status::OK();
+}
+
+Status Basket::AppendColumnsCopy(const ColumnBatch& batch, Timestamp ts) {
+  if (batch.num_rows() == 0) return Status::OK();
+  // steal=false never mutates the batch; the const_cast only unifies the
+  // locked implementation.
+  DC_RETURN_NOT_OK(AppendColumnsLocked(const_cast<ColumnBatch*>(&batch), ts,
+                                       /*steal=*/false));
+  NotifyAppend();
+  return Status::OK();
+}
+
+Status Basket::AppendColumnsLocked(ColumnBatch* batch, Timestamp ts,
+                                   bool steal) {
+  std::unique_lock<std::mutex> lock = LockTraced();
+  DC_LOCK_ORDER(&mu_, "basket", name());
+  size_t user_cols = table_->num_columns() - 1;
+  if (batch->num_columns() != user_cols) {
+    return Status::InvalidArgument(
+        "column batch arity " + std::to_string(batch->num_columns()) +
+        " does not match stream '" + name() + "' arity " +
+        std::to_string(user_cols));
+  }
   for (size_t c = 0; c < user_cols; ++c) {
-    Bat& col = *table_->column(c);
-    switch (col.type()) {
-      case DataType::kInt64:
-      case DataType::kTimestamp:
-        for (const Row& r : rows) {
-          if (r[c].is_null()) {
-            col.AppendNull();
-          } else {
-            col.AppendInt64(r[c].int64_value());
-          }
-        }
-        break;
-      case DataType::kDouble:
-        for (const Row& r : rows) {
-          if (r[c].is_null()) {
-            col.AppendNull();
-          } else {
-            col.AppendDouble(r[c].AsDouble());
-          }
-        }
-        break;
-      case DataType::kBool:
-        for (const Row& r : rows) {
-          if (r[c].is_null()) {
-            col.AppendNull();
-          } else {
-            col.AppendBool(r[c].bool_value());
-          }
-        }
-        break;
-      case DataType::kString:
-        for (const Row& r : rows) {
-          if (r[c].is_null()) {
-            col.AppendNull();
-          } else {
-            col.AppendString(r[c].string_value());
-          }
-        }
-        break;
+    if (batch->column(c).type() != table_->column(c)->type()) {
+      return Status::TypeError(
+          "column '" + table_->schema().field(c).name + "': batch column is " +
+          DataTypeToString(batch->column(c).type()) + ", stream column is " +
+          DataTypeToString(table_->column(c)->type()));
     }
   }
-  Bat& ts_col = *table_->column(user_cols);
-  for (size_t i = 0; i < rows.size(); ++i) ts_col.AppendInt64(ts);
-  total_appended_ += static_cast<int64_t>(rows.size());
-  ShedLocked(rows.size());
+  size_t n = batch->num_rows();
+  for (size_t c = 0; c < user_cols; ++c) {
+    DC_DCHECK_EQ(batch->column(c).size(), n);
+    if (steal) {
+      table_->column(c)->TakeContentFrom(batch->column(c));
+    } else {
+      table_->column(c)->AppendBat(batch->column(c));
+    }
+  }
+  table_->column(user_cols)->AppendConstantInt64(ts, n);
+  total_appended_ += static_cast<int64_t>(n);
+  ShedLocked(n);
   NoteOccupancyLocked();
   CheckInvariantsLocked();
   return Status::OK();
@@ -211,36 +221,84 @@ Status Basket::AppendWithTs(const Table& rows_with_ts) {
   return Status::OK();
 }
 
+Status Basket::CheckStampedLocked(const Table& rows) const {
+  size_t n_cols = table_->num_columns();
+  if (rows.num_columns() != n_cols - 1) {
+    return Status::InvalidArgument(
+        "stamped append arity mismatch: got " +
+        std::to_string(rows.num_columns()) + " columns, basket '" + name() +
+        "' holds " + std::to_string(n_cols - 1) + " (plus ts)");
+  }
+  for (size_t c = 0; c + 1 < n_cols; ++c) {
+    if (table_->column(c)->type() != rows.column(c)->type()) {
+      return Status::TypeError("stamped append type mismatch at column " +
+                               std::to_string(c));
+    }
+  }
+  return Status::OK();
+}
+
 Status Basket::AppendStamped(const Table& rows, Timestamp ts) {
   {
     std::unique_lock<std::mutex> lock = LockTraced();
     DC_LOCK_ORDER(&mu_, "basket", name());
+    DC_RETURN_NOT_OK(CheckStampedLocked(rows));
     size_t n_cols = table_->num_columns();
-    if (rows.num_columns() != n_cols - 1) {
-      return Status::InvalidArgument(
-          "stamped append arity mismatch: got " +
-          std::to_string(rows.num_columns()) + " columns, basket '" + name() +
-          "' holds " + std::to_string(n_cols - 1) + " (plus ts)");
-    }
-    for (size_t c = 0; c + 1 < n_cols; ++c) {
-      if (table_->column(c)->type() != rows.column(c)->type()) {
-        return Status::TypeError("stamped append type mismatch at column " +
-                                 std::to_string(c));
-      }
-    }
     for (size_t c = 0; c + 1 < n_cols; ++c) {
       table_->column(c)->AppendBat(*rows.column(c));
     }
-    Bat& ts_col = *table_->column(n_cols - 1);
-    for (size_t i = 0; i < rows.num_rows(); ++i) {
-      ts_col.AppendInt64(ts);
-    }
+    table_->column(n_cols - 1)->AppendConstantInt64(ts, rows.num_rows());
     total_appended_ += static_cast<int64_t>(rows.num_rows());
     ShedLocked(rows.num_rows());
     NoteOccupancyLocked();
     CheckInvariantsLocked();
   }
   if (rows.num_rows() > 0) NotifyAppend();
+  return Status::OK();
+}
+
+Status Basket::AppendStampedMove(Table&& rows, Timestamp ts) {
+  size_t n = rows.num_rows();
+  {
+    std::unique_lock<std::mutex> lock = LockTraced();
+    DC_LOCK_ORDER(&mu_, "basket", name());
+    DC_RETURN_NOT_OK(CheckStampedLocked(rows));
+    size_t n_cols = table_->num_columns();
+    for (size_t c = 0; c + 1 < n_cols; ++c) {
+      table_->column(c)->TakeContentFrom(*rows.column(c));
+    }
+    table_->column(n_cols - 1)->AppendConstantInt64(ts, n);
+    total_appended_ += static_cast<int64_t>(n);
+    ShedLocked(n);
+    NoteOccupancyLocked();
+    CheckInvariantsLocked();
+  }
+  if (n > 0) NotifyAppend();
+  return Status::OK();
+}
+
+Status Basket::AppendWithTsMove(Table&& rows_with_ts) {
+  size_t n = rows_with_ts.num_rows();
+  {
+    std::unique_lock<std::mutex> lock = LockTraced();
+    DC_LOCK_ORDER(&mu_, "basket", name());
+    if (rows_with_ts.num_columns() != table_->num_columns()) {
+      return Status::InvalidArgument("appending table with different arity");
+    }
+    for (size_t c = 0; c < table_->num_columns(); ++c) {
+      if (table_->column(c)->type() != rows_with_ts.column(c)->type()) {
+        return Status::TypeError("column type mismatch in AppendTable");
+      }
+    }
+    for (size_t c = 0; c < table_->num_columns(); ++c) {
+      table_->column(c)->TakeContentFrom(*rows_with_ts.column(c));
+    }
+    total_appended_ += static_cast<int64_t>(n);
+    ShedLocked(n);
+    NoteOccupancyLocked();
+    CheckInvariantsLocked();
+  }
+  if (n > 0) NotifyAppend();
   return Status::OK();
 }
 
@@ -291,14 +349,34 @@ void Basket::ShedLocked(size_t appended) {
   total_shed_ += static_cast<int64_t>(excess);
 }
 
+TablePtr Basket::AcquireDrainTableLocked() const {
+  // The pool is a leaf lock under the basket monitor (class "batch_pool");
+  // it never calls back into baskets, so nesting it here is safe.
+  if (pool_ != nullptr) return pool_->AcquireTable(name(), table_->schema());
+  return std::make_shared<Table>(name(), table_->schema());
+}
+
 TablePtr Basket::DrainAll() {
   std::unique_lock<std::mutex> lock = LockTraced();
   DC_LOCK_ORDER(&mu_, "basket", name());
-  TablePtr out = TablePtr(table_->Clone());
-  total_consumed_ += static_cast<int64_t>(table_->num_rows());
-  table_->Clear();
+  // Steal, don't copy: a drain removes everything regardless of readers, so
+  // swapping the buffers out is observably identical to clone-and-clear
+  // (hseqbase advances the same way; watermarks stay <= end).
+  TablePtr out = AcquireDrainTableLocked();
+  table_->MoveContentInto(*out);
+  total_consumed_ += static_cast<int64_t>(out->num_rows());
   CheckInvariantsLocked();
   return out;
+}
+
+void Basket::DrainAllInto(Table* out) {
+  DC_CHECK(out != nullptr);
+  DC_CHECK(out->empty());
+  std::unique_lock<std::mutex> lock = LockTraced();
+  DC_LOCK_ORDER(&mu_, "basket", name());
+  table_->MoveContentInto(*out);
+  total_consumed_ += static_cast<int64_t>(out->num_rows());
+  CheckInvariantsLocked();
 }
 
 TablePtr Basket::DrainPositionsLocked(const std::vector<size_t>& positions) {
@@ -398,6 +476,45 @@ Result<TablePtr> Basket::ReadNewMatching(size_t reader_id,
   }
   CheckInvariantsLocked();
   return TablePtr(table_->Take(unseen));
+}
+
+TablePtr Basket::DrainNewFor(size_t reader_id) {
+  std::unique_lock<std::mutex> lock = LockTraced();
+  DC_LOCK_ORDER(&mu_, "basket", name());
+  auto it = watermarks_.find(reader_id);
+  DC_CHECK(it != watermarks_.end());
+  Oid base = table_->hseqbase();
+  Oid end = base + table_->num_rows();
+  Oid from = std::max(it->second, base);
+  if (watermarks_.size() == 1 && from <= base) {
+    // Single-reader fast path: this reader has seen nothing still buffered
+    // and nobody else is registered, so everything present is both unseen
+    // and immediately trimmable — steal the buffers whole.
+    TablePtr out = AcquireDrainTableLocked();
+    table_->MoveContentInto(*out);
+    it->second = end;
+    total_consumed_ += static_cast<int64_t>(out->num_rows());
+    CheckInvariantsLocked();
+    return out;
+  }
+  // General path: the fused equivalent of ReadNewFor + TrimConsumed — one
+  // lock acquisition, one snapshot of the unseen slice, then drop whatever
+  // prefix every reader (including this one, post-advance) has consumed.
+  TablePtr out = TablePtr(table_->Slice(static_cast<size_t>(from - base),
+                                        static_cast<size_t>(end - from)));
+  it->second = end;
+  Oid min_mark = watermarks_.begin()->second;
+  for (const auto& [id, mark] : watermarks_) {
+    if (mark < min_mark) min_mark = mark;
+  }
+  if (min_mark > base) {
+    size_t n =
+        std::min(static_cast<size_t>(min_mark - base), table_->num_rows());
+    table_->RemovePrefix(n);
+    total_consumed_ += static_cast<int64_t>(n);
+  }
+  CheckInvariantsLocked();
+  return out;
 }
 
 size_t Basket::TrimConsumed() {

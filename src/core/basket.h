@@ -16,9 +16,12 @@
 #include "common/lock_order.h"
 #include "common/result.h"
 #include "common/trace.h"
+#include "storage/column_batch.h"
 #include "storage/table.h"
 
 namespace datacell {
+
+class BatchPool;
 
 /// The key data structure of the DataCell (§2.2): a portion of a stream held
 /// as a temporary main-memory table. Receptors append incoming tuples;
@@ -55,21 +58,53 @@ class Basket {
   const std::string& name() const { return table_->name(); }
   /// Full schema including the trailing `ts` column.
   const Schema& schema() const { return table_->schema(); }
+  /// Stream schema as declared by the user (without the trailing ts column);
+  /// the schema a ColumnBatch for this basket is built from.
+  const Schema& user_schema() const { return user_schema_; }
+
+  /// Wires the buffer recycler: drains acquire their result tables from
+  /// `pool` (pre-capacitied buffers) instead of the allocator. Pass nullptr
+  /// to detach. The pool is a leaf lock acquired under the basket monitor.
+  void SetBatchPool(BatchPool* pool);
 
   // --- producer side ----------------------------------------------------
   /// Appends one stream tuple (without ts); `ts` is stamped on.
   Status Append(const Row& values, Timestamp ts);
-  /// Appends many tuples with the same arrival timestamp (bulk receptor path).
+  /// Appends many tuples with the same arrival timestamp. Compatibility shim
+  /// over AppendColumns: the rows are validated once per batch and
+  /// transposed into a ColumnBatch outside the basket lock.
   Status AppendBatch(const std::vector<Row>& rows, Timestamp ts);
+  /// Moves a typed columnar batch in, stamping every tuple with `ts`. When
+  /// the basket is empty the buffers are swapped in (zero-copy) and `batch`
+  /// is left holding the basket's previous (empty, capacitied) buffers —
+  /// the producer refills them next round; otherwise a bulk column append.
+  Status AppendColumns(ColumnBatch&& batch, Timestamp ts);
+  /// Copying variant used when one batch fans out to several baskets;
+  /// `batch` is left untouched.
+  Status AppendColumnsCopy(const ColumnBatch& batch, Timestamp ts);
   /// Appends rows that already carry a ts column (inter-factory flow).
   Status AppendWithTs(const Table& rows_with_ts);
+  /// Zero-copy variant: steals `rows_with_ts`'s column buffers (swap when
+  /// empty-destination, bulk append otherwise); the argument is left empty.
+  /// Only safe when the caller exclusively owns the table and its columns.
+  Status AppendWithTsMove(Table&& rows_with_ts);
   /// Bulk-appends result rows lacking a ts column, stamping all with `ts`
   /// (the factory's output path: query results enter the output basket).
   Status AppendStamped(const Table& rows, Timestamp ts);
+  /// Zero-copy variant of AppendStamped; same ownership caveat as
+  /// AppendWithTsMove.
+  Status AppendStampedMove(Table&& rows, Timestamp ts);
 
   // --- exclusive-consumer side (separate-baskets strategy) ----------------
-  /// Removes and returns the full content.
+  /// Removes and returns the full content. Zero-copy: the buffers are moved
+  /// out by swap (Table::MoveContentInto) — a drain removes everything
+  /// regardless of readers, so stealing is observably identical to the old
+  /// clone-and-clear. The result table comes from the BatchPool when wired.
   TablePtr DrainAll();
+  /// DrainAll into caller-owned scratch (`out` must be empty with this
+  /// basket's full schema): the no-allocation drain — the basket inherits
+  /// `out`'s old buffer capacity in the swap.
+  void DrainAllInto(Table* out);
   /// Removes and returns the tuples satisfying `predicate` (a basket
   /// expression's consuming read, §2.6); non-matching tuples stay.
   Result<TablePtr> DrainMatching(const Expr& predicate);
@@ -96,6 +131,12 @@ class Basket {
   /// Physically removes tuples every registered reader has consumed.
   /// Returns the number of tuples removed.
   size_t TrimConsumed();
+  /// Fused ReadNewFor + TrimConsumed. Single-reader fast path: when
+  /// `reader_id` is the only registered reader and its watermark is at (or
+  /// below) the buffered prefix, everything present is unseen-by-everyone,
+  /// so the buffers are *stolen* (swap, no copy) instead of sliced; the
+  /// general multi-reader path slices then trims as before.
+  TablePtr DrainNewFor(size_t reader_id);
 
   // --- inspection (non-consuming, "outside a basket expression", §2.6) ----
   /// Snapshot of the current content.
@@ -164,7 +205,14 @@ class Basket {
 #endif
 
  private:
-  Status AppendBatchLocked(const std::vector<Row>& rows, Timestamp ts);
+  /// Validates batch arity/types against the user schema (one check per
+  /// column, not per value) and appends under the lock. `steal` moves the
+  /// buffers; otherwise they are copied.
+  Status AppendColumnsLocked(ColumnBatch* batch, Timestamp ts, bool steal);
+  /// Arity/type validation shared by the stamped-append paths.
+  Status CheckStampedLocked(const Table& rows) const;
+  /// Fresh drain-result table: pooled buffers when a pool is wired.
+  TablePtr AcquireDrainTableLocked() const;
   TablePtr DrainPositionsLocked(const std::vector<size_t>& positions);
   /// Acquires mu_, recording the wait into the trace ring when the lock was
   /// contended (tracing wired and compiled in; otherwise a plain lock).
@@ -206,6 +254,8 @@ class Basket {
   mutable std::mutex mu_;
   std::function<void()> wake_cb_;  // guarded by mu_; invoked outside it
   TablePtr table_;
+  Schema user_schema_;            // schema() minus the trailing ts column
+  BatchPool* pool_ = nullptr;     // guarded by mu_; leaf lock under basket
   std::map<size_t, Oid> watermarks_;  // reader id -> first unseen oid
   size_t next_reader_ = 0;
   size_t capacity_ = 0;  // 0 = unbounded

@@ -1,6 +1,7 @@
 #include "core/emitter.h"
 
 #include "common/check.h"
+#include "storage/batch_pool.h"
 
 namespace datacell {
 
@@ -17,8 +18,10 @@ bool Emitter::Ready() const { return input_->UnseenCount(reader_id_) > 0; }
 
 Result<int64_t> Emitter::Fire() {
   Timestamp start = clock_->Now();
-  TablePtr batch = input_->ReadNewFor(reader_id_);
-  input_->TrimConsumed();
+  // Stealing drain: when this emitter is the only reader the basket swaps
+  // its buffers into the drained table instead of copying (and fuses the
+  // trim); with other readers it falls back to slice-and-trim.
+  TablePtr batch = input_->DrainNewFor(reader_id_);
   if (batch->num_rows() == 0) return 0;
   Timestamp now = clock_->Now();
   if (latency_hist_ != nullptr) {
@@ -36,6 +39,12 @@ Result<int64_t> Emitter::Fire() {
     }
   }
   int64_t n = static_cast<int64_t>(batch->num_rows());
+  // Sinks receive the batch by const ref and must not retain it; if nothing
+  // else holds the table, hand its buffers back to the pool so the basket's
+  // next drain reuses them.
+  if (pool_ != nullptr && batch.use_count() == 1) {
+    pool_->Recycle(*batch);
+  }
   RecordRun(n, clock_->Now() - start);
   return n;
 }

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "sql/parser.h"
+#include "storage/batch_pool.h"
 
 namespace datacell {
 
@@ -48,6 +49,7 @@ Engine::Engine(EngineOptions options)
   scheduler_.SetTrace(trace_.get(), clock_);
   wake_hub_ = std::make_shared<WakeHub>();
   wake_hub_->scheduler = &scheduler_;
+  batch_pool_ = std::make_unique<BatchPool>();
 }
 
 void Engine::WakeHub::Notify() {
@@ -72,12 +74,14 @@ Engine::~Engine() {
   for (const BasketPtr& basket : wired_baskets_) {
     basket->SetWakeCallback(nullptr);  // drop the dead-weight hub reference
     basket->SetTrace(nullptr, nullptr);  // ring and clock die with the engine
+    basket->SetBatchPool(nullptr);  // the pool is an engine member
   }
 }
 
 void Engine::WireBasketWake(const BasketPtr& basket) {
   basket->SetWakeCallback([hub = wake_hub_] { hub->Notify(); });
   basket->SetTrace(trace_.get(), clock_);
+  basket->SetBatchPool(batch_pool_.get());
   wired_baskets_.push_back(basket);
 }
 
@@ -163,6 +167,33 @@ Status Engine::IngestBatch(const std::string& name,
   return Status::OK();
 }
 
+Status Engine::IngestColumns(const std::string& name, ColumnBatch&& batch) {
+  StreamInfo* stream = FindStream(name);
+  if (stream == nullptr) {
+    return Status::NotFound("unknown stream '" + name + "'");
+  }
+  Timestamp ts = clock_->Now();
+  int64_t n = static_cast<int64_t>(batch.num_rows());
+  if (stream->chain_head != nullptr) {
+    DC_RETURN_NOT_OK(stream->chain_head->AppendColumns(std::move(batch), ts));
+  } else if (!stream->replicas.empty()) {
+    // Fan-out: each private replica needs its own copy of the columns.
+    for (const BasketPtr& replica : stream->replicas) {
+      DC_RETURN_NOT_OK(replica->AppendColumnsCopy(batch, ts));
+    }
+    if (stream->shared_used) {
+      DC_RETURN_NOT_OK(stream->base->AppendColumnsCopy(batch, ts));
+    }
+    // Mirror the move path's contract: the batch returns empty (capacity
+    // kept) so receptors can refill it unconditionally.
+    batch.Clear();
+  } else {
+    DC_RETURN_NOT_OK(stream->base->AppendColumns(std::move(batch), ts));
+  }
+  tuples_ingested_.fetch_add(n, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status Engine::IngestTable(const std::string& name, const Table& batch) {
   StreamInfo* stream = FindStream(name);
   if (stream == nullptr) {
@@ -193,11 +224,11 @@ Result<Receptor*> Engine::AttachReceptor(const std::string& name,
     return Status::NotFound("unknown stream '" + name + "'");
   }
   std::string stream_name = ToLower(name);
-  auto deliver = [this, stream_name](const std::vector<Row>& rows,
-                                     Timestamp /*ts*/) {
-    // IngestBatch re-stamps with the engine clock; receptors are the entry
-    // point so arrival time is delivery time.
-    return IngestBatch(stream_name, rows);
+  // Columnar delivery: IngestColumns re-stamps with the engine clock
+  // (receptors are the entry point, so arrival time is delivery time) and
+  // swaps the batch's buffers into the target basket.
+  Receptor::DeliverColumnsFn deliver = [this, stream_name](ColumnBatch&& batch) {
+    return IngestColumns(stream_name, std::move(batch));
   };
   auto receptor = std::make_shared<Receptor>(
       "receptor_" + stream_name + "_" + std::to_string(stream->receptors.size()),
@@ -418,6 +449,10 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
         metrics_.GetHistogram("datacell_query_e2e_latency_us",
                               {{"query", ToLower(name)}}));
   }
+  // Emitters recycle the tables they drain back into the engine pool so the
+  // basket's next drain reuses the buffers instead of allocating.
+  emitter->SetBatchPool(batch_pool_.get());
+  factory->SetBatchPool(batch_pool_.get());
   BindTransitionMetrics(*factory);
   BindTransitionMetrics(*emitter);
 
@@ -657,6 +692,18 @@ void Engine::RefreshPulledMetrics() const {
     metrics_.GetCounter("datacell_basket_shed_total", labels)
         ->Set(basket->total_shed());
   }
+  metrics_.GetCounter("datacell_pool_hits_total")
+      ->Set(static_cast<int64_t>(batch_pool_->hits()));
+  metrics_.GetCounter("datacell_pool_misses_total")
+      ->Set(static_cast<int64_t>(batch_pool_->misses()));
+  metrics_.GetCounter("datacell_pool_recycled_total")
+      ->Set(static_cast<int64_t>(batch_pool_->recycled()));
+  metrics_.GetCounter("datacell_pool_dropped_total")
+      ->Set(static_cast<int64_t>(batch_pool_->dropped()));
+  metrics_.GetGauge("datacell_pool_free_buffers")
+      ->Set(static_cast<int64_t>(batch_pool_->free_buffers()));
+  metrics_.GetGauge("datacell_pool_free_bytes")
+      ->Set(static_cast<int64_t>(batch_pool_->free_bytes()));
 }
 
 MetricsSnapshotData Engine::MetricsSnapshot() const {

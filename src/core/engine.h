@@ -139,6 +139,12 @@ class Engine {
   /// ingest path used by tests and benchmarks.
   Status Ingest(const std::string& name, const Row& values);
   Status IngestBatch(const std::string& name, const std::vector<Row>& rows);
+  /// Zero-copy columnar ingest: `batch` holds the stream's user columns (no
+  /// ts) and its buffers are *swapped* into the target basket; the batch
+  /// comes back empty but keeps the basket's previous buffer capacity, ready
+  /// to refill. When the stream fans out to several baskets (private
+  /// replicas) the columns are copied instead. The receptor delivery path.
+  Status IngestColumns(const std::string& name, ColumnBatch&& batch);
   /// Bulk columnar ingest: `batch` holds the stream's user columns (no ts);
   /// all tuples are stamped with the current time. The fastest ingest path —
   /// one column append per column, used by the benchmarks and high-rate
@@ -152,6 +158,10 @@ class Engine {
   /// scheduling (no Step/Drain/Start) once the channel is gone, since the
   /// receptor still reads from it when fired.
   Result<Receptor*> AttachReceptor(const std::string& name, Channel* channel);
+
+  /// The engine-wide buffer recycler (introspection: pool hit/miss counters
+  /// are also exported via MetricsSnapshot).
+  BatchPool* batch_pool() const { return batch_pool_.get(); }
 
   // --- execution control ----------------------------------------------------
   /// One deterministic scheduler sweep; returns #transitions fired.
@@ -290,6 +300,10 @@ class Engine {
   /// Engine-created baskets (stream bases, private replicas, outputs): kept
   /// for per-basket metrics and for trace detachment in the destructor.
   std::vector<BasketPtr> wired_baskets_;
+  /// Buffer recycler shared by every engine-created basket, factory and
+  /// emitter: drained/emitted BAT buffers return here instead of the
+  /// allocator. Declared before the transition owners so it outlives them.
+  std::unique_ptr<BatchPool> batch_pool_;
   std::map<std::string, StreamInfo> streams_;  // key: lower-cased name
   std::vector<QueryInfo> queries_;
   std::vector<std::unique_ptr<Channel>> owned_channels_;

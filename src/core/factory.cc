@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "storage/batch_pool.h"
 
 namespace datacell {
 
@@ -199,17 +200,38 @@ Result<int64_t> Factory::Fire() {
     }
     result = *r;
   }
-  // ... and append the qualifying tuples to the output basket.
-  if (result->num_rows() > 0) {
+  // ... and append the qualifying tuples to the output basket. A uniquely
+  // held result (the common case: the plan built fresh columns) is moved in
+  // — its buffers swap into the output basket instead of being copied. A
+  // shared result (a pass-through plan returning an input slice, or a table
+  // a window executor keeps alive) takes the copying path.
+  int64_t out_tuples = static_cast<int64_t>(result->num_rows());
+  if (out_tuples > 0) {
     if (options_.output_carries_ts) {
       // The result's own trailing ts column (original arrival times) is the
       // output basket's timestamp.
-      DC_RETURN_NOT_OK(output_->AppendWithTs(*result));
+      if (result.use_count() == 1) {
+        DC_RETURN_NOT_OK(output_->AppendWithTsMove(std::move(*result)));
+      } else {
+        DC_RETURN_NOT_OK(output_->AppendWithTs(*result));
+      }
+    } else if (result.use_count() == 1) {
+      DC_RETURN_NOT_OK(output_->AppendStampedMove(std::move(*result),
+                                                  clock_->Now()));
     } else {
       DC_RETURN_NOT_OK(output_->AppendStamped(*result, clock_->Now()));
     }
-    results_emitted_.fetch_add(static_cast<int64_t>(result->num_rows()),
-                               std::memory_order_relaxed);
+    results_emitted_.fetch_add(out_tuples, std::memory_order_relaxed);
+  }
+  if (pool_ != nullptr) {
+    // Hand exclusively-held buffers back so the next drain reuses them.
+    // Release `result` before the slices: a pass-through result aliases its
+    // slice, and only once the alias is gone does the slice become unique.
+    if (result.use_count() == 1) pool_->Recycle(*result);
+    result.reset();
+    for (TablePtr& slice : slices) {
+      if (slice.use_count() == 1) pool_->Recycle(*slice);
+    }
   }
   RecordRun(in_tuples, clock_->Now() - start);
   return in_tuples;

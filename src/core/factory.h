@@ -14,6 +14,8 @@
 
 namespace datacell {
 
+class BatchPool;
+
 /// How a factory obtains input from its basket(s) — the processing
 /// strategies of §2.5.
 enum class ProcessingStrategy {
@@ -78,6 +80,11 @@ class Factory final : public Transition {
   /// basket predicate are forwarded here instead of being dropped.
   void SetPassthrough(size_t input_index, BasketPtr basket);
 
+  /// Input slices and result tables this factory holds exclusively after a
+  /// fire are recycled here, so subsequent drains and plan runs reuse their
+  /// buffers. Bind before the factory enters the scheduler.
+  void SetBatchPool(BatchPool* pool) { pool_ = pool; }
+
   /// Retires this factory's shared-basket watermarks so remaining readers'
   /// trims are no longer held back. Call only when the factory will not
   /// fire again (it must already be out of the scheduler).
@@ -139,6 +146,7 @@ class Factory final : public Transition {
   PlanBindings static_bindings_;
   const Clock* clock_;
   FactoryOptions options_;
+  BatchPool* pool_ = nullptr;  // bound at wiring time; may stay null
   size_t min_tuples_ = 1;
   std::unique_ptr<WindowExecutor> window_;  // null for unwindowed queries
   std::atomic<int64_t> results_emitted_{0};

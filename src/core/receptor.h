@@ -24,10 +24,19 @@ class Receptor : public Transition {
   /// Routes validated tuples into baskets; supplied by the engine.
   using DeliverFn =
       std::function<Status(const std::vector<Row>& rows, Timestamp ts)>;
+  /// Columnar delivery: the receptor parses lines straight into a typed
+  /// ColumnBatch (no Row/Value boxing) and moves it downstream; the callee
+  /// (Engine::IngestColumns) swaps the buffers into the target basket and
+  /// the batch comes back empty but capacitied for the next fire.
+  using DeliverColumnsFn = std::function<Status(ColumnBatch&& batch)>;
 
   /// `user_schema` is the stream schema *without* the ts column.
   Receptor(std::string name, Channel* channel, Schema user_schema,
            DeliverFn deliver, const Clock* clock, size_t max_batch = 4096);
+  /// Columnar-delivery receptor (the engine's default wiring).
+  Receptor(std::string name, Channel* channel, Schema user_schema,
+           DeliverColumnsFn deliver, const Clock* clock,
+           size_t max_batch = 4096);
 
   bool Ready() const override;
   /// Lines waiting on the wire.
@@ -45,11 +54,20 @@ class Receptor : public Transition {
   }
 
  private:
+  Result<int64_t> FireRows(Timestamp start);
+  Result<int64_t> FireColumns(Timestamp start);
+
   Channel* channel_;
   Schema user_schema_;
-  DeliverFn deliver_;
+  DeliverFn deliver_;                  // row path (exactly one is set)
+  DeliverColumnsFn deliver_columns_;   // columnar path
   const Clock* clock_;
   size_t max_batch_;
+  // Reused across fires so the steady state allocates nothing: the line
+  // buffer keeps its vector capacity, the batch keeps whatever buffer
+  // capacity the basket handed back in the delivery swap.
+  std::vector<std::string> lines_;
+  ColumnBatch batch_;
   // Atomic: mutated by whichever scheduler worker fires the receptor, read
   // by monitoring threads through the accessor and the metrics snapshot.
   std::atomic<int64_t> malformed_{0};

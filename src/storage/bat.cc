@@ -110,6 +110,36 @@ Status Bat::AppendValue(const Value& v) {
   return Status::Internal("unreachable type");
 }
 
+void Bat::AppendValueUnchecked(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      AppendInt64(v.int64_value());
+      break;
+    case DataType::kDouble:
+      // int64 widens to double, mirroring AppendValue's coercion.
+      AppendDouble(v.is_double() ? v.double_value()
+                                 : static_cast<double>(v.int64_value()));
+      break;
+    case DataType::kBool:
+      AppendBool(v.bool_value());
+      break;
+    case DataType::kString:
+      AppendString(v.string_value());
+      break;
+  }
+}
+
+void Bat::AppendConstantInt64(int64_t v, size_t n) {
+  DC_CHECK(IsIntegerBacked(type_));
+  int64_data_.resize(int64_data_.size() + n, v);
+  if (!validity_.empty()) validity_.resize(validity_.size() + n, 1);
+}
+
 void Bat::AppendBat(const Bat& other) {
   DC_CHECK(type_ == other.type_);
   // Track validity when either side already does; note an empty destination
@@ -147,28 +177,41 @@ void Bat::AppendBat(const Bat& other) {
 
 void Bat::AppendPositions(const Bat& other, const std::vector<size_t>& positions) {
   DC_CHECK(type_ == other.type_);
+  // Type dispatch and validity tracking are hoisted out of the per-position
+  // loop: each gather is a tight resize-and-index loop over one vector.
   bool track = !validity_.empty() || other.has_nulls();
-  if (track) EnsureValidity();
-  for (size_t pos : positions) {
-    DC_CHECK_LT(pos, other.size());
-    if (track) {
-      validity_.push_back(other.IsNull(pos) ? 0 : 1);
+  if (track) {
+    EnsureValidity();
+    size_t base = validity_.size();
+    validity_.resize(base + positions.size());
+    for (size_t k = 0; k < positions.size(); ++k) {
+      DC_DCHECK_LT(positions[k], other.size());
+      validity_[base + k] =
+          static_cast<uint8_t>(other.IsNull(positions[k]) ? 0 : 1);
     }
-    switch (type_) {
-      case DataType::kInt64:
-      case DataType::kTimestamp:
-        int64_data_.push_back(other.int64_data_[pos]);
-        break;
-      case DataType::kDouble:
-        double_data_.push_back(other.double_data_[pos]);
-        break;
-      case DataType::kBool:
-        bool_data_.push_back(other.bool_data_[pos]);
-        break;
-      case DataType::kString:
-        string_data_.push_back(other.string_data_[pos]);
-        break;
+  }
+  auto gather = [&](auto& dst, const auto& src) {
+    size_t base = dst.size();
+    dst.resize(base + positions.size());
+    for (size_t k = 0; k < positions.size(); ++k) {
+      DC_DCHECK_LT(positions[k], src.size());
+      dst[base + k] = src[positions[k]];
     }
+  };
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      gather(int64_data_, other.int64_data_);
+      break;
+    case DataType::kDouble:
+      gather(double_data_, other.double_data_);
+      break;
+    case DataType::kBool:
+      gather(bool_data_, other.bool_data_);
+      break;
+    case DataType::kString:
+      gather(string_data_, other.string_data_);
+      break;
   }
 }
 
@@ -229,6 +272,42 @@ std::unique_ptr<Bat> Bat::Take(const std::vector<size_t>& positions,
 }
 
 std::unique_ptr<Bat> Bat::Clone() const { return Slice(0, size()); }
+
+void Bat::MoveContentInto(Bat& dst) {
+  DC_CHECK(type_ == dst.type_);
+  DC_CHECK(dst.empty());
+  dst.hseqbase_ = hseqbase_;
+  hseqbase_ += size();
+  // Swapping (rather than moving) hands dst's old empty-but-capacitied
+  // buffers back to this BAT, so repeated fill/drain cycles reuse the same
+  // two allocations instead of touching the allocator.
+  std::swap(int64_data_, dst.int64_data_);
+  std::swap(double_data_, dst.double_data_);
+  std::swap(bool_data_, dst.bool_data_);
+  std::swap(string_data_, dst.string_data_);
+  std::swap(validity_, dst.validity_);
+}
+
+void Bat::TakeContentFrom(Bat& src) {
+  DC_CHECK(type_ == src.type_);
+  if (empty()) {
+    Oid keep = hseqbase_;
+    src.MoveContentInto(*this);
+    hseqbase_ = keep;
+    return;
+  }
+  AppendBat(src);
+  src.Clear();
+}
+
+void Bat::Truncate(size_t n) {
+  DC_CHECK_LE(n, size());
+  int64_data_.resize(std::min(int64_data_.size(), n));
+  double_data_.resize(std::min(double_data_.size(), n));
+  bool_data_.resize(std::min(bool_data_.size(), n));
+  string_data_.resize(std::min(string_data_.size(), n));
+  if (!validity_.empty()) validity_.resize(n);
+}
 
 void Bat::RemovePrefix(size_t n) {
   n = std::min(n, size());

@@ -11,6 +11,8 @@
 
 namespace datacell {
 
+class BatchPool;
+
 /// Binary Association Table: MonetDB's column representation.
 ///
 /// A BAT is logically a set of (head, tail) pairs. The head is a *virtual*
@@ -29,6 +31,9 @@ class Bat {
 
   Bat(const Bat&) = delete;
   Bat& operator=(const Bat&) = delete;
+  // Movable so ColumnBatch can hold BATs by value; a moved-from BAT is empty.
+  Bat(Bat&&) = default;
+  Bat& operator=(Bat&&) = default;
 
   DataType type() const { return type_; }
   size_t size() const;
@@ -44,10 +49,19 @@ class Bat {
   void AppendNull();
   /// Type-checked append of a peripheral `Value` (null allowed).
   Status AppendValue(const Value& v);
+  /// Append of a `Value` the caller has already validated against this BAT's
+  /// type (CheckValueType passed). Skips the per-value Status machinery of
+  /// AppendValue — the hot ingest path validates once per batch, not per
+  /// field. Nulls allowed.
+  void AppendValueUnchecked(const Value& v);
   /// Appends all of `other` (same type required).
   void AppendBat(const Bat& other);
-  /// Appends positions `positions` of `other`.
+  /// Appends positions `positions` of `other`. Positions must be in range
+  /// (debug-checked; they come from the select kernels).
   void AppendPositions(const Bat& other, const std::vector<size_t>& positions);
+  /// Appends `n` copies of `v` (integer-backed BATs only) — the bulk
+  /// timestamp-stamping path; a constant fill the compiler vectorises.
+  void AppendConstantInt64(int64_t v, size_t n);
 
   // --- Element access --------------------------------------------------
   bool IsNull(size_t pos) const;
@@ -75,6 +89,24 @@ class Bat {
                             Oid new_hseqbase = 0) const;
   std::unique_ptr<Bat> Clone() const;
 
+  // --- Zero-copy buffer exchange (the stealing-drain primitives) ---------
+  /// Moves this BAT's content into `dst` (same type; `dst` must be empty):
+  /// the underlying buffers are *swapped*, so `dst` receives the data without
+  /// copying and this BAT is left empty but holding `dst`'s old buffer
+  /// capacity (buffer ping-pong — in steady state the same allocations cycle
+  /// between producer and consumer). `dst`'s hseqbase becomes this BAT's old
+  /// hseqbase; this BAT's hseqbase advances past the moved content, exactly
+  /// as Clear() would.
+  void MoveContentInto(Bat& dst);
+  /// Steals `src`'s content (same type required). When this BAT is empty the
+  /// buffers are swapped (`src` receives this BAT's old capacity); otherwise
+  /// falls back to a bulk copying append. Either way `src` is left empty with
+  /// its hseqbase advanced (like Clear()); this BAT's hseqbase is preserved.
+  void TakeContentFrom(Bat& src);
+  /// Keeps only the first `n` values (n <= size); hseqbase and buffer
+  /// capacity are unchanged. Used to roll back a partially-parsed row.
+  void Truncate(size_t n);
+
   /// Drops the first `n` values; hseqbase advances by `n`. This is how a
   /// basket consumes a processed prefix. O(size) — baskets are small by
   /// construction (they hold only unprocessed stream portions).
@@ -94,6 +126,10 @@ class Bat {
   std::string ToString() const;
 
  private:
+  // The pool swaps recycled buffer capacity directly into/out of the typed
+  // vectors; a member API for that would leak vector internals anyway.
+  friend class BatchPool;
+
   template <typename Vec>
   void RemovePrefixImpl(Vec& v, size_t n) {
     v.erase(v.begin(), v.begin() + static_cast<ptrdiff_t>(n));

@@ -1,0 +1,151 @@
+#include "storage/batch_pool.h"
+
+#include "common/check.h"
+
+namespace datacell {
+
+template <typename T>
+bool BatchPool::PopInto(FreeList<T>& list, std::vector<T>& dst) {
+  if (list.buffers.empty()) return false;
+  list.bytes -= list.buffers.back().capacity() * sizeof(T);
+  dst = std::move(list.buffers.back());
+  list.buffers.pop_back();
+  return true;
+}
+
+template <typename T>
+void BatchPool::Push(FreeList<T>& list, std::vector<T>&& buf) {
+  if (buf.capacity() == 0) return;  // nothing worth keeping
+  if (list.buffers.size() >= max_per_class_) {
+    ++dropped_;
+    return;  // buf's destructor returns it to the allocator
+  }
+  buf.clear();
+  list.bytes += buf.capacity() * sizeof(T);
+  list.buffers.push_back(std::move(buf));
+  ++recycled_;
+}
+
+void BatchPool::PrimeBatLocked(Bat& bat) {
+  DC_DCHECK(bat.empty());
+  bool hit = false;
+  switch (bat.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      if (bat.int64_data_.capacity() > 0) return;  // already primed
+      hit = PopInto(free_int64_, bat.int64_data_);
+      break;
+    case DataType::kDouble:
+      if (bat.double_data_.capacity() > 0) return;
+      hit = PopInto(free_double_, bat.double_data_);
+      break;
+    case DataType::kBool:
+      if (bat.bool_data_.capacity() > 0) return;
+      hit = PopInto(free_u8_, bat.bool_data_);
+      break;
+    case DataType::kString:
+      if (bat.string_data_.capacity() > 0) return;
+      hit = PopInto(free_string_, bat.string_data_);
+      break;
+  }
+  ++(hit ? hits_ : misses_);
+}
+
+void BatchPool::RecycleLocked(Bat& bat) {
+  // Leave the BAT observably identical to one that was Clear()ed.
+  bat.hseqbase_ += bat.size();
+  switch (bat.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      Push(free_int64_, std::move(bat.int64_data_));
+      bat.int64_data_ = {};
+      break;
+    case DataType::kDouble:
+      Push(free_double_, std::move(bat.double_data_));
+      bat.double_data_ = {};
+      break;
+    case DataType::kBool:
+      Push(free_u8_, std::move(bat.bool_data_));
+      bat.bool_data_ = {};
+      break;
+    case DataType::kString:
+      Push(free_string_, std::move(bat.string_data_));
+      bat.string_data_ = {};
+      break;
+  }
+  if (bat.validity_.capacity() > 0) {
+    Push(free_u8_, std::move(bat.validity_));
+  }
+  bat.validity_ = {};
+}
+
+TablePtr BatchPool::AcquireTable(const std::string& name,
+                                 const Schema& schema) {
+  auto out = std::make_shared<Table>(name, schema);
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "batch_pool", "pool");
+  for (size_t c = 0; c < out->num_columns(); ++c) {
+    PrimeBatLocked(*out->column(c));
+  }
+  return out;
+}
+
+void BatchPool::PrimeBat(Bat& bat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "batch_pool", "pool");
+  PrimeBatLocked(bat);
+}
+
+void BatchPool::Recycle(Table& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "batch_pool", "pool");
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    RecycleLocked(*table.column(c));
+  }
+}
+
+void BatchPool::Recycle(Bat& bat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "batch_pool", "pool");
+  RecycleLocked(bat);
+}
+
+int64_t BatchPool::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "batch_pool", "pool");
+  return hits_;
+}
+
+int64_t BatchPool::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "batch_pool", "pool");
+  return misses_;
+}
+
+int64_t BatchPool::recycled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "batch_pool", "pool");
+  return recycled_;
+}
+
+int64_t BatchPool::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "batch_pool", "pool");
+  return dropped_;
+}
+
+size_t BatchPool::free_buffers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "batch_pool", "pool");
+  return free_int64_.buffers.size() + free_double_.buffers.size() +
+         free_u8_.buffers.size() + free_string_.buffers.size();
+}
+
+size_t BatchPool::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DC_LOCK_ORDER(&mu_, "batch_pool", "pool");
+  return free_int64_.bytes + free_double_.bytes + free_u8_.bytes +
+         free_string_.bytes;
+}
+
+}  // namespace datacell

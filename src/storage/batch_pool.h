@@ -1,0 +1,90 @@
+#ifndef DATACELL_STORAGE_BATCH_POOL_H_
+#define DATACELL_STORAGE_BATCH_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/lock_order.h"
+#include "storage/table.h"
+
+namespace datacell {
+
+/// Free-list recycler for BAT data buffers. Drained and emitted batches give
+/// their buffers back here instead of to the allocator; the next drain
+/// acquires a table whose columns already carry capacity, so the steady-state
+/// pipeline stops allocating even when producer and consumer batch sizes
+/// differ (the buffer ping-pong of Bat::MoveContentInto covers the balanced
+/// case on its own).
+///
+/// Buffers are pooled per backing class — int64 (also timestamps), double,
+/// u8 (bools and validity vectors share it), string — each list bounded by
+/// `max_buffers_per_class`; overflow buffers are dropped to the allocator and
+/// counted. Hit/miss/recycled/dropped counters are pulled into the
+/// MetricsRegistry by the engine's metrics snapshot.
+///
+/// Thread-safety: one mutex; the pool is a *leaf* lock (class "batch_pool",
+/// ordered after "basket" — DrainAll acquires a pooled table while holding
+/// the basket monitor; the pool never calls back out).
+class BatchPool {
+ public:
+  explicit BatchPool(size_t max_buffers_per_class = 256)
+      : max_per_class_(max_buffers_per_class) {}
+
+  BatchPool(const BatchPool&) = delete;
+  BatchPool& operator=(const BatchPool&) = delete;
+
+  /// A fresh table shell for `schema` whose columns are primed with pooled
+  /// buffer capacity where available. The shell itself (Table + Bat control
+  /// blocks) is heap-allocated; only the data buffers are recycled.
+  TablePtr AcquireTable(const std::string& name, const Schema& schema);
+
+  /// Primes `bat`'s (empty) backing buffer with pooled capacity, if any.
+  void PrimeBat(Bat& bat);
+
+  /// Returns every column buffer of `table` to the free lists; the table is
+  /// left empty (hseqbase advanced past the recycled content, like Clear()).
+  void Recycle(Table& table);
+  /// Returns `bat`'s buffers to the free lists; `bat` is left empty.
+  void Recycle(Bat& bat);
+
+  // --- counters (engine metrics snapshot) -------------------------------
+  int64_t hits() const;      ///< acquisitions served from a free list
+  int64_t misses() const;    ///< acquisitions that fell through to malloc
+  int64_t recycled() const;  ///< buffers accepted back into the pool
+  int64_t dropped() const;   ///< buffers refused (list full) -> allocator
+  size_t free_buffers() const;  ///< buffers currently pooled
+  size_t free_bytes() const;    ///< capacity bytes currently pooled
+
+ private:
+  template <typename T>
+  struct FreeList {
+    std::vector<std::vector<T>> buffers;
+    size_t bytes = 0;
+  };
+
+  // All callers hold mu_.
+  template <typename T>
+  bool PopInto(FreeList<T>& list, std::vector<T>& dst);
+  template <typename T>
+  void Push(FreeList<T>& list, std::vector<T>&& buf);
+  void PrimeBatLocked(Bat& bat);
+  void RecycleLocked(Bat& bat);
+
+  mutable std::mutex mu_;
+  size_t max_per_class_;
+  FreeList<int64_t> free_int64_;
+  FreeList<double> free_double_;
+  FreeList<uint8_t> free_u8_;
+  FreeList<std::string> free_string_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t recycled_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_STORAGE_BATCH_POOL_H_

@@ -44,8 +44,10 @@ Status Table::AppendRow(const Row& row) {
                                "': " + st.message());
     }
   }
+  // Types were validated above; the unchecked append skips a second round of
+  // per-value Status construction on the ingest path.
   for (size_t i = 0; i < row.size(); ++i) {
-    DC_CHECK_OK(columns_[i]->AppendValue(row[i]));
+    columns_[i]->AppendValueUnchecked(row[i]);
   }
   return Status::OK();
 }
@@ -96,6 +98,13 @@ std::unique_ptr<Table> Table::Take(const std::vector<size_t>& positions) const {
 }
 
 std::unique_ptr<Table> Table::Clone() const { return Slice(0, num_rows()); }
+
+void Table::MoveContentInto(Table& dst) {
+  DC_CHECK_EQ(dst.num_columns(), num_columns());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i]->MoveContentInto(*dst.columns_[i]);
+  }
+}
 
 void Table::RemovePrefix(size_t n) {
   for (auto& col : columns_) col->RemovePrefix(n);

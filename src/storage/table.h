@@ -47,6 +47,13 @@ class Table {
   std::unique_ptr<Table> Take(const std::vector<size_t>& positions) const;
   std::unique_ptr<Table> Clone() const;
 
+  /// Zero-copy drain primitive: moves every column's content into `dst`
+  /// (same column types; `dst` must be empty) by swapping buffers — `dst`
+  /// receives the rows without copying, this table is left as Clear() would
+  /// leave it (empty, hseqbase advanced), and it inherits `dst`'s old buffer
+  /// capacity. See Bat::MoveContentInto.
+  void MoveContentInto(Table& dst);
+
   /// Basket-consumption primitives; keep all columns aligned.
   void RemovePrefix(size_t n);
   void RemovePositions(const std::vector<size_t>& sorted_positions);

@@ -111,6 +111,26 @@ using Row = std::vector<Value>;
 /// (int64 widens to double; int64 accepted as timestamp).
 Status CheckValueType(const Value& v, DataType t);
 
+/// Boolean form of CheckValueType for hot ingest paths: no Status is
+/// constructed on the (overwhelmingly common) success case. Callers build
+/// the detailed error via CheckValueType only after this returns false.
+inline bool ValueMatchesType(const Value& v, DataType t) {
+  if (v.is_null()) return true;
+  switch (t) {
+    case DataType::kInt64:
+      return v.is_int64();
+    case DataType::kTimestamp:
+      return v.is_timestamp() || v.is_int64();
+    case DataType::kDouble:
+      return v.is_double() || v.is_int64();
+    case DataType::kBool:
+      return v.is_bool();
+    case DataType::kString:
+      return v.is_string();
+  }
+  return false;
+}
+
 }  // namespace datacell
 
 #endif  // DATACELL_STORAGE_TYPES_H_
