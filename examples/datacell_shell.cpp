@@ -109,6 +109,8 @@ class Shell {
           "  \\watch <name> <sql>;   submit a continuous query; results "
           "print as they arrive\n"
           "  \\explain <sql>         show the MAL plan of a query\n"
+          "  \\analyze               static analysis of the registered net "
+          "(dataflow lints)\n"
           "  \\stats                 engine statistics\n"
           "  \\metrics               Prometheus text exposition of all "
           "metrics\n"
@@ -117,6 +119,10 @@ class Shell {
           "  \\tables                list catalog relations\n"
           "  \\dump                  catalog as CREATE statements\n"
           "  \\quit                  exit\n");
+      return true;
+    }
+    if (StartsWith(cmd, "\\analyze")) {
+      std::printf("%s", engine_->Analyze().ToString().c_str());
       return true;
     }
     if (StartsWith(cmd, "\\stats")) {

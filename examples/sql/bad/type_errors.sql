@@ -1,0 +1,25 @@
+-- Seeded-bad fixture: every statement below must be rejected by
+-- datacell-lint (nonzero exit). Each line exercises a distinct error class
+-- that used to surface only at fire time.
+create basket s (x int, name varchar);
+
+-- arithmetic over a string operand
+\watch bad_arith select x + name from [select * from s] as t;
+
+-- string compared with a number
+\watch bad_cmp select x from [select * from s] as t where t.name > 10;
+
+-- LIKE over a non-string operand
+\watch bad_like select x from [select * from s] as t where t.x like 'a%';
+
+-- NOT over a non-boolean operand
+\watch bad_not select x from [select * from s] as t where not t.x;
+
+-- aggregating a string column
+\watch bad_agg select count(name) from [select * from s] as t group by x;
+
+-- unknown column
+\watch bad_col select missing from [select * from s] as t;
+
+-- non-boolean HAVING built over aggregates
+\watch bad_having select x, count(*) from [select * from s] as t group by x having count(*) + 1;

@@ -1,0 +1,13 @@
+-- A small query network over one packet stream plus a static limits table
+-- (stream-table join through a statically bound relation). Two queries share
+-- the packets basket, so \analyze / datacell-lint reports the N004
+-- multi-reader note (buffer stealing disabled) as a warning.
+create basket packets (src int, dst int, bytes int);
+create table limits (dst int, cap int);
+insert into limits values (80, 1000), (443, 5000);
+
+\watch big select src, dst, bytes from [select * from packets] as p where p.bytes > 1500;
+\watch talkers select src, sum(bytes) as total, count(*) as n from [select * from packets] as p group by src;
+
+-- Second hop: consume the first query's output stream.
+\watch big_pairs select src, dst from [select * from big_out] as b where b.dst = 443;

@@ -1,0 +1,6 @@
+-- The README's first pipeline, in lintable script form:
+--   datacell-lint examples/sql/quickstart.sql
+create basket sensors (id int, temp double);
+
+-- Continuous query: tuples hotter than 30 degrees flow to hot_out.
+\watch hot select id, temp from [select * from sensors] as s where s.temp > 30.0;

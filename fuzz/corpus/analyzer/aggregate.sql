@@ -1,0 +1,1 @@
+select x, sum(y) as total, count(*) as n from [select * from s] as p group by x having count(*) > 1

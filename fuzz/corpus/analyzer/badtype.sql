@@ -1,0 +1,1 @@
+select x + name from [select * from s] as p where not p.y

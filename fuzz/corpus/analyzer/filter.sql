@@ -1,0 +1,1 @@
+select x, y from [select * from s] as p where p.x > 3 and p.y < 1.5

@@ -1,0 +1,1 @@
+select p.x, t.v from [select * from s] as p, t where p.x = t.k

@@ -1,0 +1,1 @@
+select k, v * 2.0, case when v > 1.0 then label else 'low' end from t where k between 1 and 5

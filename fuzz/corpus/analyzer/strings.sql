@@ -1,0 +1,1 @@
+select upper(name), length(name) from [select * from s] as p where p.name like 'e%'

@@ -2,16 +2,22 @@
 # One-shot correctness gate: everything CI runs, runnable locally before a
 # push. Fails on the first broken stage.
 #
-#   stage 1  format       clang-format --dry-run on src/ tests/ fuzz/
+#   stage 1  format       clang-format --dry-run on src/ tests/ fuzz/ tools/
 #   stage 2  werror       configure+build with -Wall -Wextra -Wconversion -Werror
-#   stage 3  tidy         clang-tidy over src/ (compile_commands from stage 2)
-#   stage 4  debug-checks full suite with DATACELL_DEBUG_CHECKS=ON
+#   stage 3  tidy         clang-tidy over src/ (compile_commands from stage 2;
+#                         includes the clang-analyzer-* path-sensitive checks)
+#   stage 4  cppcheck     cppcheck over src/ tools/ (second analyzer, different
+#                         engine — catches what tidy's checks don't)
+#   stage 5  sql-lint     datacell-lint over examples/sql (good corpus must
+#                         pass, seeded-bad corpus must fail)
+#   stage 6  debug-checks full suite with DATACELL_DEBUG_CHECKS=ON
 #                         (lock-order checker + DC_DCHECK invariants live)
-#   stage 5  tsan         concurrency- and metrics-labelled tests under TSan
-#   stage 6  asan+ubsan   full suite under address,undefined
+#   stage 7  tsan         concurrency- and metrics-labelled tests under TSan
+#   stage 8  asan+ubsan   full suite under address,undefined
 #
-# Tool-dependent stages (format, tidy) are SKIPPED with a notice when the
-# binary is not installed — a gcc-only box still runs every compiled stage.
+# Tool-dependent stages (format, tidy, cppcheck) are SKIPPED with a notice
+# when the binary is not installed — a gcc-only box still runs every compiled
+# stage.
 # Environment knobs:
 #   JOBS=N          parallel build jobs (default: nproc)
 #   SKIP_SANITIZERS=1   stop after stage 4 (quick pre-commit loop)
@@ -32,7 +38,7 @@ if command -v clang-format >/dev/null 2>&1; then
   note "clang-format (check only)"
   # shellcheck disable=SC2046
   clang-format --dry-run --Werror \
-    $(find src tests fuzz -name '*.cc' -o -name '*.h' -o -name '*.cpp') \
+    $(find src tests fuzz tools -name '*.cc' -o -name '*.h' -o -name '*.cpp') \
     || { echo "clang-format: run 'clang-format -i' on the files above"; exit 1; }
 else
   skip "clang-format not installed; formatting not checked"
@@ -55,7 +61,28 @@ else
   skip "clang-tidy not installed; static analysis not run"
 fi
 
-# --- stage 4: full suite with debug checks live -----------------------------
+# --- stage 4: cppcheck -------------------------------------------------------
+if command -v cppcheck >/dev/null 2>&1; then
+  note "cppcheck (src/ tools/)"
+  # --error-exitcode makes findings fail the gate; the inline-suppression
+  # escape hatch is `// cppcheck-suppress <id>` at the offending line.
+  cppcheck --enable=warning,performance,portability --inline-suppr \
+    --std=c++20 --language=c++ --error-exitcode=1 --quiet \
+    --suppress=missingIncludeSystem -I src \
+    src tools
+else
+  skip "cppcheck not installed; second static analyzer not run"
+fi
+
+# --- stage 5: datacell-lint over the SQL corpus ------------------------------
+note "datacell-lint (examples/sql)"
+cmake --build "$BUILD_ROOT/werror" -j "$JOBS" --target datacell-lint
+"$BUILD_ROOT/werror/tools/datacell-lint" examples/sql/*.sql
+if "$BUILD_ROOT/werror/tools/datacell-lint" examples/sql/bad/*.sql 2>/dev/null; then
+  echo "datacell-lint: seeded-bad corpus unexpectedly passed"; exit 1
+fi
+
+# --- stage 6: full suite with debug checks live -----------------------------
 note "full test suite with DATACELL_DEBUG_CHECKS=ON"
 cmake -B "$BUILD_ROOT/dbg" -S . \
       -DCMAKE_BUILD_TYPE=Debug -DDATACELL_DEBUG_CHECKS=ON >/dev/null
@@ -67,7 +94,7 @@ if [ "${SKIP_SANITIZERS:-0}" = "1" ]; then
   exit 0
 fi
 
-# --- stage 5: TSan on the concurrent paths ----------------------------------
+# --- stage 7: TSan on the concurrent paths ----------------------------------
 note "TSan: concurrency + metrics tests"
 cmake -B "$BUILD_ROOT/tsan" -S . \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDATACELL_SANITIZE=thread >/dev/null
@@ -75,7 +102,7 @@ cmake --build "$BUILD_ROOT/tsan" -j "$JOBS"
 ctest --test-dir "$BUILD_ROOT/tsan" -j "$JOBS" -L 'concurrency|metrics' \
       --output-on-failure
 
-# --- stage 6: ASan + UBSan on everything ------------------------------------
+# --- stage 8: ASan + UBSan on everything ------------------------------------
 note "ASan+UBSan: full suite"
 cmake -B "$BUILD_ROOT/asan" -S . \
       -DCMAKE_BUILD_TYPE=Debug -DDATACELL_SANITIZE=address,undefined >/dev/null

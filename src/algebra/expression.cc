@@ -152,45 +152,51 @@ DataType ResolveBinaryType(BinaryOp op, DataType lhs, DataType rhs) {
 
 }  // namespace
 
-ExprPtr Expr::Column(size_t index, std::string name, DataType type) {
+ExprPtr Expr::Column(size_t index, std::string name, DataType type,
+                     SourceLoc loc) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kColumnRef;
   e->column_index_ = index;
   e->name_ = std::move(name);
   e->type_ = type;
+  e->loc_ = loc;
   return e;
 }
 
-ExprPtr Expr::Literal(Value v) {
+ExprPtr Expr::Literal(Value v, SourceLoc loc) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kLiteral;
   e->type_ = v.is_null() ? DataType::kInt64 : v.type();
   e->literal_ = std::move(v);
+  e->loc_ = loc;
   return e;
 }
 
-ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
   DC_CHECK(lhs != nullptr);
   DC_CHECK(rhs != nullptr);
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kBinary;
   e->bin_op_ = op;
   e->type_ = ResolveBinaryType(op, lhs->type(), rhs->type());
+  e->loc_ = loc.valid() ? loc : lhs->loc();
   e->children_ = {std::move(lhs), std::move(rhs)};
   return e;
 }
 
-ExprPtr Expr::Function(ScalarFunc func, ExprPtr arg) {
+ExprPtr Expr::Function(ScalarFunc func, ExprPtr arg, SourceLoc loc) {
   DC_CHECK(arg != nullptr);
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kFunction;
   e->func_ = func;
   e->type_ = ResolveFunctionType(func, arg->type());
+  e->loc_ = loc.valid() ? loc : arg->loc();
   e->children_ = {std::move(arg)};
   return e;
 }
 
-Result<ExprPtr> Expr::Case(std::vector<ExprPtr> when_then, ExprPtr else_value) {
+Result<ExprPtr> Expr::Case(std::vector<ExprPtr> when_then, ExprPtr else_value,
+                           SourceLoc loc) {
   if (when_then.empty() || when_then.size() % 2 != 0 || else_value == nullptr) {
     return Status::InvalidArgument(
         "CASE needs (condition, value) pairs and an ELSE value");
@@ -215,17 +221,19 @@ Result<ExprPtr> Expr::Case(std::vector<ExprPtr> when_then, ExprPtr else_value) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kCase;
   e->type_ = out;
+  e->loc_ = loc;
   e->children_ = std::move(when_then);
   e->children_.push_back(std::move(else_value));
   return ExprPtr(e);
 }
 
-ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand, SourceLoc loc) {
   DC_CHECK(operand != nullptr);
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kUnary;
   e->un_op_ = op;
   e->type_ = (op == UnaryOp::kNeg) ? operand->type() : DataType::kBool;
+  e->loc_ = loc.valid() ? loc : operand->loc();
   e->children_ = {std::move(operand)};
   return e;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/source_loc.h"
 #include "storage/bat.h"
 #include "storage/table.h"
 
@@ -76,15 +77,21 @@ using ExprPtr = std::shared_ptr<const Expr>;
 class Expr {
  public:
   /// Reference to input column `index`; `name` is kept for display only.
-  static ExprPtr Column(size_t index, std::string name, DataType type);
-  static ExprPtr Literal(Value v);
-  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
-  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
-  static ExprPtr Function(ScalarFunc func, ExprPtr arg);
+  /// Every factory takes an optional trailing source position (the SQL
+  /// binder supplies it; C++-built expressions default to "unknown"), which
+  /// the static analyzer threads into its diagnostics.
+  static ExprPtr Column(size_t index, std::string name, DataType type,
+                        SourceLoc loc = {});
+  static ExprPtr Literal(Value v, SourceLoc loc = {});
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                        SourceLoc loc = {});
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand, SourceLoc loc = {});
+  static ExprPtr Function(ScalarFunc func, ExprPtr arg, SourceLoc loc = {});
   /// Searched CASE: children alternate (condition, value) pairs followed by
   /// the mandatory else value. All value branches must share a type (int64
   /// promotes to double when mixed with double).
-  static Result<ExprPtr> Case(std::vector<ExprPtr> when_then, ExprPtr else_value);
+  static Result<ExprPtr> Case(std::vector<ExprPtr> when_then,
+                              ExprPtr else_value, SourceLoc loc = {});
 
   // Convenience builders for the common cases in tests and workloads.
   static ExprPtr Int(int64_t v) { return Literal(Value::Int64(v)); }
@@ -102,6 +109,8 @@ class Expr {
   ExprKind kind() const { return kind_; }
   /// Result type; resolved at construction from operand types.
   DataType type() const { return type_; }
+  /// SQL position this expression came from; invalid for C++-built trees.
+  SourceLoc loc() const { return loc_; }
 
   // kColumnRef accessors.
   size_t column_index() const { return column_index_; }
@@ -133,6 +142,7 @@ class Expr {
 
   ExprKind kind_ = ExprKind::kLiteral;
   DataType type_ = DataType::kInt64;
+  SourceLoc loc_;
   size_t column_index_ = 0;
   std::string name_;
   Value literal_;

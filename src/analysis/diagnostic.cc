@@ -1,0 +1,195 @@
+#include "analysis/diagnostic.h"
+
+namespace datacell {
+namespace analysis {
+
+const char* DiagCodeId(DiagCode code) {
+  switch (code) {
+    case DiagCode::kColumnOutOfRange:
+      return "P002";
+    case DiagCode::kNonBooleanPredicate:
+      return "P003";
+    case DiagCode::kArithmeticType:
+      return "P004";
+    case DiagCode::kComparisonType:
+      return "P005";
+    case DiagCode::kLogicalType:
+      return "P006";
+    case DiagCode::kLikeType:
+      return "P007";
+    case DiagCode::kNotType:
+      return "P008";
+    case DiagCode::kNegType:
+      return "P009";
+    case DiagCode::kFunctionArgType:
+      return "P010";
+    case DiagCode::kCaseConditionType:
+      return "P011";
+    case DiagCode::kCaseBranchType:
+      return "P012";
+    case DiagCode::kJoinKeyOutOfRange:
+      return "P013";
+    case DiagCode::kJoinKeyType:
+      return "P014";
+    case DiagCode::kUnionArity:
+      return "P015";
+    case DiagCode::kUnionColumnType:
+      return "P016";
+    case DiagCode::kAggregateInputType:
+      return "P017";
+    case DiagCode::kAggregateColumnOutOfRange:
+      return "P018";
+    case DiagCode::kSortKeyOutOfRange:
+      return "P019";
+    case DiagCode::kDeclaredTypeMismatch:
+      return "P020";
+    case DiagCode::kSchemaMismatch:
+      return "P021";
+    case DiagCode::kUnknownRelation:
+      return "P022";
+    case DiagCode::kOrphanBasket:
+      return "N001";
+    case DiagCode::kDeadTransition:
+      return "N002";
+    case DiagCode::kIllegalCycle:
+      return "N003";
+    case DiagCode::kMultiReaderStealing:
+      return "N004";
+    case DiagCode::kChainPredicateOverlap:
+      return "N005";
+    case DiagCode::kChainCoverageGap:
+      return "N006";
+  }
+  return "P000";
+}
+
+const char* DiagCodeName(DiagCode code) {
+  switch (code) {
+    case DiagCode::kColumnOutOfRange:
+      return "column-out-of-range";
+    case DiagCode::kNonBooleanPredicate:
+      return "non-boolean-predicate";
+    case DiagCode::kArithmeticType:
+      return "arithmetic-type";
+    case DiagCode::kComparisonType:
+      return "comparison-type";
+    case DiagCode::kLogicalType:
+      return "logical-type";
+    case DiagCode::kLikeType:
+      return "like-type";
+    case DiagCode::kNotType:
+      return "not-type";
+    case DiagCode::kNegType:
+      return "neg-type";
+    case DiagCode::kFunctionArgType:
+      return "function-arg-type";
+    case DiagCode::kCaseConditionType:
+      return "case-condition-type";
+    case DiagCode::kCaseBranchType:
+      return "case-branch-type";
+    case DiagCode::kJoinKeyOutOfRange:
+      return "join-key-out-of-range";
+    case DiagCode::kJoinKeyType:
+      return "join-key-type";
+    case DiagCode::kUnionArity:
+      return "union-arity";
+    case DiagCode::kUnionColumnType:
+      return "union-column-type";
+    case DiagCode::kAggregateInputType:
+      return "aggregate-input-type";
+    case DiagCode::kAggregateColumnOutOfRange:
+      return "aggregate-column-out-of-range";
+    case DiagCode::kSortKeyOutOfRange:
+      return "sort-key-out-of-range";
+    case DiagCode::kDeclaredTypeMismatch:
+      return "declared-type-mismatch";
+    case DiagCode::kSchemaMismatch:
+      return "schema-mismatch";
+    case DiagCode::kUnknownRelation:
+      return "unknown-relation";
+    case DiagCode::kOrphanBasket:
+      return "orphan-basket";
+    case DiagCode::kDeadTransition:
+      return "dead-transition";
+    case DiagCode::kIllegalCycle:
+      return "illegal-cycle";
+    case DiagCode::kMultiReaderStealing:
+      return "multi-reader-stealing";
+    case DiagCode::kChainPredicateOverlap:
+      return "chain-predicate-overlap";
+    case DiagCode::kChainCoverageGap:
+      return "chain-coverage-gap";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = severity == Severity::kError ? "error[" : "warning[";
+  out += DiagCodeId(code);
+  out += "] ";
+  out += DiagCodeName(code);
+  out += ": ";
+  out += message;
+  if (loc.valid()) {
+    out += " (at ";
+    out += loc.ToString();
+    out += ")";
+  }
+  if (!object.empty()) {
+    out += " [in ";
+    out += object;
+    out += "]";
+  }
+  return out;
+}
+
+void AnalysisReport::Add(DiagCode code, Severity severity, std::string message,
+                         SourceLoc loc, std::string object) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = std::move(message);
+  d.loc = loc;
+  d.object = std::move(object);
+  diagnostics_.push_back(std::move(d));
+}
+
+size_t AnalysisReport::num_errors() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+size_t AnalysisReport::num_warnings() const {
+  return diagnostics_.size() - num_errors();
+}
+
+bool AnalysisReport::Has(DiagCode code) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string AnalysisReport::ToString() const {
+  if (diagnostics_.empty()) return "no issues found\n";
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToString();
+    out += "\n";
+  }
+  out += std::to_string(num_errors()) + " error(s), " +
+         std::to_string(num_warnings()) + " warning(s)\n";
+  return out;
+}
+
+Status AnalysisReport::ToStatus() const {
+  if (ok()) return Status::OK();
+  return Status::TypeError("static analysis rejected the plan:\n" +
+                           ToString());
+}
+
+}  // namespace analysis
+}  // namespace datacell

@@ -1,0 +1,100 @@
+#ifndef DATACELL_ANALYSIS_DIAGNOSTIC_H_
+#define DATACELL_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/source_loc.h"
+#include "common/status.h"
+
+namespace datacell {
+namespace analysis {
+
+/// Stable diagnostic codes. P0xx = plan/type analysis (pass 1),
+/// N0xx = Petri-net dataflow analysis (pass 2). The short id (e.g. "P004")
+/// appears in every rendered message so tests and tooling can match on it;
+/// never renumber an existing code.
+enum class DiagCode {
+  // --- pass 1: plan analyzer ---------------------------------------------
+  kColumnOutOfRange,        // P002: column ref index >= input arity
+  kNonBooleanPredicate,     // P003: filter/consume predicate is not boolean
+  kArithmeticType,          // P004: + - * / % over non-numeric operand
+  kComparisonType,          // P005: incomparable operand types
+  kLogicalType,             // P006: AND/OR over non-boolean operand
+  kLikeType,                // P007: LIKE over non-string operand
+  kNotType,                 // P008: NOT over non-boolean operand
+  kNegType,                 // P009: unary minus over non-numeric operand
+  kFunctionArgType,         // P010: scalar function argument type
+  kCaseConditionType,       // P011: CASE WHEN condition is not boolean
+  kCaseBranchType,          // P012: CASE branches do not share a type
+  kJoinKeyOutOfRange,       // P013: join key index >= child arity
+  kJoinKeyType,             // P014: join key types incompatible
+  kUnionArity,              // P015: union children arity mismatch
+  kUnionColumnType,         // P016: union column type mismatch
+  kAggregateInputType,      // P017: sum/min/max/avg over non-numeric column
+  kAggregateColumnOutOfRange,  // P018: aggregate/group column out of range
+  kSortKeyOutOfRange,       // P019: sort key index >= child arity
+  kDeclaredTypeMismatch,    // P020: expr declared type != inferred/schema type
+  kSchemaMismatch,          // P021: node output schema disagrees with inference
+  kUnknownRelation,         // P022: plan scans a relation missing from catalog
+  // --- pass 2: Petri-net analyzer ----------------------------------------
+  kOrphanBasket,            // N001: basket appended-to but never read
+  kDeadTransition,          // N002: transition input nothing ever feeds
+  kIllegalCycle,            // N003: transition cycle (self-amplifying loop)
+  kMultiReaderStealing,     // N004: >1 reader disables buffer stealing
+  kChainPredicateOverlap,   // N005: chained predicates overlap
+  kChainCoverageGap,        // N006: chained predicates leave a coverage gap
+};
+
+enum class Severity { kWarning, kError };
+
+/// Short stable identifier, e.g. "P004".
+const char* DiagCodeId(DiagCode code);
+/// Kebab-case name, e.g. "arithmetic-type".
+const char* DiagCodeName(DiagCode code);
+
+/// One analyzer finding. `loc` is the SQL position when known (plans built
+/// through the C++ API have none); `object` names the plan node, basket or
+/// transition the finding is about.
+struct Diagnostic {
+  DiagCode code = DiagCode::kNonBooleanPredicate;
+  Severity severity = Severity::kError;
+  std::string message;
+  SourceLoc loc;
+  std::string object;
+
+  /// "error[P004] arithmetic-type: ... (at 2:15) [in Project]"
+  std::string ToString() const;
+};
+
+/// The structured result of an analysis run: every finding, in discovery
+/// order (plan pass before net pass; most-severe first is NOT guaranteed).
+class AnalysisReport {
+ public:
+  void Add(Diagnostic d) { diagnostics_.push_back(std::move(d)); }
+  void Add(DiagCode code, Severity severity, std::string message,
+           SourceLoc loc = {}, std::string object = "");
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  size_t num_errors() const;
+  size_t num_warnings() const;
+  bool ok() const { return num_errors() == 0; }
+
+  /// True when any finding carries `code`.
+  bool Has(DiagCode code) const;
+
+  /// One line per finding plus a summary line; "no issues found" when clean.
+  std::string ToString() const;
+
+  /// OK when no error-severity findings; otherwise a TypeError whose message
+  /// is the rendered report (the registration-rejection form).
+  Status ToStatus() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace analysis
+}  // namespace datacell
+
+#endif  // DATACELL_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,302 @@
+#include "analysis/interval.h"
+
+#include <algorithm>
+
+namespace datacell {
+namespace analysis {
+
+namespace {
+
+std::string FormatNum(double v) {
+  // Render integral values without the trailing ".000000".
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return std::to_string(v);
+}
+
+/// True when `a`'s lower bound starts before `b`'s (ties: closed first).
+bool LoLess(const Interval& a, const Interval& b) {
+  if (a.unbounded_lo != b.unbounded_lo) return a.unbounded_lo;
+  if (a.unbounded_lo) return false;
+  if (a.lo != b.lo) return a.lo < b.lo;
+  return !a.lo_open && b.lo_open;
+}
+
+/// True when `b`'s lower bound lies at or before `a`'s upper bound closely
+/// enough that [a, b] merge into one interval (overlap or touching).
+bool Touches(const Interval& a, const Interval& b) {
+  if (a.unbounded_hi || b.unbounded_lo) return true;
+  if (b.lo < a.hi) return true;
+  if (b.lo > a.hi) return false;
+  return !(a.hi_open && b.lo_open);  // share or cover the common point
+}
+
+/// True when `a`'s upper bound reaches at least as far as `b`'s.
+bool HiGeq(const Interval& a, const Interval& b) {
+  if (a.unbounded_hi) return true;
+  if (b.unbounded_hi) return false;
+  if (a.hi != b.hi) return a.hi > b.hi;
+  return !a.hi_open || b.hi_open;
+}
+
+bool EmptyInterval(const Interval& iv) {
+  if (iv.unbounded_lo || iv.unbounded_hi) return false;
+  if (iv.lo > iv.hi) return true;
+  return iv.lo == iv.hi && (iv.lo_open || iv.hi_open);
+}
+
+}  // namespace
+
+bool Interval::Contains(double v) const {
+  if (!unbounded_lo) {
+    if (lo_open ? v <= lo : v < lo) return false;
+  }
+  if (!unbounded_hi) {
+    if (hi_open ? v >= hi : v > hi) return false;
+  }
+  return true;
+}
+
+std::string Interval::ToString() const {
+  std::string out = lo_open || unbounded_lo ? "(" : "[";
+  out += unbounded_lo ? "-inf" : FormatNum(lo);
+  out += ", ";
+  out += unbounded_hi ? "+inf" : FormatNum(hi);
+  out += hi_open || unbounded_hi ? ")" : "]";
+  return out;
+}
+
+IntervalSet IntervalSet::All() {
+  Interval iv;
+  iv.unbounded_lo = true;
+  iv.unbounded_hi = true;
+  return Single(iv);
+}
+
+IntervalSet IntervalSet::Single(Interval iv) {
+  IntervalSet s;
+  if (!EmptyInterval(iv)) s.intervals_.push_back(iv);
+  return s;
+}
+
+void IntervalSet::Normalize() {
+  std::vector<Interval> in;
+  in.swap(intervals_);
+  in.erase(std::remove_if(in.begin(), in.end(), EmptyInterval), in.end());
+  std::sort(in.begin(), in.end(), LoLess);
+  for (Interval& iv : in) {
+    if (!intervals_.empty() && Touches(intervals_.back(), iv)) {
+      Interval& cur = intervals_.back();
+      if (!HiGeq(cur, iv)) {
+        cur.hi = iv.hi;
+        cur.hi_open = iv.hi_open;
+        cur.unbounded_hi = iv.unbounded_hi;
+      }
+    } else {
+      intervals_.push_back(iv);
+    }
+  }
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  IntervalSet out;
+  out.intervals_ = intervals_;
+  out.intervals_.insert(out.intervals_.end(), other.intervals_.begin(),
+                        other.intervals_.end());
+  out.Normalize();
+  return out;
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  for (const Interval& a : intervals_) {
+    for (const Interval& b : other.intervals_) {
+      Interval iv;
+      // Lower bound: the later of the two starts.
+      const Interval& lo_src = LoLess(a, b) ? b : a;
+      iv.lo = lo_src.lo;
+      iv.lo_open = lo_src.lo_open;
+      iv.unbounded_lo = lo_src.unbounded_lo;
+      // Upper bound: the earlier of the two ends.
+      const Interval& hi_src = HiGeq(a, b) ? b : a;
+      iv.hi = hi_src.hi;
+      iv.hi_open = hi_src.hi_open;
+      iv.unbounded_hi = hi_src.unbounded_hi;
+      if (!EmptyInterval(iv)) out.intervals_.push_back(iv);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+IntervalSet IntervalSet::Complement() const {
+  if (intervals_.empty()) return All();
+  IntervalSet out;
+  const Interval& first = intervals_.front();
+  if (!first.unbounded_lo) {
+    Interval head;
+    head.unbounded_lo = true;
+    head.hi = first.lo;
+    head.hi_open = !first.lo_open;
+    out.intervals_.push_back(head);
+  }
+  for (size_t i = 0; i + 1 < intervals_.size(); ++i) {
+    Interval gap;
+    gap.lo = intervals_[i].hi;
+    gap.lo_open = !intervals_[i].hi_open;
+    gap.hi = intervals_[i + 1].lo;
+    gap.hi_open = !intervals_[i + 1].lo_open;
+    if (!EmptyInterval(gap)) out.intervals_.push_back(gap);
+  }
+  const Interval& last = intervals_.back();
+  if (!last.unbounded_hi) {
+    Interval tail;
+    tail.lo = last.hi;
+    tail.lo_open = !last.hi_open;
+    tail.unbounded_hi = true;
+    out.intervals_.push_back(tail);
+  }
+  out.Normalize();
+  return out;
+}
+
+bool IntervalSet::IsAll() const {
+  return intervals_.size() == 1 && intervals_[0].unbounded_lo &&
+         intervals_[0].unbounded_hi;
+}
+
+bool IntervalSet::Contains(double v) const {
+  for (const Interval& iv : intervals_) {
+    if (iv.Contains(v)) return true;
+  }
+  return false;
+}
+
+std::string IntervalSet::ToString() const {
+  if (intervals_.empty()) return "(empty)";
+  std::string out;
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += " u ";
+    out += intervals_[i].ToString();
+  }
+  return out;
+}
+
+namespace {
+
+/// Numeric literal value, or nullopt when out of the fragment.
+std::optional<double> LiteralNum(const Expr& e) {
+  if (e.kind() != ExprKind::kLiteral) return std::nullopt;
+  const Value& v = e.literal();
+  if (v.is_null()) return std::nullopt;
+  switch (v.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return static_cast<double>(v.int64_value());
+    case DataType::kDouble:
+      return v.double_value();
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<IntervalSet> FromCmp(BinaryOp op, double v) {
+  Interval iv;
+  switch (op) {
+    case BinaryOp::kEq:
+      iv.lo = iv.hi = v;
+      return IntervalSet::Single(iv);
+    case BinaryOp::kNe:
+      iv.lo = iv.hi = v;
+      return IntervalSet::Single(iv).Complement();
+    case BinaryOp::kLt:
+      iv.unbounded_lo = true;
+      iv.hi = v;
+      iv.hi_open = true;
+      return IntervalSet::Single(iv);
+    case BinaryOp::kLe:
+      iv.unbounded_lo = true;
+      iv.hi = v;
+      return IntervalSet::Single(iv);
+    case BinaryOp::kGt:
+      iv.lo = v;
+      iv.lo_open = true;
+      iv.unbounded_hi = true;
+      return IntervalSet::Single(iv);
+    case BinaryOp::kGe:
+      iv.lo = v;
+      iv.unbounded_hi = true;
+      return IntervalSet::Single(iv);
+    default:
+      return std::nullopt;
+  }
+}
+
+BinaryOp FlipCmp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+std::optional<IntervalSet> Model(const Expr& e,
+                                 std::optional<size_t>* column) {
+  if (e.kind() == ExprKind::kUnary && e.unary_op() == UnaryOp::kNot) {
+    auto inner = Model(*e.operand(), column);
+    if (!inner.has_value()) return std::nullopt;
+    return inner->Complement();
+  }
+  if (e.kind() != ExprKind::kBinary) return std::nullopt;
+  BinaryOp op = e.binary_op();
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    auto l = Model(*e.left(), column);
+    if (!l.has_value()) return std::nullopt;
+    auto r = Model(*e.right(), column);
+    if (!r.has_value()) return std::nullopt;
+    return op == BinaryOp::kAnd ? l->Intersect(*r) : l->Union(*r);
+  }
+  // Comparison atom: column <cmp> literal, either operand order.
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  bool flipped = false;
+  if (e.left()->kind() == ExprKind::kColumnRef) {
+    col = e.left().get();
+    lit = e.right().get();
+  } else if (e.right()->kind() == ExprKind::kColumnRef) {
+    col = e.right().get();
+    lit = e.left().get();
+    flipped = true;
+  } else {
+    return std::nullopt;
+  }
+  std::optional<double> v = LiteralNum(*lit);
+  if (!v.has_value()) return std::nullopt;
+  if (column->has_value() && **column != col->column_index()) {
+    return std::nullopt;  // predicates over two columns: out of the fragment
+  }
+  *column = col->column_index();
+  return FromCmp(flipped ? FlipCmp(op) : op, *v);
+}
+
+}  // namespace
+
+std::optional<IntervalSet> IntervalSet::FromPredicate(const Expr& pred,
+                                                      size_t* column_index) {
+  std::optional<size_t> column;
+  auto set = Model(pred, &column);
+  if (!set.has_value() || !column.has_value()) return std::nullopt;
+  *column_index = *column;
+  return set;
+}
+
+}  // namespace analysis
+}  // namespace datacell

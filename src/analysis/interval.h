@@ -1,0 +1,73 @@
+#ifndef DATACELL_ANALYSIS_INTERVAL_H_
+#define DATACELL_ANALYSIS_INTERVAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/expression.h"
+
+namespace datacell {
+namespace analysis {
+
+/// A set of disjoint numeric intervals over one column's domain, used to
+/// reason about the predicates of a disjoint-predicate chain (§3.2): two
+/// chained predicates whose interval sets intersect shadow each other (the
+/// first link consumes tuples the second expected), and a non-covering
+/// union means the chain tail silently drops part of the domain.
+///
+/// Modelled shapes: `col <cmp> numeric-literal` (either operand order),
+/// `<>`, AND/OR combinations over one column. Anything else — string
+/// comparisons, multiple columns, function calls — makes the predicate
+/// unanalyzable and the chain checks skip it (no false positives).
+
+/// One closed/open interval; +-infinity encoded by `unbounded_*`.
+struct Interval {
+  double lo = 0;
+  double hi = 0;
+  bool lo_open = false;
+  bool hi_open = false;
+  bool unbounded_lo = false;
+  bool unbounded_hi = false;
+
+  bool Contains(double v) const;
+  std::string ToString() const;
+};
+
+class IntervalSet {
+ public:
+  /// The empty set.
+  IntervalSet() = default;
+
+  static IntervalSet All();
+  static IntervalSet Single(Interval iv);
+
+  /// Models `pred` as an interval set over the single column it references.
+  /// Returns nullopt when the predicate shape is out of the fragment.
+  /// `*column_index` receives the referenced column.
+  static std::optional<IntervalSet> FromPredicate(const Expr& pred,
+                                                  size_t* column_index);
+
+  IntervalSet Union(const IntervalSet& other) const;
+  IntervalSet Intersect(const IntervalSet& other) const;
+  IntervalSet Complement() const;
+
+  bool IsEmpty() const { return intervals_.empty(); }
+  bool IsAll() const;
+  bool Contains(double v) const;
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// "[10, 20) ∪ (30, +inf)" — for diagnostics. "∅" when empty.
+  std::string ToString() const;
+
+ private:
+  /// Sorted, disjoint, non-adjacent intervals.
+  std::vector<Interval> intervals_;
+
+  void Normalize();
+};
+
+}  // namespace analysis
+}  // namespace datacell
+
+#endif  // DATACELL_ANALYSIS_INTERVAL_H_

@@ -1,0 +1,73 @@
+#ifndef DATACELL_ANALYSIS_NET_ANALYZER_H_
+#define DATACELL_ANALYSIS_NET_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/expression.h"
+#include "analysis/diagnostic.h"
+
+namespace datacell {
+namespace analysis {
+
+/// Pass 2: dataflow lints over an abstract view of the engine's Petri net.
+/// The engine (or a test) projects its baskets and transitions into a
+/// NetTopology; the analyzer never touches live core objects, so it stays
+/// free of the core library and runnable on hand-built fixtures.
+
+/// What a transition does — only used to phrase diagnostics.
+enum class NetNodeKind { kReceptor, kFactory, kEmitter, kSharedFilter, kOther };
+
+/// A place (basket). `external_feed` marks baskets the application can
+/// legitimately append to from outside the net (user streams and their
+/// ingest-router fan-out targets); engine-created query outputs are fed only
+/// by their factory. `num_readers` counts registered shared-watermark
+/// readers; `bounded` means a shedding capacity is set.
+struct NetPlace {
+  std::string name;
+  bool external_feed = false;
+  size_t num_readers = 0;
+  bool bounded = false;
+};
+
+/// A transition with its input and output places (by place name).
+struct NetTransition {
+  std::string name;
+  NetNodeKind kind = NetNodeKind::kOther;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+};
+
+/// One link of a disjoint-predicate chain: the draining transition and the
+/// basket predicate it keeps (null = keeps everything).
+struct ChainLink {
+  std::string transition;
+  ExprPtr predicate;
+};
+
+/// A chained-strategy pipeline over one stream, in chain order.
+struct NetChain {
+  std::string stream;
+  std::vector<ChainLink> links;
+};
+
+struct NetTopology {
+  std::vector<NetPlace> places;
+  std::vector<NetTransition> transitions;
+  std::vector<NetChain> chains;
+};
+
+/// Runs all net lints, appending to `report`:
+///  N001 orphan-basket: appended-to but consumed by no transition.
+///  N002 dead-transition: an input place nothing (external or internal) feeds.
+///  N003 illegal-cycle: a directed transition cycle (self-feeding loop).
+///  N004 multi-reader-stealing: >1 shared reader disables buffer stealing.
+///  N005/N006: chained predicates overlapping / leaving coverage gaps.
+void AnalyzeTopology(const NetTopology& net, AnalysisReport* report);
+
+AnalysisReport AnalyzeTopology(const NetTopology& net);
+
+}  // namespace analysis
+}  // namespace datacell
+
+#endif  // DATACELL_ANALYSIS_NET_ANALYZER_H_

@@ -1,0 +1,49 @@
+#ifndef DATACELL_ANALYSIS_PLAN_ANALYZER_H_
+#define DATACELL_ANALYSIS_PLAN_ANALYZER_H_
+
+#include <optional>
+#include <string>
+
+#include "algebra/plan.h"
+#include "analysis/diagnostic.h"
+#include "storage/schema.h"
+
+namespace datacell {
+namespace analysis {
+
+/// Pass 1: bottom-up type/schema inference over a plan tree. Re-derives the
+/// type of every expression from the child schemas and checks each node's
+/// structural invariants (column resolution, predicate boolean-ness,
+/// join-key/union compatibility, aggregate input types). Everything the
+/// interpreter would reject with a runtime TypeError — and several shapes it
+/// would abort on, like arithmetic over a string BAT — surfaces here as a
+/// positioned Diagnostic instead.
+///
+/// The analyzer is deliberately exactly as strict as the SQL binder: a plan
+/// compiled from accepted SQL always passes, so running it at registration
+/// can only reject plans that would misbehave at fire time.
+
+/// Checks `expr` against `input` and returns its inferred type, appending
+/// findings to `report`. Returns nullopt when the expression is too broken
+/// to type (a diagnostic has been emitted). `where` names the plan node for
+/// the diagnostics' object field.
+std::optional<DataType> CheckExpr(const Expr& expr, const Schema& input,
+                                  const std::string& where,
+                                  AnalysisReport* report);
+
+/// Recursively analyzes `plan`, appending findings to `report`. Returns the
+/// (trusted) output schema of the node for parent checks.
+void AnalyzePlanNode(const PlanNode& plan, AnalysisReport* report);
+
+/// Whole-plan convenience wrapper: fresh report over one tree.
+AnalysisReport AnalyzePlan(const PlanNode& plan);
+
+/// Checks a consume/basket predicate: must type-check over `input` and be
+/// boolean. Used by factory registration for ContinuousInput predicates.
+void CheckPredicate(const Expr& pred, const Schema& input,
+                    const std::string& where, AnalysisReport* report);
+
+}  // namespace analysis
+}  // namespace datacell
+
+#endif  // DATACELL_ANALYSIS_PLAN_ANALYZER_H_

@@ -1,0 +1,24 @@
+#ifndef DATACELL_COMMON_SOURCE_LOC_H_
+#define DATACELL_COMMON_SOURCE_LOC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace datacell {
+
+/// A 1-based line:column position in the SQL text a construct came from.
+/// line == 0 means "unknown" (e.g. plans built through the C++ API). Flows
+/// from lexer tokens through the AST and binder into analyzer diagnostics.
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  bool valid() const { return line != 0; }
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_COMMON_SOURCE_LOC_H_

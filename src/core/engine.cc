@@ -1,7 +1,9 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <set>
 
+#include "analysis/plan_analyzer.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -298,6 +300,22 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
         "[select ... from <basket>]");
   }
   query.sql_text = sql;
+
+  // Registration gate: run the static plan analyzer before any output
+  // stream or basket plumbing is created, so a rejected query leaves no
+  // state behind. Errors that used to surface as fire-time TypeErrors (or
+  // aborts) are reported here with source positions instead.
+  {
+    analysis::AnalysisReport report = analysis::AnalyzePlan(*query.plan);
+    for (const sql::ContinuousInput& in : query.inputs) {
+      if (in.consume_predicate != nullptr) {
+        analysis::CheckPredicate(*in.consume_predicate, in.basket_schema,
+                                 "consume predicate of '" + in.basket + "'",
+                                 &report);
+      }
+    }
+    DC_RETURN_NOT_OK(report.ToStatus());
+  }
 
   ProcessingStrategy strategy =
       options.strategy.value_or(options_.default_strategy);
@@ -902,6 +920,140 @@ std::string Engine::DumpCatalogSql() const {
     out += ": " + q.sql + "\n";
   }
   return out;
+}
+
+analysis::AnalysisReport Engine::Analyze() const {
+  analysis::AnalysisReport report;
+
+  // Pass 1 re-run over every live query. Each plan passed this analysis at
+  // registration; re-running catches drift since then — most importantly a
+  // statically-bound relation dropped from the catalog (P022), which would
+  // fail the factory's next fire.
+  for (const QueryInfo& q : queries_) {
+    if (q.removed || q.factory == nullptr) continue;
+    const sql::CompiledQuery& query = q.factory->query();
+    analysis::AnalyzePlanNode(*query.plan, &report);
+    for (const sql::ContinuousInput& in : query.inputs) {
+      if (in.consume_predicate != nullptr) {
+        analysis::CheckPredicate(*in.consume_predicate, in.basket_schema,
+                                 "consume predicate of '" + in.basket +
+                                     "' (query '" + q.name + "')",
+                                 &report);
+      }
+    }
+    for (const std::string& rel : query.plan->InputRelations()) {
+      bool is_stream_input = false;
+      for (const sql::ContinuousInput& in : query.inputs) {
+        if (rel == in.bind_name) {
+          is_stream_input = true;
+          break;
+        }
+      }
+      if (is_stream_input || catalog_.Get(rel).ok()) continue;
+      report.Add(analysis::DiagCode::kUnknownRelation,
+                 analysis::Severity::kError,
+                 "query '" + q.name + "' reads relation '" + rel +
+                     "' which is no longer in the catalog",
+                 {}, q.name);
+    }
+  }
+
+  // Pass 2: project the engine onto an abstract Petri-net topology.
+  analysis::NetTopology net;
+  std::set<const Basket*> output_bases;
+  for (const QueryInfo& q : queries_) {
+    if (q.output != nullptr) output_bases.insert(q.output.get());
+  }
+  auto add_place = [&net](const BasketPtr& b, bool external) {
+    if (b == nullptr) return;
+    analysis::NetPlace p;
+    p.name = b->name();
+    p.external_feed = external;
+    p.num_readers = b->num_readers();
+    p.bounded = b->capacity() > 0;
+    net.places.push_back(std::move(p));
+  };
+  // The baskets Ingest routes to for a stream (mirrors IngestBatch).
+  auto ingest_targets = [](const StreamInfo& s) {
+    std::vector<std::string> out;
+    if (s.chain_head != nullptr) {
+      out.push_back(s.chain_head->name());
+    } else if (!s.replicas.empty()) {
+      for (const BasketPtr& r : s.replicas) out.push_back(r->name());
+      if (s.shared_used) out.push_back(s.base->name());
+    } else {
+      out.push_back(s.base->name());
+    }
+    return out;
+  };
+  for (const auto& [sname, s] : streams_) {
+    // Query-output baskets are fed only by their factory; a user stream's
+    // ingest targets are externally fed. A base basket ingest routes around
+    // (chained/separate strategies) is fed by nothing — external=false keeps
+    // it out of the orphan lint.
+    bool is_output = output_bases.count(s.base.get()) != 0;
+    bool base_is_ingest_target =
+        s.chain_head == nullptr && (s.replicas.empty() || s.shared_used);
+    add_place(s.base, !is_output && base_is_ingest_target);
+    for (const BasketPtr& r : s.replicas) add_place(r, !is_output);
+    for (size_t i = 0; i < s.chain.size(); ++i) {
+      const std::vector<BasketPtr> links = s.chain[i]->input_baskets();
+      // Link 0 of the first factory is the chain head (the ingest target);
+      // later links are fed by the previous factory's passthrough.
+      if (!links.empty()) add_place(links[0], !is_output && i == 0);
+    }
+    for (Receptor* r : s.receptors) {
+      if (r == nullptr) continue;
+      analysis::NetTransition t;
+      t.name = r->name();
+      t.kind = analysis::NetNodeKind::kReceptor;
+      t.outputs = ingest_targets(s);
+      net.transitions.push_back(std::move(t));
+    }
+    if (s.chain.size() >= 2) {
+      analysis::NetChain chain;
+      chain.stream = sname;
+      for (const FactoryPtr& f : s.chain) {
+        analysis::ChainLink link;
+        link.transition = f->name();
+        link.predicate = f->query().inputs[0].consume_predicate;
+        chain.links.push_back(std::move(link));
+      }
+      net.chains.push_back(std::move(chain));
+    }
+  }
+  for (const auto& [key, basket] : subplan_groups_) {
+    add_place(basket, /*external=*/false);
+  }
+  for (const auto& filter : shared_filters_) {
+    analysis::NetTransition t;
+    t.name = filter->name();
+    t.kind = analysis::NetNodeKind::kSharedFilter;
+    t.inputs.push_back(filter->input()->name());
+    t.outputs.push_back(filter->output()->name());
+    net.transitions.push_back(std::move(t));
+  }
+  for (const QueryInfo& q : queries_) {
+    if (q.removed || q.factory == nullptr) continue;
+    analysis::NetTransition t;
+    t.name = q.factory->name();
+    t.kind = analysis::NetNodeKind::kFactory;
+    for (const BasketPtr& b : q.factory->input_baskets()) {
+      t.inputs.push_back(b->name());
+    }
+    t.outputs.push_back(q.output->name());
+    for (const BasketPtr& b : q.factory->passthrough_baskets()) {
+      if (b != nullptr) t.outputs.push_back(b->name());
+    }
+    net.transitions.push_back(std::move(t));
+    analysis::NetTransition e;
+    e.name = q.emitter->name();
+    e.kind = analysis::NetNodeKind::kEmitter;
+    e.inputs.push_back(q.output->name());
+    net.transitions.push_back(std::move(e));
+  }
+  analysis::AnalyzeTopology(net, &report);
+  return report;
 }
 
 Result<std::string> Engine::ExplainSql(const std::string& sql) const {

@@ -10,6 +10,7 @@
 
 #include "adapters/channel.h"
 #include "adapters/sink.h"
+#include "analysis/net_analyzer.h"
 #include "common/clock.h"
 #include "common/metrics_registry.h"
 #include "common/thread_pool.h"
@@ -197,6 +198,14 @@ class Engine {
 
   /// Explain: parses and compiles `sql`, returning the MAL-style listing.
   Result<std::string> ExplainSql(const std::string& sql) const;
+
+  /// Static analysis of the registered net: re-runs the plan analyzer over
+  /// every live query (pass 1) and the Petri-net dataflow lints (pass 2) —
+  /// orphan baskets, dead transitions, transition cycles, multi-reader
+  /// stealing, chained-predicate overlap and coverage gaps. Read-only; call
+  /// while the scheduler is stopped or between sweeps. Rendered by the
+  /// shell's \analyze command and datacell-lint.
+  analysis::AnalysisReport Analyze() const;
 
   /// CREATE statements reproducing the current catalog (baskets keep their
   /// implicit ts column out of the dump), plus the registered continuous

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "analysis/plan_analyzer.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "storage/batch_pool.h"
@@ -43,6 +44,24 @@ Result<std::shared_ptr<Factory>> Factory::Create(
   }
   if (output == nullptr || clock == nullptr) {
     return Status::InvalidArgument("factory needs an output basket and clock");
+  }
+  if (query.plan == nullptr) {
+    return Status::InvalidArgument("factory needs a compiled plan");
+  }
+  // Registration-time gate: type-check the plan and every consume predicate
+  // now, so ill-typed queries are rejected here instead of failing inside
+  // Fire() once tuples arrive. SQL-compiled plans pass by construction; this
+  // guards plans built directly through the C++ algebra API.
+  {
+    analysis::AnalysisReport report = analysis::AnalyzePlan(*query.plan);
+    for (const sql::ContinuousInput& in : query.inputs) {
+      if (in.consume_predicate != nullptr) {
+        analysis::CheckPredicate(*in.consume_predicate, in.basket_schema,
+                                 "consume predicate of '" + in.basket + "'",
+                                 &report);
+      }
+    }
+    DC_RETURN_NOT_OK(report.ToStatus());
   }
   bool windowed = query.window.kind != sql::WindowSpec::Kind::kNone;
   auto factory = std::shared_ptr<Factory>(
@@ -249,6 +268,13 @@ std::vector<BasketPtr> Factory::input_baskets() const {
   std::vector<BasketPtr> out;
   out.reserve(inputs_.size());
   for (const InputBinding& in : inputs_) out.push_back(in.basket);
+  return out;
+}
+
+std::vector<BasketPtr> Factory::passthrough_baskets() const {
+  std::vector<BasketPtr> out;
+  out.reserve(inputs_.size());
+  for (const InputBinding& in : inputs_) out.push_back(in.passthrough);
   return out;
 }
 

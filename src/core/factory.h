@@ -91,6 +91,9 @@ class Factory final : public Transition {
   void DetachReaders();
   /// The baskets this factory reads (for engine-side unwiring).
   std::vector<BasketPtr> input_baskets() const;
+  /// The chained-strategy forwarding baskets, in input order (null entries
+  /// for inputs without a passthrough). Net-analysis topology input.
+  std::vector<BasketPtr> passthrough_baskets() const;
 
   const sql::CompiledQuery& query() const { return query_; }
   const BasketPtr& output() const { return output_; }

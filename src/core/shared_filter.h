@@ -28,7 +28,9 @@ class SharedFilterTransition final : public Transition {
   bool Ready() const override;
   Result<int64_t> Fire() override;
 
+  const BasketPtr& input() const { return input_; }
   const BasketPtr& output() const { return output_; }
+  const ExprPtr& predicate() const { return predicate_; }
 
  private:
   BasketPtr input_;

@@ -56,6 +56,8 @@ AstExprPtr AstExpr::Clone() const {
   e->unary_op = unary_op;
   e->func_name = func_name;
   e->star = star;
+  e->line = line;
+  e->col = col;
   for (const AstExprPtr& c : children) {
     e->children.push_back(c == nullptr ? nullptr : c->Clone());
   }

@@ -50,6 +50,11 @@ struct AstExpr {
   bool star = false;      // count(*)
   // children: binary = {lhs, rhs}; unary/func = {operand/args...}
   std::vector<AstExprPtr> children;
+  // Source position of the token this expression starts at (1-based; 0 =
+  // unknown, e.g. desugared nodes). Threaded into binder diagnostics and the
+  // static analyzer.
+  uint32_t line = 0;
+  uint32_t col = 0;
 
   /// SQL-ish rendering for diagnostics.
   std::string ToString() const;

@@ -16,8 +16,18 @@ size_t Scope::num_columns() const {
   return last.offset + last.schema.num_fields();
 }
 
+namespace {
+
+/// " at line:col" suffix for binder diagnostics; empty when unknown.
+std::string AtLoc(SourceLoc loc) {
+  return loc.valid() ? " at " + loc.ToString() : std::string();
+}
+
+}  // namespace
+
 Result<ExprPtr> Scope::ResolveColumn(const std::string& qualifier,
-                                     const std::string& column) const {
+                                     const std::string& column,
+                                     SourceLoc loc) const {
   const Source* found_source = nullptr;
   size_t found_index = 0;
   for (const Source& src : sources_) {
@@ -28,18 +38,18 @@ Result<ExprPtr> Scope::ResolveColumn(const std::string& qualifier,
     if (!idx.has_value()) continue;
     if (found_source != nullptr) {
       return Status::InvalidArgument("ambiguous column reference '" + column +
-                                     "'");
+                                     "'" + AtLoc(loc));
     }
     found_source = &src;
     found_index = src.offset + *idx;
   }
   if (found_source == nullptr) {
     std::string full = qualifier.empty() ? column : qualifier + "." + column;
-    return Status::NotFound("unknown column '" + full + "'");
+    return Status::NotFound("unknown column '" + full + "'" + AtLoc(loc));
   }
   const Field& f =
       found_source->schema.field(found_index - found_source->offset);
-  return Expr::Column(found_index, f.name, f.type);
+  return Expr::Column(found_index, f.name, f.type, loc);
 }
 
 std::vector<ExprPtr> Scope::AllColumns() const {
@@ -144,25 +154,30 @@ bool IsLogicalOp(AstBinaryOp op) {
   return op == AstBinaryOp::kAnd || op == AstBinaryOp::kOr;
 }
 
-Status CheckOperandTypes(AstBinaryOp op, const ExprPtr& l, const ExprPtr& r) {
+}  // namespace
+
+Status CheckBinaryOperandTypes(AstBinaryOp op, const ExprPtr& l,
+                               const ExprPtr& r) {
   DataType lt = l->type();
   DataType rt = r->type();
+  SourceLoc loc = l->loc().valid() ? l->loc() : r->loc();
   if (IsArithmetic(op)) {
     if (!IsNumeric(lt) || !IsNumeric(rt)) {
       return Status::TypeError("arithmetic requires numeric operands: " +
-                               l->ToString() + " vs " + r->ToString());
+                               l->ToString() + " vs " + r->ToString() +
+                               AtLoc(loc));
     }
     return Status::OK();
   }
   if (IsLogicalOp(op)) {
     if (lt != DataType::kBool || rt != DataType::kBool) {
-      return Status::TypeError("AND/OR require boolean operands");
+      return Status::TypeError("AND/OR require boolean operands" + AtLoc(loc));
     }
     return Status::OK();
   }
   if (op == AstBinaryOp::kLike) {
     if (lt != DataType::kString || rt != DataType::kString) {
-      return Status::TypeError("LIKE requires string operands");
+      return Status::TypeError("LIKE requires string operands" + AtLoc(loc));
     }
     return Status::OK();
   }
@@ -172,43 +187,61 @@ Status CheckOperandTypes(AstBinaryOp op, const ExprPtr& l, const ExprPtr& r) {
   if (!ok) {
     return Status::TypeError("cannot compare " +
                              std::string(DataTypeToString(lt)) + " with " +
-                             DataTypeToString(rt));
+                             DataTypeToString(rt) + AtLoc(loc));
   }
   return Status::OK();
 }
 
-}  // namespace
+Status CheckScalarFuncArg(ScalarFunc func, const std::string& name,
+                          const ExprPtr& arg) {
+  bool needs_string = func == ScalarFunc::kLength ||
+                      func == ScalarFunc::kLower || func == ScalarFunc::kUpper;
+  if (needs_string && arg->type() != DataType::kString) {
+    return Status::TypeError("function '" + name +
+                             "' requires a string argument" +
+                             AtLoc(arg->loc()));
+  }
+  if (!needs_string && !IsNumeric(arg->type())) {
+    return Status::TypeError("function '" + name +
+                             "' requires a numeric argument" +
+                             AtLoc(arg->loc()));
+  }
+  return Status::OK();
+}
 
 Result<ExprPtr> BindScalarExpr(const AstExpr& ast, const Scope& scope) {
+  const SourceLoc loc{ast.line, ast.col};
   switch (ast.kind) {
     case AstExprKind::kColumnRef:
-      return scope.ResolveColumn(ast.qualifier, ast.column);
+      return scope.ResolveColumn(ast.qualifier, ast.column, loc);
     case AstExprKind::kLiteral:
-      return Expr::Literal(ast.literal);
+      return Expr::Literal(ast.literal, loc);
     case AstExprKind::kBinary: {
       DC_ASSIGN_OR_RETURN(ExprPtr l, BindScalarExpr(*ast.children[0], scope));
       DC_ASSIGN_OR_RETURN(ExprPtr r, BindScalarExpr(*ast.children[1], scope));
-      DC_RETURN_NOT_OK(CheckOperandTypes(ast.binary_op, l, r));
+      DC_RETURN_NOT_OK(CheckBinaryOperandTypes(ast.binary_op, l, r));
       return Expr::Binary(ToAlgebraOp(ast.binary_op), std::move(l),
-                          std::move(r));
+                          std::move(r), loc);
     }
     case AstExprKind::kUnary: {
       DC_ASSIGN_OR_RETURN(ExprPtr c, BindScalarExpr(*ast.children[0], scope));
       switch (ast.unary_op) {
         case AstUnaryOp::kNot:
           if (c->type() != DataType::kBool) {
-            return Status::TypeError("NOT requires a boolean operand");
+            return Status::TypeError("NOT requires a boolean operand" +
+                                     AtLoc(loc.valid() ? loc : c->loc()));
           }
-          return Expr::Unary(UnaryOp::kNot, std::move(c));
+          return Expr::Unary(UnaryOp::kNot, std::move(c), loc);
         case AstUnaryOp::kNeg:
           if (!IsNumeric(c->type())) {
-            return Status::TypeError("unary minus requires a numeric operand");
+            return Status::TypeError("unary minus requires a numeric operand" +
+                                     AtLoc(loc.valid() ? loc : c->loc()));
           }
-          return Expr::Unary(UnaryOp::kNeg, std::move(c));
+          return Expr::Unary(UnaryOp::kNeg, std::move(c), loc);
         case AstUnaryOp::kIsNull:
-          return Expr::Unary(UnaryOp::kIsNull, std::move(c));
+          return Expr::Unary(UnaryOp::kIsNull, std::move(c), loc);
         case AstUnaryOp::kIsNotNull:
-          return Expr::Unary(UnaryOp::kIsNotNull, std::move(c));
+          return Expr::Unary(UnaryOp::kIsNotNull, std::move(c), loc);
       }
       return Status::Internal("bad unary op");
     }
@@ -225,32 +258,28 @@ Result<ExprPtr> BindScalarExpr(const AstExpr& ast, const Scope& scope) {
       }
       DC_ASSIGN_OR_RETURN(ExprPtr other,
                           BindScalarExpr(*ast.children.back(), scope));
-      return Expr::Case(std::move(when_then), std::move(other));
+      auto made = Expr::Case(std::move(when_then), std::move(other), loc);
+      if (!made.ok() && loc.valid()) {
+        return Status::TypeError(made.status().message() + AtLoc(loc));
+      }
+      return made;
     }
     case AstExprKind::kFuncCall: {
       if (IsAggregateFuncName(ast.func_name)) {
         return Status::InvalidArgument(
             "aggregate function '" + ast.func_name +
-            "' is not allowed in this context (WHERE/ON/scalar expression)");
+            "' is not allowed in this context (WHERE/ON/scalar expression)" +
+            AtLoc(loc));
       }
       if (ast.star || ast.children.size() != 1) {
         return Status::InvalidArgument("function '" + ast.func_name +
-                                       "' takes exactly one argument");
+                                       "' takes exactly one argument" +
+                                       AtLoc(loc));
       }
       DC_ASSIGN_OR_RETURN(ScalarFunc func, ScalarFuncFromName(ast.func_name));
       DC_ASSIGN_OR_RETURN(ExprPtr arg, BindScalarExpr(*ast.children[0], scope));
-      bool needs_string = func == ScalarFunc::kLength ||
-                          func == ScalarFunc::kLower ||
-                          func == ScalarFunc::kUpper;
-      if (needs_string && arg->type() != DataType::kString) {
-        return Status::TypeError("function '" + ast.func_name +
-                                 "' requires a string argument");
-      }
-      if (!needs_string && !IsNumeric(arg->type())) {
-        return Status::TypeError("function '" + ast.func_name +
-                                 "' requires a numeric argument");
-      }
-      return Expr::Function(func, std::move(arg));
+      DC_RETURN_NOT_OK(CheckScalarFuncArg(func, ast.func_name, arg));
+      return Expr::Function(func, std::move(arg), loc);
     }
   }
   return Status::Internal("bad expression kind");

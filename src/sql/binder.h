@@ -20,9 +20,12 @@ class Scope {
   void AddSource(std::string qualifier, const Schema& schema);
 
   /// Resolves `[qualifier.]column` to a global column index and type.
-  /// Unqualified names must be unambiguous across all sources.
+  /// Unqualified names must be unambiguous across all sources. `loc` (the
+  /// reference's source position) is stamped on the result and rendered in
+  /// resolution errors.
   Result<ExprPtr> ResolveColumn(const std::string& qualifier,
-                                const std::string& column) const;
+                                const std::string& column,
+                                SourceLoc loc = {}) const;
 
   /// All columns in scope order (star expansion).
   std::vector<ExprPtr> AllColumns() const;
@@ -54,6 +57,19 @@ bool ContainsAggregate(const AstExpr& ast);
 
 /// Maps a lower-cased scalar function name to its ScalarFunc.
 Result<ScalarFunc> ScalarFuncFromName(const std::string& lower_name);
+
+/// Operand type rules for a binary operator (arithmetic needs numerics,
+/// AND/OR booleans, LIKE strings, comparisons same storage family). Shared
+/// by the scalar binder and the planner's post-aggregate rewriter so both
+/// paths reject ill-typed SQL at bind time. Errors carry the operands'
+/// source position when known.
+Status CheckBinaryOperandTypes(AstBinaryOp op, const ExprPtr& l,
+                               const ExprPtr& r);
+
+/// Argument type rule for a scalar function call (`name` is for the error
+/// message only).
+Status CheckScalarFuncArg(ScalarFunc func, const std::string& name,
+                          const ExprPtr& arg);
 
 }  // namespace sql
 }  // namespace datacell

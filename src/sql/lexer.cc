@@ -67,6 +67,27 @@ bool IsIdentCont(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+/// 1-based line/column of byte `offset` in `sql`.
+std::pair<uint32_t, uint32_t> LineColAt(std::string_view sql, size_t offset) {
+  uint32_t line = 1;
+  uint32_t col = 1;
+  for (size_t i = 0; i < offset && i < sql.size(); ++i) {
+    if (sql[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return {line, col};
+}
+
+std::string AtPosition(std::string_view sql, size_t offset) {
+  auto [line, col] = LineColAt(sql, offset);
+  return " at line " + std::to_string(line) + ", column " +
+         std::to_string(col) + " (offset " + std::to_string(offset) + ")";
+}
+
 }  // namespace
 
 Result<std::vector<Token>> Tokenize(std::string_view sql) {
@@ -147,8 +168,8 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
         ++i;
       }
       if (!closed) {
-        return Status::ParseError("unterminated string literal at offset " +
-                                  std::to_string(start));
+        return Status::ParseError("unterminated string literal" +
+                                  AtPosition(sql, start));
       }
       push(TokenType::kStringLiteral, start, std::move(text));
       continue;
@@ -211,8 +232,7 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
           push(TokenType::kNe, start);
           i += 2;
         } else {
-          return Status::ParseError("unexpected '!' at offset " +
-                                    std::to_string(start));
+          return Status::ParseError("unexpected '!'" + AtPosition(sql, start));
         }
         break;
       case '<':
@@ -238,13 +258,33 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
         break;
       default:
         return Status::ParseError(std::string("unexpected character '") + c +
-                                  "' at offset " + std::to_string(start));
+                                  "'" + AtPosition(sql, start));
     }
   }
   Token eof;
   eof.type = TokenType::kEof;
   eof.offset = n;
   tokens.push_back(std::move(eof));
+  // Position post-pass: offsets are ascending, so one monotonic walk over the
+  // statement stamps every token with its 1-based line/column.
+  {
+    uint32_t line = 1;
+    uint32_t col = 1;
+    size_t pos = 0;
+    for (Token& tok : tokens) {
+      while (pos < tok.offset && pos < n) {
+        if (sql[pos] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+        ++pos;
+      }
+      tok.line = line;
+      tok.col = col;
+    }
+  }
   return tokens;
 }
 

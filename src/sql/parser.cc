@@ -87,8 +87,11 @@ class Parser {
   }
 
   Result<Statement> Err(std::string msg) const {
-    return Status::ParseError(msg + " at offset " +
-                              std::to_string(Peek().offset));
+    const Token& t = Peek();
+    // Keep the byte offset in the rendering: tools (and tests) key on it.
+    return Status::ParseError(msg + " at line " + std::to_string(t.line) +
+                              ", column " + std::to_string(t.col) +
+                              " (offset " + std::to_string(t.offset) + ")");
   }
 
   static bool IsReserved(std::string_view word) {
@@ -381,11 +384,13 @@ class Parser {
   }
 
   Result<AstExprPtr> ParseNot() {
-    if (MatchKeyword("not")) {
+    if (PeekKeyword("not")) {
+      const Token& tok = Advance();
       DC_ASSIGN_OR_RETURN(AstExprPtr operand, ParseNot());
       auto e = std::make_unique<AstExpr>();
       e->kind = AstExprKind::kUnary;
       e->unary_op = AstUnaryOp::kNot;
+      SetPos(e.get(), tok);
       e->children.push_back(std::move(operand));
       return e;
     }
@@ -447,6 +452,8 @@ class Parser {
       auto e = std::make_unique<AstExpr>();
       e->kind = AstExprKind::kUnary;
       e->unary_op = negated ? AstUnaryOp::kIsNotNull : AstUnaryOp::kIsNull;
+      e->line = lhs->line;
+      e->col = lhs->col;
       e->children.push_back(std::move(lhs));
       return e;
     }
@@ -516,11 +523,12 @@ class Parser {
 
   Result<AstExprPtr> ParseUnary() {
     if (Peek().type == TokenType::kMinus) {
-      Advance();
+      const Token& tok = Advance();
       DC_ASSIGN_OR_RETURN(AstExprPtr operand, ParseUnary());
       auto e = std::make_unique<AstExpr>();
       e->kind = AstExprKind::kUnary;
       e->unary_op = AstUnaryOp::kNeg;
+      SetPos(e.get(), tok);
       e->children.push_back(std::move(operand));
       return e;
     }
@@ -549,6 +557,7 @@ class Parser {
         auto e = std::make_unique<AstExpr>();
         e->kind = AstExprKind::kLiteral;
         e->literal = Value::Int64(t.int_value);
+        SetPos(e.get(), t);
         return e;
       }
       case TokenType::kFloatLiteral: {
@@ -556,6 +565,7 @@ class Parser {
         auto e = std::make_unique<AstExpr>();
         e->kind = AstExprKind::kLiteral;
         e->literal = Value::Double(t.float_value);
+        SetPos(e.get(), t);
         return e;
       }
       case TokenType::kStringLiteral: {
@@ -563,6 +573,7 @@ class Parser {
         auto e = std::make_unique<AstExpr>();
         e->kind = AstExprKind::kLiteral;
         e->literal = Value::String(t.text);
+        SetPos(e.get(), t);
         return e;
       }
       case TokenType::kLParen: {
@@ -583,18 +594,21 @@ class Parser {
       auto e = std::make_unique<AstExpr>();
       e->kind = AstExprKind::kLiteral;
       e->literal = Value::Bool(true);
+      SetPos(e.get(), t);
       return e;
     }
     if (MatchKeyword("false")) {
       auto e = std::make_unique<AstExpr>();
       e->kind = AstExprKind::kLiteral;
       e->literal = Value::Bool(false);
+      SetPos(e.get(), t);
       return e;
     }
     if (MatchKeyword("null")) {
       auto e = std::make_unique<AstExpr>();
       e->kind = AstExprKind::kLiteral;
       e->literal = Value::Null();
+      SetPos(e.get(), t);
       return e;
     }
     // Searched CASE expression.
@@ -602,6 +616,7 @@ class Parser {
       Advance();
       auto e = std::make_unique<AstExpr>();
       e->kind = AstExprKind::kCase;
+      SetPos(e.get(), t);
       if (!PeekKeyword("when")) {
         return Err("only the searched CASE form (CASE WHEN ...) is supported")
             .status();
@@ -627,6 +642,7 @@ class Parser {
       auto e = std::make_unique<AstExpr>();
       e->kind = AstExprKind::kFuncCall;
       e->func_name = std::move(fname);
+      SetPos(e.get(), t);
       if (Peek().type == TokenType::kStar) {
         Advance();
         e->star = true;
@@ -645,6 +661,7 @@ class Parser {
     std::string first = Advance().text;
     auto e = std::make_unique<AstExpr>();
     e->kind = AstExprKind::kColumnRef;
+    SetPos(e.get(), t);
     if (MatchToken(TokenType::kDot)) {
       DC_ASSIGN_OR_RETURN(e->column, ExpectName());
       e->qualifier = std::move(first);
@@ -654,10 +671,17 @@ class Parser {
     return e;
   }
 
+  static void SetPos(AstExpr* e, const Token& t) {
+    e->line = t.line;
+    e->col = t.col;
+  }
+
   static AstExprPtr MakeNot(AstExprPtr operand) {
     auto e = std::make_unique<AstExpr>();
     e->kind = AstExprKind::kUnary;
     e->unary_op = AstUnaryOp::kNot;
+    e->line = operand->line;
+    e->col = operand->col;
     e->children.push_back(std::move(operand));
     return e;
   }
@@ -666,6 +690,10 @@ class Parser {
     auto e = std::make_unique<AstExpr>();
     e->kind = AstExprKind::kBinary;
     e->binary_op = op;
+    // A compound expression is pinned at its left operand — close enough
+    // for diagnostics and stable under desugaring (BETWEEN/IN clones).
+    e->line = l->line;
+    e->col = l->col;
     e->children.push_back(std::move(l));
     e->children.push_back(std::move(r));
     return e;

@@ -335,8 +335,10 @@ class SelectCompiler {
       } else {
         DC_ASSIGN_OR_RETURN(ExprPtr arg,
                             BindScalarExpr(*call->children[0], scope_));
-        if (spec.func != AggFunc::kCount && !IsNumeric(arg->type()) &&
-            arg->type() != DataType::kBool) {
+        // The aggregate kernels only accept numeric/bool inputs — including
+        // count(col), which the runtime rejects over strings — so the same
+        // rule applies to every aggregate here.
+        if (!IsNumeric(arg->type()) && arg->type() != DataType::kBool) {
           return Status::TypeError("cannot aggregate non-numeric expression " +
                                    arg->ToString());
         }
@@ -373,7 +375,8 @@ class SelectCompiler {
         auto g = group_index.find(ToLower(e.ToString()));
         if (g != group_index.end()) {
           const Field& f = plan_->output_schema().field(g->second);
-          return Expr::Column(g->second, f.name, f.type);
+          return Expr::Column(g->second, f.name, f.type,
+                              SourceLoc{e.line, e.col});
         }
       }
       if (e.kind == AstExprKind::kFuncCall) {
@@ -384,7 +387,7 @@ class SelectCompiler {
           }
           size_t col = group_exprs.size() + it->second;
           const Field& f = plan_->output_schema().field(col);
-          return Expr::Column(col, f.name, f.type);
+          return Expr::Column(col, f.name, f.type, SourceLoc{e.line, e.col});
         }
         // Scalar function over aggregate/group results, e.g. round(avg(v)).
         DC_ASSIGN_OR_RETURN(ScalarFunc func, ScalarFuncFromName(e.func_name));
@@ -393,11 +396,12 @@ class SelectCompiler {
                                          "' takes exactly one argument");
         }
         DC_ASSIGN_OR_RETURN(ExprPtr arg, self(*e.children[0], self));
-        return Expr::Function(func, std::move(arg));
+        DC_RETURN_NOT_OK(CheckScalarFuncArg(func, e.func_name, arg));
+        return Expr::Function(func, std::move(arg), SourceLoc{e.line, e.col});
       }
       if (e.kind == AstExprKind::kColumnRef) {
         // Must be a group key (by its pre-projection name).
-        auto r = agg_scope.ResolveColumn("", e.column);
+        auto r = agg_scope.ResolveColumn("", e.column, SourceLoc{e.line, e.col});
         if (!r.ok()) {
           return Status::InvalidArgument(
               "column '" + e.column +
@@ -405,14 +409,18 @@ class SelectCompiler {
         }
         return r;
       }
-      if (e.kind == AstExprKind::kLiteral) return Expr::Literal(e.literal);
+      if (e.kind == AstExprKind::kLiteral) {
+        return Expr::Literal(e.literal, SourceLoc{e.line, e.col});
+      }
       if (e.kind == AstExprKind::kBinary) {
         DC_ASSIGN_OR_RETURN(ExprPtr l, self(*e.children[0], self));
         DC_ASSIGN_OR_RETURN(ExprPtr r, self(*e.children[1], self));
-        // Re-use the binder's checks by reconstructing through BindScalarExpr
-        // semantics; operand types were validated during collection.
+        // The collection pass walks the raw AST and never sees the rewritten
+        // operand types (aggregate calls become columns here), so the operand
+        // check must run on the rewritten children.
+        DC_RETURN_NOT_OK(CheckBinaryOperandTypes(e.binary_op, l, r));
         return Expr::Binary(ToAlgebraBinary(e.binary_op), std::move(l),
-                            std::move(r));
+                            std::move(r), SourceLoc{e.line, e.col});
       }
       if (e.kind == AstExprKind::kCase) {
         std::vector<ExprPtr> when_then;
@@ -428,15 +436,26 @@ class SelectCompiler {
       }
       if (e.kind == AstExprKind::kUnary) {
         DC_ASSIGN_OR_RETURN(ExprPtr c, self(*e.children[0], self));
+        const SourceLoc uloc{e.line, e.col};
         switch (e.unary_op) {
           case AstUnaryOp::kNot:
-            return Expr::Unary(UnaryOp::kNot, std::move(c));
+            if (c->type() != DataType::kBool) {
+              return Status::TypeError(
+                  "NOT requires a boolean operand" +
+                  (uloc.valid() ? " at " + uloc.ToString() : std::string()));
+            }
+            return Expr::Unary(UnaryOp::kNot, std::move(c), uloc);
           case AstUnaryOp::kNeg:
-            return Expr::Unary(UnaryOp::kNeg, std::move(c));
+            if (!IsNumeric(c->type())) {
+              return Status::TypeError(
+                  "unary minus requires a numeric operand" +
+                  (uloc.valid() ? " at " + uloc.ToString() : std::string()));
+            }
+            return Expr::Unary(UnaryOp::kNeg, std::move(c), uloc);
           case AstUnaryOp::kIsNull:
-            return Expr::Unary(UnaryOp::kIsNull, std::move(c));
+            return Expr::Unary(UnaryOp::kIsNull, std::move(c), uloc);
           case AstUnaryOp::kIsNotNull:
-            return Expr::Unary(UnaryOp::kIsNotNull, std::move(c));
+            return Expr::Unary(UnaryOp::kIsNotNull, std::move(c), uloc);
         }
       }
       return Status::Internal("bad post-aggregate expression");

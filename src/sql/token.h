@@ -40,6 +40,8 @@ struct Token {
   int64_t int_value = 0;  // kIntLiteral
   double float_value = 0; // kFloatLiteral
   size_t offset = 0;      // byte offset in the statement
+  uint32_t line = 1;      // 1-based source line
+  uint32_t col = 1;       // 1-based source column
 };
 
 const char* TokenTypeToString(TokenType t);

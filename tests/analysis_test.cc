@@ -1,0 +1,518 @@
+// The static analyzer (src/analysis): pass 1 plan/type checks, pass 2
+// Petri-net dataflow lints, the registration gates in Engine and Factory,
+// and the interval machinery behind the chain checks.
+//
+// The table-driven registration cases are the PR's contract: each row is an
+// error class that used to surface only when the query first fired (or
+// aborted the evaluator outright) and must now be rejected at
+// SubmitContinuousQuery with a positioned message.
+
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostic.h"
+#include "analysis/interval.h"
+#include "analysis/net_analyzer.h"
+#include "analysis/plan_analyzer.h"
+#include "core/engine.h"
+#include "core/factory.h"
+
+namespace datacell {
+namespace {
+
+EngineOptions Deterministic() {
+  EngineOptions opts;
+  opts.use_wall_clock = false;
+  return opts;
+}
+
+Schema XNameSchema() {
+  return Schema({{"x", DataType::kInt64}, {"name", DataType::kString}});
+}
+
+// --- registration-time SQL rejection (the bind/bind_post gate) --------------
+
+struct RejectionCase {
+  const char* label;
+  const char* sql;
+  // Every listed substring must appear in the rejection message. "at 1:"
+  // asserts the diagnostic carries a source position.
+  std::vector<const char*> expect;
+};
+
+class RegistrationRejectionTest
+    : public ::testing::TestWithParam<RejectionCase> {};
+
+TEST_P(RegistrationRejectionTest, RejectedAtSubmitWithPositionedMessage) {
+  const RejectionCase& c = GetParam();
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket s (x int, y double, name varchar)")
+          .ok());
+  auto q = engine.SubmitContinuousQuery(c.label, c.sql);
+  ASSERT_FALSE(q.ok()) << c.label << ": accepted " << c.sql;
+  // Type faults reject as TypeError; name-resolution faults as NotFound.
+  EXPECT_TRUE(q.status().IsTypeError() ||
+              q.status().code() == StatusCode::kNotFound)
+      << c.label << ": " << q.status().ToString();
+  for (const char* want : c.expect) {
+    EXPECT_NE(q.status().message().find(want), std::string::npos)
+        << c.label << ": expected '" << want << "' in\n  "
+        << q.status().message();
+  }
+  // Rejection must leave no state behind: the same name resubmits cleanly.
+  auto ok = engine.SubmitContinuousQuery(
+      c.label, "select x from [select * from s] as t");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ErrorClasses, RegistrationRejectionTest,
+    ::testing::Values(
+        // -- plain binder classes, now carrying positions ------------------
+        RejectionCase{"arith_string",
+                      "select x + name from [select * from s] as t",
+                      {"arithmetic", "at 1:8"}},
+        RejectionCase{"cmp_string_num",
+                      "select x from [select * from s] as t "
+                      "where t.name > 10",
+                      {"compare", "at 1:"}},
+        RejectionCase{"like_non_string",
+                      "select x from [select * from s] as t "
+                      "where t.x like 'a%'",
+                      {"LIKE", "at 1:"}},
+        RejectionCase{"not_non_bool",
+                      "select x from [select * from s] as t where not t.x",
+                      {"NOT", "at 1:"}},
+        RejectionCase{"and_non_bool",
+                      "select x from [select * from s] as t "
+                      "where t.x and t.y > 1.0",
+                      {"boolean", "at 1:"}},
+        RejectionCase{"func_arg_type",
+                      "select upper(x) from [select * from s] as t",
+                      {"upper", "string"}},
+        RejectionCase{"unknown_column",
+                      "select missing from [select * from s] as t",
+                      {"unknown column", "at 1:8"}},
+        RejectionCase{"case_branch_mix",
+                      "select case when x > 0 then name else y end "
+                      "from [select * from s] as t",
+                      {"CASE branches", "at 1:"}},
+        // -- the bind_post hole: expressions rebuilt after the aggregate
+        //    rewrite used to skip operand checks and fail at fire time ------
+        RejectionCase{"agg_plus_string",
+                      "select x, count(*) + 'x' from [select * from s] as t "
+                      "group by x",
+                      {"arithmetic", "at 1:"}},
+        RejectionCase{"agg_cmp_string",
+                      "select x from [select * from s] as t group by x "
+                      "having count(*) > 'abc'",
+                      {"compare", "at 1:"}},
+        RejectionCase{"agg_logical",
+                      "select x from [select * from s] as t group by x "
+                      "having count(*) and count(*)",
+                      {"boolean", "at 1:"}},
+        RejectionCase{"agg_like",
+                      "select x from [select * from s] as t group by x "
+                      "having count(*) like 'x'",
+                      {"LIKE", "at 1:"}},
+        RejectionCase{"agg_not",
+                      "select x from [select * from s] as t group by x "
+                      "having not count(*)",
+                      {"NOT", "at 1:"}},
+        RejectionCase{"agg_func_arg",
+                      "select x, upper(count(*)) from "
+                      "[select * from s] as t group by x",
+                      {"upper", "string"}},
+        RejectionCase{"agg_string_input",
+                      "select x, count(name) from [select * from s] as t "
+                      "group by x",
+                      {"aggregate", "name"}},
+        RejectionCase{"having_non_bool",
+                      "select x, count(*) from [select * from s] as t "
+                      "group by x having count(*) + 1",
+                      {"HAVING", "boolean"}}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+// Sanity: the analyzer gate must not make registration stricter than the
+// binder on healthy SQL.
+TEST(RegistrationGateTest, AcceptsHealthyQueries) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket s (x int, y double, name varchar)")
+          .ok());
+  const char* good[] = {
+      "select x, y from [select * from s] as t where t.x > 3 and t.y < 1.5",
+      "select x, sum(y), count(*) from [select * from s] as t group by x "
+      "having count(*) > 1",
+      "select upper(name), length(name) from [select * from s] as t "
+      "where t.name like 'e%'",
+      "select case when x > 0 then y else 0.0 end from "
+      "[select * from s] as t",
+  };
+  int i = 0;
+  for (const char* sql : good) {
+    auto q = engine.SubmitContinuousQuery("g" + std::to_string(i++), sql);
+    EXPECT_TRUE(q.ok()) << sql << "\n  " << q.status().ToString();
+  }
+}
+
+// --- pass 1 over hand-built plans (the C++ registration surface) ------------
+
+TEST(PlanAnalyzerTest, ColumnOutOfRangeIsP002) {
+  auto scan = MakeScan("s", XNameSchema());
+  ASSERT_TRUE(scan.ok());
+  auto proj = MakeProject(
+      *scan, {Expr::Column(5, "ghost", DataType::kInt64)}, {"ghost"});
+  ASSERT_TRUE(proj.ok());  // builders trust declared types; analysis doesn't
+  analysis::AnalysisReport report = analysis::AnalyzePlan(**proj);
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kColumnOutOfRange));
+  EXPECT_NE(report.ToString().find("[P002]"), std::string::npos)
+      << report.ToString();
+  EXPECT_TRUE(report.ToStatus().IsTypeError());
+}
+
+TEST(PlanAnalyzerTest, DeclaredTypeDriftSeverityTracksStorageClass) {
+  Schema in = XNameSchema();
+  // int declared where the input is string: wrong BAT accessor -> error.
+  analysis::AnalysisReport cross;
+  analysis::CheckExpr(*Expr::Column(1, "name", DataType::kInt64), in, "Test",
+                      &cross);
+  EXPECT_EQ(cross.num_errors(), 1u);
+  EXPECT_TRUE(cross.Has(analysis::DiagCode::kDeclaredTypeMismatch));
+  // double declared where the input is int: numeric family, warning only.
+  analysis::AnalysisReport drift;
+  auto t = analysis::CheckExpr(*Expr::Column(0, "x", DataType::kDouble), in,
+                               "Test", &drift);
+  EXPECT_EQ(drift.num_errors(), 0u);
+  EXPECT_EQ(drift.num_warnings(), 1u);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, DataType::kInt64);  // inference trusts the schema
+}
+
+TEST(PlanAnalyzerTest, AggregateInputTypeIsP017) {
+  auto scan = MakeScan("s", XNameSchema());
+  ASSERT_TRUE(scan.ok());
+  AggSpec sum_string;
+  sum_string.func = AggFunc::kSum;
+  sum_string.input_column = 1;  // the string column
+  sum_string.output_name = "t";
+  // The builder checks ranges but not input types: this shape used to abort
+  // the aggregate kernel at fire time. The analyzer is the only gate.
+  auto bad_input = MakeAggregate(*scan, {0}, {sum_string});
+  ASSERT_TRUE(bad_input.ok());
+  analysis::AnalysisReport report = analysis::AnalyzePlan(**bad_input);
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kAggregateInputType));
+  EXPECT_NE(report.ToString().find("[P017]"), std::string::npos)
+      << report.ToString();
+}
+
+// Join keys and union shapes are validated by the plan builders themselves;
+// the analyzer re-checks them only for plans that bypassed the builders.
+// Assert the first line of defense holds so the analyzer's assumption (every
+// built plan has in-range, type-consistent keys) stays true.
+TEST(PlanBuilderTest, JoinAndUnionMalformationsRejectedAtBuild) {
+  auto a = MakeScan("a", XNameSchema());
+  auto b = MakeScan("b", Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(MakeHashJoin(*a, *b, 7, 0).ok());   // key out of range
+  EXPECT_FALSE(MakeHashJoin(*a, *a, 0, 1).ok());   // int key vs string key
+  EXPECT_FALSE(MakeUnion(*a, *b).ok());            // arity mismatch
+  auto c = MakeScan("c", Schema({{"x", DataType::kString},
+                                 {"name", DataType::kString}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(MakeUnion(*a, *c).ok());            // column type mismatch
+}
+
+TEST(PlanAnalyzerTest, AcceptsWellTypedPlan) {
+  auto scan = MakeScan("s", XNameSchema());
+  ASSERT_TRUE(scan.ok());
+  auto filter = MakeFilter(
+      *scan, Expr::Binary(BinaryOp::kGt,
+                          Expr::Column(0, "x", DataType::kInt64),
+                          Expr::Int(3)));
+  ASSERT_TRUE(filter.ok());
+  analysis::AnalysisReport report = analysis::AnalyzePlan(**filter);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.ToStatus().ok());
+  EXPECT_NE(report.ToString().find("no issues found"), std::string::npos);
+}
+
+// --- the Factory::Create gate (C++-built CompiledQuery) ---------------------
+
+TEST(FactoryGateTest, BadConsumePredicateIsP003) {
+  Engine engine(Deterministic());
+  auto in = engine.CreateStream("s", XNameSchema());
+  auto out = engine.CreateStream("out", XNameSchema());
+  ASSERT_TRUE(in.ok() && out.ok());
+
+  sql::CompiledQuery q;
+  auto scan = MakeScan("s", (*in)->schema());
+  ASSERT_TRUE(scan.ok());
+  q.plan = *scan;
+  q.output_schema = (*in)->schema();
+  q.continuous = true;
+  sql::ContinuousInput ci;
+  ci.basket = "s";
+  ci.bind_name = "s";
+  ci.basket_schema = (*in)->schema();
+  // Not boolean: previously only detected when the first drain selected on it.
+  ci.consume_predicate = Expr::Column(0, "x", DataType::kInt64);
+  q.inputs.push_back(ci);
+
+  auto f = Factory::Create("bad", std::move(q), {*in}, *out, {},
+                           &engine.clock(), {});
+  ASSERT_FALSE(f.ok());
+  EXPECT_TRUE(f.status().IsTypeError());
+  EXPECT_NE(f.status().message().find("[P003]"), std::string::npos)
+      << f.status().ToString();
+}
+
+TEST(FactoryGateTest, BrokenPlanRejectedWithDiagCode) {
+  Engine engine(Deterministic());
+  auto in = engine.CreateStream("s", XNameSchema());
+  auto out = engine.CreateStream("out", XNameSchema());
+  ASSERT_TRUE(in.ok() && out.ok());
+
+  sql::CompiledQuery q;
+  auto scan = MakeScan("s", (*in)->schema());
+  ASSERT_TRUE(scan.ok());
+  auto proj = MakeProject(
+      *scan, {Expr::Column(17, "ghost", DataType::kInt64)}, {"ghost"});
+  ASSERT_TRUE(proj.ok());
+  q.plan = *proj;
+  q.output_schema = Schema({{"ghost", DataType::kInt64}});
+  q.continuous = true;
+  sql::ContinuousInput ci;
+  ci.basket = "s";
+  ci.bind_name = "s";
+  ci.basket_schema = (*in)->schema();
+  q.inputs.push_back(ci);
+
+  auto f = Factory::Create("bad", std::move(q), {*in}, *out, {},
+                           &engine.clock(), {});
+  ASSERT_FALSE(f.ok());
+  EXPECT_NE(f.status().message().find("[P002]"), std::string::npos)
+      << f.status().ToString();
+}
+
+// --- pass 2: Engine::Analyze over live nets ---------------------------------
+
+TEST(NetAnalysisTest, OrphanBasketFlagged) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket lonely (x int)").ok());
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kOrphanBasket))
+      << report.ToString();
+}
+
+TEST(NetAnalysisTest, HealthyPipelineIsClean) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "sel", "select x from [select * from r] as s where s.x > 3");
+  ASSERT_TRUE(q.ok());
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_FALSE(report.Has(analysis::DiagCode::kOrphanBasket))
+      << report.ToString();
+}
+
+TEST(NetAnalysisTest, DeadTransitionAfterUpstreamRemoval) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  auto q1 = engine.SubmitContinuousQuery(
+      "stage1", "select x * 2 as x2 from [select * from r] as s");
+  ASSERT_TRUE(q1.ok());
+  auto q2 = engine.SubmitContinuousQuery(
+      "stage2", "select x2 from [select * from stage1_out] as t");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_FALSE(engine.Analyze().Has(analysis::DiagCode::kDeadTransition));
+
+  // Remove the producer: stage2 still reads stage1_out, which nothing
+  // feeds any more.
+  ASSERT_TRUE(engine.RemoveContinuousQuery(*q1).ok());
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kDeadTransition))
+      << report.ToString();
+}
+
+TEST(NetAnalysisTest, MultiReaderSharedBasketWarns) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  QueryOptions shared;
+  shared.strategy = ProcessingStrategy::kSharedBaskets;
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "a", "select x from [select * from r] as s", shared)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "b", "select x from [select * from r] as s", shared)
+                  .ok());
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kMultiReaderStealing))
+      << report.ToString();
+  EXPECT_EQ(report.num_errors(), 0u) << report.ToString();  // warning only
+}
+
+TEST(NetAnalysisTest, ChainedPredicateOverlapWarns) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  QueryOptions chained;
+  chained.strategy = ProcessingStrategy::kChained;
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "c1", "select x from [select * from r where r.x > 10] "
+                            "as s",
+                      chained)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "c2", "select x from [select * from r where r.x > 5] "
+                            "as s",
+                      chained)
+                  .ok());
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kChainPredicateOverlap))
+      << report.ToString();
+}
+
+TEST(NetAnalysisTest, ChainedCoverageGapWarns) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  QueryOptions chained;
+  chained.strategy = ProcessingStrategy::kChained;
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "lo", "select x from [select * from r where r.x < 5] "
+                            "as s",
+                      chained)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "hi", "select x from [select * from r where r.x > 10] "
+                            "as s",
+                      chained)
+                  .ok());
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kChainCoverageGap))
+      << report.ToString();
+  EXPECT_FALSE(report.Has(analysis::DiagCode::kChainPredicateOverlap))
+      << report.ToString();
+}
+
+TEST(NetAnalysisTest, DisjointCoveringChainIsClean) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  QueryOptions chained;
+  chained.strategy = ProcessingStrategy::kChained;
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "lo", "select x from [select * from r where r.x < 5] "
+                            "as s",
+                      chained)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "hi", "select x from [select * from r where r.x >= 5] "
+                            "as s",
+                      chained)
+                  .ok());
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_FALSE(report.Has(analysis::DiagCode::kChainPredicateOverlap))
+      << report.ToString();
+  EXPECT_FALSE(report.Has(analysis::DiagCode::kChainCoverageGap))
+      << report.ToString();
+}
+
+// --- pass 2 on hand-built topologies (shapes the engine cannot produce) -----
+
+TEST(NetTopologyTest, IllegalCycleDetected) {
+  analysis::NetTopology net;
+  net.places.push_back({"a", true, 1, false});
+  net.places.push_back({"b", false, 1, false});
+  net.transitions.push_back(
+      {"fwd", analysis::NetNodeKind::kFactory, {"a"}, {"b"}});
+  net.transitions.push_back(
+      {"back", analysis::NetNodeKind::kFactory, {"b"}, {"a"}});
+  analysis::AnalysisReport report = analysis::AnalyzeTopology(net);
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kIllegalCycle))
+      << report.ToString();
+}
+
+TEST(NetTopologyTest, AcyclicPipelineHasNoCycleFinding) {
+  analysis::NetTopology net;
+  net.places.push_back({"a", true, 1, false});
+  net.places.push_back({"b", false, 1, false});
+  net.places.push_back({"c", false, 1, false});
+  net.transitions.push_back(
+      {"t1", analysis::NetNodeKind::kFactory, {"a"}, {"b"}});
+  net.transitions.push_back(
+      {"t2", analysis::NetNodeKind::kFactory, {"b"}, {"c"}});
+  net.transitions.push_back(
+      {"sink", analysis::NetNodeKind::kEmitter, {"c"}, {}});
+  analysis::AnalysisReport report = analysis::AnalyzeTopology(net);
+  EXPECT_FALSE(report.Has(analysis::DiagCode::kIllegalCycle))
+      << report.ToString();
+}
+
+// --- the interval machinery behind N005/N006 --------------------------------
+
+ExprPtr Col0() { return Expr::Column(0, "x", DataType::kInt64); }
+
+TEST(IntervalSetTest, ModelsSimpleComparisons) {
+  size_t col = 9;
+  auto gt = analysis::IntervalSet::FromPredicate(
+      *Expr::Binary(BinaryOp::kGt, Col0(), Expr::Int(10)), &col);
+  ASSERT_TRUE(gt.has_value());
+  EXPECT_EQ(col, 0u);
+  EXPECT_FALSE(gt->Contains(10.0));
+  EXPECT_TRUE(gt->Contains(10.5));
+
+  auto le = analysis::IntervalSet::FromPredicate(
+      *Expr::Binary(BinaryOp::kLe, Col0(), Expr::Int(10)), &col);
+  ASSERT_TRUE(le.has_value());
+  EXPECT_TRUE(le->Contains(10.0));
+  EXPECT_FALSE(le->Contains(10.5));
+
+  // gt and le partition the domain at 10.
+  EXPECT_TRUE(gt->Intersect(*le).IsEmpty());
+  EXPECT_TRUE(gt->Union(*le).IsAll());
+}
+
+TEST(IntervalSetTest, AndOrComplement) {
+  size_t col = 0;
+  // 5 < x and x < 10
+  auto band = analysis::IntervalSet::FromPredicate(
+      *Expr::And(Expr::Binary(BinaryOp::kGt, Col0(), Expr::Int(5)),
+                 Expr::Binary(BinaryOp::kLt, Col0(), Expr::Int(10))),
+      &col);
+  ASSERT_TRUE(band.has_value());
+  EXPECT_TRUE(band->Contains(7.0));
+  EXPECT_FALSE(band->Contains(5.0));
+  EXPECT_FALSE(band->Contains(12.0));
+  analysis::IntervalSet outside = band->Complement();
+  EXPECT_TRUE(outside.Contains(5.0));
+  EXPECT_TRUE(outside.Contains(12.0));
+  EXPECT_FALSE(outside.Contains(7.0));
+  EXPECT_TRUE(band->Union(outside).IsAll());
+}
+
+TEST(IntervalSetTest, OutOfFragmentShapesAreRejected) {
+  size_t col = 0;
+  // String comparison: not a numeric interval.
+  EXPECT_FALSE(analysis::IntervalSet::FromPredicate(
+                   *Expr::Eq(Expr::Column(1, "name", DataType::kString),
+                             Expr::Str("a")),
+                   &col)
+                   .has_value());
+  // Two different columns cannot fold into one axis.
+  EXPECT_FALSE(analysis::IntervalSet::FromPredicate(
+                   *Expr::Binary(BinaryOp::kGt, Col0(),
+                                 Expr::Column(2, "y", DataType::kInt64)),
+                   &col)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace datacell

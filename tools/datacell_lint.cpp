@@ -1,0 +1,208 @@
+// datacell-lint: offline static analysis of DataCell SQL scripts.
+//
+// Usage:  datacell-lint [--strict] file.sql [more.sql ...]
+//
+// Each file is a ';'-separated script in the shell's dialect: DDL, INSERT,
+// one-time SELECTs and continuous queries (either `\watch <name> <sql>;` or
+// a bare SELECT over a basket expression). DDL and INSERTs execute against a
+// scratch engine so later statements see the schemas; SELECTs are compiled
+// and type-checked but never run. After every file is processed the whole
+// registered net is linted (orphan baskets, dead transitions, chained
+// predicate overlap, ...).
+//
+// Exit status: 1 when any error-severity diagnostic was produced (with
+// --strict, warnings fail too); 0 otherwise. CI runs this over examples/sql.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/plan_analyzer.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace {
+
+using namespace datacell;
+
+struct LintCounts {
+  size_t errors = 0;
+  size_t warnings = 0;
+};
+
+/// One raw statement of a script with the 1-based file line it starts on.
+struct ScriptStmt {
+  std::string text;
+  size_t line = 1;
+};
+
+/// Splits on ';' outside of '...' string literals and -- comments, keeping
+/// the starting line of each statement for file:line diagnostics.
+std::vector<ScriptStmt> SplitStatements(const std::string& content) {
+  std::vector<ScriptStmt> out;
+  std::string cur;
+  size_t line = 1;
+  size_t stmt_line = 1;
+  bool in_string = false;
+  bool in_comment = false;
+  bool cur_started = false;
+  auto flush = [&]() {
+    std::string trimmed(Trim(cur));
+    if (!trimmed.empty()) out.push_back({std::move(trimmed), stmt_line});
+    cur.clear();
+    cur_started = false;
+  };
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (c == '\n') {
+      ++line;
+      in_comment = false;
+      cur.push_back(c);
+      continue;
+    }
+    if (in_comment) continue;
+    if (!in_string && c == '-' && i + 1 < content.size() &&
+        content[i + 1] == '-') {
+      in_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      flush();
+      continue;
+    }
+    if (!cur_started && !std::isspace(static_cast<unsigned char>(c))) {
+      cur_started = true;
+      stmt_line = line;
+    }
+    cur.push_back(c);
+  }
+  flush();
+  return out;
+}
+
+void Report(const char* file, size_t stmt_line, const Status& st,
+            LintCounts* counts) {
+  // Parser/binder positions are relative to the statement; print the
+  // statement's own file line so editors can jump close to the fault.
+  std::fprintf(stderr, "%s:%zu: error: %s\n", file, stmt_line,
+               st.message().c_str());
+  ++counts->errors;
+}
+
+void PrintReport(const char* scope, const analysis::AnalysisReport& report,
+                 LintCounts* counts) {
+  for (const analysis::Diagnostic& d : report.diagnostics()) {
+    std::fprintf(stderr, "%s: %s\n", scope, d.ToString().c_str());
+  }
+  counts->errors += report.num_errors();
+  counts->warnings += report.num_warnings();
+}
+
+bool LintFile(const char* path, Engine* engine, size_t* watch_count,
+              LintCounts* counts) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: error: cannot open file\n", path);
+    ++counts->errors;
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  for (const ScriptStmt& stmt : SplitStatements(content)) {
+    // Shell meta-command: only \watch registers anything; the rest
+    // (\stats, \quit, ...) are runtime-only and irrelevant to linting.
+    if (stmt.text[0] == '\\') {
+      if (!StartsWith(stmt.text, "\\watch ")) continue;
+      std::istringstream is(stmt.text.substr(7));
+      std::string name;
+      is >> name;
+      std::string sql;
+      std::getline(is, sql);
+      auto q = engine->SubmitContinuousQuery(name, std::string(Trim(sql)));
+      if (!q.ok()) Report(path, stmt.line, q.status(), counts);
+      continue;
+    }
+
+    auto parsed = sql::ParseStatement(stmt.text);
+    if (!parsed.ok()) {
+      Report(path, stmt.line, parsed.status(), counts);
+      continue;
+    }
+    if (parsed->kind != sql::Statement::Kind::kSelect) {
+      // DDL / INSERT: execute so later statements bind against the schema.
+      auto r = engine->ExecuteSql(stmt.text);
+      if (!r.ok()) Report(path, stmt.line, r.status(), counts);
+      continue;
+    }
+    sql::Planner planner(&engine->catalog());
+    auto compiled = planner.CompileSelect(*parsed->select);
+    if (!compiled.ok()) {
+      Report(path, stmt.line, compiled.status(), counts);
+      continue;
+    }
+    if (compiled->continuous) {
+      // A bare continuous SELECT registers under a synthetic name so the
+      // net analysis sees its plumbing.
+      auto q = engine->SubmitContinuousQuery(
+          "lint" + std::to_string((*watch_count)++), stmt.text);
+      if (!q.ok()) Report(path, stmt.line, q.status(), counts);
+      continue;
+    }
+    // One-time SELECT: analyze only, never execute.
+    analysis::AnalysisReport report = analysis::AnalyzePlan(*compiled->plan);
+    if (!report.diagnostics().empty()) {
+      std::string scope = std::string(path) + ":" + std::to_string(stmt.line);
+      PrintReport(scope.c_str(), report, counts);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: datacell-lint [--strict] file.sql ...\n");
+      return 0;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: datacell-lint [--strict] file.sql ...\n");
+    return 2;
+  }
+
+  LintCounts counts;
+  for (const char* path : files) {
+    // A fresh engine per file: scripts are independent compilation units.
+    EngineOptions opts;
+    opts.use_wall_clock = false;
+    Engine engine(opts);
+    size_t watch_count = 0;
+    if (!LintFile(path, &engine, &watch_count, &counts)) continue;
+    analysis::AnalysisReport net = engine.Analyze();
+    if (!net.diagnostics().empty()) {
+      PrintReport(path, net, &counts);
+    }
+  }
+
+  std::fprintf(stderr, "datacell-lint: %zu error(s), %zu warning(s)\n",
+               counts.errors, counts.warnings);
+  if (counts.errors > 0 || (strict && counts.warnings > 0)) return 1;
+  return 0;
+}
