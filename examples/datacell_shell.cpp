@@ -109,6 +109,9 @@ class Shell {
           "  \\watch <name> <sql>;   submit a continuous query; results "
           "print as they arrive\n"
           "  \\explain <sql>         show the MAL plan of a query\n"
+          "  \\explain <id|name>     show a registered query's execution\n"
+          "                         pipeline (specialized steps or\n"
+          "                         interpreter fallback reason) and plan\n"
           "  \\analyze               static analysis of the registered net "
           "(dataflow lints)\n"
           "  \\stats                 engine statistics\n"
@@ -170,7 +173,24 @@ class Shell {
       return true;
     }
     if (StartsWith(cmd, "\\explain ")) {
-      auto mal = engine_->ExplainSql(cmd.substr(9));
+      std::string arg = cmd.substr(9);
+      while (!arg.empty() && (arg.back() == ';' || arg.back() == ' ')) {
+        arg.pop_back();
+      }
+      // A registered query id or name explains the *chosen* execution
+      // pipeline (specialized step list, or interpreter + fallback reason);
+      // anything else is compiled ad hoc and shown as its MAL plan.
+      for (size_t id = 0; id < engine_->num_queries(); ++id) {
+        auto q = engine_->GetQuery(static_cast<datacell::QueryId>(id));
+        if (!q.ok() || (*q)->removed) continue;
+        if ((*q)->name != arg && std::to_string(id) != arg) continue;
+        std::printf("query %zu (%s): %s\n", id, (*q)->name.c_str(),
+                    (*q)->sql.c_str());
+        std::printf("%s", (*q)->factory->PipelineDescription().c_str());
+        std::printf("\n%s", (*q)->factory->ExplainPlan().c_str());
+        return true;
+      }
+      auto mal = engine_->ExplainSql(arg);
       if (mal.ok()) {
         std::printf("%s", mal->c_str());
       } else {

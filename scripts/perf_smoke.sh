@@ -30,10 +30,10 @@ note() { printf '\n==> %s\n' "$*"; }
 note "configure + build (Release) in ${BUILD_ROOT}"
 cmake -B "${BUILD_ROOT}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD_ROOT}" --target bench_datapath bench_pipeline \
-  -j "${JOBS}" >/dev/null
+  bench_specialize -j "${JOBS}" >/dev/null
 
 FAILED=0
-for bench in datapath pipeline; do
+for bench in datapath pipeline specialize; do
   baseline="BENCH_${bench}.json"
   if [ ! -f "${baseline}" ]; then
     note "SKIP bench_${bench}: no committed baseline ${baseline}"

@@ -700,4 +700,18 @@ Result<std::vector<size_t>> EvaluatePredicate(const Expr& expr,
   return positions;
 }
 
+std::optional<bool> TryFoldConstantPredicate(const Expr& expr) {
+  if (expr.type() != DataType::kBool || !expr.IsConstant()) {
+    return std::nullopt;
+  }
+  // Evaluate over a one-row dummy table: a constant expression never reads
+  // the columns, and the single row exposes exactly the per-row predicate
+  // semantics (null folds to false).
+  Table dummy("", Schema({{"_", DataType::kBool}}));
+  if (!dummy.AppendRow({Value::Bool(false)}).ok()) return std::nullopt;
+  auto positions = EvaluatePredicate(expr, dummy);
+  if (!positions.ok()) return std::nullopt;
+  return !positions->empty();
+}
+
 }  // namespace datacell

@@ -2,6 +2,7 @@
 #define DATACELL_ALGEBRA_EXPRESSION_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -162,6 +163,14 @@ Result<BatPtr> EvaluateExpr(const Expr& expr, const Table& input);
 /// it is true — the candidate-list form MonetDB's select primitive returns.
 Result<std::vector<size_t>> EvaluatePredicate(const Expr& expr,
                                               const Table& input);
+
+/// Folds a constant boolean predicate (no column references) to its truth
+/// value under predicate semantics — a null result counts as false, exactly
+/// as EvaluatePredicate would treat it per row. Returns nullopt when the
+/// expression references columns, is not boolean, or fails to evaluate.
+/// Used by the static analyzer (constant-predicate warning) and the plan
+/// specializer (always-true/false filter elimination); both must agree.
+std::optional<bool> TryFoldConstantPredicate(const Expr& expr);
 
 }  // namespace datacell
 

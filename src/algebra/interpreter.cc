@@ -1,7 +1,7 @@
 #include <algorithm>
-#include <cmath>
 #include <optional>
 
+#include "algebra/lowering.h"
 #include "algebra/plan.h"
 #include "common/check.h"
 
@@ -26,170 +26,12 @@ Result<TablePtr> ExecScan(const PlanNode& n, const PlanBindings& bindings) {
   return t;
 }
 
-/// A filter predicate lowered onto one column: an inclusive range over an
-/// int64/timestamp or double column, or string equality. `empty` marks a
-/// statically unsatisfiable predicate (e.g. `x < INT64_MIN`).
-struct LoweredSelect {
-  size_t column = 0;
-  bool empty = false;
-  bool is_string = false;
-  std::string str_value;
-  std::optional<int64_t> ilo, ihi;
-  std::optional<double> dlo, dhi;
-};
-
-/// Extracts (column, cmp-op, numeric-or-string literal) from `e`, accepting
-/// the literal on either side. Returns false when the shape does not match.
-bool MatchComparison(const Expr& e, const Table& input, size_t* column,
-                     BinaryOp* op, Value* literal) {
-  if (e.kind() != ExprKind::kBinary) return false;
-  BinaryOp bop = e.binary_op();
-  if (bop != BinaryOp::kEq && bop != BinaryOp::kLt && bop != BinaryOp::kLe &&
-      bop != BinaryOp::kGt && bop != BinaryOp::kGe) {
-    return false;
-  }
-  const Expr* col = nullptr;
-  const Expr* lit = nullptr;
-  if (e.left()->kind() == ExprKind::kColumnRef &&
-      e.right()->kind() == ExprKind::kLiteral) {
-    col = e.left().get();
-    lit = e.right().get();
-  } else if (e.right()->kind() == ExprKind::kColumnRef &&
-             e.left()->kind() == ExprKind::kLiteral) {
-    col = e.right().get();
-    lit = e.left().get();
-    // Mirror the comparison so the column is always on the left.
-    switch (bop) {
-      case BinaryOp::kLt: bop = BinaryOp::kGt; break;
-      case BinaryOp::kLe: bop = BinaryOp::kGe; break;
-      case BinaryOp::kGt: bop = BinaryOp::kLt; break;
-      case BinaryOp::kGe: bop = BinaryOp::kLe; break;
-      default: break;
-    }
-  } else {
-    return false;
-  }
-  if (lit->literal().is_null()) return false;
-  if (col->column_index() >= input.num_columns()) return false;
-  *column = col->column_index();
-  *op = bop;
-  *literal = lit->literal();
-  return true;
-}
-
-/// Lowers one comparison into range bounds on `out`. Returns false when the
-/// column/literal type combination is not kernel-representable.
-bool LowerComparison(const Table& input, size_t column, BinaryOp op,
-                     const Value& literal, LoweredSelect* out) {
-  DataType col_type = input.column(column)->type();
-  out->column = column;
-  if (col_type == DataType::kString) {
-    if (op != BinaryOp::kEq || !literal.is_string()) return false;
-    out->is_string = true;
-    out->str_value = literal.string_value();
-    return true;
-  }
-  if (IsIntegerBacked(col_type)) {
-    // int vs double literal: generic path (timestamps are int64-backed).
-    if (!literal.is_int64() && !literal.is_timestamp()) return false;
-    int64_t v = literal.int64_value();
-    switch (op) {
-      case BinaryOp::kEq: out->ilo = out->ihi = v; break;
-      case BinaryOp::kLe: out->ihi = v; break;
-      case BinaryOp::kGe: out->ilo = v; break;
-      case BinaryOp::kLt:
-        if (v == std::numeric_limits<int64_t>::min()) out->empty = true;
-        else out->ihi = v - 1;
-        break;
-      case BinaryOp::kGt:
-        if (v == std::numeric_limits<int64_t>::max()) out->empty = true;
-        else out->ilo = v + 1;
-        break;
-      default: return false;
-    }
-    return true;
-  }
-  if (col_type == DataType::kDouble) {
-    double v;
-    if (literal.is_double()) {
-      v = literal.double_value();
-    } else if (literal.is_int64()) {
-      v = static_cast<double>(literal.int64_value());
-      // A 64-bit int that doesn't round-trip through double would silently
-      // shift the bound; leave those to the generic evaluator.
-      if (static_cast<int64_t>(v) != literal.int64_value()) return false;
-    } else {
-      return false;
-    }
-    if (std::isnan(v)) return false;
-    switch (op) {
-      case BinaryOp::kEq: out->dlo = out->dhi = v; break;
-      case BinaryOp::kLe: out->dhi = v; break;
-      case BinaryOp::kGe: out->dlo = v; break;
-      case BinaryOp::kLt:
-        // The kernel bound is inclusive; the next representable double down
-        // expresses the strict inequality exactly.
-        out->dhi = std::nextafter(v, -std::numeric_limits<double>::infinity());
-        break;
-      case BinaryOp::kGt:
-        out->dlo = std::nextafter(v, std::numeric_limits<double>::infinity());
-        break;
-      default: return false;
-    }
-    return true;
-  }
-  return false;
-}
-
-void IntersectBounds(LoweredSelect* into, const LoweredSelect& other) {
-  into->empty = into->empty || other.empty;
-  if (other.ilo && (!into->ilo || *other.ilo > *into->ilo)) into->ilo = other.ilo;
-  if (other.ihi && (!into->ihi || *other.ihi < *into->ihi)) into->ihi = other.ihi;
-  if (other.dlo && (!into->dlo || *other.dlo > *into->dlo)) into->dlo = other.dlo;
-  if (other.dhi && (!into->dhi || *other.dhi < *into->dhi)) into->dhi = other.dhi;
-}
-
-/// Tries to express `e` as a single-column kernel selection: one comparison,
-/// or an AND of two comparisons on the same column (a range). Nulls never
-/// qualify under either evaluator, so semantics match the generic path.
-std::optional<LoweredSelect> TryLowerSelect(const Expr& e, const Table& input) {
-  size_t column;
-  BinaryOp op;
-  Value literal;
-  if (MatchComparison(e, input, &column, &op, &literal)) {
-    LoweredSelect out;
-    if (!LowerComparison(input, column, op, literal, &out)) return std::nullopt;
-    return out;
-  }
-  if (e.kind() == ExprKind::kBinary && e.binary_op() == BinaryOp::kAnd) {
-    auto lhs = TryLowerSelect(*e.left(), input);
-    if (!lhs || lhs->is_string) return std::nullopt;
-    auto rhs = TryLowerSelect(*e.right(), input);
-    if (!rhs || rhs->is_string) return std::nullopt;
-    if (lhs->column != rhs->column) return std::nullopt;
-    IntersectBounds(&*lhs, *rhs);
-    return lhs;
-  }
-  return std::nullopt;
-}
-
-std::vector<size_t> RunLoweredSelect(const LoweredSelect& sel,
-                                     const Table& input,
-                                     const ExecContext& ctx) {
-  if (sel.empty) return {};
-  const Bat& col = *input.column(sel.column);
-  if (sel.is_string) return SelectEqString(col, sel.str_value, ctx);
-  if (col.type() == DataType::kDouble) {
-    return SelectRangeDouble(col, sel.dlo, sel.dhi, ctx);
-  }
-  return SelectRangeInt64(col, sel.ilo, sel.ihi, ctx);
-}
-
 /// The selection vector of `n` (a filter node) over `in`: lowered kernel
-/// path when the predicate fits, generic evaluation otherwise.
+/// path when the predicate fits (rules shared with the plan specializer in
+/// lowering.h), generic evaluation otherwise.
 Result<std::vector<size_t>> FilterPositions(const PlanNode& n, const Table& in,
                                             const ExecContext& ctx) {
-  if (auto lowered = TryLowerSelect(*n.predicate(), in)) {
+  if (auto lowered = TryLowerSelect(*n.predicate(), in.schema())) {
     return RunLoweredSelect(*lowered, in, ctx);
   }
   return EvaluatePredicate(*n.predicate(), in);

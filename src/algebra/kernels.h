@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <vector>
 
 namespace datacell {
 /// Tight per-type selection kernels under the algebra operators. These work
@@ -18,6 +20,9 @@ namespace datacell {
 namespace kernel {
 
 /// True when the running CPU supports AVX2 (result cached after first call).
+/// Setting the environment variable DATACELL_DISABLE_AVX2 (to anything but
+/// "0" or empty) forces the scalar paths — the CI knob that keeps scalar
+/// and SIMD variants verified against each other on AVX2 boxes.
 bool HasAvx2();
 
 /// Writes every position i in [begin, end) with l <= data[i] <= h into
@@ -39,6 +44,124 @@ size_t SelectRangeDoubleAvx2(const double* data, double l, double h,
                              size_t begin, size_t end, size_t* out);
 size_t SelectRangeDouble(const double* data, double l, double h, size_t begin,
                          size_t end, size_t* out);
+
+// --- Fused filter→project (value compress) -----------------------------
+//
+// Writes the qualifying *values* (l <= data[i] <= h, positions in order)
+// directly into `out` instead of materialising a position list first — the
+// specialized pipeline's one-pass select+gather for `select x .. where
+// x <op> literal`. `out` must have room for n values; returns the count.
+// All variants of one type produce identical output.
+
+size_t FilterValuesInt64Scalar(const int64_t* data, int64_t l, int64_t h,
+                               size_t n, int64_t* out);
+size_t FilterValuesInt64Avx2(const int64_t* data, int64_t l, int64_t h,
+                             size_t n, int64_t* out);
+size_t FilterValuesInt64(const int64_t* data, int64_t l, int64_t h, size_t n,
+                         int64_t* out);
+
+size_t FilterValuesDoubleScalar(const double* data, double l, double h,
+                                size_t n, double* out);
+size_t FilterValuesDoubleAvx2(const double* data, double l, double h, size_t n,
+                              double* out);
+size_t FilterValuesDouble(const double* data, double l, double h, size_t n,
+                          double* out);
+
+// --- Fused filter→aggregate --------------------------------------------
+//
+// One pass over the filter column computing count/sum/min/max of the value
+// column restricted to l <= fdata[i] <= h, without materialising the
+// selection. The value column is read as double (int64 inputs are cast per
+// element, exactly like the generic aggregator).
+//
+// All variants keep four independent accumulator lanes merged as
+// (a0+a1)+(a2+a3) at the end, so the scalar and AVX2 variants are
+// bit-identical to each other. The lane sums associate differently from the
+// sequential generic aggregator, so the *sum* may differ from the
+// interpreter's in the last ulp for values not exactly representable — the
+// same caveat the morsel-parallel aggregation already carries (operators.h).
+// min/max use `v < min` / `v > max` compare-updates: NaN values are counted
+// and poison the sum but never become min/max, matching AggPartial.
+struct FilterAggResult {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+void FilterAggInt64Int64Scalar(const int64_t* fdata, int64_t l, int64_t h,
+                               const int64_t* values, size_t n,
+                               FilterAggResult* out);
+void FilterAggInt64Int64Avx2(const int64_t* fdata, int64_t l, int64_t h,
+                             const int64_t* values, size_t n,
+                             FilterAggResult* out);
+void FilterAggInt64Int64(const int64_t* fdata, int64_t l, int64_t h,
+                         const int64_t* values, size_t n, FilterAggResult* out);
+
+void FilterAggInt64DoubleScalar(const int64_t* fdata, int64_t l, int64_t h,
+                                const double* values, size_t n,
+                                FilterAggResult* out);
+void FilterAggInt64DoubleAvx2(const int64_t* fdata, int64_t l, int64_t h,
+                              const double* values, size_t n,
+                              FilterAggResult* out);
+void FilterAggInt64Double(const int64_t* fdata, int64_t l, int64_t h,
+                          const double* values, size_t n,
+                          FilterAggResult* out);
+
+void FilterAggDoubleInt64Scalar(const double* fdata, double l, double h,
+                                const int64_t* values, size_t n,
+                                FilterAggResult* out);
+void FilterAggDoubleInt64Avx2(const double* fdata, double l, double h,
+                              const int64_t* values, size_t n,
+                              FilterAggResult* out);
+void FilterAggDoubleInt64(const double* fdata, double l, double h,
+                          const int64_t* values, size_t n,
+                          FilterAggResult* out);
+
+void FilterAggDoubleDoubleScalar(const double* fdata, double l, double h,
+                                 const double* values, size_t n,
+                                 FilterAggResult* out);
+void FilterAggDoubleDoubleAvx2(const double* fdata, double l, double h,
+                               const double* values, size_t n,
+                               FilterAggResult* out);
+void FilterAggDoubleDouble(const double* fdata, double l, double h,
+                           const double* values, size_t n,
+                           FilterAggResult* out);
+
+// --- Specialized hash-join probe ---------------------------------------
+
+/// Open-addressing hash index over an int64 key column, built once at query
+/// registration from the static (build) side of a stream⋈table join and
+/// probed per firing. Matches the generic HashJoin operator's output
+/// contract: probe rows in input order, and for each probe row the matching
+/// build positions in ascending order; null keys (marked invalid in the
+/// optional validity mask, 1 = valid) neither build nor probe.
+class Int64HashIndex {
+ public:
+  /// (Re)builds the index over keys[0..n). `valid` may be null (no nulls).
+  void Build(const int64_t* keys, const uint8_t* valid, size_t n);
+
+  /// Appends one (probe position, build position) pair per match.
+  void Probe(const int64_t* keys, const uint8_t* valid, size_t n,
+             std::vector<size_t>* probe_positions,
+             std::vector<size_t>* build_positions) const;
+
+  /// Number of (non-null) build rows indexed.
+  size_t num_entries() const { return positions_.size(); }
+
+ private:
+  size_t SlotFor(int64_t key) const;
+
+  // Slot arrays (power-of-two capacity, linear probing): the key, a
+  // [start, end) range into positions_, and an occupancy flag.
+  std::vector<int64_t> slot_key_;
+  std::vector<uint32_t> slot_start_;
+  std::vector<uint32_t> slot_end_;
+  std::vector<uint8_t> slot_used_;
+  size_t mask_ = 0;
+  // Build positions grouped by key, ascending within each group.
+  std::vector<uint32_t> positions_;
+};
 
 }  // namespace kernel
 }  // namespace datacell

@@ -1,0 +1,956 @@
+#include "algebra/specialize.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/expression.h"
+#include "algebra/operators.h"
+#include "common/check.h"
+#include "storage/batch_pool.h"
+
+namespace datacell {
+
+namespace {
+
+// Lowered ranges keep absent bounds as nullopt; the kernels take concrete
+// sentinels. Substitutions match the operators.cc wrappers exactly so both
+// paths select the same positions.
+int64_t ILo(const LoweredSelect& s) {
+  return s.ilo.value_or(std::numeric_limits<int64_t>::min());
+}
+int64_t IHi(const LoweredSelect& s) {
+  return s.ihi.value_or(std::numeric_limits<int64_t>::max());
+}
+double DLo(const LoweredSelect& s) {
+  return s.dlo.value_or(-std::numeric_limits<double>::infinity());
+}
+double DHi(const LoweredSelect& s) {
+  return s.dhi.value_or(std::numeric_limits<double>::infinity());
+}
+
+bool NumericColumn(DataType t) {
+  return IsIntegerBacked(t) || t == DataType::kDouble;
+}
+
+}  // namespace
+
+// Compiles a PlanNode tree into a SpecializedPipeline, or reports why it
+// cannot. All shape checks live here so Run() never re-validates; any
+// mismatch with the interpreter's supported shapes must fail compilation,
+// never produce a divergent pipeline.
+class PipelineBuilder {
+ public:
+  PipelineBuilder(const std::string& stream, const PlanBindings& statics)
+      : stream_(stream), statics_(statics) {}
+
+  SpecializeResult Build(const PlanNode& root);
+
+ private:
+  using Pred = SpecializedPipeline::Pred;
+  using Proj = SpecializedPipeline::Proj;
+  using Agg = SpecializedPipeline::Agg;
+
+  // Constant predicates fold at compile time; kNone means `out` holds a
+  // real compiled predicate.
+  enum class Fold { kNone, kTrue, kFalse };
+
+  static SpecializeResult Fail(std::string reason) {
+    SpecializeResult r;
+    r.fallback_reason = std::move(reason);
+    return r;
+  }
+
+  bool CompilePred(const Expr& e, const Schema& s, Pred* out, Fold* fold);
+  bool CompileProj(const Expr& e, DataType out_type, Proj* out);
+
+  const std::string& stream_;
+  const PlanBindings& statics_;
+};
+
+bool PipelineBuilder::CompilePred(const Expr& e, const Schema& s, Pred* out,
+                                  Fold* fold) {
+  *fold = Fold::kNone;
+  // Constant folding first: the same folding the analyzer warns about
+  // (P023), so a warned predicate and a specialized one always agree.
+  if (auto k = TryFoldConstantPredicate(e)) {
+    *fold = *k ? Fold::kTrue : Fold::kFalse;
+    return true;
+  }
+  if (auto lowered = TryLowerSelect(e, s)) {
+    out->kind = Pred::Kind::kLowered;
+    out->lowered = std::move(*lowered);
+    return true;
+  }
+  if (e.kind() == ExprKind::kBinary) {
+    BinaryOp op = e.binary_op();
+    if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+      Pred l, r;
+      Fold fl, fr;
+      if (!CompilePred(*e.left(), s, &l, &fl) ||
+          !CompilePred(*e.right(), s, &r, &fr)) {
+        return false;
+      }
+      // Under the evaluator's null-as-false semantics, a constant operand
+      // folds exactly like two-valued logic: false AND x == false even when
+      // x is null, true OR x == true likewise.
+      if (op == BinaryOp::kAnd) {
+        if (fl == Fold::kFalse || fr == Fold::kFalse) {
+          *fold = Fold::kFalse;
+          return true;
+        }
+        if (fl == Fold::kTrue && fr == Fold::kTrue) {
+          *fold = Fold::kTrue;
+          return true;
+        }
+        if (fl == Fold::kTrue) {
+          *out = std::move(r);
+          return true;
+        }
+        if (fr == Fold::kTrue) {
+          *out = std::move(l);
+          return true;
+        }
+        // Same-column numeric ranges conjoin into one kernel pass.
+        if (l.kind == Pred::Kind::kLowered && r.kind == Pred::Kind::kLowered &&
+            !l.lowered.is_string && !r.lowered.is_string &&
+            l.lowered.column == r.lowered.column) {
+          IntersectBounds(&l.lowered, r.lowered);
+          *out = std::move(l);
+          return true;
+        }
+      } else {
+        if (fl == Fold::kTrue || fr == Fold::kTrue) {
+          *fold = Fold::kTrue;
+          return true;
+        }
+        if (fl == Fold::kFalse && fr == Fold::kFalse) {
+          *fold = Fold::kFalse;
+          return true;
+        }
+        if (fl == Fold::kFalse) {
+          *out = std::move(r);
+          return true;
+        }
+        if (fr == Fold::kFalse) {
+          *out = std::move(l);
+          return true;
+        }
+      }
+      out->kind = op == BinaryOp::kAnd ? Pred::Kind::kAnd : Pred::Kind::kOr;
+      out->children.push_back(std::move(l));
+      out->children.push_back(std::move(r));
+      return true;
+    }
+    if (op == BinaryOp::kNe) {
+      // <> lowers through the equality kernel: complement of the eq
+      // positions, minus nulls (null <> v is false, but a null position is
+      // absent from the eq list and would otherwise survive complementing).
+      const Expr* col = nullptr;
+      Value lit;
+      if (e.left()->kind() == ExprKind::kColumnRef &&
+          MatchLiteral(*e.right(), &lit)) {
+        col = e.left().get();
+      } else if (e.right()->kind() == ExprKind::kColumnRef &&
+                 MatchLiteral(*e.left(), &lit)) {
+        col = e.right().get();
+      }
+      if (col == nullptr || lit.is_null()) return false;
+      if (col->column_index() >= s.num_fields()) return false;
+      LoweredSelect eq;
+      if (!LowerComparison(s, col->column_index(), BinaryOp::kEq, lit, &eq)) {
+        return false;
+      }
+      out->kind = Pred::Kind::kNotEqual;
+      out->lowered = std::move(eq);
+      return true;
+    }
+    if (op == BinaryOp::kLike) {
+      if (e.left()->kind() != ExprKind::kColumnRef ||
+          e.left()->type() != DataType::kString ||
+          e.right()->kind() != ExprKind::kLiteral ||
+          !e.right()->literal().is_string() ||
+          e.left()->column_index() >= s.num_fields()) {
+        return false;
+      }
+      out->kind = Pred::Kind::kLike;
+      out->column = e.left()->column_index();
+      out->pattern = e.right()->literal().string_value();
+      return true;
+    }
+    return false;
+  }
+  if (e.kind() == ExprKind::kUnary) {
+    UnaryOp op = e.unary_op();
+    if (op == UnaryOp::kNot) {
+      Pred c;
+      Fold fc;
+      if (!CompilePred(*e.operand(), s, &c, &fc)) return false;
+      if (fc == Fold::kTrue) {
+        *fold = Fold::kFalse;
+        return true;
+      }
+      if (fc == Fold::kFalse) {
+        *fold = Fold::kTrue;
+        return true;
+      }
+      out->kind = Pred::Kind::kNot;
+      out->children.push_back(std::move(c));
+      return true;
+    }
+    if (op == UnaryOp::kIsNull || op == UnaryOp::kIsNotNull) {
+      if (e.operand()->kind() != ExprKind::kColumnRef ||
+          e.operand()->column_index() >= s.num_fields()) {
+        return false;
+      }
+      out->kind = op == UnaryOp::kIsNull ? Pred::Kind::kIsNull
+                                         : Pred::Kind::kIsNotNull;
+      out->column = e.operand()->column_index();
+      return true;
+    }
+    return false;
+  }
+  if (e.kind() == ExprKind::kColumnRef && e.type() == DataType::kBool) {
+    if (e.column_index() >= s.num_fields()) return false;
+    out->kind = Pred::Kind::kBoolColumn;
+    out->column = e.column_index();
+    return true;
+  }
+  return false;
+}
+
+bool PipelineBuilder::CompileProj(const Expr& e, DataType out_type,
+                                  Proj* out) {
+  if (e.kind() == ExprKind::kColumnRef) {
+    out->kind = Proj::Kind::kColumn;
+    out->column = e.column_index();
+    return true;
+  }
+  if (e.kind() != ExprKind::kBinary) return false;
+  BinaryOp op = e.binary_op();
+  if (op != BinaryOp::kAdd && op != BinaryOp::kSub && op != BinaryOp::kMul &&
+      op != BinaryOp::kDiv && op != BinaryOp::kMod) {
+    return false;
+  }
+  const Expr* col = nullptr;
+  Value v;
+  bool literal_on_left = false;
+  if (e.left()->kind() == ExprKind::kColumnRef && MatchLiteral(*e.right(), &v)) {
+    col = e.left().get();
+  } else if (e.right()->kind() == ExprKind::kColumnRef &&
+             MatchLiteral(*e.left(), &v)) {
+    col = e.right().get();
+    literal_on_left = true;
+  } else {
+    return false;
+  }
+  // A null literal poisons every row to null; leave that to the
+  // interpreter rather than special-casing a degenerate projection.
+  if (!(v.is_int64() || v.is_double() || v.is_timestamp())) return false;
+  if (!NumericColumn(col->type())) return false;
+  if (out_type != DataType::kInt64 && out_type != DataType::kDouble) {
+    return false;
+  }
+  // The integer path reads Int64At on both operands.
+  if (out_type == DataType::kInt64 && v.is_double()) return false;
+  out->kind = Proj::Kind::kArith;
+  out->column = col->column_index();
+  out->op = op;
+  out->literal_on_left = literal_on_left;
+  out->literal = v;
+  out->out_type = out_type;
+  return true;
+}
+
+SpecializeResult PipelineBuilder::Build(const PlanNode& root) {
+  auto pipe = std::make_unique<SpecializedPipeline>();
+  const PlanNode* n = &root;
+  const PlanNode* aggnode = nullptr;
+  const PlanNode* pre = nullptr;      // ref-only projection under aggregate
+  const PlanNode* projectnode = nullptr;
+  const PlanNode* postnode = nullptr;  // projection over the aggregate row
+
+  // The planner roots every aggregating query as Project(Aggregate(...)) —
+  // the post-projection reorders or derives the final columns from the
+  // one-row aggregate output.
+  if (n->kind() == PlanKind::kProject && n->child() != nullptr &&
+      n->child()->kind() == PlanKind::kAggregate) {
+    postnode = n;
+    n = n->child().get();
+  }
+  if (n->kind() == PlanKind::kAggregate) {
+    if (!n->group_columns().empty()) return Fail("GROUP BY aggregate");
+    aggnode = n;
+    n = n->child().get();
+    if (n->kind() == PlanKind::kProject) {
+      // Mirror the interpreter's fusion rule: aggregate inputs must be
+      // plain column refs through the pre-projection so they can be read
+      // straight from the projection's input.
+      for (const AggSpec& a : aggnode->aggregates()) {
+        if (!a.count_star && n->projections()[a.input_column]->kind() !=
+                                 ExprKind::kColumnRef) {
+          return Fail("aggregate input is a computed projection");
+        }
+      }
+      pre = n;
+      n = n->child().get();
+    }
+  } else if (n->kind() == PlanKind::kProject) {
+    projectnode = n;
+    n = n->child().get();
+  }
+
+  std::vector<const PlanNode*> filters;
+  while (n->kind() == PlanKind::kFilter) {
+    filters.push_back(n);
+    n = n->child().get();
+  }
+
+  Schema source;  // schema the filter/project/aggregate stages see
+  std::string build_name;
+  if (n->kind() == PlanKind::kScan) {
+    if (n->scan_relation() != stream_) {
+      return Fail("scan of non-stream relation '" + n->scan_relation() + "'");
+    }
+    source = n->output_schema();
+    pipe->input_arity_ = source.num_fields();
+  } else if (n->kind() == PlanKind::kHashJoin) {
+    const PlanNode& j = *n;
+    const PlanNode* l = j.child(0).get();
+    const PlanNode* r = j.child(1).get();
+    if (l->kind() != PlanKind::kScan || r->kind() != PlanKind::kScan) {
+      return Fail("join input is not a plain scan");
+    }
+    if (l->scan_relation() != stream_) {
+      return Fail("stream is not the probe (left) side of the join");
+    }
+    auto it = statics_.find(r->scan_relation());
+    if (it == statics_.end() || it->second == nullptr) {
+      return Fail("join build side '" + r->scan_relation() +
+                  "' is not a bound static table");
+    }
+    if (it->second->num_columns() != r->output_schema().num_fields()) {
+      return Fail("join build side arity mismatch");
+    }
+    DataType lk = l->output_schema().field(j.left_key()).type;
+    DataType rk = r->output_schema().field(j.right_key()).type;
+    if (!IsIntegerBacked(lk) || !IsIntegerBacked(rk)) {
+      return Fail("join key is not integer-backed");
+    }
+    SpecializedPipeline::Join jn;
+    jn.probe_key = j.left_key();
+    jn.build_key = j.right_key();
+    jn.build_table = it->second;
+    jn.mid_schema = j.output_schema();
+    pipe->join_.emplace(std::move(jn));
+    source = j.output_schema();
+    pipe->input_arity_ = l->output_schema().num_fields();
+    build_name = r->scan_relation();
+  } else {
+    return Fail("unsupported operator: " + n->Describe());
+  }
+
+  // Compile the filter stack bottom-up into one predicate tree. Each filter
+  // only drops rows, so a row survives the stack iff it satisfies every
+  // predicate — the conjunction evaluated on the source schema (all stacked
+  // filters share it) selects the same rows the sequential filters would.
+  std::optional<Pred> combined;
+  std::vector<std::string> filter_desc;
+  bool always_false = false;
+  for (auto fit = filters.rbegin(); fit != filters.rend(); ++fit) {
+    const Expr& pe = *(*fit)->predicate();
+    Pred p;
+    Fold fold = Fold::kNone;
+    if (!CompilePred(pe, source, &p, &fold)) {
+      return Fail("predicate not specializable: " + pe.ToString());
+    }
+    if (fold == Fold::kTrue) {
+      filter_desc.push_back(pe.ToString() + "  [constant true: eliminated]");
+      continue;
+    }
+    if (fold == Fold::kFalse) {
+      always_false = true;
+      filter_desc.push_back(pe.ToString() +
+                            "  [constant false: selects nothing]");
+      continue;
+    }
+    filter_desc.push_back(pe.ToString());
+    if (!combined) {
+      combined.emplace(std::move(p));
+    } else if (combined->kind == Pred::Kind::kLowered &&
+               p.kind == Pred::Kind::kLowered && !combined->lowered.is_string &&
+               !p.lowered.is_string &&
+               combined->lowered.column == p.lowered.column) {
+      IntersectBounds(&combined->lowered, p.lowered);
+    } else {
+      Pred andp;
+      andp.kind = Pred::Kind::kAnd;
+      andp.children.push_back(std::move(*combined));
+      andp.children.push_back(std::move(p));
+      combined.emplace(std::move(andp));
+    }
+  }
+  if (always_false) {
+    pipe->always_false_ = true;
+  } else {
+    pipe->filter_ = std::move(combined);
+  }
+
+  if (projectnode != nullptr) {
+    std::vector<Proj> projs;
+    const Schema& os = projectnode->output_schema();
+    for (size_t i = 0; i < projectnode->projections().size(); ++i) {
+      const Expr& e = *projectnode->projections()[i];
+      Proj pr;
+      if (!CompileProj(e, os.field(i).type, &pr)) {
+        return Fail("projection not specializable: " + e.ToString());
+      }
+      projs.push_back(std::move(pr));
+    }
+    pipe->project_.emplace(std::move(projs));
+  }
+
+  if (aggnode != nullptr) {
+    std::vector<Agg> aggs;
+    for (const AggSpec& a : aggnode->aggregates()) {
+      Agg g;
+      g.func = a.func;
+      g.count_star = a.count_star;
+      if (!a.count_star) {
+        size_t col = pre != nullptr
+                         ? pre->projections()[a.input_column]->column_index()
+                         : a.input_column;
+        if (col >= source.num_fields()) {
+          return Fail("aggregate input column out of range");
+        }
+        g.column = col;
+        g.col_type = source.field(col).type;
+        if (g.col_type == DataType::kString && a.func != AggFunc::kCount) {
+          return Fail("aggregate over a string column");
+        }
+      }
+      aggs.push_back(g);
+    }
+    pipe->aggregates_.emplace(std::move(aggs));
+    pipe->agg_schema_ = aggnode->output_schema();
+  }
+
+  if (postnode != nullptr) {
+    std::vector<Proj> projs;
+    const Schema& os = postnode->output_schema();
+    for (size_t i = 0; i < postnode->projections().size(); ++i) {
+      const Expr& e = *postnode->projections()[i];
+      Proj pr;
+      if (!CompileProj(e, os.field(i).type, &pr)) {
+        return Fail("post-aggregate projection not specializable: " +
+                    e.ToString());
+      }
+      projs.push_back(std::move(pr));
+    }
+    pipe->post_project_.emplace(std::move(projs));
+  }
+
+  pipe->output_schema_ = root.output_schema();
+
+  // Human-readable step list for \explain, in execution order.
+  std::string d = "specialized pipeline:\n";
+  int step = 1;
+  d += "  " + std::to_string(step++) + ". scan " + stream_ + " (" +
+       std::to_string(pipe->input_arity_) + " columns)\n";
+  if (pipe->join_) {
+    d += "  " + std::to_string(step++) + ". hash-join probe: " + stream_ +
+         "[" + std::to_string(pipe->join_->probe_key) + "] = " + build_name +
+         "[" + std::to_string(pipe->join_->build_key) +
+         "] (index over the static side, rebuilt only when it grows)\n";
+  }
+  for (const std::string& fd : filter_desc) {
+    d += "  " + std::to_string(step++) + ". filter: " + fd + "\n";
+  }
+  if (pipe->filter_ && pipe->filter_->kind == Pred::Kind::kLowered &&
+      !pipe->filter_->lowered.is_string) {
+    d += "       [kernel range select; fuses with a same-column projection "
+         "or aggregate on null-free columns]\n";
+  }
+  if (projectnode != nullptr) {
+    std::string cols;
+    for (size_t i = 0; i < projectnode->projections().size(); ++i) {
+      if (i > 0) cols += ", ";
+      cols += projectnode->projections()[i]->ToString();
+    }
+    d += "  " + std::to_string(step++) + ". project: " + cols + "\n";
+  }
+  if (aggnode != nullptr) {
+    std::string cols;
+    for (size_t i = 0; i < aggnode->aggregates().size(); ++i) {
+      const AggSpec& a = aggnode->aggregates()[i];
+      if (i > 0) cols += ", ";
+      cols += std::string(AggFuncToString(a.func)) + "(" +
+              (a.count_star ? "*"
+                            : source.field((*pipe->aggregates_)[i].column).name) +
+              ")";
+    }
+    d += "  " + std::to_string(step++) + ". aggregate: " + cols + "\n";
+  }
+  if (postnode != nullptr) {
+    std::string cols;
+    for (size_t i = 0; i < postnode->projections().size(); ++i) {
+      if (i > 0) cols += ", ";
+      cols += postnode->output_schema().field(i).name;
+    }
+    d += "  " + std::to_string(step++) + ". project result: " + cols + "\n";
+  }
+  pipe->description_ = std::move(d);
+
+  SpecializeResult res;
+  res.pipeline = std::move(pipe);
+  return res;
+}
+
+SpecializeResult SpecializePlan(const PlanNode& plan,
+                                const std::string& stream_relation,
+                                const PlanBindings& static_bindings) {
+  PipelineBuilder b(stream_relation, static_bindings);
+  return b.Build(plan);
+}
+
+// --- Runtime ------------------------------------------------------------
+
+void SpecializedPipeline::EvalPred(const Pred& p, const Table& in,
+                                   const ExecContext& ctx,
+                                   std::vector<size_t>* out) const {
+  size_t n = in.num_rows();
+  out->clear();
+  switch (p.kind) {
+    case Pred::Kind::kLowered: {
+      const LoweredSelect& l = p.lowered;
+      if (l.empty) return;
+      const Bat& col = *in.column(l.column);
+      // Null-free numeric selects skip the generic wrapper's allocation and
+      // dispatch; parallel-sized inputs keep the morsel path.
+      if (!l.is_string && !col.has_nulls() && !ctx.ShouldParallelize(n)) {
+        out->resize(n);
+        size_t k;
+        if (col.type() == DataType::kDouble) {
+          k = kernel::SelectRangeDouble(col.double_data().data(), DLo(l),
+                                        DHi(l), 0, n, out->data());
+        } else {
+          k = kernel::SelectRangeInt64(col.int64_data().data(), ILo(l),
+                                       IHi(l), 0, n, out->data());
+        }
+        out->resize(k);
+        return;
+      }
+      *out = RunLoweredSelect(l, in, ctx);
+      return;
+    }
+    case Pred::Kind::kNotEqual: {
+      std::vector<size_t> eq = RunLoweredSelect(p.lowered, in, ctx);
+      std::vector<size_t> comp = ComplementPositions(eq, n);
+      const Bat& col = *in.column(p.lowered.column);
+      if (!col.has_nulls()) {
+        *out = std::move(comp);
+        return;
+      }
+      // null <> v is false, but nulls are absent from the eq positions and
+      // would otherwise survive the complement.
+      out->reserve(comp.size());
+      for (size_t pos : comp) {
+        if (!col.IsNull(pos)) out->push_back(pos);
+      }
+      return;
+    }
+    case Pred::Kind::kBoolColumn: {
+      const Bat& col = *in.column(p.column);
+      for (size_t i = 0; i < n; ++i) {
+        if (!col.IsNull(i) && col.BoolAt(i)) out->push_back(i);
+      }
+      return;
+    }
+    case Pred::Kind::kIsNull: {
+      const Bat& col = *in.column(p.column);
+      if (!col.has_nulls()) return;
+      for (size_t i = 0; i < n; ++i) {
+        if (col.IsNull(i)) out->push_back(i);
+      }
+      return;
+    }
+    case Pred::Kind::kIsNotNull: {
+      const Bat& col = *in.column(p.column);
+      if (!col.has_nulls()) {
+        out->resize(n);
+        std::iota(out->begin(), out->end(), size_t{0});
+        return;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (!col.IsNull(i)) out->push_back(i);
+      }
+      return;
+    }
+    case Pred::Kind::kLike: {
+      const Bat& col = *in.column(p.column);
+      for (size_t i = 0; i < n; ++i) {
+        if (!col.IsNull(i) && LikeMatch(col.StringAt(i), p.pattern)) {
+          out->push_back(i);
+        }
+      }
+      return;
+    }
+    case Pred::Kind::kNot: {
+      // NOT over null-as-false evaluates true at nulls, so the plain
+      // complement (which keeps null positions) is exactly right.
+      std::vector<size_t> c;
+      EvalPred(p.children[0], in, ctx, &c);
+      *out = ComplementPositions(c, n);
+      return;
+    }
+    case Pred::Kind::kAnd:
+    case Pred::Kind::kOr: {
+      std::vector<size_t> a, b;
+      EvalPred(p.children[0], in, ctx, &a);
+      EvalPred(p.children[1], in, ctx, &b);
+      *out = p.kind == Pred::Kind::kAnd ? IntersectPositions(a, b)
+                                        : UnionPositions(a, b);
+      return;
+    }
+  }
+}
+
+Status SpecializedPipeline::RunProjection(const Proj& p, const Table& in,
+                                          const std::vector<size_t>* positions,
+                                          Bat* out) const {
+  const Bat& col = *in.column(p.column);
+  if (p.kind == Proj::Kind::kColumn) {
+    if (positions != nullptr) {
+      out->AppendPositions(col, *positions);
+    } else {
+      out->AppendBat(col);
+    }
+    return Status::OK();
+  }
+  // Column-op-literal arithmetic, replicating EvalArithmetic row for row
+  // (including null propagation and div/mod-by-zero -> null).
+  size_t n = positions != nullptr ? positions->size() : in.num_rows();
+  auto pos_at = [&](size_t i) {
+    return positions != nullptr ? (*positions)[i] : i;
+  };
+  if (p.out_type == DataType::kInt64) {
+    int64_t lv = p.literal.is_double()
+                     ? 0  // unreachable: compile rejects double literals here
+                     : p.literal.int64_value();
+    for (size_t i = 0; i < n; ++i) {
+      size_t pos = pos_at(i);
+      if (col.IsNull(pos)) {
+        out->AppendNull();
+        continue;
+      }
+      int64_t cv = col.Int64At(pos);
+      int64_t a = p.literal_on_left ? lv : cv;
+      int64_t b = p.literal_on_left ? cv : lv;
+      switch (p.op) {
+        case BinaryOp::kAdd:
+          out->AppendInt64(a + b);
+          break;
+        case BinaryOp::kSub:
+          out->AppendInt64(a - b);
+          break;
+        case BinaryOp::kMul:
+          out->AppendInt64(a * b);
+          break;
+        case BinaryOp::kDiv:
+          if (b == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendInt64(a / b);
+          }
+          break;
+        case BinaryOp::kMod:
+          if (b == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendInt64(a % b);
+          }
+          break;
+        default:
+          return Status::Internal("bad specialized arithmetic op");
+      }
+    }
+    return Status::OK();
+  }
+  // Double path: operands convert through double exactly like NumericAt.
+  double lv = p.literal.is_double() ? p.literal.double_value()
+                                    : static_cast<double>(
+                                          p.literal.int64_value());
+  bool col_is_double = col.type() == DataType::kDouble;
+  for (size_t i = 0; i < n; ++i) {
+    size_t pos = pos_at(i);
+    if (col.IsNull(pos)) {
+      out->AppendNull();
+      continue;
+    }
+    double cv = col_is_double ? col.DoubleAt(pos)
+                              : static_cast<double>(col.Int64At(pos));
+    double a = p.literal_on_left ? lv : cv;
+    double b = p.literal_on_left ? cv : lv;
+    switch (p.op) {
+      case BinaryOp::kAdd:
+        out->AppendDouble(a + b);
+        break;
+      case BinaryOp::kSub:
+        out->AppendDouble(a - b);
+        break;
+      case BinaryOp::kMul:
+        out->AppendDouble(a * b);
+        break;
+      case BinaryOp::kDiv:
+        if (b == 0.0) {
+          out->AppendNull();
+        } else {
+          out->AppendDouble(a / b);
+        }
+        break;
+      case BinaryOp::kMod:
+        if (b == 0.0) {
+          out->AppendNull();
+        } else {
+          out->AppendDouble(std::fmod(a, b));
+        }
+        break;
+      default:
+        return Status::Internal("bad specialized arithmetic op");
+    }
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> SpecializedPipeline::RunAggregate(const Table& in,
+                                                   const ExecContext& ctx,
+                                                   BatchPool* pool) {
+  size_t n = in.num_rows();
+  const std::vector<Agg>& aggs = *aggregates_;
+  const Pred* f = filter_ ? &*filter_ : nullptr;
+  const LoweredSelect* range = nullptr;  // single fusable range filter
+  bool empty_sel = always_false_;
+  if (f != nullptr && f->kind == Pred::Kind::kLowered) {
+    if (f->lowered.empty) {
+      empty_sel = true;
+    } else if (!f->lowered.is_string) {
+      range = &f->lowered;
+    }
+  }
+  bool have_positions = false;
+  auto positions = [&]() {
+    if (!have_positions) {
+      EvalPred(*f, in, ctx, &sel_);
+      have_positions = true;
+    }
+    return &sel_;
+  };
+  // The fused kernel needs raw null-free numeric buffers on both the filter
+  // and the value column.
+  auto fusable = [&](const Agg& g) {
+    const Bat& fcol = *in.column(range->column);
+    if (fcol.has_nulls()) return false;
+    if (g.count_star) return true;
+    const Bat& vcol = *in.column(g.column);
+    return !vcol.has_nulls() && NumericColumn(vcol.type());
+  };
+  TablePtr out = AcquireOutput(pool);
+  Row row;
+  row.reserve(aggs.size());
+  for (const Agg& g : aggs) {
+    AggPartial p;
+    if (empty_sel) {
+      // No qualifying rows: count 0, sum/min/max at their identities, which
+      // Finalize turns into 0 / null exactly like the interpreter.
+    } else if (f == nullptr) {
+      if (g.count_star) {
+        p.count = static_cast<int64_t>(n);
+      } else {
+        DC_ASSIGN_OR_RETURN(p, AggregateAll(*in.column(g.column), nullptr,
+                                            ctx));
+      }
+    } else if (range != nullptr && fusable(g)) {
+      const Bat& fcol = *in.column(range->column);
+      const Bat& vcol = g.count_star ? fcol : *in.column(g.column);
+      kernel::FilterAggResult r;
+      if (fcol.type() == DataType::kDouble) {
+        if (vcol.type() == DataType::kDouble) {
+          kernel::FilterAggDoubleDouble(fcol.double_data().data(), DLo(*range),
+                                        DHi(*range), vcol.double_data().data(),
+                                        n, &r);
+        } else {
+          kernel::FilterAggDoubleInt64(fcol.double_data().data(), DLo(*range),
+                                       DHi(*range), vcol.int64_data().data(),
+                                       n, &r);
+        }
+      } else if (vcol.type() == DataType::kDouble) {
+        kernel::FilterAggInt64Double(fcol.int64_data().data(), ILo(*range),
+                                     IHi(*range), vcol.double_data().data(), n,
+                                     &r);
+      } else {
+        kernel::FilterAggInt64Int64(fcol.int64_data().data(), ILo(*range),
+                                    IHi(*range), vcol.int64_data().data(), n,
+                                    &r);
+      }
+      p.count = r.count;
+      p.sum = r.sum;
+      p.min = r.min;
+      p.max = r.max;
+    } else {
+      if (g.count_star) {
+        p.count = static_cast<int64_t>(positions()->size());
+      } else {
+        DC_ASSIGN_OR_RETURN(p,
+                            AggregateAll(*in.column(g.column), positions(),
+                                         ctx));
+      }
+    }
+    row.push_back(p.Finalize(g.func));
+  }
+  if (!post_project_) {
+    DC_RETURN_NOT_OK(out->AppendRow(row));
+    return out;
+  }
+  // Post-projection over the one-row aggregate output (reorder / arith).
+  Table mid("", agg_schema_);
+  DC_RETURN_NOT_OK(mid.AppendRow(row));
+  for (size_t i = 0; i < post_project_->size(); ++i) {
+    DC_RETURN_NOT_OK(RunProjection((*post_project_)[i], mid, nullptr,
+                                   out->column(i).get()));
+  }
+  return out;
+}
+
+Result<TablePtr> SpecializedPipeline::RunStages(const Table& in,
+                                                const ExecContext& ctx,
+                                                BatchPool* pool) {
+  if (aggregates_) return RunAggregate(in, ctx, pool);
+  size_t n = in.num_rows();
+  TablePtr out = AcquireOutput(pool);
+  if (always_false_) return out;
+  if (!filter_) {
+    if (project_) {
+      for (size_t i = 0; i < project_->size(); ++i) {
+        DC_RETURN_NOT_OK(
+            RunProjection((*project_)[i], in, nullptr, out->column(i).get()));
+      }
+    } else {
+      for (size_t c = 0; c < in.num_columns(); ++c) {
+        out->column(c)->AppendBat(*in.column(c));
+      }
+    }
+    return out;
+  }
+  const Pred& f = *filter_;
+  if (f.kind == Pred::Kind::kLowered && f.lowered.empty) return out;
+  // Fused filter→project: a single range filter over a null-free numeric
+  // column whose values are the only thing projected compresses qualifying
+  // values straight into the output — no selection vector at all.
+  if (f.kind == Pred::Kind::kLowered && !f.lowered.is_string &&
+      !ctx.ShouldParallelize(n)) {
+    const Bat& fcol = *in.column(f.lowered.column);
+    if (!fcol.has_nulls()) {
+      bool compress;
+      size_t ncols;
+      if (project_) {
+        compress = true;
+        for (const Proj& p : *project_) {
+          if (p.kind != Proj::Kind::kColumn || p.column != f.lowered.column) {
+            compress = false;
+            break;
+          }
+        }
+        ncols = project_->size();
+      } else {
+        compress = in.num_columns() == 1 && f.lowered.column == 0;
+        ncols = in.num_columns();
+      }
+      if (compress) {
+        for (size_t i = 0; i < ncols; ++i) {
+          Bat* oc = out->column(i).get();
+          size_t k;
+          if (fcol.type() == DataType::kDouble) {
+            double* dst = oc->AppendUninitializedDouble(n);
+            k = kernel::FilterValuesDouble(fcol.double_data().data(),
+                                           DLo(f.lowered), DHi(f.lowered), n,
+                                           dst);
+          } else {
+            int64_t* dst = oc->AppendUninitializedInt64(n);
+            k = kernel::FilterValuesInt64(fcol.int64_data().data(),
+                                          ILo(f.lowered), IHi(f.lowered), n,
+                                          dst);
+          }
+          oc->Truncate(k);
+        }
+        return out;
+      }
+    }
+  }
+  EvalPred(f, in, ctx, &sel_);
+  if (project_) {
+    for (size_t i = 0; i < project_->size(); ++i) {
+      DC_RETURN_NOT_OK(
+          RunProjection((*project_)[i], in, &sel_, out->column(i).get()));
+    }
+  } else {
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      out->column(c)->AppendPositions(*in.column(c), sel_);
+    }
+  }
+  return out;
+}
+
+Result<TablePtr> SpecializedPipeline::Run(const Table& input,
+                                          const ExecContext& ctx,
+                                          BatchPool* pool) {
+  if (input.num_columns() != input_arity_) {
+    return Status::Internal(
+        "specialized pipeline arity mismatch: expected " +
+        std::to_string(input_arity_) + " columns, got " +
+        std::to_string(input.num_columns()));
+  }
+  const Table* cur = &input;
+  TablePtr mid;
+  if (join_) {
+    Join& j = *join_;
+    const Bat& bk = *j.build_table->column(j.build_key);
+    if (j.build_table->num_rows() != j.built_rows) {
+      j.index.Build(bk.int64_data().data(), bk.validity_data(), bk.size());
+      j.built_rows = j.build_table->num_rows();
+    }
+    probe_pos_.clear();
+    build_pos_.clear();
+    const Bat& pk = *input.column(j.probe_key);
+    j.index.Probe(pk.int64_data().data(), pk.validity_data(), pk.size(),
+                  &probe_pos_, &build_pos_);
+    TablePtr m = pool != nullptr ? pool->AcquireTable("", j.mid_schema)
+                                 : std::make_shared<Table>("", j.mid_schema);
+    for (size_t c = 0; c < input.num_columns(); ++c) {
+      m->column(c)->AppendPositions(*input.column(c), probe_pos_);
+    }
+    size_t base = input.num_columns();
+    for (size_t c = 0; c < j.build_table->num_columns(); ++c) {
+      m->column(base + c)->AppendPositions(*j.build_table->column(c),
+                                           build_pos_);
+    }
+    mid = std::move(m);
+    cur = mid.get();
+  }
+  Result<TablePtr> result = RunStages(*cur, ctx, pool);
+  // The join intermediate never escapes (every later stage copies), so its
+  // buffers can cycle back to the pool immediately.
+  if (mid != nullptr && pool != nullptr && mid.use_count() == 1) {
+    pool->Recycle(*mid);
+  }
+  return result;
+}
+
+TablePtr SpecializedPipeline::AcquireOutput(BatchPool* pool) const {
+  return pool != nullptr ? pool->AcquireTable("", output_schema_)
+                         : std::make_shared<Table>("", output_schema_);
+}
+
+}  // namespace datacell

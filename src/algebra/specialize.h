@@ -1,0 +1,162 @@
+#ifndef DATACELL_ALGEBRA_SPECIALIZE_H_
+#define DATACELL_ALGEBRA_SPECIALIZE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/kernels.h"
+#include "algebra/lowering.h"
+#include "algebra/plan.h"
+
+namespace datacell {
+
+class BatchPool;
+
+/// Registration-time plan specialization.
+///
+/// A continuous query's plan is fixed for the query's whole lifetime, so the
+/// per-firing work of the tree interpreter — walking PlanNode children,
+/// re-matching predicates against the lowering rules, type-switching inside
+/// every operator, copying the binding map — is pure overhead on the hot
+/// path. SpecializePlan() does all of that once at SubmitContinuousQuery
+/// time and emits a SpecializedPipeline: a flat chain of pre-bound,
+/// type-resolved steps the factory drives directly with each drained batch.
+///
+/// The supported shape is the canonical continuous-query chain the SQL
+/// planner emits (each stage optional):
+///
+///   [scalar Aggregate] -> [Project] -> [Filter...] ->
+///       (Scan(stream) | HashJoin(Scan(stream), Scan(static table)))
+///
+/// plus these per-stage forms:
+///   - filters: kernel-lowerable comparisons (lowering.h), <>, LIKE,
+///     IS [NOT] NULL, bool columns, and AND/OR/NOT combinations thereof;
+///     constant predicates are folded away (always-true) or pinned to an
+///     empty selection (always-false — the analyzer warns separately);
+///   - projections: column references and column-op-literal arithmetic;
+///   - aggregates: count(*)/count/sum/min/max/avg without GROUP BY;
+///   - join: stream on the probe side, integer-backed keys; the hash index
+///     over the static side is built once and probed per firing.
+///
+/// Anything else (windows, group-by, sort/distinct/limit/union, computed
+/// predicates the rules above can't express, ...) falls back to the
+/// interpreter with a human-readable reason, surfaced per query via the
+/// shell's \explain and counted by the engine's metrics. Results are
+/// identical to the interpreter's, with one documented exception: fused
+/// filter+aggregate sums associate in four lanes, so floating-point sums
+/// over values not exactly representable in double can differ in the last
+/// ulp (the same caveat morsel-parallel aggregation carries, operators.h).
+class SpecializedPipeline {
+ public:
+  /// Executes the compiled chain over one drained input batch. `pool`, when
+  /// non-null, supplies recycled buffers for the result (and is given back
+  /// intermediate join tables). Not thread-safe: the factory's exactly-once
+  /// Fire() discipline serialises calls.
+  Result<TablePtr> Run(const Table& input, const ExecContext& ctx,
+                       BatchPool* pool);
+
+  /// Human-readable step list for \explain.
+  std::string Describe() const { return description_; }
+
+ private:
+  friend class PipelineBuilder;
+
+  /// Compiled filter predicate: a tree over position-set leaves. Constant
+  /// subtrees are folded at compile time, so kTrue/kFalse only ever appear
+  /// as the root (tracked by always_false_ / absence of the filter).
+  struct Pred {
+    enum class Kind {
+      kLowered,    // range / string-eq via the shared lowering rules
+      kNotEqual,   // <> over a lowerable equality: complement minus nulls
+      kBoolColumn, // a bool column used directly as the predicate
+      kIsNull,
+      kIsNotNull,
+      kLike,       // string column LIKE literal pattern
+      kNot,        // plain complement (null operand evaluates true)
+      kAnd,
+      kOr,
+    };
+    Kind kind = Kind::kLowered;
+    LoweredSelect lowered;    // kLowered / kNotEqual
+    size_t column = 0;        // kBoolColumn / kIsNull / kIsNotNull / kLike
+    std::string pattern;      // kLike
+    std::vector<Pred> children;
+  };
+
+  /// Compiled projection: a column gather or column-op-literal arithmetic
+  /// with the operand order and output type pre-resolved.
+  struct Proj {
+    enum class Kind { kColumn, kArith };
+    Kind kind = Kind::kColumn;
+    size_t column = 0;
+    BinaryOp op = BinaryOp::kAdd;
+    bool literal_on_left = false;
+    Value literal;
+    DataType out_type = DataType::kInt64;
+  };
+
+  /// Compiled scalar aggregate.
+  struct Agg {
+    AggFunc func = AggFunc::kCount;
+    bool count_star = false;
+    size_t column = 0;
+    DataType col_type = DataType::kInt64;
+  };
+
+  /// Stream ⋈ static-table step. The hash index is (re)built lazily when
+  /// the static table's row count moves — catalog tables are append-only,
+  /// so a count check detects staleness.
+  struct Join {
+    size_t probe_key = 0;
+    size_t build_key = 0;
+    TablePtr build_table;
+    Schema mid_schema;
+    kernel::Int64HashIndex index;
+    size_t built_rows = static_cast<size_t>(-1);
+  };
+
+  void EvalPred(const Pred& p, const Table& in, const ExecContext& ctx,
+                std::vector<size_t>* out) const;
+  Result<TablePtr> RunStages(const Table& in, const ExecContext& ctx,
+                             BatchPool* pool);
+  Result<TablePtr> RunAggregate(const Table& in, const ExecContext& ctx,
+                                BatchPool* pool);
+  Status RunProjection(const Proj& p, const Table& in,
+                       const std::vector<size_t>* positions, Bat* out) const;
+  TablePtr AcquireOutput(BatchPool* pool) const;
+
+  size_t input_arity_ = 0;
+  std::optional<Join> join_;
+  std::optional<Pred> filter_;
+  bool always_false_ = false;  // filter folded to constant false
+  std::optional<std::vector<Proj>> project_;
+  std::optional<std::vector<Agg>> aggregates_;
+  // Projection applied to the one-row aggregate output (the planner places
+  // a Project above every Aggregate to reorder/derive the final columns).
+  std::optional<std::vector<Proj>> post_project_;
+  Schema agg_schema_;  // aggregate output schema, the post-projection input
+  Schema output_schema_;
+  std::string description_;
+  // Reused per-firing scratch (exclusive to the owning factory's Fire()).
+  std::vector<size_t> sel_, probe_pos_, build_pos_;
+};
+
+/// Outcome of a specialization attempt: exactly one of `pipeline` (success)
+/// or `fallback_reason` (the interpreter stays in charge) is set.
+struct SpecializeResult {
+  std::unique_ptr<SpecializedPipeline> pipeline;
+  std::string fallback_reason;
+};
+
+/// Compiles `plan` into a specialized pipeline. `stream_relation` names the
+/// (single) streaming input's bind name; `static_bindings` resolves scans of
+/// catalog tables (the build side of stream–table joins).
+SpecializeResult SpecializePlan(const PlanNode& plan,
+                                const std::string& stream_relation,
+                                const PlanBindings& static_bindings);
+
+}  // namespace datacell
+
+#endif  // DATACELL_ALGEBRA_SPECIALIZE_H_

@@ -47,6 +47,8 @@ const char* DiagCodeId(DiagCode code) {
       return "P021";
     case DiagCode::kUnknownRelation:
       return "P022";
+    case DiagCode::kConstantPredicate:
+      return "P023";
     case DiagCode::kOrphanBasket:
       return "N001";
     case DiagCode::kDeadTransition:
@@ -107,6 +109,8 @@ const char* DiagCodeName(DiagCode code) {
       return "schema-mismatch";
     case DiagCode::kUnknownRelation:
       return "unknown-relation";
+    case DiagCode::kConstantPredicate:
+      return "constant-predicate";
     case DiagCode::kOrphanBasket:
       return "orphan-basket";
     case DiagCode::kDeadTransition:

@@ -37,6 +37,7 @@ enum class DiagCode {
   kDeclaredTypeMismatch,    // P020: expr declared type != inferred/schema type
   kSchemaMismatch,          // P021: node output schema disagrees with inference
   kUnknownRelation,         // P022: plan scans a relation missing from catalog
+  kConstantPredicate,       // P023: predicate folds to a constant (warning)
   // --- pass 2: Petri-net analyzer ----------------------------------------
   kOrphanBasket,            // N001: basket appended-to but never read
   kDeadTransition,          // N002: transition input nothing ever feeds

@@ -241,6 +241,19 @@ void CheckPredicate(const Expr& pred, const Schema& input,
                 "predicate must be boolean, got " + TypeName(*t) + " in " +
                     pred.ToString(),
                 pred.loc(), where);
+    return;
+  }
+  // A predicate that folds to a constant is almost always a mistake: an
+  // always-false one silently selects (or consumes) nothing, an always-true
+  // one is dead weight. The plan specializer folds these the same way, so
+  // warn here rather than letting the query quietly do nothing.
+  if (auto folded = TryFoldConstantPredicate(pred)) {
+    report->Add(DiagCode::kConstantPredicate, Severity::kWarning,
+                std::string("predicate is constant ") +
+                    (*folded ? "true (never filters anything)"
+                             : "false (selects nothing)") +
+                    ": " + pred.ToString(),
+                pred.loc(), where);
   }
 }
 

@@ -445,11 +445,15 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
   foptions.exec.parallel_threshold = options_.parallel_threshold;
   foptions.exec.morsel_counter =
       &metrics_.GetCounter("datacell_kernel_morsels_total")->cell();
+  foptions.specialize = options_.specialize_plans;
   DC_ASSIGN_OR_RETURN(
       FactoryPtr factory,
       Factory::Create("factory_" + ToLower(name), std::move(query),
                       std::move(input_baskets), output,
                       std::move(static_bindings), clock_, foptions));
+  if (factory->is_specialized()) {
+    metrics_.GetCounter("datacell_specialized_queries")->Inc();
+  }
 
   for (const ChainLink& link : chain_links) {
     link.stream->chain.push_back(factory);

@@ -56,6 +56,11 @@ struct EngineOptions {
   /// Minimum input size (values) before a kernel fans out over the pool;
   /// smaller baskets stay on the scalar path, whose latency is lower.
   size_t parallel_threshold = 128 * 1024;
+  /// Compile each submitted plan into a fused, type-specialized pipeline at
+  /// registration (algebra/specialize.h); plans outside the supported shape
+  /// fall back to the tree interpreter per query. Off forces the
+  /// interpreter everywhere (the equivalence tests' reference engine).
+  bool specialize_plans = true;
   /// Event tracing (common/trace.h): capacity of the bounded trace ring in
   /// events; 0 (the default) disables tracing — no ring is allocated and
   /// the instrumented hot paths pay at most a null-pointer check. Takes

@@ -91,7 +91,28 @@ Result<std::shared_ptr<Factory>> Factory::Create(
         WindowExecutor::Create(factory->query_, options.window_mode,
                                factory->static_bindings_));
   }
+  // Registration-time specialization: the plan is fixed for the query's
+  // lifetime, so compile it into a fused pipeline once instead of paying the
+  // interpreter's tree walk on every firing.
+  if (!options.specialize) {
+    factory->specialize_fallback_ = "specialization disabled";
+  } else if (windowed) {
+    factory->specialize_fallback_ = "windowed query";
+  } else if (factory->inputs_.size() != 1) {
+    factory->specialize_fallback_ = "multiple stream inputs";
+  } else {
+    SpecializeResult sr =
+        SpecializePlan(*factory->query_.plan, factory->inputs_[0].spec->bind_name,
+                       factory->static_bindings_);
+    factory->specialized_ = std::move(sr.pipeline);
+    factory->specialize_fallback_ = std::move(sr.fallback_reason);
+  }
   return factory;
+}
+
+std::string Factory::PipelineDescription() const {
+  if (specialized_ != nullptr) return specialized_->Describe();
+  return "interpreter (fallback: " + specialize_fallback_ + ")";
 }
 
 size_t Factory::AvailableOn(const InputBinding& in) const {
@@ -136,14 +157,16 @@ Result<TablePtr> Factory::TakeSlice(InputBinding& in) {
       }
       return in.basket->DrainAll();
     case ProcessingStrategy::kSharedBaskets: {
-      TablePtr slice;
       if (in.spec->consume_predicate == nullptr) {
-        slice = in.basket->ReadNewFor(in.reader_id);
-      } else {
-        DC_ASSIGN_OR_RETURN(slice, in.basket->ReadNewMatching(
-                                       in.reader_id,
-                                       *in.spec->consume_predicate));
+        // Fused read+trim: with a single registered reader (the common case
+        // for private per-query input baskets) this steals the buffers
+        // instead of copying a slice and compacting afterwards.
+        return in.basket->DrainNewFor(in.reader_id);
       }
+      TablePtr slice;
+      DC_ASSIGN_OR_RETURN(slice,
+                          in.basket->ReadNewMatching(
+                              in.reader_id, *in.spec->consume_predicate));
       in.basket->TrimConsumed();
       return slice;
     }
@@ -202,6 +225,15 @@ Result<int64_t> Factory::Fire() {
   TablePtr result;
   if (window_ != nullptr) {
     Result<TablePtr> r = window_->Advance(*slices[0]);
+    if (!r.ok()) {
+      plan_errors_.fetch_add(1, std::memory_order_relaxed);
+      return r.status();
+    }
+    result = *r;
+  } else if (specialized_ != nullptr) {
+    // Specialized fast path: no binding-map copy, no plan-tree walk — the
+    // pre-compiled chain runs straight over the drained slice.
+    Result<TablePtr> r = specialized_->Run(*slices[0], options_.exec, pool_);
     if (!r.ok()) {
       plan_errors_.fetch_add(1, std::memory_order_relaxed);
       return r.status();

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "algebra/specialize.h"
 #include "common/clock.h"
 #include "core/basket.h"
 #include "core/transition.h"
@@ -52,6 +53,11 @@ struct FactoryOptions {
   /// `exec.pool` is set, large input slices are processed by the parallel
   /// kernel variants; small slices stay on the scalar path.
   ExecContext exec;
+  /// Attempt registration-time plan specialization (algebra/specialize.h).
+  /// When the plan compiles, Fire() drives the fused pipeline instead of the
+  /// tree interpreter; otherwise the interpreter runs and the fallback
+  /// reason is kept for \explain. Disable to force the interpreter.
+  bool specialize = true;
 };
 
 /// A continuous query cast into a resumable unit of execution (§2.3): it
@@ -104,6 +110,15 @@ class Factory final : public Transition {
   }
   /// The MAL rendering of the wrapped plan (explain output).
   std::string ExplainPlan() const;
+  /// True when Fire() drives a registration-time specialized pipeline.
+  bool is_specialized() const { return specialized_ != nullptr; }
+  /// Why specialization was not applied (empty when it was).
+  const std::string& specialize_fallback() const {
+    return specialize_fallback_;
+  }
+  /// The execution pipeline \explain prints: the specialized step list, or
+  /// the interpreter with its fallback reason.
+  std::string PipelineDescription() const;
 
   int64_t results_emitted() const {
     return results_emitted_.load(std::memory_order_relaxed);
@@ -152,6 +167,10 @@ class Factory final : public Transition {
   BatchPool* pool_ = nullptr;  // bound at wiring time; may stay null
   size_t min_tuples_ = 1;
   std::unique_ptr<WindowExecutor> window_;  // null for unwindowed queries
+  // Registration-time compiled pipeline; null means the interpreter runs
+  // and specialize_fallback_ says why.
+  std::unique_ptr<SpecializedPipeline> specialized_;
+  std::string specialize_fallback_;
   std::atomic<int64_t> results_emitted_{0};
   std::atomic<int64_t> plan_errors_{0};
 #if DATACELL_DEBUG_CHECKS_ENABLED

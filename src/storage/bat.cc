@@ -27,24 +27,6 @@ void Bat::EnsureValidity() {
   if (validity_.empty()) validity_.assign(size(), 1);
 }
 
-void Bat::AppendInt64(int64_t v) {
-  DC_CHECK(IsIntegerBacked(type_));
-  int64_data_.push_back(v);
-  if (!validity_.empty()) validity_.push_back(1);
-}
-
-void Bat::AppendDouble(double v) {
-  DC_CHECK(type_ == DataType::kDouble);
-  double_data_.push_back(v);
-  if (!validity_.empty()) validity_.push_back(1);
-}
-
-void Bat::AppendBool(bool v) {
-  DC_CHECK(type_ == DataType::kBool);
-  bool_data_.push_back(v ? 1 : 0);
-  if (!validity_.empty()) validity_.push_back(1);
-}
-
 void Bat::AppendString(std::string v) {
   DC_CHECK(type_ == DataType::kString);
   string_data_.push_back(std::move(v));
@@ -138,6 +120,22 @@ void Bat::AppendConstantInt64(int64_t v, size_t n) {
   DC_CHECK(IsIntegerBacked(type_));
   int64_data_.resize(int64_data_.size() + n, v);
   if (!validity_.empty()) validity_.resize(validity_.size() + n, 1);
+}
+
+int64_t* Bat::AppendUninitializedInt64(size_t n) {
+  DC_CHECK(IsIntegerBacked(type_));
+  DC_CHECK(validity_.empty());
+  size_t old = int64_data_.size();
+  int64_data_.resize(old + n);
+  return int64_data_.data() + old;
+}
+
+double* Bat::AppendUninitializedDouble(size_t n) {
+  DC_CHECK(type_ == DataType::kDouble);
+  DC_CHECK(validity_.empty());
+  size_t old = double_data_.size();
+  double_data_.resize(old + n);
+  return double_data_.data() + old;
 }
 
 void Bat::AppendBat(const Bat& other) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "storage/types.h"
 
@@ -42,9 +43,24 @@ class Bat {
   Oid hseqbase() const { return hseqbase_; }
 
   // --- Appends (type must match; checked) -----------------------------
-  void AppendInt64(int64_t v);
-  void AppendDouble(double v);
-  void AppendBool(bool v);
+  // The scalar numeric appends are inline: adapters refill persistent
+  // ColumnBatches one value at a time, so a call per value would dominate
+  // the zero-copy ingest path.
+  void AppendInt64(int64_t v) {
+    DC_CHECK(IsIntegerBacked(type_));
+    int64_data_.push_back(v);
+    if (!validity_.empty()) validity_.push_back(1);
+  }
+  void AppendDouble(double v) {
+    DC_CHECK(type_ == DataType::kDouble);
+    double_data_.push_back(v);
+    if (!validity_.empty()) validity_.push_back(1);
+  }
+  void AppendBool(bool v) {
+    DC_CHECK(type_ == DataType::kBool);
+    bool_data_.push_back(v ? 1 : 0);
+    if (!validity_.empty()) validity_.push_back(1);
+  }
   void AppendString(std::string v);
   void AppendNull();
   /// Type-checked append of a peripheral `Value` (null allowed).
@@ -62,10 +78,21 @@ class Bat {
   /// Appends `n` copies of `v` (integer-backed BATs only) — the bulk
   /// timestamp-stamping path; a constant fill the compiler vectorises.
   void AppendConstantInt64(int64_t v, size_t n);
+  /// Appends `n` uninitialised values and returns the write pointer for
+  /// them. The fused value-compress kernels write qualifying values straight
+  /// into the column, then the caller Truncate()s down to the count the
+  /// kernel returned. Only for BATs holding no nulls (checked).
+  int64_t* AppendUninitializedInt64(size_t n);
+  double* AppendUninitializedDouble(size_t n);
 
   // --- Element access --------------------------------------------------
   bool IsNull(size_t pos) const;
   bool has_nulls() const { return !validity_.empty(); }
+  /// Raw validity mask (1 = valid), or nullptr when the BAT never held a
+  /// null — the form the raw-buffer kernels consume.
+  const uint8_t* validity_data() const {
+    return validity_.empty() ? nullptr : validity_.data();
+  }
   Value GetValue(size_t pos) const;
   int64_t Int64At(size_t pos) const { return int64_data_[pos]; }
   double DoubleAt(size_t pos) const { return double_data_[pos]; }
