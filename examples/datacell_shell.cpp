@@ -12,6 +12,7 @@
 //   datacell> \quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -20,6 +21,7 @@
 #include "adapters/csv.h"
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "net/observability.h"
 
 using namespace datacell;
 
@@ -50,6 +52,9 @@ class Shell {
     opts.factor_common_subplans = true;
     // Keep a bounded event timeline so \trace has something to dump.
     opts.trace_capacity = 1 << 14;
+    // Sample engine telemetry into the sys.* baskets once a second so
+    // `select * from sys.baskets as b ...` works out of the box.
+    opts.monitor_tick_us = 1'000'000;
     engine_ = std::make_unique<Engine>(opts);
   }
 
@@ -115,10 +120,16 @@ class Shell {
           "  \\analyze               static analysis of the registered net "
           "(dataflow lints)\n"
           "  \\stats                 engine statistics\n"
-          "  \\metrics               Prometheus text exposition of all "
-          "metrics\n"
-          "  \\trace <file>          dump the event timeline as Chrome "
+          "  \\metrics [prefix]      Prometheus text exposition (optionally "
+          "only\n"
+          "                         series whose name starts with prefix)\n"
+          "  \\profile on|off        toggle the per-step pipeline profiler\n"
+          "  \\profile <id|name>     per-step profile of a registered query\n"
+          "  \\trace on|off          toggle event timeline recording\n"
+          "  \\trace dump <file>     dump the event timeline as Chrome "
           "trace JSON\n"
+          "  \\serve [port]          start the HTTP observability endpoint\n"
+          "                         (/metrics /trace /queries /healthz)\n"
           "  \\tables                list catalog relations\n"
           "  \\dump                  catalog as CREATE statements\n"
           "  \\quit                  exit\n");
@@ -133,18 +144,61 @@ class Shell {
       return true;
     }
     if (StartsWith(cmd, "\\metrics")) {
-      std::printf("%s", engine_->MetricsText().c_str());
+      std::string prefix(Trim(cmd.substr(8)));
+      std::printf("%s", engine_->MetricsText(prefix).c_str());
+      return true;
+    }
+    if (StartsWith(cmd, "\\profile")) {
+      std::string arg(Trim(cmd.substr(8)));
+      while (!arg.empty() && (arg.back() == ';' || arg.back() == ' ')) {
+        arg.pop_back();
+      }
+      if (arg == "on" || arg == "off") {
+        engine_->SetProfiling(arg == "on");
+        std::printf("profiling %s\n", arg.c_str());
+        return true;
+      }
+      if (arg.empty()) {
+        std::printf("usage: \\profile on|off  or  \\profile <id|name>\n");
+        return true;
+      }
+      for (size_t id = 0; id < engine_->num_queries(); ++id) {
+        auto q = engine_->GetQuery(static_cast<datacell::QueryId>(id));
+        if (!q.ok() || (*q)->removed) continue;
+        if ((*q)->name != arg && std::to_string(id) != arg) continue;
+        std::printf("query %zu (%s): %s\n", id, (*q)->name.c_str(),
+                    (*q)->sql.c_str());
+        auto report = engine_->ProfileReport(static_cast<datacell::QueryId>(id));
+        if (report.ok()) {
+          std::printf("%s", report->c_str());
+        } else {
+          std::printf("error: %s\n", report.status().ToString().c_str());
+        }
+        if (!engine_->profiling()) {
+          std::printf("(profiling is off; \\profile on to collect per-step "
+                      "counters)\n");
+        }
+        return true;
+      }
+      std::printf("no registered query '%s'\n", arg.c_str());
       return true;
     }
     if (StartsWith(cmd, "\\trace")) {
-      std::string path(Trim(cmd.substr(6)));
+      std::string arg(Trim(cmd.substr(6)));
       if (engine_->trace() == nullptr) {
         std::printf("tracing is disabled (rebuild with -DDATACELL_TRACE=ON to enable)\n");
         return true;
       }
+      if (arg == "on" || arg == "off") {
+        engine_->SetTraceEnabled(arg == "on");
+        std::printf("tracing %s\n", arg.c_str());
+        return true;
+      }
+      std::string path = arg;
+      if (StartsWith(arg, "dump")) path = std::string(Trim(arg.substr(4)));
       if (path.empty()) {
-        std::printf("usage: \\trace <file>  (open in chrome://tracing or "
-                    "ui.perfetto.dev)\n");
+        std::printf("usage: \\trace on|off  or  \\trace dump <file>  (open "
+                    "in chrome://tracing or ui.perfetto.dev)\n");
         return true;
       }
       std::ofstream out(path, std::ios::trunc);
@@ -155,6 +209,43 @@ class Shell {
       out << engine_->TraceJson();
       std::printf("wrote %zu trace events to %s\n", engine_->trace()->size(),
                   path.c_str());
+      return true;
+    }
+    if (StartsWith(cmd, "\\serve")) {
+      std::string arg(Trim(cmd.substr(6)));
+      if (arg == "stop") {
+        if (observe_ != nullptr) {
+          observe_->Stop();
+          observe_.reset();
+          std::printf("observability server stopped\n");
+        } else {
+          std::printf("observability server is not running\n");
+        }
+        return true;
+      }
+      if (observe_ != nullptr && observe_->running()) {
+        std::printf("already serving on http://127.0.0.1:%u/\n",
+                    observe_->port());
+        return true;
+      }
+      uint16_t port = 0;
+      if (!arg.empty()) {
+        long parsed = std::strtol(arg.c_str(), nullptr, 10);
+        if (parsed < 0 || parsed > 65535) {
+          std::printf("error: bad port '%s'\n", arg.c_str());
+          return true;
+        }
+        port = static_cast<uint16_t>(parsed);
+      }
+      observe_ = std::make_unique<ObservabilityServer>(engine_.get());
+      if (auto st = observe_->Start(port); !st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        observe_.reset();
+        return true;
+      }
+      std::printf("serving http://127.0.0.1:%u/  (/metrics /trace /queries "
+                  "/healthz; \\serve stop to stop)\n",
+                  observe_->port());
       return true;
     }
     if (StartsWith(cmd, "\\dump")) {
@@ -232,6 +323,7 @@ class Shell {
   }
 
   std::unique_ptr<Engine> engine_;
+  std::unique_ptr<ObservabilityServer> observe_;
 };
 
 }  // namespace

@@ -12,7 +12,8 @@
 #                         pass, seeded-bad corpus must fail)
 #   stage 6  debug-checks full suite with DATACELL_DEBUG_CHECKS=ON
 #                         (lock-order checker + DC_DCHECK invariants live)
-#   stage 7  tsan         concurrency- and metrics-labelled tests under TSan
+#   stage 7  tsan         concurrency-, metrics- and observe-labelled tests
+#                         under TSan
 #   stage 8  asan+ubsan   full suite under address,undefined
 #
 # Tool-dependent stages (format, tidy, cppcheck) are SKIPPED with a notice
@@ -95,12 +96,12 @@ if [ "${SKIP_SANITIZERS:-0}" = "1" ]; then
 fi
 
 # --- stage 7: TSan on the concurrent paths ----------------------------------
-note "TSan: concurrency + metrics tests"
+note "TSan: concurrency + metrics + observe tests"
 cmake -B "$BUILD_ROOT/tsan" -S . \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDATACELL_SANITIZE=thread >/dev/null
 cmake --build "$BUILD_ROOT/tsan" -j "$JOBS"
-ctest --test-dir "$BUILD_ROOT/tsan" -j "$JOBS" -L 'concurrency|metrics' \
-      --output-on-failure
+ctest --test-dir "$BUILD_ROOT/tsan" -j "$JOBS" \
+      -L 'concurrency|metrics|observe' --output-on-failure
 
 # --- stage 8: ASan + UBSan on everything ------------------------------------
 note "ASan+UBSan: full suite"

@@ -1,0 +1,162 @@
+#include "adapters/monitor.h"
+
+#include <string_view>
+#include <utility>
+
+namespace datacell {
+
+namespace {
+
+/// The value of label `key` in `labels`, or "" when absent.
+const std::string& LabelValue(const MetricLabels& labels,
+                              std::string_view key) {
+  static const std::string kEmpty;
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return kEmpty;
+}
+
+}  // namespace
+
+Schema MonitorReceptor::TransitionsSchema() {
+  Schema s;
+  s.AddField(Field{"transition", DataType::kString});
+  s.AddField(Field{"fires", DataType::kInt64});
+  s.AddField(Field{"tuples", DataType::kInt64});
+  s.AddField(Field{"fire_latency_p99_us", DataType::kDouble});
+  return s;
+}
+
+Schema MonitorReceptor::BasketsSchema() {
+  Schema s;
+  // "basket" is a reserved SQL word, so the identifying column is "name".
+  s.AddField(Field{"name", DataType::kString});
+  s.AddField(Field{"occupancy", DataType::kInt64});
+  s.AddField(Field{"appended", DataType::kInt64});
+  s.AddField(Field{"shed", DataType::kInt64});
+  return s;
+}
+
+Schema MonitorReceptor::QueriesSchema() {
+  Schema s;
+  s.AddField(Field{"query", DataType::kString});
+  s.AddField(Field{"e2e_latency_p99_us", DataType::kDouble});
+  s.AddField(Field{"emitted", DataType::kInt64});
+  return s;
+}
+
+MonitorReceptor::MonitorReceptor(std::string name, SnapshotFn snapshot,
+                                 DeliverFn deliver, const Clock* clock,
+                                 int64_t tick_us)
+    : Transition(std::move(name), TransitionKind::kReceptor),
+      snapshot_(std::move(snapshot)),
+      deliver_(std::move(deliver)),
+      clock_(clock),
+      tick_us_(tick_us) {}
+
+bool MonitorReceptor::Ready() const {
+  return clock_->Now() >= next_tick_.load(std::memory_order_relaxed);
+}
+
+int64_t MonitorReceptor::PrevValue(const std::string& key) const {
+  auto it = prev_counters_.find(key);
+  return it == prev_counters_.end() ? 0 : it->second;
+}
+
+Result<int64_t> MonitorReceptor::Fire() {
+  Timestamp start = clock_->Now();
+  if (start < next_tick_.load(std::memory_order_relaxed)) return 0;
+
+  MetricsSnapshotData snap = snapshot_();
+  // Index the snapshot once: counters by rendered name (also the delta
+  // baseline for the next tick), histograms by rendered name.
+  std::map<std::string, int64_t> counters;
+  for (const CounterSnapshot& c : snap.counters) {
+    counters[RenderMetricName(c.name, c.labels)] = c.value;
+  }
+  std::map<std::string, const HistogramSnapshot*> histograms;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    histograms[RenderMetricName(h.name, h.labels)] = &h;
+  }
+  auto delta = [&](const std::string& key) {
+    auto it = counters.find(key);
+    return it == counters.end() ? int64_t{0} : it->second - PrevValue(key);
+  };
+  auto p99 = [&](const std::string& key) {
+    auto it = histograms.find(key);
+    return it == histograms.end() || it->second->count == 0
+               ? 0.0
+               : it->second->Percentile(0.99);
+  };
+
+  // sys.transitions: one row per transition (the per-fire series carries the
+  // since-last-tick deltas; the p99 is lifetime, the histogram is additive).
+  for (const CounterSnapshot& c : snap.counters) {
+    if (c.name != "datacell_transition_fires_total") continue;
+    const std::string& tname = LabelValue(c.labels, "transition");
+    transitions_batch_.column(0).AppendString(tname);
+    transitions_batch_.column(1).AppendInt64(
+        c.value - PrevValue(RenderMetricName(c.name, c.labels)));
+    transitions_batch_.column(2).AppendInt64(
+        delta(RenderMetricName("datacell_transition_tuples_total", c.labels)));
+    transitions_batch_.column(3).AppendDouble(p99(
+        RenderMetricName("datacell_transition_fire_latency_us", c.labels)));
+  }
+
+  // sys.baskets: one row per wired basket (the occupancy gauge is the
+  // instantaneous sample; appended/shed are since-last-tick deltas).
+  for (const GaugeSnapshot& g : snap.gauges) {
+    if (g.name != "datacell_basket_tuples") continue;
+    baskets_batch_.column(0).AppendString(LabelValue(g.labels, "basket"));
+    baskets_batch_.column(1).AppendInt64(g.value);
+    baskets_batch_.column(2).AppendInt64(
+        delta(RenderMetricName("datacell_basket_appended_total", g.labels)));
+    baskets_batch_.column(3).AppendInt64(
+        delta(RenderMetricName("datacell_basket_shed_total", g.labels)));
+  }
+
+  // sys.queries: one row per registered query, identified by its emitter
+  // (every query has exactly one; "emitted" counts tuples it delivered).
+  for (const CounterSnapshot& c : snap.counters) {
+    if (c.name != "datacell_transition_fires_total") continue;
+    if (LabelValue(c.labels, "kind") != "emitter") continue;
+    const std::string& tname = LabelValue(c.labels, "transition");
+    constexpr std::string_view kPrefix = "emitter_";
+    std::string qname = tname.substr(0, kPrefix.size()) == kPrefix
+                            ? tname.substr(kPrefix.size())
+                            : tname;
+    queries_batch_.column(0).AppendString(qname);
+    queries_batch_.column(1).AppendDouble(
+        p99(RenderMetricName("datacell_query_e2e_latency_us",
+                             {{"query", qname}})));
+    queries_batch_.column(2).AppendInt64(
+        delta(RenderMetricName("datacell_transition_tuples_total", c.labels)));
+  }
+
+  int64_t rows = static_cast<int64_t>(transitions_batch_.num_rows() +
+                                      baskets_batch_.num_rows() +
+                                      queries_batch_.num_rows());
+  if (!transitions_batch_.empty()) {
+    DC_RETURN_NOT_OK(
+        deliver_(kTransitionsStream, std::move(transitions_batch_)));
+  }
+  if (!baskets_batch_.empty()) {
+    DC_RETURN_NOT_OK(deliver_(kBasketsStream, std::move(baskets_batch_)));
+  }
+  if (!queries_batch_.empty()) {
+    DC_RETURN_NOT_OK(deliver_(kQueriesStream, std::move(queries_batch_)));
+  }
+  prev_counters_ = std::move(counters);
+
+  // Advance relative to the scheduled tick so a late fire does not shift the
+  // grid, but never into the past (no catch-up bursts after a stall).
+  Timestamp next = next_tick_.load(std::memory_order_relaxed) + tick_us_;
+  if (next <= start) next = start + tick_us_;
+  next_tick_.store(next, std::memory_order_relaxed);
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  RecordRun(rows, clock_->Now() - start);
+  return rows;
+}
+
+}  // namespace datacell

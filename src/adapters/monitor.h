@@ -1,0 +1,84 @@
+#ifndef DATACELL_ADAPTERS_MONITOR_H_
+#define DATACELL_ADAPTERS_MONITOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/metrics_registry.h"
+#include "core/transition.h"
+#include "storage/column_batch.h"
+#include "storage/schema.h"
+
+namespace datacell {
+
+/// Self-observation receptor (the "system telemetry" counterpart of the CSV
+/// receptor): on a configurable tick it snapshots the engine's metrics
+/// registry, diffs the counters against the previous tick and appends the
+/// result as typed tuples to the reserved system streams
+///
+///   sys.transitions (transition, fires, tuples, fire_latency_p99_us)
+///   sys.baskets     (name, occupancy, appended, shed)
+///   sys.queries     (query, e2e_latency_p99_us, emitted)
+///
+/// each row stamped with the implicit ts column by the receiving basket.
+/// The streams are ordinary catalog baskets, so continuous queries compose
+/// over them — `select * from [select * from sys.baskets] b where
+/// b.occupancy > 100000` is an alert stream fed by the engine itself, and
+/// its own firings show up in the next tick's telemetry.
+///
+/// The monitor deliberately knows nothing about the engine: it sees a
+/// snapshot function and a delivery function, both supplied at wiring time,
+/// which keeps this adapter out of the core dependency cycle and makes it
+/// testable against hand-built snapshots.
+class MonitorReceptor : public Transition {
+ public:
+  /// Produces a fresh registry snapshot (the engine binds
+  /// Engine::MetricsSnapshot, which refreshes the pull-side gauges first).
+  using SnapshotFn = std::function<MetricsSnapshotData()>;
+  /// Routes one telemetry batch into the named system stream.
+  using DeliverFn =
+      std::function<Status(const std::string& stream, ColumnBatch&& batch)>;
+
+  static constexpr const char* kTransitionsStream = "sys.transitions";
+  static constexpr const char* kBasketsStream = "sys.baskets";
+  static constexpr const char* kQueriesStream = "sys.queries";
+
+  /// User schemas (without the implicit ts) of the three system streams.
+  static Schema TransitionsSchema();
+  static Schema BasketsSchema();
+  static Schema QueriesSchema();
+
+  /// First tick fires immediately (deltas from zero, i.e. absolute values);
+  /// subsequent ticks fire every `tick_us` of the supplied clock.
+  MonitorReceptor(std::string name, SnapshotFn snapshot, DeliverFn deliver,
+                  const Clock* clock, int64_t tick_us);
+
+  bool Ready() const override;
+  Result<int64_t> Fire() override;
+
+  int64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  /// Counter value at the previous tick, keyed by rendered metric name.
+  int64_t PrevValue(const std::string& key) const;
+
+  SnapshotFn snapshot_;
+  DeliverFn deliver_;
+  const Clock* clock_;
+  int64_t tick_us_;
+  // Written only inside Fire() (exactly-once via the scheduler claim);
+  // Ready() reads it from sweep threads, hence atomic.
+  std::atomic<Timestamp> next_tick_{0};
+  std::map<std::string, int64_t> prev_counters_;  // Fire()-private state
+  std::atomic<int64_t> ticks_{0};
+  // Reused across ticks so the steady state allocates nothing.
+  ColumnBatch transitions_batch_{TransitionsSchema()};
+  ColumnBatch baskets_batch_{BasketsSchema()};
+  ColumnBatch queries_batch_{QueriesSchema()};
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_ADAPTERS_MONITOR_H_

@@ -3,6 +3,7 @@
 
 #include "algebra/lowering.h"
 #include "algebra/plan.h"
+#include "algebra/profile.h"
 #include "common/check.h"
 
 namespace datacell {
@@ -37,6 +38,25 @@ Result<std::vector<size_t>> FilterPositions(const PlanNode& n, const Table& in,
   return EvaluatePredicate(*n.predicate(), in);
 }
 
+/// FilterPositions with the filter node's profile step recorded. The fused
+/// select→project and select→aggregate paths bypass Exec() for the filter
+/// child, so its step would otherwise show zero activity on exactly the
+/// plans where the filter matters most.
+Result<std::vector<size_t>> ProfiledFilterPositions(const PlanNode& n,
+                                                    const Table& in,
+                                                    const ExecContext& ctx) {
+  if (ctx.profile == nullptr) return FilterPositions(n, in, ctx);
+  size_t step = ctx.profile->StepForNode(&n);
+  int64_t t0 = ProfileNowNs();
+  Result<std::vector<size_t>> r = FilterPositions(n, in, ctx);
+  if (r.ok() && step != PipelineProfile::kNoStep) {
+    ctx.profile->RecordStep(step, static_cast<int64_t>(in.num_rows()),
+                            static_cast<int64_t>(r->size()),
+                            ProfileNowNs() - t0);
+  }
+  return r;
+}
+
 Result<TablePtr> ExecFilter(const PlanNode& n, const PlanBindings& bindings,
                             const ExecContext& ctx) {
   DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*n.child(), bindings, ctx));
@@ -64,7 +84,7 @@ Result<TablePtr> ExecProject(const PlanNode& n, const PlanBindings& bindings,
     if (all_column_refs) {
       DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*child.child(), bindings, ctx));
       DC_ASSIGN_OR_RETURN(std::vector<size_t> positions,
-                          FilterPositions(child, *in, ctx));
+                          ProfiledFilterPositions(child, *in, ctx));
       auto out = std::make_shared<Table>("", n.output_schema());
       for (size_t i = 0; i < n.projections().size(); ++i) {
         out->column(i)->AppendPositions(
@@ -136,7 +156,7 @@ Result<TablePtr> ExecAggregate(const PlanNode& n, const PlanBindings& bindings,
   if (n.group_columns().empty() && filter != nullptr) {
     DC_ASSIGN_OR_RETURN(TablePtr in, Exec(*filter->child(), bindings, ctx));
     DC_ASSIGN_OR_RETURN(std::vector<size_t> positions,
-                        FilterPositions(*filter, *in, ctx));
+                        ProfiledFilterPositions(*filter, *in, ctx));
     auto out = std::make_shared<Table>("", n.output_schema());
     Row row;
     for (const AggSpec& a : n.aggregates()) {
@@ -235,8 +255,8 @@ Result<TablePtr> ExecUnion(const PlanNode& n, const PlanBindings& bindings,
   return out;
 }
 
-Result<TablePtr> Exec(const PlanNode& n, const PlanBindings& bindings,
-                      const ExecContext& ctx) {
+Result<TablePtr> ExecNode(const PlanNode& n, const PlanBindings& bindings,
+                          const ExecContext& ctx) {
   switch (n.kind()) {
     case PlanKind::kScan:
       return ExecScan(n, bindings);
@@ -258,6 +278,24 @@ Result<TablePtr> Exec(const PlanNode& n, const PlanBindings& bindings,
       return ExecUnion(n, bindings, ctx);
   }
   return Status::Internal("bad plan kind");
+}
+
+/// Dispatch wrapper: with a profile in the context, every node's inclusive
+/// time and output rows accumulate into its step. Input rows are derived at
+/// render time from the children — this wrapper never sees them.
+Result<TablePtr> Exec(const PlanNode& n, const PlanBindings& bindings,
+                      const ExecContext& ctx) {
+  if (ctx.profile == nullptr) return ExecNode(n, bindings, ctx);
+  size_t step = ctx.profile->StepForNode(&n);
+  if (step == PipelineProfile::kNoStep) return ExecNode(n, bindings, ctx);
+  int64_t t0 = ProfileNowNs();
+  Result<TablePtr> r = ExecNode(n, bindings, ctx);
+  if (r.ok()) {
+    ctx.profile->RecordStep(step, PipelineProfile::kRowsUnknown,
+                            static_cast<int64_t>((*r)->num_rows()),
+                            ProfileNowNs() - t0);
+  }
+  return r;
 }
 
 int ExplainRec(const PlanNode& n, int* next_var, std::string* out) {

@@ -55,6 +55,10 @@ struct ExecContext {
                                 std::memory_order_relaxed);
     }
   }
+  /// Per-step pipeline profiler (algebra/profile.h). Null — the default —
+  /// disables profiling: like morsel_counter, executors pay one pointer test
+  /// per step. The factory points this at its profile while profiling is on.
+  class PipelineProfile* profile = nullptr;
 };
 
 // --- Selection ------------------------------------------------------------

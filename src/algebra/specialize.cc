@@ -518,6 +518,17 @@ SpecializeResult SpecializePlan(const PlanNode& plan,
 
 // --- Runtime ------------------------------------------------------------
 
+void SpecializedPipeline::RegisterProfileSteps(PipelineProfile* profile) {
+  if (join_) join_step_ = profile->AddStep("hash-join probe", 0);
+  if (filter_ || always_false_) filter_step_ = profile->AddStep("filter", 0);
+  if (project_) project_step_ = profile->AddStep("project", 0);
+  if (aggregates_) agg_step_ = profile->AddStep("aggregate", 0);
+  if (post_project_) post_step_ = profile->AddStep("post-project", 0);
+  if (!project_ && !aggregates_) {
+    project_step_ = profile->AddStep("materialize", 0);
+  }
+}
+
 void SpecializedPipeline::EvalPred(const Pred& p, const Table& in,
                                    const ExecContext& ctx,
                                    std::vector<size_t>* out) const {
@@ -729,6 +740,9 @@ Result<TablePtr> SpecializedPipeline::RunAggregate(const Table& in,
                                                    const ExecContext& ctx,
                                                    BatchPool* pool) {
   size_t n = in.num_rows();
+  PipelineProfile* prof = ctx.profile;
+  int64_t t_start = prof != nullptr ? ProfileNowNs() : 0;
+  int64_t filter_ns = 0;
   const std::vector<Agg>& aggs = *aggregates_;
   const Pred* f = filter_ ? &*filter_ : nullptr;
   const LoweredSelect* range = nullptr;  // single fusable range filter
@@ -743,7 +757,9 @@ Result<TablePtr> SpecializedPipeline::RunAggregate(const Table& in,
   bool have_positions = false;
   auto positions = [&]() {
     if (!have_positions) {
+      int64_t ft0 = prof != nullptr ? ProfileNowNs() : 0;
       EvalPred(*f, in, ctx, &sel_);
+      if (prof != nullptr) filter_ns = ProfileNowNs() - ft0;
       have_positions = true;
     }
     return &sel_;
@@ -810,16 +826,32 @@ Result<TablePtr> SpecializedPipeline::RunAggregate(const Table& in,
     }
     row.push_back(p.Finalize(g.func));
   }
+  if (prof != nullptr) {
+    // Fused filter+aggregate firings never materialize a selection; their
+    // whole span lands on the aggregate step, mirroring RunStages' fused
+    // attribution. Explicit EvalPred time goes to the filter step.
+    if (have_positions) {
+      prof->RecordStep(filter_step_, static_cast<int64_t>(n),
+                       static_cast<int64_t>(sel_.size()), filter_ns);
+    }
+    int64_t agg_in = have_positions ? static_cast<int64_t>(sel_.size())
+                                    : static_cast<int64_t>(n);
+    prof->RecordStep(agg_step_, agg_in, 1, ProfileNowNs() - t_start - filter_ns);
+  }
   if (!post_project_) {
     DC_RETURN_NOT_OK(out->AppendRow(row));
     return out;
   }
   // Post-projection over the one-row aggregate output (reorder / arith).
+  int64_t pt0 = prof != nullptr ? ProfileNowNs() : 0;
   Table mid("", agg_schema_);
   DC_RETURN_NOT_OK(mid.AppendRow(row));
   for (size_t i = 0; i < post_project_->size(); ++i) {
     DC_RETURN_NOT_OK(RunProjection((*post_project_)[i], mid, nullptr,
                                    out->column(i).get()));
+  }
+  if (prof != nullptr) {
+    prof->RecordStep(post_step_, 1, 1, ProfileNowNs() - pt0);
   }
   return out;
 }
@@ -829,9 +861,16 @@ Result<TablePtr> SpecializedPipeline::RunStages(const Table& in,
                                                 BatchPool* pool) {
   if (aggregates_) return RunAggregate(in, ctx, pool);
   size_t n = in.num_rows();
+  PipelineProfile* prof = ctx.profile;
   TablePtr out = AcquireOutput(pool);
-  if (always_false_) return out;
+  if (always_false_) {
+    if (prof != nullptr) {
+      prof->RecordStep(filter_step_, static_cast<int64_t>(n), 0, 0);
+    }
+    return out;
+  }
   if (!filter_) {
+    int64_t t0 = prof != nullptr ? ProfileNowNs() : 0;
     if (project_) {
       for (size_t i = 0; i < project_->size(); ++i) {
         DC_RETURN_NOT_OK(
@@ -842,10 +881,19 @@ Result<TablePtr> SpecializedPipeline::RunStages(const Table& in,
         out->column(c)->AppendBat(*in.column(c));
       }
     }
+    if (prof != nullptr) {
+      prof->RecordStep(project_step_, static_cast<int64_t>(n),
+                       static_cast<int64_t>(n), ProfileNowNs() - t0);
+    }
     return out;
   }
   const Pred& f = *filter_;
-  if (f.kind == Pred::Kind::kLowered && f.lowered.empty) return out;
+  if (f.kind == Pred::Kind::kLowered && f.lowered.empty) {
+    if (prof != nullptr) {
+      prof->RecordStep(filter_step_, static_cast<int64_t>(n), 0, 0);
+    }
+    return out;
+  }
   // Fused filter→project: a single range filter over a null-free numeric
   // column whose values are the only thing projected compresses qualifying
   // values straight into the output — no selection vector at all.
@@ -869,6 +917,7 @@ Result<TablePtr> SpecializedPipeline::RunStages(const Table& in,
         ncols = in.num_columns();
       }
       if (compress) {
+        int64_t t0 = prof != nullptr ? ProfileNowNs() : 0;
         for (size_t i = 0; i < ncols; ++i) {
           Bat* oc = out->column(i).get();
           size_t k;
@@ -885,11 +934,24 @@ Result<TablePtr> SpecializedPipeline::RunStages(const Table& in,
           }
           oc->Truncate(k);
         }
+        if (prof != nullptr) {
+          // The fused kernel filters and projects in one pass; the whole
+          // span lands on the filter step (see RegisterProfileSteps).
+          prof->RecordStep(filter_step_, static_cast<int64_t>(n),
+                           static_cast<int64_t>(out->num_rows()),
+                           ProfileNowNs() - t0);
+        }
         return out;
       }
     }
   }
+  int64_t ft0 = prof != nullptr ? ProfileNowNs() : 0;
   EvalPred(f, in, ctx, &sel_);
+  if (prof != nullptr) {
+    prof->RecordStep(filter_step_, static_cast<int64_t>(n),
+                     static_cast<int64_t>(sel_.size()), ProfileNowNs() - ft0);
+  }
+  int64_t pt0 = prof != nullptr ? ProfileNowNs() : 0;
   if (project_) {
     for (size_t i = 0; i < project_->size(); ++i) {
       DC_RETURN_NOT_OK(
@@ -899,6 +961,10 @@ Result<TablePtr> SpecializedPipeline::RunStages(const Table& in,
     for (size_t c = 0; c < in.num_columns(); ++c) {
       out->column(c)->AppendPositions(*in.column(c), sel_);
     }
+  }
+  if (prof != nullptr) {
+    prof->RecordStep(project_step_, static_cast<int64_t>(sel_.size()),
+                     static_cast<int64_t>(sel_.size()), ProfileNowNs() - pt0);
   }
   return out;
 }
@@ -915,6 +981,7 @@ Result<TablePtr> SpecializedPipeline::Run(const Table& input,
   const Table* cur = &input;
   TablePtr mid;
   if (join_) {
+    int64_t jt0 = ctx.profile != nullptr ? ProfileNowNs() : 0;
     Join& j = *join_;
     const Bat& bk = *j.build_table->column(j.build_key);
     if (j.build_table->num_rows() != j.built_rows) {
@@ -938,6 +1005,12 @@ Result<TablePtr> SpecializedPipeline::Run(const Table& input,
     }
     mid = std::move(m);
     cur = mid.get();
+    if (ctx.profile != nullptr) {
+      ctx.profile->RecordStep(join_step_,
+                              static_cast<int64_t>(input.num_rows()),
+                              static_cast<int64_t>(probe_pos_.size()),
+                              ProfileNowNs() - jt0);
+    }
   }
   Result<TablePtr> result = RunStages(*cur, ctx, pool);
   // The join intermediate never escapes (every later stage copies), so its

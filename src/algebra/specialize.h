@@ -9,6 +9,7 @@
 #include "algebra/kernels.h"
 #include "algebra/lowering.h"
 #include "algebra/plan.h"
+#include "algebra/profile.h"
 
 namespace datacell {
 
@@ -59,6 +60,14 @@ class SpecializedPipeline {
 
   /// Human-readable step list for \explain.
   std::string Describe() const { return description_; }
+
+  /// Registers this pipeline's stages as profile steps (one per present
+  /// stage, in execution order) and remembers their indices; Run() then
+  /// accumulates per-stage rows and time whenever the ExecContext carries
+  /// that profile. Fused firings attribute their whole span to the filter
+  /// step — that is where the fused kernel does its work — so stage times
+  /// always sum to the measured work. Call once, at factory creation.
+  void RegisterProfileSteps(PipelineProfile* profile);
 
  private:
   friend class PipelineBuilder;
@@ -139,6 +148,15 @@ class SpecializedPipeline {
   Schema agg_schema_;  // aggregate output schema, the post-projection input
   Schema output_schema_;
   std::string description_;
+  // Profile step indices (kNoStep when the stage is absent or no profile was
+  // registered). The pipeline holds indices only; the profile itself arrives
+  // per-run through the ExecContext, keeping the disabled path at one null
+  // check.
+  size_t join_step_ = PipelineProfile::kNoStep;
+  size_t filter_step_ = PipelineProfile::kNoStep;
+  size_t project_step_ = PipelineProfile::kNoStep;
+  size_t agg_step_ = PipelineProfile::kNoStep;
+  size_t post_step_ = PipelineProfile::kNoStep;
   // Reused per-firing scratch (exclusive to the owning factory's Fire()).
   std::vector<size_t> sel_, probe_pos_, build_pos_;
 };

@@ -86,8 +86,11 @@ void AnalyzeTopology(const NetTopology& net, AnalysisReport* report) {
     for (const std::string& p : t.outputs) producers[p].push_back(&t);
   }
 
-  // N001: a basket tuples can reach but nothing ever drains.
+  // N001: a basket tuples can reach but nothing ever drains. System
+  // telemetry baskets are exempt: they are bounded ring-like stores meant to
+  // be sampled (one-time queries, HTTP endpoints), not necessarily drained.
   for (const NetPlace& p : net.places) {
+    if (p.system) continue;
     bool fed = p.external_feed || !producers[p.name].empty();
     if (!fed || !consumers[p.name].empty()) continue;
     std::string msg = "basket '" + p.name + "' is appended to but never read";

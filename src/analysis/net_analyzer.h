@@ -28,6 +28,10 @@ struct NetPlace {
   bool external_feed = false;
   size_t num_readers = 0;
   bool bounded = false;
+  /// Reserved telemetry basket (sys.*): sampled by one-time queries or HTTP
+  /// scrapes rather than drained, and bounded by construction — exempt from
+  /// the orphan lint (N001).
+  bool system = false;
 };
 
 /// A transition with its input and output places (by place name).

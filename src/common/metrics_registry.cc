@@ -201,25 +201,34 @@ MetricsSnapshotData MetricsRegistry::Snapshot() const {
   return out;
 }
 
-std::string MetricsRegistry::PrometheusText() const {
+std::string MetricsRegistry::PrometheusText(const std::string& prefix) const {
   MetricsSnapshotData snap = Snapshot();
+  // Name-prefix filter (empty matches everything): the shell's
+  // `\metrics datacell_basket` view. Filtering whole series keeps the
+  // remaining exposition byte-identical to the unfiltered one.
+  auto matches = [&prefix](const std::string& name) {
+    return prefix.empty() || name.compare(0, prefix.size(), prefix) == 0;
+  };
   std::string out;
   std::string last_typed;
   // Map iteration is (name, labels)-ordered, so same-name series are
   // adjacent and get one # TYPE header.
   for (const CounterSnapshot& c : snap.counters) {
+    if (!matches(c.name)) continue;
     AppendTypeHeader(out, last_typed, c.name, "counter");
     out += c.name + RenderLabels(c.labels, "", "") + " " +
            std::to_string(c.value) + "\n";
   }
   last_typed.clear();
   for (const GaugeSnapshot& g : snap.gauges) {
+    if (!matches(g.name)) continue;
     AppendTypeHeader(out, last_typed, g.name, "gauge");
     out += g.name + RenderLabels(g.labels, "", "") + " " +
            std::to_string(g.value) + "\n";
   }
   last_typed.clear();
   for (const HistogramSnapshot& h : snap.histograms) {
+    if (!matches(h.name)) continue;
     AppendTypeHeader(out, last_typed, h.name, "histogram");
     uint64_t cum = 0;
     for (size_t b = 0; b < h.buckets.size(); ++b) {

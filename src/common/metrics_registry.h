@@ -169,8 +169,9 @@ class MetricsRegistry {
   MetricsSnapshotData Snapshot() const;
   /// Prometheus text exposition (version 0.0.4): `# TYPE` comments, one
   /// sample line per metric, histograms as cumulative `_bucket{le=...}`
-  /// series plus `_sum`/`_count`.
-  std::string PrometheusText() const;
+  /// series plus `_sum`/`_count`. A non-empty `prefix` restricts the output
+  /// to metric names starting with it (the shell's `\metrics <prefix>`).
+  std::string PrometheusText(const std::string& prefix = "") const;
 
   size_t num_metrics() const;
 

@@ -53,6 +53,7 @@ void TraceRing::Push(const TraceEvent& e) {
 void TraceRing::RecordComplete(const char* category, std::string_view name,
                                Timestamp start_us, Timestamp dur_us,
                                const char* arg_name, int64_t arg) {
+  if (!enabled()) return;
   TraceEvent e;
   CopyName(e.name, TraceEvent::kNameCapacity, name);
   e.category = category;
@@ -68,6 +69,7 @@ void TraceRing::RecordComplete(const char* category, std::string_view name,
 void TraceRing::RecordInstant(const char* category, std::string_view name,
                               Timestamp ts_us, const char* arg_name,
                               int64_t arg) {
+  if (!enabled()) return;
   TraceEvent e;
   CopyName(e.name, TraceEvent::kNameCapacity, name);
   e.category = category;

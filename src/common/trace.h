@@ -1,6 +1,7 @@
 #ifndef DATACELL_COMMON_TRACE_H_
 #define DATACELL_COMMON_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <mutex>
@@ -46,6 +47,14 @@ class TraceRing {
   /// `capacity` is the maximum number of retained events (>= 1).
   explicit TraceRing(size_t capacity);
 
+  /// Runtime recording toggle (the shell's `\trace on|off`). The ring and
+  /// its content survive a disable — Record* calls just return before taking
+  /// the mutex — so tracing can be flipped on around an incident window
+  /// without reallocating or losing what was already captured. Compile-out
+  /// builds (-DDATACELL_TRACE=OFF) remain the zero-cost option.
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
 
@@ -77,6 +86,7 @@ class TraceRing {
  private:
   void Push(const TraceEvent& e);
 
+  std::atomic<bool> enabled_{true};
   mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;
   size_t head_ = 0;     // next write position

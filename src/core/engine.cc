@@ -32,7 +32,9 @@ Result<Value> EvalConstAst(const sql::AstExpr& e) {
 }  // namespace
 
 Engine::Engine(EngineOptions options)
-    : options_(options), scheduler_(options.scheduling_policy) {
+    : options_(options),
+      scheduler_(options.scheduling_policy),
+      profile_queries_(options.profile_queries) {
   if (options_.use_wall_clock) {
     owned_clock_ = std::make_unique<WallClock>();
     clock_ = owned_clock_.get();
@@ -47,11 +49,15 @@ Engine::Engine(EngineOptions options)
   }
   if (kTraceCompiled && options_.trace_capacity > 0) {
     trace_ = std::make_unique<TraceRing>(options_.trace_capacity);
+    trace_->SetEnabled(options_.trace_enabled);
   }
   scheduler_.SetTrace(trace_.get(), clock_);
+  scheduler_.SetIdleFallbackUs(options_.idle_tick_us);
   wake_hub_ = std::make_shared<WakeHub>();
   wake_hub_->scheduler = &scheduler_;
   batch_pool_ = std::make_unique<BatchPool>();
+  // Last: the system streams route through the fully initialized engine.
+  if (options_.monitor_tick_us > 0) SetUpMonitor();
 }
 
 void Engine::WakeHub::Notify() {
@@ -106,6 +112,17 @@ Engine::StreamInfo* Engine::FindStream(const std::string& name) {
 
 Result<BasketPtr> Engine::CreateStream(const std::string& name,
                                        const Schema& user_schema) {
+  // The sys. namespace belongs to the engine's own telemetry streams.
+  if (ToLower(name).rfind("sys.", 0) == 0) {
+    return Status::InvalidArgument(
+        "the 'sys.' stream namespace is reserved for system telemetry");
+  }
+  return CreateStreamInternal(name, user_schema, /*system=*/false);
+}
+
+Result<BasketPtr> Engine::CreateStreamInternal(const std::string& name,
+                                               const Schema& user_schema,
+                                               bool system) {
   if (Basket::HasTsColumn(user_schema)) {
     return Status::InvalidArgument(
         "the ts column is implicit; do not declare it");
@@ -119,7 +136,12 @@ Result<BasketPtr> Engine::CreateStream(const std::string& name,
   TablePtr table = Basket::MakeBasketTable(name, user_schema);
   DC_RETURN_NOT_OK(catalog_.RegisterRelation(table, RelationKind::kBasket));
   auto basket = std::make_shared<Basket>(table);
-  if (options_.max_basket_tuples > 0) {
+  if (system) {
+    // Telemetry retention: an unconsumed system stream keeps only the most
+    // recent monitor_history rows instead of growing with uptime.
+    basket->SetCapacity(options_.monitor_history,
+                        Basket::DropPolicy::kDropOldest);
+  } else if (options_.max_basket_tuples > 0) {
     basket->SetCapacity(options_.max_basket_tuples, options_.drop_policy);
   }
   WireBasketWake(basket);
@@ -128,6 +150,33 @@ Result<BasketPtr> Engine::CreateStream(const std::string& name,
   info.user_schema = user_schema;
   streams_[ToLower(name)] = std::move(info);
   return basket;
+}
+
+void Engine::SetUpMonitor() {
+  // The reserved telemetry streams are ordinary catalog baskets — one-time
+  // SELECTs inspect them, continuous queries compose over them — created
+  // here so their names exist before any user query tries to read them.
+  DC_CHECK(CreateStreamInternal(MonitorReceptor::kTransitionsStream,
+                                MonitorReceptor::TransitionsSchema(),
+                                /*system=*/true)
+               .ok());
+  DC_CHECK(CreateStreamInternal(MonitorReceptor::kBasketsStream,
+                                MonitorReceptor::BasketsSchema(),
+                                /*system=*/true)
+               .ok());
+  DC_CHECK(CreateStreamInternal(MonitorReceptor::kQueriesStream,
+                                MonitorReceptor::QueriesSchema(),
+                                /*system=*/true)
+               .ok());
+  monitor_ = std::make_shared<MonitorReceptor>(
+      "monitor",
+      [this] { return MetricsSnapshot(); },
+      [this](const std::string& stream, ColumnBatch&& batch) {
+        return IngestColumns(stream, std::move(batch));
+      },
+      clock_, options_.monitor_tick_us);
+  BindTransitionMetrics(*monitor_);
+  scheduler_.AddTransition(monitor_);
 }
 
 Result<BasketPtr> Engine::GetBasket(const std::string& name) const {
@@ -454,6 +503,7 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
   if (factory->is_specialized()) {
     metrics_.GetCounter("datacell_specialized_queries")->Inc();
   }
+  factory->SetProfiling(profile_queries_);
 
   for (const ChainLink& link : chain_links) {
     link.stream->chain.push_back(factory);
@@ -714,6 +764,32 @@ void Engine::RefreshPulledMetrics() const {
     metrics_.GetCounter("datacell_basket_shed_total", labels)
         ->Set(basket->total_shed());
   }
+  // Per-step profiler series, labeled {query, step}; the step label carries
+  // the execution-order index so same-named steps of one pipeline stay
+  // distinct series. Only queries whose profiler has seen at least one fire
+  // register series, so an engine that never profiles exports nothing here.
+  for (const QueryInfo& q : queries_) {
+    if (q.removed || q.factory == nullptr) continue;
+    const PipelineProfile& prof = q.factory->profile();
+    if (prof.fires() == 0) continue;
+    PipelineProfile::Snapshot snap = prof.Snap();
+    std::string qname = ToLower(q.name);
+    metrics_
+        .GetCounter("datacell_profile_fires_total", {{"query", qname}})
+        ->Set(snap.fires);
+    metrics_
+        .GetCounter("datacell_profile_fire_time_ns_total", {{"query", qname}})
+        ->Set(snap.fire_time_ns);
+    for (size_t i = 0; i < snap.steps.size(); ++i) {
+      MetricLabels labels{
+          {"query", qname},
+          {"step", std::to_string(i + 1) + ". " + snap.steps[i].label}};
+      metrics_.GetCounter("datacell_profile_step_time_ns_total", labels)
+          ->Set(snap.steps[i].time_ns);
+      metrics_.GetCounter("datacell_profile_step_rows_total", labels)
+          ->Set(snap.steps[i].rows_out);
+    }
+  }
   metrics_.GetCounter("datacell_pool_hits_total")
       ->Set(static_cast<int64_t>(batch_pool_->hits()));
   metrics_.GetCounter("datacell_pool_misses_total")
@@ -736,6 +812,23 @@ MetricsSnapshotData Engine::MetricsSnapshot() const {
 std::string Engine::MetricsText() const {
   RefreshPulledMetrics();
   return metrics_.PrometheusText();
+}
+
+std::string Engine::MetricsText(const std::string& prefix) const {
+  RefreshPulledMetrics();
+  return metrics_.PrometheusText(prefix);
+}
+
+void Engine::SetProfiling(bool on) {
+  profile_queries_ = on;
+  for (const QueryInfo& q : queries_) {
+    if (!q.removed && q.factory != nullptr) q.factory->SetProfiling(on);
+  }
+}
+
+Result<std::string> Engine::ProfileReport(QueryId id) const {
+  DC_ASSIGN_OR_RETURN(const QueryInfo* info, GetQuery(id));
+  return info->factory->ProfileReport();
 }
 
 std::string Engine::TraceJson() const {
@@ -975,6 +1068,7 @@ analysis::AnalysisReport Engine::Analyze() const {
     p.external_feed = external;
     p.num_readers = b->num_readers();
     p.bounded = b->capacity() > 0;
+    p.system = b->name().rfind("sys.", 0) == 0;
     net.places.push_back(std::move(p));
   };
   // The baskets Ingest routes to for a stream (mirrors IngestBatch).
@@ -1028,6 +1122,17 @@ analysis::AnalysisReport Engine::Analyze() const {
   }
   for (const auto& [key, basket] : subplan_groups_) {
     add_place(basket, /*external=*/false);
+  }
+  if (monitor_ != nullptr) {
+    // The self-observation receptor feeds the sys.* places (which are in
+    // `streams_` and were added above, flagged system).
+    analysis::NetTransition t;
+    t.name = monitor_->name();
+    t.kind = analysis::NetNodeKind::kReceptor;
+    t.outputs = {MonitorReceptor::kTransitionsStream,
+                 MonitorReceptor::kBasketsStream,
+                 MonitorReceptor::kQueriesStream};
+    net.transitions.push_back(std::move(t));
   }
   for (const auto& filter : shared_filters_) {
     analysis::NetTransition t;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "adapters/channel.h"
+#include "adapters/monitor.h"
 #include "adapters/sink.h"
 #include "analysis/net_analyzer.h"
 #include "common/clock.h"
@@ -69,6 +70,29 @@ struct EngineOptions {
   /// the most recent `trace_capacity` scheduler sweeps, transition firings
   /// and basket lock waits; export with Engine::TraceJson().
   size_t trace_capacity = 0;
+  /// Whether the trace ring starts recording (only meaningful with
+  /// trace_capacity > 0). Engine::SetTraceEnabled and the shell's
+  /// `\trace on|off` flip it at runtime without losing captured events.
+  bool trace_enabled = true;
+  /// Self-observation tick (µs): > 0 creates the reserved system streams
+  /// (sys.transitions, sys.baskets, sys.queries) and a MonitorReceptor that
+  /// samples the metrics registry into them every tick. 0 (default) = no
+  /// system streams, no monitor transition.
+  int64_t monitor_tick_us = 0;
+  /// Retention of the system streams in tuples: each sys.* basket keeps the
+  /// most recent `monitor_history` telemetry rows (DropOldest shedding), so
+  /// an unconsumed telemetry stream stays bounded.
+  size_t monitor_history = 4096;
+  /// Start every factory with per-step pipeline profiling on (the shell's
+  /// `\profile` / Engine::SetProfiling flip it at runtime). Off by default:
+  /// profiling costs one clock pair per pipeline step while enabled.
+  bool profile_queries = false;
+  /// Threaded scheduler idle fallback tick (µs): how long an idle worker
+  /// sleeps without a wake notification before re-checking time-driven
+  /// readiness (wall-clock windows, the monitor tick). The default matches
+  /// the historical 2 ms; tests raise it to freeze the scheduler between
+  /// explicit wakes.
+  int64_t idle_tick_us = 2000;
 };
 
 /// Per-query overrides for SubmitContinuousQuery.
@@ -238,6 +262,29 @@ class Engine {
   /// Prometheus text exposition of MetricsSnapshot() — scrape or diff it.
   std::string MetricsText() const;
 
+  /// Prometheus exposition restricted to metric names starting with
+  /// `prefix` (the shell's `\metrics <prefix>`). Refreshes pulled gauges
+  /// like MetricsText().
+  std::string MetricsText(const std::string& prefix) const;
+
+  /// Runtime toggle for every factory's per-step pipeline profiler (see
+  /// algebra/profile.h); also the default for queries submitted later.
+  /// Counters accumulate across off/on cycles.
+  void SetProfiling(bool on);
+  bool profiling() const { return profile_queries_; }
+  /// The `\profile` report for query `id`: pipeline description plus the
+  /// per-step calls/rows/time table.
+  Result<std::string> ProfileReport(QueryId id) const;
+
+  /// Runtime trace toggle (no-op without a trace ring); see
+  /// EngineOptions::trace_enabled.
+  void SetTraceEnabled(bool on) {
+    if (trace_ != nullptr) trace_->SetEnabled(on);
+  }
+
+  /// The self-observation transition; null unless monitor_tick_us > 0.
+  MonitorReceptor* monitor() const { return monitor_.get(); }
+
   /// Non-null when EngineOptions::trace_capacity > 0 (and tracing compiled).
   TraceRing* trace() const { return trace_.get(); }
   /// Chrome trace_event JSON of the current trace ring content; load in
@@ -266,6 +313,14 @@ class Engine {
   };
 
   Result<TablePtr> ExecuteSelect(const sql::SelectStmt& stmt);
+  /// Shared body of CreateStream: `system` bypasses the reserved-prefix
+  /// check and applies the monitor_history retention bound.
+  Result<BasketPtr> CreateStreamInternal(const std::string& name,
+                                         const Schema& user_schema,
+                                         bool system);
+  /// Creates the sys.* streams and the monitor transition (constructor tail,
+  /// monitor_tick_us > 0 only).
+  void SetUpMonitor();
   Status ExecuteCreate(const sql::CreateStmt& stmt);
   Status ExecuteInsert(const sql::InsertStmt& stmt);
   Result<BasketPtr> MakePrivateBasket(const std::string& stream,
@@ -322,6 +377,12 @@ class Engine {
   std::vector<QueryInfo> queries_;
   std::vector<std::unique_ptr<Channel>> owned_channels_;
   std::vector<std::shared_ptr<Receptor>> receptors_;
+  /// Self-observation transition (adapters/monitor.h); null when
+  /// monitor_tick_us == 0.
+  std::shared_ptr<MonitorReceptor> monitor_;
+  /// Default profiling state for factories (mirrors EngineOptions, mutated
+  /// by SetProfiling).
+  bool profile_queries_ = false;
   // Factored common-subplan groups: "(stream)|(predicate)" -> group basket.
   std::map<std::string, BasketPtr> subplan_groups_;
   std::vector<std::shared_ptr<SharedFilterTransition>> shared_filters_;

@@ -107,12 +107,33 @@ Result<std::shared_ptr<Factory>> Factory::Create(
     factory->specialized_ = std::move(sr.pipeline);
     factory->specialize_fallback_ = std::move(sr.fallback_reason);
   }
+  // Profile skeleton: one step per specialized stage, or one per plan node
+  // for interpreter (and windowed) queries. Built here, while the plan shape
+  // is already final, so toggling profiling later is a single flag flip.
+  factory->profile_ = std::make_unique<PipelineProfile>();
+  if (factory->specialized_ != nullptr) {
+    factory->specialized_->RegisterProfileSteps(factory->profile_.get());
+  } else {
+    PipelineProfile::FromPlan(*factory->query_.plan, factory->profile_.get());
+  }
   return factory;
 }
 
 std::string Factory::PipelineDescription() const {
   if (specialized_ != nullptr) return specialized_->Describe();
   return "interpreter (fallback: " + specialize_fallback_ + ")";
+}
+
+std::string Factory::ProfileReport() const {
+  std::string out = "pipeline: " + PipelineDescription();
+  if (window_ != nullptr) {
+    // Window executors run the interpreter internally per (sub-)window; the
+    // plan-node steps below cover those runs.
+    out += " [windowed: " + std::string(window_->mode_name()) + "]";
+  }
+  out += "\n";
+  out += profile_->Render();
+  return out;
 }
 
 size_t Factory::AvailableOn(const InputBinding& in) const {
@@ -204,6 +225,13 @@ Result<int64_t> Factory::Fire() {
 #endif
   if (!Ready()) return 0;
   Timestamp start = clock_->Now();
+  // Profiling threads the profile through a per-fire copy of the exec
+  // context; the disabled path keeps options_.exec untouched (null profile,
+  // one pointer test per step inside the executors).
+  const bool profiling = profiling_.load(std::memory_order_relaxed);
+  ExecContext exec = options_.exec;
+  if (profiling) exec.profile = profile_.get();
+  int64_t fire_t0 = profiling ? ProfileNowNs() : 0;
   // Algorithm 1: read-and-consume each input basket (each TakeSlice call is
   // an atomic lock/consume/unlock bracket on its basket)...
   std::vector<TablePtr> slices;
@@ -233,7 +261,7 @@ Result<int64_t> Factory::Fire() {
   } else if (specialized_ != nullptr) {
     // Specialized fast path: no binding-map copy, no plan-tree walk — the
     // pre-compiled chain runs straight over the drained slice.
-    Result<TablePtr> r = specialized_->Run(*slices[0], options_.exec, pool_);
+    Result<TablePtr> r = specialized_->Run(*slices[0], exec, pool_);
     if (!r.ok()) {
       plan_errors_.fetch_add(1, std::memory_order_relaxed);
       return r.status();
@@ -244,7 +272,7 @@ Result<int64_t> Factory::Fire() {
     for (size_t i = 0; i < inputs_.size(); ++i) {
       bindings[inputs_[i].spec->bind_name] = slices[i];
     }
-    Result<TablePtr> r = ExecutePlan(*query_.plan, bindings, options_.exec);
+    Result<TablePtr> r = ExecutePlan(*query_.plan, bindings, exec);
     if (!r.ok()) {
       plan_errors_.fetch_add(1, std::memory_order_relaxed);
       return r.status();
@@ -284,6 +312,7 @@ Result<int64_t> Factory::Fire() {
       if (slice.use_count() == 1) pool_->Recycle(*slice);
     }
   }
+  if (profiling) profile_->RecordFire(ProfileNowNs() - fire_t0);
   RecordRun(in_tuples, clock_->Now() - start);
   return in_tuples;
 }

@@ -120,6 +120,21 @@ class Factory final : public Transition {
   /// the interpreter with its fallback reason.
   std::string PipelineDescription() const;
 
+  /// Toggles per-step profiling for this factory's firings. The profile's
+  /// step list exists from creation either way — only the recording is
+  /// switched — so counters accumulate across off/on cycles and \profile
+  /// after a disable still shows what was gathered.
+  void SetProfiling(bool on) {
+    profiling_.store(on, std::memory_order_relaxed);
+  }
+  bool profiling() const { return profiling_.load(std::memory_order_relaxed); }
+  /// The per-step profile (always non-null after Create). Readers may
+  /// snapshot it concurrently with firings.
+  const PipelineProfile& profile() const { return *profile_; }
+  /// \profile output: the pipeline description followed by the per-step
+  /// counter table.
+  std::string ProfileReport() const;
+
   int64_t results_emitted() const {
     return results_emitted_.load(std::memory_order_relaxed);
   }
@@ -171,6 +186,10 @@ class Factory final : public Transition {
   // and specialize_fallback_ says why.
   std::unique_ptr<SpecializedPipeline> specialized_;
   std::string specialize_fallback_;
+  // Built once at Create (steps for the specialized stages or the plan
+  // nodes); recording is gated by profiling_ per firing.
+  std::unique_ptr<PipelineProfile> profile_;
+  std::atomic<bool> profiling_{false};
   std::atomic<int64_t> results_emitted_{0};
   std::atomic<int64_t> plan_errors_{0};
 #if DATACELL_DEBUG_CHECKS_ENABLED

@@ -181,7 +181,7 @@ void Scheduler::Loop() {
   // (almost) no CPU and a newly enabled transition fires immediately. The
   // fallback wait bounds the latency of readiness changes that have no
   // notifier (e.g. a wall-clock window boundary passing).
-  constexpr auto kIdleFallback = std::chrono::milliseconds(2);
+  const auto idle_fallback = std::chrono::microseconds(idle_fallback_us_);
   while (!stop_requested_.load(std::memory_order_acquire)) {
     // Snapshot before the sweep: anything appended after this point, even
     // mid-sweep, moves the epoch and defeats the wait below.
@@ -192,7 +192,7 @@ void Scheduler::Loop() {
       {
         std::unique_lock<std::mutex> lock(wake_mu_);
         DC_LOCK_ORDER(&wake_mu_, "scheduler_wake", "scheduler");
-        wake_cv_.wait_for(lock, kIdleFallback, [&] {
+        wake_cv_.wait_for(lock, idle_fallback, [&] {
           return work_epoch_.load(std::memory_order_acquire) != seen ||
                  stop_requested_.load(std::memory_order_acquire);
         });

@@ -115,6 +115,14 @@ class Scheduler {
     trace_clock_ = clock;
   }
 
+  /// Bounds the threaded workers' idle fallback wait: how long a worker
+  /// sleeps with no wake notification before re-checking readiness changes
+  /// that have no notifier (wall-clock windows, the monitor's tick). Call
+  /// before Start. Small values poll faster; large values let tests freeze
+  /// the scheduler between explicit wakes.
+  void SetIdleFallbackUs(int64_t us) { idle_fallback_us_ = us; }
+  int64_t idle_fallback_us() const { return idle_fallback_us_; }
+
   size_t num_threads() const { return threads_.size(); }
 
  private:
@@ -140,6 +148,8 @@ class Scheduler {
   // that arrived mid-sweep are never missed. A bounded fallback wait covers
   // readiness changes with no notifier (wall-clock windows, direct channel
   // writes).
+  // Written during wiring (before Start), read by the worker loops.
+  int64_t idle_fallback_us_ = 2000;
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
   std::atomic<uint64_t> work_epoch_{0};

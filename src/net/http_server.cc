@@ -1,0 +1,210 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace datacell {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+/// Parses "GET /path?query HTTP/1.1" into `out`. False on malformed input.
+bool ParseRequestLine(const std::string& line, HttpRequest* out) {
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  out->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    out->path = std::move(target);
+    out->query.clear();
+  } else {
+    out->path = target.substr(0, qmark);
+    out->query = target.substr(qmark + 1);
+  }
+  return !out->path.empty() && out->path[0] == '/';
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; nothing to do for a scrape endpoint
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+void HttpServer::Handle(const std::string& path, Handler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(uint16_t port) {
+  if (running()) return Status::FailedPrecondition("server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // observability stays local
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::Internal("bind(127.0.0.1:" + std::to_string(port) +
+                                ") failed: " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    Status s =
+        Status::Internal("listen() failed: " + std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return Status::Internal("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  // Wake the epoll wait; a failed write still stops via the peer close race
+  // below, it just takes until the next event.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::Loop() {
+  constexpr int kMaxEvents = 16;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout_ms=*/500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) continue;  // Stop() signal; loop condition exits
+      if (fd == listen_fd_) {
+        int conn = ::accept(listen_fd_, nullptr, nullptr);
+        if (conn >= 0) {
+          // Requests are tiny and handlers fast: serve synchronously on this
+          // thread rather than juggling per-connection read state.
+          ServeConnection(conn);
+          ::close(conn);
+        }
+      }
+    }
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Blocking read with a timeout so a stalled client cannot wedge the loop.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string buf;
+  char chunk[1024];
+  // Read until the header terminator; the endpoints take no request bodies.
+  while (buf.find("\r\n\r\n") == std::string::npos &&
+         buf.find("\n\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<size_t>(n));
+    if (buf.size() > kMaxRequestBytes) break;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  HttpResponse resp;
+  HttpRequest req;
+  size_t eol = buf.find("\r\n");
+  if (eol == std::string::npos) eol = buf.find('\n');
+  if (eol == std::string::npos || buf.size() > kMaxRequestBytes ||
+      !ParseRequestLine(buf.substr(0, eol), &req)) {
+    resp.status = 400;
+    resp.body = "bad request\n";
+  } else if (req.method != "GET") {
+    resp.status = 405;
+    resp.body = "only GET is supported\n";
+  } else {
+    auto it = handlers_.find(req.path);
+    if (it == handlers_.end()) {
+      resp.status = 404;
+      resp.body = "not found\n";
+    } else {
+      resp = it->second(req);
+    }
+  }
+
+  std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                    StatusText(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  SendAll(fd, out);
+}
+
+}  // namespace datacell

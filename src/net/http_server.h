@@ -1,0 +1,81 @@
+#ifndef DATACELL_NET_HTTP_SERVER_H_
+#define DATACELL_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+
+namespace datacell {
+
+/// One parsed request. Only the request line is interpreted; headers are
+/// skipped (the observability endpoints need no content negotiation).
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/metrics"
+  std::string query;   // "prefix=datacell_basket" (raw, no decoding)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal epoll-based HTTP/1.0-style server for the observability
+/// endpoints: GET-only, loopback-bound, Connection: close, one epoll loop on
+/// one background thread. This is deliberately not a general web server —
+/// no TLS, no keep-alive, no chunking, request lines capped at 8 KB — just
+/// enough for `curl`/Prometheus to scrape a running engine.
+///
+/// Handlers run on the server thread and must be thread-safe against the
+/// engine (the observability handlers only call snapshot-style accessors,
+/// which are).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers an exact-path handler ("/metrics"). Call before Start.
+  void Handle(const std::string& path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts the
+  /// serving thread.
+  Status Start(uint16_t port);
+  /// Stops the serving thread and closes the listener. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolved after Start with port 0).
+  uint16_t port() const { return port_; }
+  /// Requests served since Start (any status).
+  int64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int64_t> requests_{0};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Stop() wakes the epoll wait
+  uint16_t port_ = 0;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_NET_HTTP_SERVER_H_

@@ -349,6 +349,15 @@ class Parser {
       DC_RETURN_NOT_OK(ExpectToken(TokenType::kRBracket));
     } else {
       DC_ASSIGN_OR_RETURN(ref.name, ExpectName());
+      // Qualified relation name (sys.baskets): the catalog keys reserved
+      // system streams under their dotted name, so join the parts back into
+      // one identifier. Qualified *column* references against these need a
+      // plain alias (`from sys.baskets b ... b.occupancy`), since expression
+      // qualifiers are single identifiers.
+      if (MatchToken(TokenType::kDot)) {
+        DC_ASSIGN_OR_RETURN(std::string rest, ExpectName());
+        ref.name += "." + rest;
+      }
     }
     if (MatchKeyword("as")) {
       DC_ASSIGN_OR_RETURN(ref.alias, ExpectName());
