@@ -137,6 +137,27 @@ class Shell {
     }
     if (StartsWith(cmd, "\\analyze")) {
       std::printf("%s", engine_->Analyze().ToString().c_str());
+      // Pass-3 partition verdicts, one block per live query: the static
+      // report plus the engine-level effective verdict (live overrides).
+      bool any = false;
+      for (size_t id = 0; id < engine_->num_queries(); ++id) {
+        auto q = engine_->GetQuery(id);
+        if (!q.ok() || (*q)->removed || (*q)->partition == nullptr) continue;
+        if (!any) {
+          std::printf("-- partition safety (shard fan-out) --\n");
+          any = true;
+        }
+        std::string reason;
+        datacell::analysis::PartitionVerdict effective =
+            engine_->EffectivePartitionVerdict(**q, &reason);
+        std::printf("query '%s':\n%s", (*q)->name.c_str(),
+                    (*q)->partition->Describe().c_str());
+        if (effective != (*q)->partition->verdict) {
+          std::printf("  effective: %s (%s)\n",
+                      datacell::analysis::PartitionVerdictName(effective),
+                      reason.c_str());
+        }
+      }
       return true;
     }
     if (StartsWith(cmd, "\\stats")) {

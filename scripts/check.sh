@@ -9,7 +9,8 @@
 #   stage 4  cppcheck     cppcheck over src/ tools/ (second analyzer, different
 #                         engine — catches what tidy's checks don't)
 #   stage 5  sql-lint     datacell-lint over examples/sql (good corpus must
-#                         pass, seeded-bad corpus must fail)
+#                         pass, seeded-bad corpus must fail, partition demo
+#                         shard plan must match its committed golden)
 #   stage 6  debug-checks full suite with DATACELL_DEBUG_CHECKS=ON
 #                         (lock-order checker + DC_DCHECK invariants live)
 #   stage 7  tsan         concurrency-, metrics- and observe-labelled tests
@@ -82,6 +83,13 @@ cmake --build "$BUILD_ROOT/werror" -j "$JOBS" --target datacell-lint
 if "$BUILD_ROOT/werror/tools/datacell-lint" examples/sql/bad/*.sql 2>/dev/null; then
   echo "datacell-lint: seeded-bad corpus unexpectedly passed"; exit 1
 fi
+# The shard plan for the partition demo is a committed artifact: regenerate
+# and diff, so analyzer drift shows up as a reviewable golden change.
+"$BUILD_ROOT/werror/tools/datacell-lint" \
+  --partition-report "$BUILD_ROOT/partition_demo.report.json" \
+  examples/sql/partition_demo.sql 2>/dev/null
+diff -u examples/sql/partition_report.golden.json \
+  "$BUILD_ROOT/partition_demo.report.json"
 
 # --- stage 6: full suite with debug checks live -----------------------------
 note "full test suite with DATACELL_DEBUG_CHECKS=ON"

@@ -60,6 +60,8 @@ const char* ScalarFuncToString(ScalarFunc f) {
       return "lower";
     case ScalarFunc::kUpper:
       return "upper";
+    case ScalarFunc::kToInt64:
+      return "to_int64";
   }
   return "?";
 }
@@ -131,6 +133,7 @@ DataType ResolveFunctionType(ScalarFunc f, DataType arg) {
     case ScalarFunc::kSqrt:
       return DataType::kDouble;
     case ScalarFunc::kLength:
+    case ScalarFunc::kToInt64:
       return DataType::kInt64;
     case ScalarFunc::kLower:
     case ScalarFunc::kUpper:
@@ -636,6 +639,9 @@ Result<BatPtr> EvaluateExpr(const Expr& expr, const Table& input) {
             out->AppendString(std::move(v));
             break;
           }
+          case ScalarFunc::kToInt64:
+            out->AppendInt64(static_cast<int64_t>(NumericAt(*arg, i)));
+            break;
         }
       }
       return out;

@@ -60,6 +60,10 @@ enum class ScalarFunc {
   kLength,  // string -> int64
   kLower,   // string -> string
   kUpper,   // string -> string
+  /// Truncating numeric -> int64 cast. Not reachable from SQL; the partition
+  /// analyzer's synthesized merge plans use it to restore count()'s int64
+  /// output type after re-aggregating count partials with sum().
+  kToInt64,
 };
 
 const char* BinaryOpToString(BinaryOp op);

@@ -61,6 +61,22 @@ const char* DiagCodeId(DiagCode code) {
       return "N005";
     case DiagCode::kChainCoverageGap:
       return "N006";
+    case DiagCode::kReshuffleRequired:
+      return "A001";
+    case DiagCode::kPrescribedPartitionKey:
+      return "A002";
+    case DiagCode::kPartitionKeyDropped:
+      return "A003";
+    case DiagCode::kBroadcastJoinInput:
+      return "A004";
+    case DiagCode::kOrderedMergeRequired:
+      return "A005";
+    case DiagCode::kWindowMergeRequired:
+      return "A006";
+    case DiagCode::kPinnedQuery:
+      return "A007";
+    case DiagCode::kScalarAggMerge:
+      return "A008";
   }
   return "P000";
 }
@@ -123,12 +139,30 @@ const char* DiagCodeName(DiagCode code) {
       return "chain-predicate-overlap";
     case DiagCode::kChainCoverageGap:
       return "chain-coverage-gap";
+    case DiagCode::kReshuffleRequired:
+      return "reshuffle-required";
+    case DiagCode::kPrescribedPartitionKey:
+      return "prescribed-partition-key";
+    case DiagCode::kPartitionKeyDropped:
+      return "partition-key-dropped";
+    case DiagCode::kBroadcastJoinInput:
+      return "broadcast-join-input";
+    case DiagCode::kOrderedMergeRequired:
+      return "ordered-merge-required";
+    case DiagCode::kWindowMergeRequired:
+      return "window-merge-required";
+    case DiagCode::kPinnedQuery:
+      return "pinned-query";
+    case DiagCode::kScalarAggMerge:
+      return "scalar-agg-merge";
   }
   return "unknown";
 }
 
 std::string Diagnostic::ToString() const {
-  std::string out = severity == Severity::kError ? "error[" : "warning[";
+  std::string out = severity == Severity::kError     ? "error["
+                    : severity == Severity::kWarning ? "warning["
+                                                     : "note[";
   out += DiagCodeId(code);
   out += "] ";
   out += DiagCodeName(code);
@@ -167,7 +201,19 @@ size_t AnalysisReport::num_errors() const {
 }
 
 size_t AnalysisReport::num_warnings() const {
-  return diagnostics_.size() - num_errors();
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+size_t AnalysisReport::num_notes() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kNote) ++n;
+  }
+  return n;
 }
 
 bool AnalysisReport::Has(DiagCode code) const {
@@ -185,7 +231,9 @@ std::string AnalysisReport::ToString() const {
     out += "\n";
   }
   out += std::to_string(num_errors()) + " error(s), " +
-         std::to_string(num_warnings()) + " warning(s)\n";
+         std::to_string(num_warnings()) + " warning(s)";
+  if (num_notes() > 0) out += ", " + std::to_string(num_notes()) + " note(s)";
+  out += "\n";
   return out;
 }
 

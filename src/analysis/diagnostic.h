@@ -11,9 +11,10 @@ namespace datacell {
 namespace analysis {
 
 /// Stable diagnostic codes. P0xx = plan/type analysis (pass 1),
-/// N0xx = Petri-net dataflow analysis (pass 2). The short id (e.g. "P004")
-/// appears in every rendered message so tests and tooling can match on it;
-/// never renumber an existing code.
+/// N0xx = Petri-net dataflow analysis (pass 2), A0xx = partition-safety
+/// analysis (pass 3, advisory). The short id (e.g. "P004") appears in every
+/// rendered message so tests and tooling can match on it; never renumber an
+/// existing code.
 enum class DiagCode {
   // --- pass 1: plan analyzer ---------------------------------------------
   kColumnOutOfRange,        // P002: column ref index >= input arity
@@ -45,9 +46,20 @@ enum class DiagCode {
   kMultiReaderStealing,     // N004: >1 reader disables buffer stealing
   kChainPredicateOverlap,   // N005: chained predicates overlap
   kChainCoverageGap,        // N006: chained predicates leave a coverage gap
+  // --- pass 3: partition-safety analyzer (advisory; never rejects) --------
+  kReshuffleRequired,       // A001: group key differs from ingest key
+  kPrescribedPartitionKey,  // A002: no declared key; analyzer prescribes one
+  kPartitionKeyDropped,     // A003: projection/operator drops the key
+  kBroadcastJoinInput,      // A004: join side must be broadcast to shards
+  kOrderedMergeRequired,    // A005: ordered emit needs k-way ts-merge
+  kWindowMergeRequired,     // A006: time-window agg merges per window round
+  kPinnedQuery,             // A007: query pins a single shard (with reason)
+  kScalarAggMerge,          // A008: scalar aggregate needs re-aggregation
 };
 
-enum class Severity { kWarning, kError };
+/// kNote findings are purely informational: they never fail ToStatus() and
+/// datacell-lint does not count them against --strict.
+enum class Severity { kNote, kWarning, kError };
 
 /// Short stable identifier, e.g. "P004".
 const char* DiagCodeId(DiagCode code);
@@ -79,6 +91,7 @@ class AnalysisReport {
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
   size_t num_errors() const;
   size_t num_warnings() const;
+  size_t num_notes() const;
   bool ok() const { return num_errors() == 0; }
 
   /// True when any finding carries `code`.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "algebra/lowering.h"
+
 namespace datacell {
 namespace analysis {
 
@@ -185,10 +187,13 @@ std::string IntervalSet::ToString() const {
 
 namespace {
 
-/// Numeric literal value, or nullopt when out of the fragment.
+/// Numeric literal value, or nullopt when out of the fragment. Goes through
+/// MatchLiteral so negative constants — which the parser produces as a
+/// unary minus over a positive literal, e.g. in `a > -5` or the desugared
+/// `a between -5 and 5` — stay in the fragment.
 std::optional<double> LiteralNum(const Expr& e) {
-  if (e.kind() != ExprKind::kLiteral) return std::nullopt;
-  const Value& v = e.literal();
+  Value v;
+  if (!MatchLiteral(e, &v)) return std::nullopt;
   if (v.is_null()) return std::nullopt;
   switch (v.type()) {
     case DataType::kInt64:

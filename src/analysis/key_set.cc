@@ -1,0 +1,65 @@
+#include "analysis/key_set.h"
+
+namespace datacell {
+namespace analysis {
+
+KeyFlow KeyFlow::StreamScan(size_t input, size_t num_columns) {
+  KeyFlow f;
+  f.has_stream = true;
+  f.stream_inputs.insert(input);
+  f.origins.resize(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    f.origins[c] = ColOrigin{input, c};
+  }
+  return f;
+}
+
+KeyFlow KeyFlow::StaticScan(const std::string& relation, size_t num_columns) {
+  KeyFlow f;
+  f.origins.resize(num_columns);
+  f.static_relations.push_back(relation);
+  return f;
+}
+
+KeyFlow KeyFlow::Pinned(std::string reason) {
+  KeyFlow f;
+  f.req = Req::kPinned;
+  f.pinned_reason = std::move(reason);
+  return f;
+}
+
+bool KeyFlow::RequireKey(size_t input, size_t column) {
+  if (pinned()) return false;
+  auto [it, inserted] = required.emplace(input, column);
+  if (!inserted && it->second != column) {
+    req = Req::kPinned;
+    pinned_reason = "input #" + std::to_string(input) +
+                    " would need to be split on two different columns";
+    return false;
+  }
+  req = Req::kKeyed;
+  return true;
+}
+
+bool KeyFlow::CombineConstraints(const KeyFlow& other) {
+  has_stream = has_stream || other.has_stream;
+  for (const std::string& r : other.static_relations) {
+    static_relations.push_back(r);
+  }
+  for (size_t b : other.broadcast_inputs) broadcast_inputs.insert(b);
+  for (size_t s : other.stream_inputs) stream_inputs.insert(s);
+  if (pinned()) return false;
+  if (other.pinned()) {
+    req = Req::kPinned;
+    pinned_reason = other.pinned_reason;
+    return false;
+  }
+  for (const auto& [input, column] : other.required) {
+    if (!RequireKey(input, column)) return false;
+  }
+  if (other.req == Req::kKeyed && req == Req::kAny) req = Req::kKeyed;
+  return true;
+}
+
+}  // namespace analysis
+}  // namespace datacell

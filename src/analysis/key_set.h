@@ -1,0 +1,84 @@
+#ifndef DATACELL_ANALYSIS_KEY_SET_H_
+#define DATACELL_ANALYSIS_KEY_SET_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace datacell {
+namespace analysis {
+
+/// Where an output column's value comes from: basket column `column` of
+/// stream input `input` (the ContinuousInput ordinal), reached through a
+/// value-preserving chain of scans, filters and plain column-ref
+/// projections. Columns produced by arithmetic, functions or aggregates
+/// have no origin.
+struct ColOrigin {
+  size_t input = 0;
+  size_t column = 0;
+
+  bool operator==(const ColOrigin& o) const {
+    return input == o.input && column == o.column;
+  }
+};
+
+/// The partition-key lattice value of one plan subtree:
+///
+///   kAny    (top)  — per-row operators only; ANY disjoint split of the
+///                    stream inputs' rows gives per-shard results whose
+///                    concatenation equals the global result.
+///   kKeyed         — safe iff every stream input in `required` is
+///                    hash-split on exactly the named basket column
+///                    (co-location constraints from joins / distinct /
+///                    group-by).
+///   kPinned (bot)  — no split is safe; the query must run on one shard.
+///
+/// Alongside the lattice value, `origins` tracks per-output-column value
+/// provenance (the witness that a downstream operator's column IS a split
+/// key), and the broadcast sets record inputs whose rows must be replicated
+/// to every shard rather than split.
+struct KeyFlow {
+  enum class Req { kAny, kKeyed, kPinned };
+
+  Req req = Req::kAny;
+  /// Stream-input ordinal -> basket column index the input must be split on.
+  std::map<size_t, size_t> required;
+  /// Per output column of this subtree, its stream provenance (if any).
+  std::vector<std::optional<ColOrigin>> origins;
+  std::string pinned_reason;
+  bool has_stream = false;
+  /// Static (non-basket) relations scanned in this subtree. Under a join
+  /// these become broadcast tables.
+  std::vector<std::string> static_relations;
+  /// Stream inputs whose rows must be broadcast to every shard (join sides
+  /// that could not be co-partitioned).
+  std::set<size_t> broadcast_inputs;
+  /// Every stream-input ordinal scanned in this subtree.
+  std::set<size_t> stream_inputs;
+
+  static KeyFlow StreamScan(size_t input, size_t num_columns);
+  static KeyFlow StaticScan(const std::string& relation, size_t num_columns);
+  static KeyFlow Pinned(std::string reason);
+
+  bool pinned() const { return req == Req::kPinned; }
+
+  /// Adds the constraint "input must be split on basket column `column`".
+  /// Returns false (and pins the flow) when the input is already required
+  /// at a different column.
+  bool RequireKey(size_t input, size_t column);
+
+  /// Folds another subtree's constraints into this one (join/union
+  /// combination): requirement maps must agree input-by-input, broadcast
+  /// and static sets union. Origins are NOT merged (callers rebuild them
+  /// from the operator's output layout). Returns false and pins on
+  /// conflict.
+  bool CombineConstraints(const KeyFlow& other);
+};
+
+}  // namespace analysis
+}  // namespace datacell
+
+#endif  // DATACELL_ANALYSIS_KEY_SET_H_

@@ -174,6 +174,7 @@ std::optional<DataType> CheckExpr(const Expr& expr, const Schema& input,
         case ScalarFunc::kSqrt:
           return DataType::kDouble;
         case ScalarFunc::kLength:
+        case ScalarFunc::kToInt64:
           return DataType::kInt64;
         case ScalarFunc::kLower:
         case ScalarFunc::kUpper:

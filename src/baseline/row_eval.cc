@@ -145,6 +145,8 @@ Result<Value> EvalFunctionOnRow(const Expr& expr, const Row& row) {
           static_cast<unsigned char>(c)));
       return Value::String(std::move(s));
     }
+    case ScalarFunc::kToInt64:
+      return Value::Int64(static_cast<int64_t>(v.AsDouble()));
   }
   return Status::Internal("bad scalar function");
 }

@@ -187,6 +187,57 @@ Result<BasketPtr> Engine::GetBasket(const std::string& name) const {
   return it->second.base;
 }
 
+Status Engine::SetStreamPartitionKey(const std::string& name,
+                                     const std::string& column) {
+  StreamInfo* stream = FindStream(name);
+  if (stream == nullptr) {
+    return Status::NotFound("unknown stream '" + name + "'");
+  }
+  auto idx = stream->user_schema.IndexOf(column);
+  if (!idx.has_value()) {
+    return Status::NotFound("stream '" + name + "' has no column '" + column +
+                            "' to partition by");
+  }
+  stream->partition_key = *idx;
+  return Status::OK();
+}
+
+analysis::PartitionKeyMap Engine::DeclaredPartitionKeys() const {
+  analysis::PartitionKeyMap keys;
+  for (const auto& [key, stream] : streams_) {
+    if (stream.partition_key.has_value()) keys[key] = *stream.partition_key;
+  }
+  return keys;
+}
+
+analysis::PartitionVerdict Engine::EffectivePartitionVerdict(
+    const QueryInfo& q, std::string* reason) const {
+  auto pinned = [&reason](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return analysis::PartitionVerdict::kPinned;
+  };
+  if (q.partition == nullptr || q.factory == nullptr) {
+    return pinned("no partition report attached");
+  }
+  if (q.partition->verdict == analysis::PartitionVerdict::kPinned) {
+    return pinned(q.partition->pinned_reason);
+  }
+  if (q.factory->strategy() == ProcessingStrategy::kChained) {
+    return pinned(
+        "chained strategy: the query forwards non-matching tuples to the "
+        "next query's basket, which a shard split would sever");
+  }
+  for (const BasketPtr& b : q.factory->input_baskets()) {
+    if (b != nullptr && b->num_readers() > 1) {
+      return pinned("input basket '" + b->name() +
+                    "' has multiple readers (the N004 stealing shape); "
+                    "splitting it would desynchronize their watermarks");
+    }
+  }
+  if (reason != nullptr) reason->clear();
+  return q.partition->verdict;
+}
+
 Status Engine::Ingest(const std::string& name, const Row& values) {
   return IngestBatch(name, {values});
 }
@@ -531,12 +582,40 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
   scheduler_.AddTransition(factory);
   scheduler_.AddTransition(emitter);
 
+  // Pass 3: partition-safety classification over the final compiled query
+  // (after shared-filter predicate hoisting). Advisory — registration never
+  // fails on it; the A0xx diagnostics are re-derived by Analyze().
+  auto partition = std::make_shared<analysis::PartitionReport>();
+  {
+    analysis::AnalysisReport scratch;
+    auto res = analysis::AnalyzePartitioning(factory->query(),
+                                             DeclaredPartitionKeys(), &scratch);
+    if (res.ok()) {
+      *partition = std::move(*res);
+    } else {
+      partition->verdict = analysis::PartitionVerdict::kPinned;
+      partition->pinned_reason = res.status().message();
+    }
+  }
+  factory->SetPartitionReport(partition);
+  // Output-stream key inheritance: when the query preserves a shard key
+  // into its output, downstream queries over `<name>_out` see it declared.
+  if ((partition->verdict == analysis::PartitionVerdict::kPartitionable ||
+       partition->verdict == analysis::PartitionVerdict::kNeedsBroadcast) &&
+      partition->output_key_column.has_value() &&
+      *partition->output_key_column < output_user_schema.num_fields()) {
+    // Best-effort: the key column always exists in the output stream when
+    // output_key_column is in range, so this cannot realistically fail.
+    (void)SetStreamPartitionKey(out_name, partition->output_key_name);
+  }
+
   QueryInfo info;
   info.name = name;
   info.sql = sql;
   info.factory = factory;
   info.output = output;
   info.emitter = emitter;
+  info.partition = std::move(partition);
   queries_.push_back(std::move(info));
   return queries_.size() - 1;
 }
@@ -617,7 +696,18 @@ Status Engine::ExecuteCreate(const sql::CreateStmt& stmt) {
     schema.AddField(Field{def.name, def.type});
   }
   if (stmt.is_basket) {
-    return CreateStream(stmt.name, schema).status();
+    // Validate the partition column before creating anything, so a bad
+    // PARTITION BY leaves no stream behind.
+    if (!stmt.partition_by.empty() &&
+        !schema.IndexOf(stmt.partition_by).has_value()) {
+      return Status::NotFound("PARTITION BY column '" + stmt.partition_by +
+                              "' is not a column of '" + stmt.name + "'");
+    }
+    DC_RETURN_NOT_OK(CreateStream(stmt.name, schema).status());
+    if (!stmt.partition_by.empty()) {
+      return SetStreamPartitionKey(stmt.name, stmt.partition_by);
+    }
+    return Status::OK();
   }
   return catalog_.CreateRelation(stmt.name, schema, RelationKind::kTable)
       .status();
@@ -790,6 +880,19 @@ void Engine::RefreshPulledMetrics() const {
           ->Set(snap.steps[i].rows_out);
     }
   }
+  // Pass-3 scale-out readiness: queries whose *effective* verdict (static
+  // report + live overrides) is partitionable outright, and the total that
+  // can fan out at all (everything except pinned).
+  int64_t partitionable = 0;
+  int64_t shardable = 0;
+  for (const QueryInfo& q : queries_) {
+    if (q.removed || q.factory == nullptr) continue;
+    analysis::PartitionVerdict v = EffectivePartitionVerdict(q);
+    if (v == analysis::PartitionVerdict::kPartitionable) ++partitionable;
+    if (v != analysis::PartitionVerdict::kPinned) ++shardable;
+  }
+  metrics_.GetGauge("datacell_partitionable_queries")->Set(partitionable);
+  metrics_.GetGauge("datacell_shardable_queries")->Set(shardable);
   metrics_.GetCounter("datacell_pool_hits_total")
       ->Set(static_cast<int64_t>(batch_pool_->hits()));
   metrics_.GetCounter("datacell_pool_misses_total")
@@ -1009,7 +1112,15 @@ std::string Engine::DumpCatalogSql() const {
       out += " ";
       out += DataTypeToString(schema.field(i).type);
     }
-    out += ");\n";
+    out += ")";
+    if (is_basket) {
+      auto it = streams_.find(ToLower(name));
+      if (it != streams_.end() && it->second.partition_key.has_value() &&
+          *it->second.partition_key < n) {
+        out += " partition by " + schema.field(*it->second.partition_key).name;
+      }
+    }
+    out += ";\n";
   }
   for (const QueryInfo& q : queries_) {
     out += "-- continuous query '" + q.name + "'";
@@ -1162,6 +1273,33 @@ analysis::AnalysisReport Engine::Analyze() const {
     net.transitions.push_back(std::move(e));
   }
   analysis::AnalyzeTopology(net, &report);
+
+  // Pass 3: partition-safety (advisory A0xx findings). Recomputed here
+  // rather than replayed from registration so verdicts reflect the *current*
+  // net: a second query sharing a basket flips num_readers past 1 (the N004
+  // shape) and pins both, and declared keys may have changed.
+  analysis::PartitionKeyMap declared = DeclaredPartitionKeys();
+  for (const QueryInfo& q : queries_) {
+    if (q.removed || q.factory == nullptr) continue;
+    analysis::AnalysisReport pass3;
+    auto res =
+        analysis::AnalyzePartitioning(q.factory->query(), declared, &pass3);
+    for (analysis::Diagnostic d : pass3.diagnostics()) {
+      d.object = d.object.empty() ? ("query '" + q.name + "'")
+                                  : ("query '" + q.name + "' " + d.object);
+      report.Add(std::move(d));
+    }
+    if (!res.ok()) continue;
+    // Engine-level overrides on top of the static verdict.
+    std::string reason;
+    if (res->verdict != analysis::PartitionVerdict::kPinned &&
+        EffectivePartitionVerdict(q, &reason) ==
+            analysis::PartitionVerdict::kPinned) {
+      report.Add(analysis::DiagCode::kPinnedQuery, analysis::Severity::kWarning,
+                 "query pins a single shard: " + reason, {},
+                 "query '" + q.name + "'");
+    }
+  }
   return report;
 }
 

@@ -12,6 +12,7 @@
 #include "adapters/monitor.h"
 #include "adapters/sink.h"
 #include "analysis/net_analyzer.h"
+#include "analysis/partition_analyzer.h"
 #include "common/clock.h"
 #include "common/metrics_registry.h"
 #include "common/thread_pool.h"
@@ -164,6 +165,16 @@ class Engine {
   /// The basket behind stream `name`.
   Result<BasketPtr> GetBasket(const std::string& name) const;
 
+  /// Declares stream `name`'s partition key (`CREATE BASKET ... PARTITION BY
+  /// <column>` routes here). The column must exist in the stream's user
+  /// schema. The partition-safety analyzer (pass 3) seeds its lattice from
+  /// these declarations; queries registered over output streams inherit the
+  /// key the producing query preserves.
+  Status SetStreamPartitionKey(const std::string& name,
+                               const std::string& column);
+  /// basket (lower-cased) -> declared partition column index, for pass 3.
+  analysis::PartitionKeyMap DeclaredPartitionKeys() const;
+
   /// Appends one tuple (without ts) to stream `name`, replicating to
   /// private baskets as the active strategy requires. The fast in-process
   /// ingest path used by tests and benchmarks.
@@ -221,7 +232,18 @@ class Engine {
     BasketPtr output;
     std::shared_ptr<Emitter> emitter;
     bool removed = false;
+    /// Pass-3 partition-safety report computed at registration (static
+    /// verdict; live overrides are applied by EffectivePartitionVerdict).
+    std::shared_ptr<const analysis::PartitionReport> partition;
   };
+  /// The query's partition verdict with the engine-level overrides applied
+  /// on top of the registration-time report: chained-strategy queries and
+  /// queries whose input baskets have multiple readers (the N004 stealing
+  /// shape) pin regardless of what the plan alone allows — both shapes
+  /// couple queries through shared basket state that a shard split would
+  /// tear. `reason` (optional) receives the pin explanation.
+  analysis::PartitionVerdict EffectivePartitionVerdict(
+      const QueryInfo& q, std::string* reason = nullptr) const;
   Result<const QueryInfo*> GetQuery(QueryId id) const;
   size_t num_queries() const { return queries_.size(); }
 
@@ -304,6 +326,9 @@ class Engine {
   struct StreamInfo {
     BasketPtr base;                    // the catalog basket
     Schema user_schema;                // without ts
+    /// Declared partition key: user-schema column index (== basket column
+    /// index; the implicit ts column is appended after the user columns).
+    std::optional<size_t> partition_key;
     std::vector<BasketPtr> replicas;   // separate-strategy private baskets
     std::vector<FactoryPtr> chain;     // chained-strategy factories, in order
     BasketPtr chain_head;              // first chained basket (ingest target)

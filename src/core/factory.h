@@ -17,6 +17,10 @@ namespace datacell {
 
 class BatchPool;
 
+namespace analysis {
+struct PartitionReport;
+}  // namespace analysis
+
 /// How a factory obtains input from its basket(s) — the processing
 /// strategies of §2.5.
 enum class ProcessingStrategy {
@@ -103,6 +107,18 @@ class Factory final : public Transition {
 
   const sql::CompiledQuery& query() const { return query_; }
   const BasketPtr& output() const { return output_; }
+  /// Pass-3 partition-safety report, attached by the engine at registration
+  /// (analysis/partition_analyzer.h). May be null for factories created
+  /// outside the engine. The engine recomputes live overrides (multi-reader
+  /// inputs, chained strategy) on top of this static verdict at \analyze and
+  /// metrics time.
+  void SetPartitionReport(std::shared_ptr<const analysis::PartitionReport> r) {
+    partition_report_ = std::move(r);
+  }
+  const std::shared_ptr<const analysis::PartitionReport>& partition_report()
+      const {
+    return partition_report_;
+  }
   ProcessingStrategy strategy() const { return options_.strategy; }
   /// "none", "reeval" or "incremental".
   const char* window_mode_name() const {
@@ -189,6 +205,7 @@ class Factory final : public Transition {
   // Built once at Create (steps for the specialized stages or the plan
   // nodes); recording is gated by profiling_ per firing.
   std::unique_ptr<PipelineProfile> profile_;
+  std::shared_ptr<const analysis::PartitionReport> partition_report_;
   std::atomic<bool> profiling_{false};
   std::atomic<int64_t> results_emitted_{0};
   std::atomic<int64_t> plan_errors_{0};

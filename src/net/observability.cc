@@ -121,6 +121,21 @@ std::string ObservabilityServer::QueriesJson() const {
       }
       out += "]";
     }
+    if (info.partition != nullptr) {
+      // The shard plan: the report's own JSON object, with the engine-level
+      // effective verdict (live N004 / chained overrides) alongside it.
+      std::string reason;
+      analysis::PartitionVerdict effective =
+          engine_->EffectivePartitionVerdict(info, &reason);
+      out += ",\"partition\":" + info.partition->ToJson();
+      out += ",\"effective_verdict\":";
+      AppendJsonString(out, analysis::PartitionVerdictName(effective));
+      if (effective == analysis::PartitionVerdict::kPinned &&
+          !reason.empty()) {
+        out += ",\"pinned_reason\":";
+        AppendJsonString(out, reason);
+      }
+    }
     out += "}";
   }
   out += "]\n";

@@ -139,6 +139,10 @@ struct CreateStmt {
   std::string name;
   std::vector<ColumnDef> columns;
   bool is_basket = false;  // CREATE BASKET vs CREATE TABLE
+  /// `PARTITION BY <column>` (baskets only): the column the stream's ingest
+  /// will hash-shard on. Advisory today — the partition-safety analyzer
+  /// (pass 3) seeds its key lattice from it. Empty = none declared.
+  std::string partition_by;
 };
 
 struct InsertStmt {

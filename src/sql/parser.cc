@@ -160,6 +160,13 @@ class Parser {
       create->columns.push_back(std::move(def));
     } while (MatchToken(TokenType::kComma));
     DC_RETURN_NOT_OK(ExpectToken(TokenType::kRParen));
+    if (MatchKeyword("partition")) {
+      DC_RETURN_NOT_OK(ExpectKeyword("by"));
+      if (!is_basket) {
+        return Err("PARTITION BY applies to baskets, not tables");
+      }
+      DC_ASSIGN_OR_RETURN(create->partition_by, ExpectName());
+    }
     Statement stmt;
     stmt.kind = Statement::Kind::kCreate;
     stmt.create = std::move(create);

@@ -11,7 +11,9 @@
 
 #include "analysis/diagnostic.h"
 #include "analysis/interval.h"
+#include "analysis/key_set.h"
 #include "analysis/net_analyzer.h"
+#include "analysis/partition_analyzer.h"
 #include "analysis/plan_analyzer.h"
 #include "core/engine.h"
 #include "core/factory.h"
@@ -498,6 +500,97 @@ TEST(IntervalSetTest, AndOrComplement) {
   EXPECT_TRUE(band->Union(outside).IsAll());
 }
 
+// NOT and desugared BETWEEN (the parser rewrites `a between x and y` into
+// `a >= x and a <= y`, and `not between` wraps that in kNot) must stay inside
+// the interval fragment, including negative literal bounds (kNeg-wrapped).
+TEST(IntervalSetTest, NotAndBetweenShapesStayInFragment) {
+  struct Sample {
+    double v;
+    bool in;
+  };
+  struct Case {
+    const char* label;
+    ExprPtr pred;
+    std::vector<Sample> samples;
+  };
+  auto ge = [](int64_t v) {
+    return Expr::Binary(BinaryOp::kGe, Col0(), Expr::Int(v));
+  };
+  auto le = [](int64_t v) {
+    return Expr::Binary(BinaryOp::kLe, Col0(), Expr::Int(v));
+  };
+  auto neg = [](int64_t v) {
+    return Expr::Unary(UnaryOp::kNeg, Expr::Int(v));
+  };
+  const Case cases[] = {
+      {"between",  // x between -5 and 5, desugared
+       Expr::And(Expr::Binary(BinaryOp::kGe, Col0(), neg(5)), le(5)),
+       {{-6.0, false}, {-5.0, true}, {0.0, true}, {5.0, true}, {5.5, false}}},
+      {"not_between",
+       Expr::Unary(UnaryOp::kNot,
+                   Expr::And(Expr::Binary(BinaryOp::kGe, Col0(), neg(5)),
+                             le(5))),
+       {{-6.0, true}, {-5.0, false}, {0.0, false}, {5.0, false}, {6.0, true}}},
+      {"not_gt",
+       Expr::Unary(UnaryOp::kNot,
+                   Expr::Binary(BinaryOp::kGt, Col0(), Expr::Int(3))),
+       {{2.0, true}, {3.0, true}, {3.5, false}}},
+      {"gt_negative_literal",
+       Expr::Binary(BinaryOp::kGt, Col0(), neg(5)),
+       {{-6.0, false}, {-5.0, false}, {-4.5, true}, {0.0, true}}},
+      {"not_or",  // not (x < 0 or x > 10)  ==  [0, 10]
+       Expr::Unary(
+           UnaryOp::kNot,
+           Expr::Binary(BinaryOp::kOr,
+                        Expr::Binary(BinaryOp::kLt, Col0(), Expr::Int(0)),
+                        Expr::Binary(BinaryOp::kGt, Col0(), Expr::Int(10)))),
+       {{-0.5, false}, {0.0, true}, {10.0, true}, {10.5, false}}},
+      {"double_not",
+       Expr::Unary(UnaryOp::kNot,
+                   Expr::Unary(UnaryOp::kNot,
+                               Expr::Binary(BinaryOp::kGt, Col0(),
+                                            Expr::Int(2)))),
+       {{2.0, false}, {2.5, true}}},
+  };
+  for (const Case& c : cases) {
+    size_t col = 0;
+    auto set = analysis::IntervalSet::FromPredicate(*c.pred, &col);
+    ASSERT_TRUE(set.has_value()) << c.label << ": fell out of the fragment";
+    for (const Sample& s : c.samples) {
+      EXPECT_EQ(set->Contains(s.v), s.in)
+          << c.label << ": Contains(" << s.v << ")";
+    }
+  }
+}
+
+// The same shapes through the SQL chain lints: a BETWEEN band and its NOT
+// complement are disjoint and covering, so a chained pair is clean.
+TEST(NetAnalysisTest, ChainWithBetweenAndNotIsClean) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket r (x int)").ok());
+  QueryOptions chained;
+  chained.strategy = ProcessingStrategy::kChained;
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "band",
+                      "select x from [select * from r where r.x between -5 "
+                      "and 5] as s",
+                      chained)
+                  .ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "rest",
+                      "select x from [select * from r where r.x not between "
+                      "-5 and 5] as s",
+                      chained)
+                  .ok());
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_FALSE(report.Has(analysis::DiagCode::kChainPredicateOverlap))
+      << report.ToString();
+  EXPECT_FALSE(report.Has(analysis::DiagCode::kChainCoverageGap))
+      << report.ToString();
+}
+
 TEST(IntervalSetTest, OutOfFragmentShapesAreRejected) {
   size_t col = 0;
   // String comparison: not a numeric interval.
@@ -512,6 +605,596 @@ TEST(IntervalSetTest, OutOfFragmentShapesAreRejected) {
                                  Expr::Column(2, "y", DataType::kInt64)),
                    &col)
                    .has_value());
+}
+
+// --- pass 3: the KeyFlow lattice --------------------------------------------
+
+TEST(KeyFlowTest, RequireKeyIsIdempotentAndConflictPins) {
+  analysis::KeyFlow f = analysis::KeyFlow::StreamScan(0, 3);
+  EXPECT_EQ(f.req, analysis::KeyFlow::Req::kAny);
+  EXPECT_TRUE(f.has_stream);
+  ASSERT_EQ(f.origins.size(), 3u);
+  EXPECT_TRUE(f.origins[1].has_value());
+  EXPECT_EQ(f.origins[1]->column, 1u);
+
+  EXPECT_TRUE(f.RequireKey(0, 2));
+  EXPECT_EQ(f.req, analysis::KeyFlow::Req::kKeyed);
+  EXPECT_TRUE(f.RequireKey(0, 2));  // same column: fine
+  EXPECT_FALSE(f.RequireKey(0, 1));  // different column: lattice bottom
+  EXPECT_TRUE(f.pinned());
+}
+
+TEST(KeyFlowTest, CombineConstraintsUnionsAndDetectsConflicts) {
+  analysis::KeyFlow a = analysis::KeyFlow::StreamScan(0, 2);
+  analysis::KeyFlow b = analysis::KeyFlow::StreamScan(1, 2);
+  ASSERT_TRUE(a.RequireKey(0, 0));
+  ASSERT_TRUE(b.RequireKey(1, 1));
+  ASSERT_TRUE(a.CombineConstraints(b));
+  EXPECT_EQ(a.required.size(), 2u);
+  EXPECT_EQ(a.required.at(1), 1u);
+  EXPECT_EQ(a.stream_inputs.size(), 2u);
+
+  // Same input required at two different columns across branches: pinned.
+  analysis::KeyFlow c = analysis::KeyFlow::StreamScan(0, 2);
+  ASSERT_TRUE(c.RequireKey(0, 1));
+  EXPECT_FALSE(a.CombineConstraints(c));
+  EXPECT_TRUE(a.pinned());
+
+  // Static relations and broadcast inputs union through combination.
+  analysis::KeyFlow s = analysis::KeyFlow::StaticScan("dims", 2);
+  EXPECT_FALSE(s.has_stream);
+  analysis::KeyFlow d = analysis::KeyFlow::StreamScan(0, 2);
+  ASSERT_TRUE(d.CombineConstraints(s));
+  ASSERT_EQ(d.static_relations.size(), 1u);
+  EXPECT_EQ(d.static_relations[0], "dims");
+}
+
+// --- pass 3: partition verdicts on registered queries -----------------------
+
+// Registers `sql` against an engine where `ddl` ran first and returns the
+// stored partition report (never null for a live query).
+std::shared_ptr<const analysis::PartitionReport> Classify(
+    Engine& engine, const std::string& name, const std::string& sql,
+    const QueryOptions& opts = {}) {
+  auto q = engine.SubmitContinuousQuery(name, sql, opts);
+  if (!q.ok()) {
+    ADD_FAILURE() << name << ": " << q.status().ToString();
+    return nullptr;
+  }
+  auto info = engine.GetQuery(*q);
+  if (!info.ok() || (*info)->partition == nullptr) {
+    ADD_FAILURE() << name << ": no partition report attached";
+    return nullptr;
+  }
+  return (*info)->partition;
+}
+
+TEST(PartitionAnalysisTest, FilterProjectPreservesDeclaredKey) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r (id int, temp double) partition by id")
+          .ok());
+  auto rep = Classify(engine, "hot",
+                      "select id, temp from [select * from r] as s "
+                      "where s.temp > 30.0");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->verdict, analysis::PartitionVerdict::kPartitionable);
+  EXPECT_EQ(rep->merge, analysis::MergeKind::kNone);
+  ASSERT_EQ(rep->inputs.size(), 1u);
+  EXPECT_EQ(rep->inputs[0].kind, analysis::ShardKeyKind::kHash);
+  EXPECT_EQ(rep->inputs[0].key_name, "id");
+  EXPECT_TRUE(rep->inputs[0].declared);
+  // The key survives the projection and the output stream inherits it.
+  ASSERT_TRUE(rep->output_key_column.has_value());
+  EXPECT_EQ(rep->output_key_name, "id");
+  analysis::PartitionKeyMap keys = engine.DeclaredPartitionKeys();
+  ASSERT_EQ(keys.count("hot_out"), 1u);
+  EXPECT_EQ(keys["hot_out"], 0u);
+}
+
+TEST(PartitionAnalysisTest, GroupByOnDeclaredKeyNeedsNoMerge) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket t (sym varchar, qty int) "
+                              "partition by sym")
+                  .ok());
+  auto rep = Classify(engine, "per_sym",
+                      "select sym, sum(qty) as total from "
+                      "[select * from t] as x group by sym");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->verdict, analysis::PartitionVerdict::kPartitionable);
+  EXPECT_EQ(rep->merge, analysis::MergeKind::kNone);
+  EXPECT_EQ(rep->output_key_name, "sym");
+}
+
+TEST(PartitionAnalysisTest, GroupByOffKeyPrescribesReshuffle) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket t (sym varchar, qty int) "
+                              "partition by sym")
+                  .ok());
+  auto rep = Classify(engine, "by_qty",
+                      "select qty, count(*) as n from [select * from t] as x "
+                      "group by qty");
+  ASSERT_NE(rep, nullptr);
+  // Still partitionable -- on the grouping column, not the declared key.
+  EXPECT_EQ(rep->verdict, analysis::PartitionVerdict::kPartitionable);
+  ASSERT_EQ(rep->inputs.size(), 1u);
+  EXPECT_EQ(rep->inputs[0].key_name, "qty");
+  EXPECT_FALSE(rep->inputs[0].declared);
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kReshuffleRequired))
+      << report.ToString();
+  EXPECT_EQ(report.num_errors(), 0u);  // pass 3 is advisory
+}
+
+TEST(PartitionAnalysisTest, CoPartitionedJoinKeysBothInputs) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket bids (sym varchar, px double) "
+                              "partition by sym")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket asks (sym varchar, px double) "
+                              "partition by sym")
+                  .ok());
+  auto rep = Classify(engine, "spread",
+                      "select b.sym, b.px - a.px as gap from "
+                      "[select * from bids] as b join [select * from asks] "
+                      "as a on b.sym = a.sym");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->verdict, analysis::PartitionVerdict::kPartitionable);
+  ASSERT_EQ(rep->inputs.size(), 2u);
+  for (const analysis::ShardKey& k : rep->inputs) {
+    EXPECT_EQ(k.kind, analysis::ShardKeyKind::kHash);
+    EXPECT_EQ(k.key_name, "sym");
+    EXPECT_TRUE(k.declared);
+  }
+  EXPECT_EQ(rep->output_key_name, "sym");
+}
+
+TEST(PartitionAnalysisTest, StaticJoinSideBecomesBroadcast) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket t (sym varchar, px double) "
+                              "partition by sym")
+                  .ok());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create table dims (sym varchar, sector varchar)")
+          .ok());
+  auto rep = Classify(engine, "sectors",
+                      "select t.sym, d.sector from [select * from t] as t "
+                      "join dims as d on t.sym = d.sym");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->verdict, analysis::PartitionVerdict::kNeedsBroadcast);
+  ASSERT_EQ(rep->broadcast_relations.size(), 1u);
+  EXPECT_EQ(rep->broadcast_relations[0], "dims");
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kBroadcastJoinInput))
+      << report.ToString();
+}
+
+TEST(PartitionAnalysisTest, ScalarAvgDecomposesIntoSumCountPartials) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r (id int, temp double) partition by id")
+          .ok());
+  auto rep = Classify(engine, "mean",
+                      "select avg(temp) as mean from [select * from r] as s");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->verdict, analysis::PartitionVerdict::kNeedsFinalMerge);
+  EXPECT_EQ(rep->merge, analysis::MergeKind::kReaggregate);
+  ASSERT_NE(rep->partial_plan, nullptr);
+  ASSERT_NE(rep->merge_plan, nullptr);
+  // avg decomposes: the per-shard partial carries a sum and a count.
+  EXPECT_EQ(rep->partial_plan->output_schema().num_fields(), 2u);
+  // The merge plan reconstructs the query's output schema exactly.
+  EXPECT_EQ(rep->merge_plan->output_schema().num_fields(), 1u);
+  EXPECT_EQ(rep->merge_plan->output_schema().field(0).name, "mean");
+  EXPECT_EQ(rep->merge_plan->output_schema().field(0).type,
+            DataType::kDouble);
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kScalarAggMerge))
+      << report.ToString();
+}
+
+TEST(PartitionAnalysisTest, OrderedEmitNeedsOrderedMerge) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket s (player varchar, pts double) "
+                              "partition by player")
+                  .ok());
+  auto rep = Classify(engine, "ranked",
+                      "select player, pts from [select * from s] as x "
+                      "order by pts desc limit 10");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->verdict, analysis::PartitionVerdict::kNeedsFinalMerge);
+  EXPECT_EQ(rep->merge, analysis::MergeKind::kOrderedMerge);
+  ASSERT_NE(rep->partial_plan, nullptr);
+  ASSERT_NE(rep->merge_plan, nullptr);
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kOrderedMergeRequired))
+      << report.ToString();
+}
+
+TEST(PartitionAnalysisTest, PinnedShapes) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r (x int, y double) partition by x")
+          .ok());
+  // Count-based window: firing depends on global arrival order.
+  auto wnd = Classify(engine, "wnd",
+                      "select sum(x) as s from [select * from r] as t "
+                      "window size 10");
+  ASSERT_NE(wnd, nullptr);
+  EXPECT_EQ(wnd->verdict, analysis::PartitionVerdict::kPinned);
+  EXPECT_NE(wnd->pinned_reason.find("arrival order"), std::string::npos)
+      << wnd->pinned_reason;
+
+  // LIMIT without ORDER BY: "first n seen" is arrival-order dependent.
+  Engine e2(Deterministic());
+  ASSERT_TRUE(
+      e2.ExecuteSql("create basket r (x int, y double) partition by x").ok());
+  auto lim = Classify(e2, "lim",
+                      "select x from [select * from r] as t limit 5");
+  ASSERT_NE(lim, nullptr);
+  EXPECT_EQ(lim->verdict, analysis::PartitionVerdict::kPinned);
+
+  // DISTINCT over computed values: no input column witnesses the key.
+  Engine e3(Deterministic());
+  ASSERT_TRUE(
+      e3.ExecuteSql("create basket r (x int, y double) partition by x").ok());
+  auto dis = Classify(e3, "dis",
+                      "select distinct x / 2 as bucket from "
+                      "[select * from r] as t");
+  ASSERT_NE(dis, nullptr);
+  EXPECT_EQ(dis->verdict, analysis::PartitionVerdict::kPinned);
+  EXPECT_NE(dis->pinned_reason.find("DISTINCT"), std::string::npos);
+}
+
+TEST(PartitionAnalysisTest, DistinctOverPlainColumnRequiresItAsKey) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r (x int, kind varchar) partition by x")
+          .ok());
+  auto rep = Classify(engine, "kinds",
+                      "select distinct kind from [select * from r] as t");
+  ASSERT_NE(rep, nullptr);
+  // Splitting on `kind` co-locates duplicates, so DISTINCT decomposes.
+  EXPECT_EQ(rep->verdict, analysis::PartitionVerdict::kPartitionable);
+  ASSERT_EQ(rep->inputs.size(), 1u);
+  EXPECT_EQ(rep->inputs[0].key_name, "kind");
+  EXPECT_FALSE(rep->inputs[0].declared);
+}
+
+TEST(PartitionAnalysisTest, TimeWindowAggregateMergesPerWindow) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r (x int) partition by x").ok());
+  auto rep = Classify(engine, "win",
+                      "select sum(x) as s from [select * from r] as t "
+                      "window range 10 seconds");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->verdict, analysis::PartitionVerdict::kNeedsFinalMerge);
+  EXPECT_TRUE(rep->merge_per_window);
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kWindowMergeRequired))
+      << report.ToString();
+}
+
+TEST(PartitionAnalysisTest, OneTimeQueryIsPinned) {
+  auto scan = MakeScan("t", XNameSchema());
+  ASSERT_TRUE(scan.ok());
+  sql::CompiledQuery q;
+  q.plan = *scan;
+  q.output_schema = XNameSchema();
+  q.continuous = false;
+  analysis::AnalysisReport diags;
+  auto rep = analysis::AnalyzePartitioning(q, {}, &diags);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep->verdict, analysis::PartitionVerdict::kPinned);
+  EXPECT_NE(rep->pinned_reason.find("one-time"), std::string::npos);
+  EXPECT_EQ(diags.num_warnings(), 0u);  // not worth an A007 for one-shots
+}
+
+// --- pass 3 wiring: DDL, inheritance, live overrides, metrics ---------------
+
+TEST(PartitionDdlTest, PartitionByParsesValidatesAndRoundTrips) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r (id int, temp double) partition by id")
+          .ok());
+  analysis::PartitionKeyMap keys = engine.DeclaredPartitionKeys();
+  ASSERT_EQ(keys.count("r"), 1u);
+  EXPECT_EQ(keys["r"], 0u);
+
+  // Unknown column: rejected, and the stream must not be left behind.
+  auto bad =
+      engine.ExecuteSql("create basket b (x int) partition by missing");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("missing"), std::string::npos);
+  EXPECT_TRUE(engine.ExecuteSql("create basket b (x int)").ok());
+
+  // Tables are static: no partition clause.
+  EXPECT_FALSE(
+      engine.ExecuteSql("create table t (x int) partition by x").ok());
+
+  // The catalog dump round-trips the clause.
+  std::string dump = engine.DumpCatalogSql();
+  EXPECT_NE(dump.find("partition by id"), std::string::npos) << dump;
+  Engine replay(Deterministic());
+  ASSERT_TRUE(replay.ExecuteScript(dump).ok()) << dump;
+  EXPECT_EQ(replay.DeclaredPartitionKeys().count("r"), 1u);
+}
+
+TEST(PartitionAnalysisTest, MultiReaderOverridePinsEffectiveVerdict) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r (x int) partition by x").ok());
+  QueryOptions shared;
+  shared.strategy = ProcessingStrategy::kSharedBaskets;
+  auto a = engine.SubmitContinuousQuery(
+      "a", "select x from [select * from r] as s", shared);
+  ASSERT_TRUE(a.ok());
+  auto ia = engine.GetQuery(*a);
+  ASSERT_TRUE(ia.ok());
+  // Single reader: static and effective verdicts agree.
+  EXPECT_EQ(engine.EffectivePartitionVerdict(**ia),
+            analysis::PartitionVerdict::kPartitionable);
+
+  auto b = engine.SubmitContinuousQuery(
+      "b", "select x from [select * from r] as s", shared);
+  ASSERT_TRUE(b.ok());
+  // Now both queries share the basket (the N004 shape): statically still
+  // partitionable, effectively pinned.
+  ia = engine.GetQuery(*a);
+  ASSERT_TRUE(ia.ok());
+  EXPECT_EQ((*ia)->partition->verdict,
+            analysis::PartitionVerdict::kPartitionable);
+  std::string reason;
+  EXPECT_EQ(engine.EffectivePartitionVerdict(**ia, &reason),
+            analysis::PartitionVerdict::kPinned);
+  EXPECT_NE(reason.find("multiple readers"), std::string::npos) << reason;
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kPinnedQuery))
+      << report.ToString();
+}
+
+TEST(PartitionAnalysisTest, GaugesCountPartitionableQueries) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r (x int) partition by x").ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "p", "select x from [select * from r] as s")
+                  .ok());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r2 (x int) partition by x").ok());
+  ASSERT_TRUE(engine
+                  .SubmitContinuousQuery(
+                      "pin", "select x from [select * from r2] as s limit 3")
+                  .ok());
+  std::string text = engine.MetricsText();
+  EXPECT_NE(text.find("datacell_partitionable_queries 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("datacell_shardable_queries 1"), std::string::npos)
+      << text;
+}
+
+// --- pass 3 soundness: the split-merge oracle --------------------------------
+
+// Builds a basket-shaped table (user columns + ts) for input `i` of `q`.
+TablePtr OracleInput(const sql::CompiledQuery& q, size_t i,
+                     const std::vector<Row>& rows) {
+  auto t = std::make_shared<Table>("oracle_in", q.inputs[i].basket_schema);
+  for (const Row& r : rows) {
+    Status s = t->AppendRow(r);
+    if (!s.ok()) ADD_FAILURE() << s.ToString();
+  }
+  return t;
+}
+
+TEST(SplitMergeOracleTest, PartitionableFilterIsEquivalent) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r (id int, temp double) partition by id")
+          .ok());
+  auto qid = engine.SubmitContinuousQuery(
+      "hot", "select id, temp from [select * from r] as s "
+             "where s.temp > 25.0");
+  ASSERT_TRUE(qid.ok());
+  auto info = engine.GetQuery(*qid);
+  ASSERT_TRUE(info.ok());
+  const sql::CompiledQuery& cq = (*info)->factory->query();
+  std::vector<Row> rows;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({Value::Int64(i % 7), Value::Double(20.0 + i % 13),
+                    Value::TimestampVal(i)});
+  }
+  auto res = analysis::CheckSplitMergeEquivalence(
+      cq, *(*info)->partition, {OracleInput(cq, 0, rows)}, {}, 3);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->equivalent) << res->detail;
+}
+
+TEST(SplitMergeOracleTest, KeyedGroupByIsEquivalent) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket t (sym varchar, qty int) "
+                              "partition by sym")
+                  .ok());
+  auto qid = engine.SubmitContinuousQuery(
+      "per_sym", "select sym, sum(qty) as total, count(*) as n from "
+                 "[select * from t] as x group by sym");
+  ASSERT_TRUE(qid.ok());
+  auto info = engine.GetQuery(*qid);
+  ASSERT_TRUE(info.ok());
+  const sql::CompiledQuery& cq = (*info)->factory->query();
+  const char* syms[] = {"AAA", "BBB", "CCC", "DDD"};
+  std::vector<Row> rows;
+  for (int i = 0; i < 32; ++i) {
+    rows.push_back({Value::String(syms[i % 4]), Value::Int64(i),
+                    Value::TimestampVal(i)});
+  }
+  auto res = analysis::CheckSplitMergeEquivalence(
+      cq, *(*info)->partition, {OracleInput(cq, 0, rows)}, {});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->equivalent) << res->detail;
+}
+
+TEST(SplitMergeOracleTest, AvgReaggregationIsEquivalent) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create basket r (id int, temp double) partition by id")
+          .ok());
+  auto qid = engine.SubmitContinuousQuery(
+      "mean", "select avg(temp) as mean, count(*) as n, min(temp) as lo, "
+              "max(temp) as hi from [select * from r] as s");
+  ASSERT_TRUE(qid.ok());
+  auto info = engine.GetQuery(*qid);
+  ASSERT_TRUE(info.ok());
+  const sql::CompiledQuery& cq = (*info)->factory->query();
+  std::vector<Row> rows;
+  for (int i = 0; i < 25; ++i) {
+    rows.push_back({Value::Int64(i), Value::Double(0.1 * i - 1.0),
+                    Value::TimestampVal(i)});
+  }
+  auto res = analysis::CheckSplitMergeEquivalence(
+      cq, *(*info)->partition, {OracleInput(cq, 0, rows)}, {}, 4);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->equivalent) << res->detail;
+}
+
+TEST(SplitMergeOracleTest, CoPartitionedJoinWithForeignGroupBy) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket o (sym varchar, qty int) "
+                              "partition by sym")
+                  .ok());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket q (sym varchar, bid double) "
+                              "partition by sym")
+                  .ok());
+  auto qid = engine.SubmitContinuousQuery(
+      "depth", "select q.bid, sum(o.qty) as vol from [select * from o] as o "
+               "join [select * from q] as q on o.sym = q.sym group by q.bid");
+  ASSERT_TRUE(qid.ok());
+  auto info = engine.GetQuery(*qid);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ((*info)->partition->verdict,
+            analysis::PartitionVerdict::kNeedsFinalMerge);
+  const sql::CompiledQuery& cq = (*info)->factory->query();
+  const char* syms[] = {"AAA", "BBB", "CCC"};
+  std::vector<Row> orders, quotes;
+  for (int i = 0; i < 18; ++i) {
+    orders.push_back({Value::String(syms[i % 3]), Value::Int64(1 + i % 5),
+                      Value::TimestampVal(i)});
+  }
+  for (int i = 0; i < 9; ++i) {
+    quotes.push_back({Value::String(syms[i % 3]), Value::Double(10.0 + i % 2),
+                      Value::TimestampVal(i)});
+  }
+  auto res = analysis::CheckSplitMergeEquivalence(
+      cq, *(*info)->partition,
+      {OracleInput(cq, 0, orders), OracleInput(cq, 1, quotes)}, {});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->equivalent) << res->detail;
+}
+
+TEST(SplitMergeOracleTest, BroadcastJoinIsEquivalent) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket t (sym varchar, px double) "
+                              "partition by sym")
+                  .ok());
+  ASSERT_TRUE(
+      engine.ExecuteSql("create table dims (sym varchar, sector varchar)")
+          .ok());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("insert into dims values ('AAA', 'tech'), "
+                              "('BBB', 'energy')")
+                  .ok());
+  auto qid = engine.SubmitContinuousQuery(
+      "sectors", "select t.sym, d.sector from [select * from t] as t "
+                 "join dims as d on t.sym = d.sym");
+  ASSERT_TRUE(qid.ok());
+  auto info = engine.GetQuery(*qid);
+  ASSERT_TRUE(info.ok());
+  const sql::CompiledQuery& cq = (*info)->factory->query();
+  const char* syms[] = {"AAA", "BBB", "ZZZ"};  // ZZZ has no dim row
+  std::vector<Row> rows;
+  for (int i = 0; i < 15; ++i) {
+    rows.push_back({Value::String(syms[i % 3]), Value::Double(1.0 * i),
+                    Value::TimestampVal(i)});
+  }
+  auto dims = std::make_shared<Table>(
+      "dims", Schema({{"sym", DataType::kString},
+                      {"sector", DataType::kString}}));
+  ASSERT_TRUE(
+      dims->AppendRow({Value::String("AAA"), Value::String("tech")}).ok());
+  ASSERT_TRUE(
+      dims->AppendRow({Value::String("BBB"), Value::String("energy")}).ok());
+  PlanBindings statics;
+  statics["dims"] = dims;
+  auto res = analysis::CheckSplitMergeEquivalence(
+      cq, *(*info)->partition, {OracleInput(cq, 0, rows)}, statics);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->equivalent) << res->detail;
+}
+
+TEST(SplitMergeOracleTest, OrderedMergeIsEquivalent) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket s (player varchar, pts double) "
+                              "partition by player")
+                  .ok());
+  auto qid = engine.SubmitContinuousQuery(
+      "ranked", "select player, pts from [select * from s] as x "
+                "order by pts desc limit 8");
+  ASSERT_TRUE(qid.ok());
+  auto info = engine.GetQuery(*qid);
+  ASSERT_TRUE(info.ok());
+  const sql::CompiledQuery& cq = (*info)->factory->query();
+  std::vector<Row> rows;
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back({Value::String("p" + std::to_string(i)),
+                    Value::Double(i % 11 * 1.5), Value::TimestampVal(i)});
+  }
+  auto res = analysis::CheckSplitMergeEquivalence(
+      cq, *(*info)->partition, {OracleInput(cq, 0, rows)}, {}, 3);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->equivalent) << res->detail;
+}
+
+// The oracle must also be able to FAIL: feed it a deliberately unsound
+// recipe (a keyed group-by executed over an arbitrary round-robin split with
+// no merge) and it has to notice the duplicated groups.
+TEST(SplitMergeOracleTest, DetectsUnsoundRecipe) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket t (sym varchar, qty int) "
+                              "partition by sym")
+                  .ok());
+  auto qid = engine.SubmitContinuousQuery(
+      "per_sym", "select sym, sum(qty) as total from [select * from t] as x "
+                 "group by sym");
+  ASSERT_TRUE(qid.ok());
+  auto info = engine.GetQuery(*qid);
+  ASSERT_TRUE(info.ok());
+  const sql::CompiledQuery& cq = (*info)->factory->query();
+  analysis::PartitionReport bogus = *(*info)->partition;
+  ASSERT_EQ(bogus.inputs.size(), 1u);
+  bogus.inputs[0].kind = analysis::ShardKeyKind::kAnySplit;  // break co-location
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({Value::String("AAA"), Value::Int64(1),
+                    Value::TimestampVal(i)});
+  }
+  auto res = analysis::CheckSplitMergeEquivalence(
+      cq, bogus, {OracleInput(cq, 0, rows)}, {});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_FALSE(res->equivalent);
+  EXPECT_FALSE(res->detail.empty());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // datacell-lint: offline static analysis of DataCell SQL scripts.
 //
-// Usage:  datacell-lint [--strict] file.sql [more.sql ...]
+// Usage:  datacell-lint [--strict] [--json] [--partition-report <out.json>]
+//                       file.sql [more.sql ...]
 //
 // Each file is a ';'-separated script in the shell's dialect: DDL, INSERT,
 // one-time SELECTs and continuous queries (either `\watch <name> <sql>;` or
@@ -8,10 +9,19 @@
 // scratch engine so later statements see the schemas; SELECTs are compiled
 // and type-checked but never run. After every file is processed the whole
 // registered net is linted (orphan baskets, dead transitions, chained
-// predicate overlap, ...).
+// predicate overlap, partition safety, ...).
+//
+// Diagnostics print to stderr as `file:line:col: severity: message [CODE]`
+// (the format .github/datacell-lint-matcher.json turns into PR annotations).
+// --json additionally prints the same findings to stdout as one JSON array
+// of {code, severity, file, line, col, message} objects.
+// --partition-report writes the pass-3 shard plan for every continuous
+// query in the inputs — the machine-readable artifact the sharding work
+// consumes and CI golden-diffs.
 //
 // Exit status: 1 when any error-severity diagnostic was produced (with
-// --strict, warnings fail too); 0 otherwise. CI runs this over examples/sql.
+// --strict, warnings fail too; notes never fail); 0 otherwise. CI runs this
+// over examples/sql.
 
 #include <cstdio>
 #include <fstream>
@@ -19,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/partition_analyzer.h"
 #include "analysis/plan_analyzer.h"
 #include "common/string_util.h"
 #include "core/engine.h"
@@ -32,7 +43,67 @@ using namespace datacell;
 struct LintCounts {
   size_t errors = 0;
   size_t warnings = 0;
+  size_t notes = 0;
 };
+
+/// One finding, normalized to file coordinates for both output formats.
+struct LintDiag {
+  std::string code;  // "P004", "A001", ... ; empty for parse/exec errors
+  std::string severity;
+  std::string file;
+  size_t line = 0;  // 1-based file line; 0 = file-level finding
+  size_t col = 0;
+  std::string message;
+};
+
+/// One registered continuous query's shard plan, for --partition-report.
+struct PartitionEntry {
+  std::string file;
+  size_t line = 0;
+  std::string query;
+  std::string sql;
+  std::string report_json;       // PartitionReport::ToJson()
+  std::string effective_verdict; // with engine-level overrides applied
+};
+
+struct LintOutput {
+  LintCounts counts;
+  std::vector<LintDiag> diags;
+  std::vector<PartitionEntry> partitions;
+};
+
+void JsonAppendString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Prints the unified problem-matcher line and records the finding.
+void Emit(LintOutput* out, LintDiag d) {
+  std::fprintf(stderr, "%s:%zu:%zu: %s: %s%s%s%s\n", d.file.c_str(), d.line,
+               d.col, d.severity.c_str(), d.message.c_str(),
+               d.code.empty() ? "" : " [", d.code.c_str(),
+               d.code.empty() ? "" : "]");
+  if (d.severity == "error") ++out->counts.errors;
+  if (d.severity == "warning") ++out->counts.warnings;
+  if (d.severity == "note") ++out->counts.notes;
+  out->diags.push_back(std::move(d));
+}
 
 /// One raw statement of a script with the 1-based file line it starts on.
 struct ScriptStmt {
@@ -86,30 +157,57 @@ std::vector<ScriptStmt> SplitStatements(const std::string& content) {
   return out;
 }
 
-void Report(const char* file, size_t stmt_line, const Status& st,
-            LintCounts* counts) {
-  // Parser/binder positions are relative to the statement; print the
-  // statement's own file line so editors can jump close to the fault.
-  std::fprintf(stderr, "%s:%zu: error: %s\n", file, stmt_line,
-               st.message().c_str());
-  ++counts->errors;
+void ReportStatus(const char* file, size_t stmt_line, const Status& st,
+                  LintOutput* out) {
+  LintDiag d;
+  d.severity = "error";
+  d.file = file;
+  d.line = stmt_line;
+  d.message = st.message();
+  Emit(out, std::move(d));
 }
 
-void PrintReport(const char* scope, const analysis::AnalysisReport& report,
-                 LintCounts* counts) {
-  for (const analysis::Diagnostic& d : report.diagnostics()) {
-    std::fprintf(stderr, "%s: %s\n", scope, d.ToString().c_str());
+const char* SeverityName(analysis::Severity s) {
+  switch (s) {
+    case analysis::Severity::kError: return "error";
+    case analysis::Severity::kWarning: return "warning";
+    case analysis::Severity::kNote: return "note";
   }
-  counts->errors += report.num_errors();
-  counts->warnings += report.num_warnings();
+  return "?";
+}
+
+/// Emits every finding of `report`. `stmt_line` anchors statement-relative
+/// source positions to the file (0 = file-level report, e.g. the net pass).
+void EmitReport(const char* file, size_t stmt_line,
+                const analysis::AnalysisReport& report, LintOutput* out) {
+  for (const analysis::Diagnostic& d : report.diagnostics()) {
+    LintDiag ld;
+    ld.code = analysis::DiagCodeId(d.code);
+    ld.severity = SeverityName(d.severity);
+    ld.file = file;
+    if (d.loc.line > 0 && stmt_line > 0) {
+      // Positions are 1-based within the statement's text.
+      ld.line = stmt_line + d.loc.line - 1;
+      ld.col = d.loc.col;
+    } else {
+      ld.line = stmt_line;
+    }
+    ld.message = std::string(analysis::DiagCodeName(d.code)) + ": " + d.message;
+    if (!d.object.empty()) ld.message += " [in " + d.object + "]";
+    Emit(out, std::move(ld));
+  }
 }
 
 bool LintFile(const char* path, Engine* engine, size_t* watch_count,
-              LintCounts* counts) {
+              std::vector<std::pair<size_t, size_t>>* query_lines,
+              LintOutput* out) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "%s: error: cannot open file\n", path);
-    ++counts->errors;
+    LintDiag d;
+    d.severity = "error";
+    d.file = path;
+    d.message = "cannot open file";
+    Emit(out, std::move(d));
     return false;
   }
   std::stringstream buf;
@@ -127,25 +225,29 @@ bool LintFile(const char* path, Engine* engine, size_t* watch_count,
       std::string sql;
       std::getline(is, sql);
       auto q = engine->SubmitContinuousQuery(name, std::string(Trim(sql)));
-      if (!q.ok()) Report(path, stmt.line, q.status(), counts);
+      if (!q.ok()) {
+        ReportStatus(path, stmt.line, q.status(), out);
+      } else {
+        query_lines->push_back({*q, stmt.line});
+      }
       continue;
     }
 
     auto parsed = sql::ParseStatement(stmt.text);
     if (!parsed.ok()) {
-      Report(path, stmt.line, parsed.status(), counts);
+      ReportStatus(path, stmt.line, parsed.status(), out);
       continue;
     }
     if (parsed->kind != sql::Statement::Kind::kSelect) {
       // DDL / INSERT: execute so later statements bind against the schema.
       auto r = engine->ExecuteSql(stmt.text);
-      if (!r.ok()) Report(path, stmt.line, r.status(), counts);
+      if (!r.ok()) ReportStatus(path, stmt.line, r.status(), out);
       continue;
     }
     sql::Planner planner(&engine->catalog());
     auto compiled = planner.CompileSelect(*parsed->select);
     if (!compiled.ok()) {
-      Report(path, stmt.line, compiled.status(), counts);
+      ReportStatus(path, stmt.line, compiled.status(), out);
       continue;
     }
     if (compiled->continuous) {
@@ -153,56 +255,150 @@ bool LintFile(const char* path, Engine* engine, size_t* watch_count,
       // net analysis sees its plumbing.
       auto q = engine->SubmitContinuousQuery(
           "lint" + std::to_string((*watch_count)++), stmt.text);
-      if (!q.ok()) Report(path, stmt.line, q.status(), counts);
+      if (!q.ok()) {
+        ReportStatus(path, stmt.line, q.status(), out);
+      } else {
+        query_lines->push_back({*q, stmt.line});
+      }
       continue;
     }
     // One-time SELECT: analyze only, never execute.
     analysis::AnalysisReport report = analysis::AnalyzePlan(*compiled->plan);
-    if (!report.diagnostics().empty()) {
-      std::string scope = std::string(path) + ":" + std::to_string(stmt.line);
-      PrintReport(scope.c_str(), report, counts);
-    }
+    EmitReport(path, stmt.line, report, out);
   }
   return true;
+}
+
+/// Collects the pass-3 shard plans of every query registered while linting
+/// `path` into the --partition-report artifact.
+void CollectPartitions(const char* path, Engine* engine,
+                       const std::vector<std::pair<size_t, size_t>>& lines,
+                       LintOutput* out) {
+  for (const auto& [id, line] : lines) {
+    auto q = engine->GetQuery(id);
+    if (!q.ok() || (*q)->partition == nullptr) continue;
+    PartitionEntry e;
+    e.file = path;
+    e.line = line;
+    e.query = (*q)->name;
+    e.sql = (*q)->sql;
+    e.report_json = (*q)->partition->ToJson();
+    e.effective_verdict =
+        analysis::PartitionVerdictName(engine->EffectivePartitionVerdict(**q));
+    out->partitions.push_back(std::move(e));
+  }
+}
+
+std::string DiagsJson(const std::vector<LintDiag>& diags) {
+  std::string out = "[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const LintDiag& d = diags[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"code\":";
+    JsonAppendString(out, d.code);
+    out += ",\"severity\":";
+    JsonAppendString(out, d.severity);
+    out += ",\"file\":";
+    JsonAppendString(out, d.file);
+    out += ",\"line\":" + std::to_string(d.line);
+    out += ",\"col\":" + std::to_string(d.col);
+    out += ",\"message\":";
+    JsonAppendString(out, d.message);
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string PartitionsJson(const std::vector<PartitionEntry>& entries) {
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const PartitionEntry& e = entries[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"file\":";
+    JsonAppendString(out, e.file);
+    out += ",\"line\":" + std::to_string(e.line);
+    out += ",\"query\":";
+    JsonAppendString(out, e.query);
+    out += ",\"sql\":";
+    JsonAppendString(out, e.sql);
+    out += ",\"effective_verdict\":";
+    JsonAppendString(out, e.effective_verdict);
+    out += ",\"partition\":" + e.report_json;
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool strict = false;
+  bool json = false;
+  const char* partition_report = nullptr;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--partition-report") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--partition-report needs an output path\n");
+        return 2;
+      }
+      partition_report = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: datacell-lint [--strict] file.sql ...\n");
+      std::printf(
+          "usage: datacell-lint [--strict] [--json] "
+          "[--partition-report <out.json>] file.sql ...\n");
       return 0;
     } else {
       files.push_back(argv[i]);
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr, "usage: datacell-lint [--strict] file.sql ...\n");
+    std::fprintf(stderr,
+                 "usage: datacell-lint [--strict] [--json] "
+                 "[--partition-report <out.json>] file.sql ...\n");
     return 2;
   }
 
-  LintCounts counts;
+  LintOutput out;
   for (const char* path : files) {
     // A fresh engine per file: scripts are independent compilation units.
     EngineOptions opts;
     opts.use_wall_clock = false;
     Engine engine(opts);
     size_t watch_count = 0;
-    if (!LintFile(path, &engine, &watch_count, &counts)) continue;
+    std::vector<std::pair<size_t, size_t>> query_lines;  // QueryId -> line
+    if (!LintFile(path, &engine, &watch_count, &query_lines, &out)) continue;
     analysis::AnalysisReport net = engine.Analyze();
-    if (!net.diagnostics().empty()) {
-      PrintReport(path, net, &counts);
+    EmitReport(path, 0, net, &out);
+    CollectPartitions(path, &engine, query_lines, &out);
+  }
+
+  if (json) {
+    std::fputs(DiagsJson(out.diags).c_str(), stdout);
+  }
+  if (partition_report != nullptr) {
+    std::string rendered = PartitionsJson(out.partitions);
+    if (std::string(partition_report) == "-") {
+      std::fputs(rendered.c_str(), stdout);
+    } else {
+      std::ofstream f(partition_report);
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", partition_report);
+        return 2;
+      }
+      f << rendered;
     }
   }
 
-  std::fprintf(stderr, "datacell-lint: %zu error(s), %zu warning(s)\n",
-               counts.errors, counts.warnings);
-  if (counts.errors > 0 || (strict && counts.warnings > 0)) return 1;
+  std::fprintf(stderr, "datacell-lint: %zu error(s), %zu warning(s), %zu note(s)\n",
+               out.counts.errors, out.counts.warnings, out.counts.notes);
+  if (out.counts.errors > 0 || (strict && out.counts.warnings > 0)) return 1;
   return 0;
 }
