@@ -10,6 +10,11 @@
 //   datacell> insert into s values (50, 'hit');
 //   datacell> \stats
 //   datacell> \quit
+//
+// With `--shards N` (N > 1) the shell fronts a ShardedEngine instead: DDL
+// fans out to every shard, stream inserts route per the partition recipes,
+// \watch places queries per their verdict, and \shards / \analyze show the
+// resulting routes and placements.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +26,7 @@
 #include "adapters/csv.h"
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "core/shard.h"
 #include "net/observability.h"
 
 using namespace datacell;
@@ -45,7 +51,7 @@ void PrintTable(const Table& t) {
 
 class Shell {
  public:
-  Shell() {
+  explicit Shell(size_t num_shards) {
     // The shell drives the scheduler itself after every statement, so the
     // deterministic mode gives immediate, ordered output.
     EngineOptions opts;
@@ -55,11 +61,25 @@ class Shell {
     // Sample engine telemetry into the sys.* baskets once a second so
     // `select * from sys.baskets as b ...` works out of the box.
     opts.monitor_tick_us = 1'000'000;
-    engine_ = std::make_unique<Engine>(opts);
+    if (num_shards > 1) {
+      ShardedEngineOptions sopts;
+      sopts.num_shards = num_shards;
+      sopts.engine = opts;
+      sharded_ = std::make_unique<ShardedEngine>(sopts);
+    } else {
+      engine_ = std::make_unique<Engine>(opts);
+    }
   }
 
   int Run() {
-    std::printf("DataCell shell — end statements with ';', \\help for help\n");
+    if (sharded_ != nullptr) {
+      std::printf(
+          "DataCell shell — %zu shards; end statements with ';', \\help for "
+          "help\n",
+          sharded_->num_shards());
+    } else {
+      std::printf("DataCell shell — end statements with ';', \\help for help\n");
+    }
     std::string buffer;
     std::string line;
     std::printf("datacell> ");
@@ -91,7 +111,8 @@ class Shell {
   }
 
   void Execute(const std::string& sql) {
-    auto result = engine_->ExecuteSql(sql);
+    auto result = sharded_ != nullptr ? sharded_->ExecuteSql(sql)
+                                      : engine_->ExecuteSql(sql);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       return;
@@ -101,7 +122,12 @@ class Shell {
     } else {
       std::printf("ok\n");
     }
-    engine_->Drain();  // fire any continuous queries affected by inserts
+    // Fire any continuous queries affected by inserts.
+    if (sharded_ != nullptr) {
+      sharded_->Drain();
+    } else {
+      engine_->Drain();
+    }
   }
 
   bool HandleMeta(const std::string& cmd) {
@@ -118,7 +144,10 @@ class Shell {
           "                         pipeline (specialized steps or\n"
           "                         interpreter fallback reason) and plan\n"
           "  \\analyze               static analysis of the registered net "
-          "(dataflow lints)\n"
+          "(dataflow lints;\n"
+          "                         with --shards also the query placements)\n"
+          "  \\shards                per-shard report: routes, placements, "
+          "counters\n"
           "  \\stats                 engine statistics\n"
           "  \\metrics [prefix]      Prometheus text exposition (optionally "
           "only\n"
@@ -135,7 +164,32 @@ class Shell {
           "  \\quit                  exit\n");
       return true;
     }
+    if (StartsWith(cmd, "\\shards")) {
+      if (sharded_ != nullptr) {
+        std::printf("%s", sharded_->ShardsReport().c_str());
+      } else {
+        std::printf("not sharded (restart with --shards N)\n");
+      }
+      return true;
+    }
     if (StartsWith(cmd, "\\analyze")) {
+      if (sharded_ != nullptr) {
+        // Shard nets are identical up to placement, so shard 0's static
+        // analysis stands for all; the placements are the sharding story.
+        std::printf("%s", sharded_->shard(0).Analyze().ToString().c_str());
+        if (sharded_->num_queries() > 0) {
+          std::printf("-- shard placement --\n");
+        }
+        for (size_t id = 0; id < sharded_->num_queries(); ++id) {
+          auto p = sharded_->GetPlacement(id);
+          if (!p.ok()) continue;
+          std::printf("query '%s': %s\n  placement: %s\n",
+                      (*p)->name.c_str(),
+                      datacell::analysis::PartitionVerdictName((*p)->verdict),
+                      (*p)->placement.c_str());
+        }
+        return true;
+      }
       std::printf("%s", engine_->Analyze().ToString().c_str());
       // Pass-3 partition verdicts, one block per live query: the static
       // report plus the engine-level effective verdict (live overrides).
@@ -161,15 +215,32 @@ class Shell {
       return true;
     }
     if (StartsWith(cmd, "\\stats")) {
-      std::printf("%s", engine_->StatsReport().c_str());
+      if (sharded_ != nullptr) {
+        std::printf("%s", sharded_->ShardsReport().c_str());
+      } else {
+        std::printf("%s", engine_->StatsReport().c_str());
+      }
       return true;
     }
     if (StartsWith(cmd, "\\metrics")) {
       std::string prefix(Trim(cmd.substr(8)));
-      std::printf("%s", engine_->MetricsText(prefix).c_str());
+      if (sharded_ != nullptr) {
+        // Frontend registry (router + merge counters), then each shard's.
+        std::printf("%s", sharded_->metrics().PrometheusText(prefix).c_str());
+        for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+          std::printf("# shard %zu\n%s", i,
+                      sharded_->shard(i).MetricsText(prefix).c_str());
+        }
+      } else {
+        std::printf("%s", engine_->MetricsText(prefix).c_str());
+      }
       return true;
     }
     if (StartsWith(cmd, "\\profile")) {
+      if (sharded_ != nullptr) {
+        std::printf("\\profile is per-engine; not available with --shards\n");
+        return true;
+      }
       std::string arg(Trim(cmd.substr(8)));
       while (!arg.empty() && (arg.back() == ';' || arg.back() == ' ')) {
         arg.pop_back();
@@ -205,6 +276,10 @@ class Shell {
       return true;
     }
     if (StartsWith(cmd, "\\trace")) {
+      if (sharded_ != nullptr) {
+        std::printf("\\trace is per-engine; not available with --shards\n");
+        return true;
+      }
       std::string arg(Trim(cmd.substr(6)));
       if (engine_->trace() == nullptr) {
         std::printf("tracing is disabled (rebuild with -DDATACELL_TRACE=ON to enable)\n");
@@ -233,6 +308,10 @@ class Shell {
       return true;
     }
     if (StartsWith(cmd, "\\serve")) {
+      if (sharded_ != nullptr) {
+        std::printf("\\serve is per-engine; not available with --shards\n");
+        return true;
+      }
       std::string arg(Trim(cmd.substr(6)));
       if (arg == "stop") {
         if (observe_ != nullptr) {
@@ -270,13 +349,17 @@ class Shell {
       return true;
     }
     if (StartsWith(cmd, "\\dump")) {
-      std::printf("%s", engine_->DumpCatalogSql().c_str());
+      // Shard catalogs stay identical under DDL fan-out, so shard 0 stands
+      // for all in sharded mode.
+      Engine& cat = sharded_ != nullptr ? sharded_->shard(0) : *engine_;
+      std::printf("%s", cat.DumpCatalogSql().c_str());
       return true;
     }
     if (StartsWith(cmd, "\\tables")) {
-      for (const std::string& name : engine_->catalog().Names()) {
-        auto kind = engine_->catalog().KindOf(name);
-        auto table = engine_->catalog().Get(name);
+      Engine& cat = sharded_ != nullptr ? sharded_->shard(0) : *engine_;
+      for (const std::string& name : cat.catalog().Names()) {
+        auto kind = cat.catalog().KindOf(name);
+        auto table = cat.catalog().Get(name);
         std::printf("  %-24s %s(%s)\n", name.c_str(),
                     kind.ok() && *kind == RelationKind::kBasket ? "basket "
                                                                 : "table  ",
@@ -292,6 +375,26 @@ class Shell {
       // A registered query id or name explains the *chosen* execution
       // pipeline (specialized step list, or interpreter + fallback reason);
       // anything else is compiled ad hoc and shown as its MAL plan.
+      if (sharded_ != nullptr) {
+        for (size_t id = 0; id < sharded_->num_queries(); ++id) {
+          auto p = sharded_->GetPlacement(id);
+          if (!p.ok()) continue;
+          if ((*p)->name != arg && std::to_string(id) != arg) continue;
+          std::printf("query %zu (%s): %s\n", id, (*p)->name.c_str(),
+                      (*p)->placement.c_str());
+          if ((*p)->report != nullptr) {
+            std::printf("%s", (*p)->report->Describe().c_str());
+          }
+          return true;
+        }
+        auto mal = sharded_->shard(0).ExplainSql(arg);
+        if (mal.ok()) {
+          std::printf("%s", mal->c_str());
+        } else {
+          std::printf("error: %s\n", mal.status().ToString().c_str());
+        }
+        return true;
+      }
       for (size_t id = 0; id < engine_->num_queries(); ++id) {
         auto q = engine_->GetQuery(static_cast<datacell::QueryId>(id));
         if (!q.ok() || (*q)->removed) continue;
@@ -320,7 +423,9 @@ class Shell {
       while (!sql.empty() && (sql.back() == ';' || sql.back() == ' ')) {
         sql.pop_back();
       }
-      auto q = engine_->SubmitContinuousQuery(name, sql);
+      auto q = sharded_ != nullptr
+                   ? sharded_->SubmitContinuousQuery(name, sql)
+                   : engine_->SubmitContinuousQuery(name, sql);
       if (!q.ok()) {
         std::printf("error: %s\n", q.status().ToString().c_str());
         return true;
@@ -332,24 +437,48 @@ class Shell {
                           FormatCsvRow(batch.GetRow(i)).c_str());
             }
           });
-      if (auto st = engine_->Subscribe(*q, printer); !st.ok()) {
+      auto st = sharded_ != nullptr ? sharded_->Subscribe(*q, printer)
+                                    : engine_->Subscribe(*q, printer);
+      if (!st.ok()) {
         std::printf("error: %s\n", st.ToString().c_str());
         return true;
       }
-      std::printf("continuous query '%s' registered\n", name.c_str());
+      if (sharded_ != nullptr) {
+        auto p = sharded_->GetPlacement(*q);
+        std::printf("continuous query '%s' registered (%s)\n", name.c_str(),
+                    p.ok() ? (*p)->placement.c_str() : "?");
+      } else {
+        std::printf("continuous query '%s' registered\n", name.c_str());
+      }
       return true;
     }
     std::printf("unknown command %s (try \\help)\n", cmd.c_str());
     return true;
   }
 
-  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Engine> engine_;          // --shards 1 (default)
+  std::unique_ptr<ShardedEngine> sharded_;  // --shards N, N > 1
   std::unique_ptr<ObservabilityServer> observe_;
 };
 
 }  // namespace
 
-int main() {
-  Shell shell;
+int main(int argc, char** argv) {
+  size_t num_shards = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "bad --shards value '%s'\n", argv[i]);
+        return 1;
+      }
+      num_shards = static_cast<size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: %s [--shards N]\n", argv[0]);
+      return 1;
+    }
+  }
+  Shell shell(num_shards);
   return shell.Run();
 }

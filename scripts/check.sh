@@ -13,7 +13,7 @@
 #                         shard plan must match its committed golden)
 #   stage 6  debug-checks full suite with DATACELL_DEBUG_CHECKS=ON
 #                         (lock-order checker + DC_DCHECK invariants live)
-#   stage 7  tsan         concurrency-, metrics- and observe-labelled tests
+#   stage 7  tsan         concurrency-, metrics-, observe- and shard-labelled tests
 #                         under TSan
 #   stage 8  asan+ubsan   full suite under address,undefined
 #
@@ -104,12 +104,12 @@ if [ "${SKIP_SANITIZERS:-0}" = "1" ]; then
 fi
 
 # --- stage 7: TSan on the concurrent paths ----------------------------------
-note "TSan: concurrency + metrics + observe tests"
+note "TSan: concurrency + metrics + observe + shard tests"
 cmake -B "$BUILD_ROOT/tsan" -S . \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDATACELL_SANITIZE=thread >/dev/null
 cmake --build "$BUILD_ROOT/tsan" -j "$JOBS"
 ctest --test-dir "$BUILD_ROOT/tsan" -j "$JOBS" \
-      -L 'concurrency|metrics|observe' --output-on-failure
+      -L 'concurrency|metrics|observe|shard' --output-on-failure
 
 # --- stage 8: ASan + UBSan on everything ------------------------------------
 note "ASan+UBSan: full suite"

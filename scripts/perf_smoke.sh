@@ -3,8 +3,8 @@
 # with --json, and compares per-benchmark items_per_second (falling back to
 # real_time when a bench reports no rate) against the committed baselines
 # (BENCH_datapath.json, BENCH_pipeline.json, BENCH_specialize.json,
-# BENCH_observe.json at the repo root). Fails when any benchmark regresses
-# by more than THRESHOLD_PCT.
+# BENCH_observe.json, BENCH_shard.json at the repo root). Fails when any
+# benchmark regresses by more than THRESHOLD_PCT.
 #
 # The gate is a *smoke*, not a precision harness: CI machines are noisy, so
 # the default threshold is generous (25%) and only catches step-function
@@ -31,10 +31,10 @@ note() { printf '\n==> %s\n' "$*"; }
 note "configure + build (Release) in ${BUILD_ROOT}"
 cmake -B "${BUILD_ROOT}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD_ROOT}" --target bench_datapath bench_pipeline \
-  bench_specialize bench_observe -j "${JOBS}" >/dev/null
+  bench_specialize bench_observe bench_shard -j "${JOBS}" >/dev/null
 
 FAILED=0
-for bench in datapath pipeline specialize observe; do
+for bench in datapath pipeline specialize observe shard; do
   baseline="BENCH_${bench}.json"
   if [ ! -f "${baseline}" ]; then
     note "SKIP bench_${bench}: no committed baseline ${baseline}"

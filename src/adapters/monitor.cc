@@ -25,6 +25,7 @@ Schema MonitorReceptor::TransitionsSchema() {
   s.AddField(Field{"fires", DataType::kInt64});
   s.AddField(Field{"tuples", DataType::kInt64});
   s.AddField(Field{"fire_latency_p99_us", DataType::kDouble});
+  s.AddField(Field{"shard", DataType::kInt64});
   return s;
 }
 
@@ -35,6 +36,7 @@ Schema MonitorReceptor::BasketsSchema() {
   s.AddField(Field{"occupancy", DataType::kInt64});
   s.AddField(Field{"appended", DataType::kInt64});
   s.AddField(Field{"shed", DataType::kInt64});
+  s.AddField(Field{"shard", DataType::kInt64});
   return s;
 }
 
@@ -48,12 +50,13 @@ Schema MonitorReceptor::QueriesSchema() {
 
 MonitorReceptor::MonitorReceptor(std::string name, SnapshotFn snapshot,
                                  DeliverFn deliver, const Clock* clock,
-                                 int64_t tick_us)
+                                 int64_t tick_us, int shard_index)
     : Transition(std::move(name), TransitionKind::kReceptor),
       snapshot_(std::move(snapshot)),
       deliver_(std::move(deliver)),
       clock_(clock),
-      tick_us_(tick_us) {}
+      tick_us_(tick_us),
+      shard_index_(shard_index) {}
 
 bool MonitorReceptor::Ready() const {
   return clock_->Now() >= next_tick_.load(std::memory_order_relaxed);
@@ -102,6 +105,7 @@ Result<int64_t> MonitorReceptor::Fire() {
         delta(RenderMetricName("datacell_transition_tuples_total", c.labels)));
     transitions_batch_.column(3).AppendDouble(p99(
         RenderMetricName("datacell_transition_fire_latency_us", c.labels)));
+    transitions_batch_.column(4).AppendInt64(shard_index_);
   }
 
   // sys.baskets: one row per wired basket (the occupancy gauge is the
@@ -114,6 +118,7 @@ Result<int64_t> MonitorReceptor::Fire() {
         delta(RenderMetricName("datacell_basket_appended_total", g.labels)));
     baskets_batch_.column(3).AppendInt64(
         delta(RenderMetricName("datacell_basket_shed_total", g.labels)));
+    baskets_batch_.column(4).AppendInt64(shard_index_);
   }
 
   // sys.queries: one row per registered query, identified by its emitter

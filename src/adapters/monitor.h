@@ -18,8 +18,8 @@ namespace datacell {
 /// registry, diffs the counters against the previous tick and appends the
 /// result as typed tuples to the reserved system streams
 ///
-///   sys.transitions (transition, fires, tuples, fire_latency_p99_us)
-///   sys.baskets     (name, occupancy, appended, shed)
+///   sys.transitions (transition, fires, tuples, fire_latency_p99_us, shard)
+///   sys.baskets     (name, occupancy, appended, shed, shard)
 ///   sys.queries     (query, e2e_latency_p99_us, emitted)
 ///
 /// each row stamped with the implicit ts column by the receiving basket.
@@ -52,8 +52,11 @@ class MonitorReceptor : public Transition {
 
   /// First tick fires immediately (deltas from zero, i.e. absolute values);
   /// subsequent ticks fire every `tick_us` of the supplied clock.
+  /// `shard_index` stamps every sys.transitions / sys.baskets row, so a
+  /// sharded deployment's unioned telemetry stays attributable per shard
+  /// (0 for standalone engines).
   MonitorReceptor(std::string name, SnapshotFn snapshot, DeliverFn deliver,
-                  const Clock* clock, int64_t tick_us);
+                  const Clock* clock, int64_t tick_us, int shard_index = 0);
 
   bool Ready() const override;
   Result<int64_t> Fire() override;
@@ -68,6 +71,7 @@ class MonitorReceptor : public Transition {
   DeliverFn deliver_;
   const Clock* clock_;
   int64_t tick_us_;
+  int64_t shard_index_;
   // Written only inside Fire() (exactly-once via the scheduler claim);
   // Ready() reads it from sweep threads, hence atomic.
   std::atomic<Timestamp> next_tick_{0};

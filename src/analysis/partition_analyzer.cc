@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <set>
 
+#include "common/hash.h"
+
 namespace datacell {
 namespace analysis {
 
@@ -790,31 +792,9 @@ Result<PartitionReport> AnalyzePartitioning(const CompiledQuery& query,
 
 namespace {
 
-uint64_t HashValue(const Value& v) {
-  if (v.is_null()) return 0;
-  uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](const void* p, size_t n) {
-    const unsigned char* b = static_cast<const unsigned char*>(p);
-    for (size_t i = 0; i < n; ++i) {
-      h = (h ^ b[i]) * 1099511628211ull;
-    }
-  };
-  if (v.is_bool()) {
-    unsigned char b = v.bool_value() ? 1 : 0;
-    mix(&b, 1);
-  } else if (v.is_int64() || v.is_timestamp()) {
-    int64_t i = v.int64_value();
-    mix(&i, sizeof(i));
-  } else if (v.is_double()) {
-    double d = v.double_value();
-    if (d == 0.0) d = 0.0;  // fold -0.0 onto +0.0: they compare equal
-    mix(&d, sizeof(d));
-  } else if (v.is_string()) {
-    const std::string& s = v.string_value();
-    mix(s.data(), s.size());
-  }
-  return h;
-}
+// The row-hash lives in common/hash.h (HashValue and the typed helpers):
+// the shard router uses the same function on raw BAT columns, so a verdict
+// this oracle certifies describes exactly the runtime split.
 
 Result<TablePtr> ApplyConsume(const sql::ContinuousInput& in,
                               const TablePtr& table) {

@@ -174,7 +174,7 @@ void Engine::SetUpMonitor() {
       [this](const std::string& stream, ColumnBatch&& batch) {
         return IngestColumns(stream, std::move(batch));
       },
-      clock_, options_.monitor_tick_us);
+      clock_, options_.monitor_tick_us, options_.shard_index);
   BindTransitionMetrics(*monitor_);
   scheduler_.AddTransition(monitor_);
 }
@@ -400,6 +400,16 @@ Result<QueryId> Engine::SubmitContinuousQuery(const std::string& name,
         "[select ... from <basket>]");
   }
   query.sql_text = sql;
+  return SubmitCompiledQuery(name, std::move(query), options);
+}
+
+Result<QueryId> Engine::SubmitCompiledQuery(const std::string& name,
+                                            sql::CompiledQuery query,
+                                            QueryOptions options) {
+  if (!query.continuous) {
+    return Status::InvalidArgument("not a continuous query");
+  }
+  const std::string sql = query.sql_text;
 
   // Registration gate: run the static plan analyzer before any output
   // stream or basket plumbing is created, so a rejected query leaves no

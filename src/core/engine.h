@@ -94,6 +94,11 @@ struct EngineOptions {
   /// the historical 2 ms; tests raise it to freeze the scheduler between
   /// explicit wakes.
   int64_t idle_tick_us = 2000;
+  /// Which shard of a ShardedEngine (core/shard.h) this engine is. Pure
+  /// observability: sys.transitions / sys.baskets monitor rows and the
+  /// datacell_shard_* metrics carry it so per-shard telemetry stays
+  /// attributable after the union. 0 for standalone engines.
+  int shard_index = 0;
 };
 
 /// Per-query overrides for SubmitContinuousQuery.
@@ -145,6 +150,16 @@ class Engine {
   Result<QueryId> SubmitContinuousQuery(const std::string& name,
                                         const std::string& sql,
                                         QueryOptions options = {});
+
+  /// Registers an already-compiled continuous query — the path the sharded
+  /// executor (core/shard.h) uses to install analyzer-synthesized partial
+  /// plans that have no SQL surface form. `query.sql_text` should be set for
+  /// introspection; everything downstream of parsing in
+  /// SubmitContinuousQuery (plan analysis, strategy plumbing, factory,
+  /// emitter, pass-3 classification) runs identically.
+  Result<QueryId> SubmitCompiledQuery(const std::string& name,
+                                      sql::CompiledQuery query,
+                                      QueryOptions options = {});
 
   /// Attaches a result sink to query `id`'s emitter.
   Status Subscribe(QueryId id, std::shared_ptr<ResultSink> sink);
@@ -235,6 +250,10 @@ class Engine {
     /// Pass-3 partition-safety report computed at registration (static
     /// verdict; live overrides are applied by EffectivePartitionVerdict).
     std::shared_ptr<const analysis::PartitionReport> partition;
+    /// Human-readable shard placement set by the sharded executor (e.g.
+    /// "all shards + merge", "shard 2 (pinned)"); empty for standalone
+    /// engines. Surfaced by \shards, \analyze and the /queries endpoint.
+    std::string placement;
   };
   /// The query's partition verdict with the engine-level overrides applied
   /// on top of the registration-time report: chained-strategy queries and
@@ -246,6 +265,13 @@ class Engine {
       const QueryInfo& q, std::string* reason = nullptr) const;
   Result<const QueryInfo*> GetQuery(QueryId id) const;
   size_t num_queries() const { return queries_.size(); }
+  /// Records where the sharded executor placed query `id` (see
+  /// QueryInfo::placement). Out-of-range ids are ignored.
+  void SetQueryPlacement(QueryId id, std::string placement) {
+    if (id < queries_.size()) queries_[id].placement = std::move(placement);
+  }
+  /// This engine's shard index (EngineOptions::shard_index).
+  int shard_index() const { return options_.shard_index; }
 
   /// Explain: parses and compiles `sql`, returning the MAL-style listing.
   Result<std::string> ExplainSql(const std::string& sql) const;

@@ -90,6 +90,11 @@ std::string ObservabilityServer::QueriesJson() const {
     AppendJsonString(out, info.sql);
     out += ",\"removed\":";
     out += info.removed ? "true" : "false";
+    out += ",\"shard\":" + std::to_string(engine_->shard_index());
+    if (!info.placement.empty()) {
+      out += ",\"placement\":";
+      AppendJsonString(out, info.placement);
+    }
     const FactoryPtr& f = info.factory;
     if (f != nullptr) {
       out += ",\"specialized\":";

@@ -81,6 +81,16 @@ std::vector<Row> Table::ToRows() const {
   return rows;
 }
 
+std::shared_ptr<Table> Table::SharePrefix(std::string name,
+                                          size_t num_columns) const {
+  DC_CHECK_LE(num_columns, columns_.size());
+  Schema prefix;
+  for (size_t i = 0; i < num_columns; ++i) prefix.AddField(schema_.field(i));
+  auto out = std::make_shared<Table>(std::move(name), std::move(prefix));
+  for (size_t i = 0; i < num_columns; ++i) out->columns_[i] = columns_[i];
+  return out;
+}
+
 std::unique_ptr<Table> Table::Slice(size_t offset, size_t length) const {
   auto out = std::make_unique<Table>(name_, schema_);
   for (size_t i = 0; i < columns_.size(); ++i) {

@@ -41,6 +41,15 @@ class Table {
   /// Materialises all rows (tests / emitters only).
   std::vector<Row> ToRows() const;
 
+  /// Zero-copy column projection: a table named `name` sharing this table's
+  /// first `num_columns` column BATs (a schema prefix — no row copying).
+  /// Used by the sharded merge stage to strip the trailing ts column off
+  /// drained partials before binding them under a plan scan. The result
+  /// aliases this table's buffers: treat both as read-only while either is
+  /// in use.
+  std::shared_ptr<Table> SharePrefix(std::string name,
+                                     size_t num_columns) const;
+
   /// New table with rows [offset, offset+length).
   std::unique_ptr<Table> Slice(size_t offset, size_t length) const;
   /// New table with the given row positions (re-numbered oids from 0).

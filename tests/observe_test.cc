@@ -158,6 +158,34 @@ TEST(SysStreams, RegisteredInCatalogAndQueryable) {
   EXPECT_GE((*trans)->num_rows(), 1u);  // at least the monitor itself
 }
 
+// The telemetry rows carry the engine's shard index so a sharded
+// deployment's unioned sys.* streams stay attributable per shard.
+TEST(SysStreams, RowsCarryTheShardIndex) {
+  EngineOptions opts = Observed();
+  opts.shard_index = 3;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int)").ok());
+  ASSERT_TRUE(engine.Ingest("s", {Value::Int64(1)}).ok());
+  engine.simulated_clock()->Advance(2000);
+  engine.Drain();
+
+  auto trans = engine.ExecuteSql(
+      "select t.transition, t.shard from sys.transitions as t "
+      "where t.shard = 3");
+  ASSERT_TRUE(trans.ok()) << trans.status().ToString();
+  EXPECT_GE((*trans)->num_rows(), 1u);
+
+  auto baskets = engine.ExecuteSql(
+      "select b.name, b.shard from sys.baskets as b where b.shard = 3");
+  ASSERT_TRUE(baskets.ok()) << baskets.status().ToString();
+  EXPECT_GE((*baskets)->num_rows(), 1u);
+  // And nothing claims any other shard.
+  auto other = engine.ExecuteSql(
+      "select b.name from sys.baskets as b where b.shard <> 3");
+  ASSERT_TRUE(other.ok()) << other.status().ToString();
+  EXPECT_EQ((*other)->num_rows(), 0u);
+}
+
 TEST(SysStreams, ReservedPrefixRejectedForUsers) {
   Engine engine(Observed());
   Schema s;

@@ -1,7 +1,7 @@
 // datacell-lint: offline static analysis of DataCell SQL scripts.
 //
 // Usage:  datacell-lint [--strict] [--json] [--partition-report <out.json>]
-//                       file.sql [more.sql ...]
+//                       [--shards N] file.sql [more.sql ...]
 //
 // Each file is a ';'-separated script in the shell's dialect: DDL, INSERT,
 // one-time SELECTs and continuous queries (either `\watch <name> <sql>;` or
@@ -18,13 +18,20 @@
 // --partition-report writes the pass-3 shard plan for every continuous
 // query in the inputs — the machine-readable artifact the sharding work
 // consumes and CI golden-diffs.
+// --shards N (N > 1) additionally replays each script against a live
+// N-shard ShardedEngine and records the resulting placement (or the
+// rejection reason) per query as a "placement" field in the report. The
+// default output is unchanged, so golden diffs stay stable.
 //
 // Exit status: 1 when any error-severity diagnostic was produced (with
 // --strict, warnings fail too; notes never fail); 0 otherwise. CI runs this
 // over examples/sql.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +40,7 @@
 #include "analysis/plan_analyzer.h"
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "core/shard.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
 
@@ -64,6 +72,7 @@ struct PartitionEntry {
   std::string sql;
   std::string report_json;       // PartitionReport::ToJson()
   std::string effective_verdict; // with engine-level overrides applied
+  std::string placement;         // --shards N only; "" otherwise
 };
 
 struct LintOutput {
@@ -157,6 +166,31 @@ std::vector<ScriptStmt> SplitStatements(const std::string& content) {
   return out;
 }
 
+/// Live N-shard replay for --shards: DDL/INSERTs and query registrations
+/// mirror into a real ShardedEngine, so the recorded placements come from
+/// the actual router and placement passes — route conflicts included.
+struct ShardSim {
+  explicit ShardSim(size_t n) {
+    ShardedEngineOptions opts;
+    opts.num_shards = n;
+    opts.engine.use_wall_clock = false;
+    engine = std::make_unique<ShardedEngine>(opts);
+  }
+
+  void Submit(const std::string& name, const std::string& sql) {
+    auto q = engine->SubmitContinuousQuery(name, sql);
+    if (!q.ok()) {
+      placements[name] = "rejected: " + q.status().message();
+      return;
+    }
+    auto p = engine->GetPlacement(*q);
+    if (p.ok()) placements[name] = (*p)->placement;
+  }
+
+  std::unique_ptr<ShardedEngine> engine;
+  std::map<std::string, std::string> placements;  // query name -> placement
+};
+
 void ReportStatus(const char* file, size_t stmt_line, const Status& st,
                   LintOutput* out) {
   LintDiag d;
@@ -198,7 +232,8 @@ void EmitReport(const char* file, size_t stmt_line,
   }
 }
 
-bool LintFile(const char* path, Engine* engine, size_t* watch_count,
+bool LintFile(const char* path, Engine* engine, ShardSim* sim,
+              size_t* watch_count,
               std::vector<std::pair<size_t, size_t>>* query_lines,
               LintOutput* out) {
   std::ifstream in(path);
@@ -224,11 +259,13 @@ bool LintFile(const char* path, Engine* engine, size_t* watch_count,
       is >> name;
       std::string sql;
       std::getline(is, sql);
-      auto q = engine->SubmitContinuousQuery(name, std::string(Trim(sql)));
+      std::string trimmed_sql(Trim(sql));
+      auto q = engine->SubmitContinuousQuery(name, trimmed_sql);
       if (!q.ok()) {
         ReportStatus(path, stmt.line, q.status(), out);
       } else {
         query_lines->push_back({*q, stmt.line});
+        if (sim != nullptr) sim->Submit(name, trimmed_sql);
       }
       continue;
     }
@@ -242,6 +279,8 @@ bool LintFile(const char* path, Engine* engine, size_t* watch_count,
       // DDL / INSERT: execute so later statements bind against the schema.
       auto r = engine->ExecuteSql(stmt.text);
       if (!r.ok()) ReportStatus(path, stmt.line, r.status(), out);
+      // The shard replay needs the same catalog (errors already reported).
+      if (r.ok() && sim != nullptr) sim->engine->ExecuteSql(stmt.text);
       continue;
     }
     sql::Planner planner(&engine->catalog());
@@ -253,12 +292,13 @@ bool LintFile(const char* path, Engine* engine, size_t* watch_count,
     if (compiled->continuous) {
       // A bare continuous SELECT registers under a synthetic name so the
       // net analysis sees its plumbing.
-      auto q = engine->SubmitContinuousQuery(
-          "lint" + std::to_string((*watch_count)++), stmt.text);
+      std::string name = "lint" + std::to_string((*watch_count)++);
+      auto q = engine->SubmitContinuousQuery(name, stmt.text);
       if (!q.ok()) {
         ReportStatus(path, stmt.line, q.status(), out);
       } else {
         query_lines->push_back({*q, stmt.line});
+        if (sim != nullptr) sim->Submit(name, stmt.text);
       }
       continue;
     }
@@ -271,7 +311,7 @@ bool LintFile(const char* path, Engine* engine, size_t* watch_count,
 
 /// Collects the pass-3 shard plans of every query registered while linting
 /// `path` into the --partition-report artifact.
-void CollectPartitions(const char* path, Engine* engine,
+void CollectPartitions(const char* path, Engine* engine, const ShardSim* sim,
                        const std::vector<std::pair<size_t, size_t>>& lines,
                        LintOutput* out) {
   for (const auto& [id, line] : lines) {
@@ -285,6 +325,10 @@ void CollectPartitions(const char* path, Engine* engine,
     e.report_json = (*q)->partition->ToJson();
     e.effective_verdict =
         analysis::PartitionVerdictName(engine->EffectivePartitionVerdict(**q));
+    if (sim != nullptr) {
+      auto it = sim->placements.find(e.query);
+      if (it != sim->placements.end()) e.placement = it->second;
+    }
     out->partitions.push_back(std::move(e));
   }
 }
@@ -324,6 +368,10 @@ std::string PartitionsJson(const std::vector<PartitionEntry>& entries) {
     JsonAppendString(out, e.sql);
     out += ",\"effective_verdict\":";
     JsonAppendString(out, e.effective_verdict);
+    if (!e.placement.empty()) {
+      out += ",\"placement\":";
+      JsonAppendString(out, e.placement);
+    }
     out += ",\"partition\":" + e.report_json;
     out += "}";
   }
@@ -336,6 +384,7 @@ std::string PartitionsJson(const std::vector<PartitionEntry>& entries) {
 int main(int argc, char** argv) {
   bool strict = false;
   bool json = false;
+  size_t shards = 0;
   const char* partition_report = nullptr;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
@@ -350,10 +399,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       partition_report = argv[++i];
+    } else if (arg == "--shards") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--shards needs a count\n");
+        return 2;
+      }
+      long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed < 1) {
+        std::fprintf(stderr, "bad --shards value '%s'\n", argv[i]);
+        return 2;
+      }
+      shards = static_cast<size_t>(parsed);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: datacell-lint [--strict] [--json] "
-          "[--partition-report <out.json>] file.sql ...\n");
+          "[--partition-report <out.json>] [--shards N] file.sql ...\n");
       return 0;
     } else {
       files.push_back(argv[i]);
@@ -362,7 +422,7 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: datacell-lint [--strict] [--json] "
-                 "[--partition-report <out.json>] file.sql ...\n");
+                 "[--partition-report <out.json>] [--shards N] file.sql ...\n");
     return 2;
   }
 
@@ -372,12 +432,16 @@ int main(int argc, char** argv) {
     EngineOptions opts;
     opts.use_wall_clock = false;
     Engine engine(opts);
+    std::unique_ptr<ShardSim> sim;
+    if (shards > 1) sim = std::make_unique<ShardSim>(shards);
     size_t watch_count = 0;
     std::vector<std::pair<size_t, size_t>> query_lines;  // QueryId -> line
-    if (!LintFile(path, &engine, &watch_count, &query_lines, &out)) continue;
+    if (!LintFile(path, &engine, sim.get(), &watch_count, &query_lines, &out)) {
+      continue;
+    }
     analysis::AnalysisReport net = engine.Analyze();
     EmitReport(path, 0, net, &out);
-    CollectPartitions(path, &engine, query_lines, &out);
+    CollectPartitions(path, &engine, sim.get(), query_lines, &out);
   }
 
   if (json) {
