@@ -82,6 +82,30 @@ void BM_SubmitWithPartitionPass(benchmark::State& state) {
 }
 BENCHMARK(BM_SubmitWithPartitionPass);
 
+// Pass 4 alone: the state-bound walk over the same stored plan shapes —
+// the per-query cost SubmitContinuousQuery and Analyze() each pay.
+void BM_AnalyzeStateBounds(benchmark::State& state, const char* shape) {
+  Engine engine(bench::BenchEngineOptions());
+  SetUpCatalog(engine);
+  auto q = engine.SubmitContinuousQuery("bm", QueryForShape(shape));
+  if (!q.ok()) std::abort();
+  auto info = engine.GetQuery(*q);
+  if (!info.ok()) std::abort();
+  const sql::CompiledQuery& cq = (*info)->factory->query();
+  analysis::CardinalityMap hints = engine.DeclaredCardinalities();
+  analysis::StateAnalyzerOptions sopts;
+  for (auto _ : state) {
+    analysis::AnalysisReport diags;
+    auto rep = analysis::AnalyzeStateBounds(cq, hints, sopts, &diags);
+    benchmark::DoNotOptimize(rep);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_AnalyzeStateBounds, filter, "filter");
+BENCHMARK_CAPTURE(BM_AnalyzeStateBounds, group_by_key, "group_by_key");
+BENCHMARK_CAPTURE(BM_AnalyzeStateBounds, join_agg, "join_agg");
+BENCHMARK_CAPTURE(BM_AnalyzeStateBounds, scalar_avg, "scalar_avg");
+
 // The soundness oracle over `rows` input tuples across 3 shards.
 void BM_SplitMergeOracle(benchmark::State& state) {
   Engine engine(bench::BenchEngineOptions());

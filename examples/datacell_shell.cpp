@@ -174,9 +174,13 @@ class Shell {
     }
     if (StartsWith(cmd, "\\analyze")) {
       if (sharded_ != nullptr) {
-        // Shard nets are identical up to placement, so shard 0's static
-        // analysis stands for all; the placements are the sharding story.
-        std::printf("%s", sharded_->shard(0).Analyze().ToString().c_str());
+        // Shard nets can diverge — pinned queries live on one shard only and
+        // state bounds differ with placement — so every shard reports, each
+        // under its own label.
+        for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+          std::printf("-- shard %zu --\n%s", s,
+                      sharded_->shard(s).Analyze().ToString().c_str());
+        }
         if (sharded_->num_queries() > 0) {
           std::printf("-- shard placement --\n");
         }
@@ -210,6 +214,24 @@ class Shell {
           std::printf("  effective: %s (%s)\n",
                       datacell::analysis::PartitionVerdictName(effective),
                       reason.c_str());
+        }
+      }
+      // Pass-4 state bounds, one block per live query: the static bound and
+      // the factory's measured occupancy it covers.
+      any = false;
+      for (size_t id = 0; id < engine_->num_queries(); ++id) {
+        auto q = engine_->GetQuery(id);
+        if (!q.ok() || (*q)->removed || (*q)->state == nullptr) continue;
+        if (!any) {
+          std::printf("-- state bounds (pass 4) --\n");
+          any = true;
+        }
+        std::printf("query '%s':\n%s", (*q)->name.c_str(),
+                    (*q)->state->Describe().c_str());
+        if ((*q)->factory != nullptr) {
+          std::printf("  measured: %zu B (high water %zu B)\n",
+                      (*q)->factory->state_bytes(),
+                      (*q)->factory->state_bytes_high_water());
         }
       }
       return true;

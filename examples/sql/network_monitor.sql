@@ -2,7 +2,7 @@
 -- (stream-table join through a statically bound relation). Two queries share
 -- the packets basket, so \analyze / datacell-lint reports the N004
 -- multi-reader note (buffer stealing disabled) as a warning.
-create basket packets (src int, dst int, bytes int);
+create basket packets (src int, dst int, bytes int) with (cardinality(src) = 1024);
 create table limits (dst int, cap int);
 insert into limits values (80, 1000), (443, 5000);
 

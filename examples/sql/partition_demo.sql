@@ -16,7 +16,7 @@ create basket readings (id int, temp double) partition by id;
 
 -- q2: group-by on the declared partition key. Shards aggregate disjoint key
 -- ranges, so no merge is needed. Verdict: partitionable(sym).
-create basket trades (sym string, price double, qty int) partition by sym;
+create basket trades (sym string, price double, qty int) partition by sym with (cardinality(sym) = 64);
 \watch per_sym select sym, sum(qty) as total from [select * from trades] as t group by sym;
 
 -- q3: co-partitioned equi-join -- both streams declare the join column as
@@ -28,7 +28,7 @@ create basket asks (sym string, price double) partition by sym;
 
 -- q4: group-by on a plain non-key column. Still partitionable, but only
 -- after a re-shuffle on the grouping column (advisory A001).
-create basket fills (sym string, qty int) partition by sym;
+create basket fills (sym string, qty int) partition by sym with (cardinality(qty) = 32);
 \watch by_qty select qty, count(*) as n from [select * from fills] as f group by qty;
 
 -- q5: group-by on a column of the join build side while the join already
@@ -70,5 +70,5 @@ create basket packets (src int, bytes int) partition by src;
 
 -- q11: stream with no declared partition key. The analyzer prescribes the
 -- grouping column as the key to declare (advisory A002).
-create basket logs (host string, lat double);
+create basket logs (host string, lat double) with (cardinality(host) = 50);
 \watch p99ish select host, max(lat) as worst from [select * from logs] as l group by host;

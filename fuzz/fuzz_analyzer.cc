@@ -20,6 +20,7 @@
 #include "analysis/partition_analyzer.h"
 #include "analysis/plan_analyzer.h"
 #include "core/engine.h"
+#include "core/state_oracle.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
 
@@ -136,6 +137,21 @@ void ExerciseStatement(const std::string& input) {
   auto q = engine.SubmitContinuousQuery("fz", input);
   if (!q.ok()) return;
   CheckPartitionSoundness(engine, *q);
+  // Third contract: the pass-4 static state bound must dominate the state
+  // the factory actually accumulates. A measured high-water mark above a
+  // numeric bound is an unsound bound — abort. (The oracle ingests into the
+  // query's input streams; the well-typed ingest loop below adds more rows
+  // on top, which only tightens the check.)
+  {
+    StateOracleOptions oopts;
+    oopts.rows = 64;
+    oopts.batch = 16;
+    auto res = CheckStateBound(engine, *q, oopts);
+    if (res.ok()) {
+      Check(res->sound, "state bound is unsound (measured exceeds bound)",
+            Status::Internal(res->detail));
+    }
+  }
   for (int i = 0; i < 8; ++i) {
     Status st = engine.Ingest(
         "s", {Value::Int64(i), Value::Double(i * 0.25),

@@ -10,7 +10,8 @@
 #                         engine — catches what tidy's checks don't)
 #   stage 5  sql-lint     datacell-lint over examples/sql (good corpus must
 #                         pass, seeded-bad corpus must fail, partition demo
-#                         shard plan must match its committed golden)
+#                         shard plan and state-bound report must match their
+#                         committed goldens, no bounded→unbounded drift)
 #   stage 6  debug-checks full suite with DATACELL_DEBUG_CHECKS=ON
 #                         (lock-order checker + DC_DCHECK invariants live)
 #   stage 7  tsan         concurrency-, metrics-, observe- and shard-labelled tests
@@ -90,6 +91,27 @@ fi
   examples/sql/partition_demo.sql 2>/dev/null
 diff -u examples/sql/partition_report.golden.json \
   "$BUILD_ROOT/partition_demo.report.json"
+# Same contract for the pass-4 state bounds: the per-query memory-bound
+# verdicts over the demo corpus are a committed artifact.
+"$BUILD_ROOT/werror/tools/datacell-lint" \
+  --state-report "$BUILD_ROOT/state_demo.report.json" \
+  examples/sql/partition_demo.sql 2>/dev/null
+diff -u examples/sql/state_report.golden.json \
+  "$BUILD_ROOT/state_demo.report.json"
+# Verdict-drift guard: a golden diff is reviewable, but a committed example
+# silently regressing from a bounded class to unbounded is a hard failure
+# even if someone regenerates the golden in the same change.
+python3 - examples/sql/state_report.golden.json \
+  "$BUILD_ROOT/state_demo.report.json" <<'PYEOF'
+import json, sys
+golden = {e["query"]: e["state"]["verdict"] for e in json.load(open(sys.argv[1]))}
+fresh = {e["query"]: e["state"]["verdict"] for e in json.load(open(sys.argv[2]))}
+drift = [q for q, v in golden.items()
+         if v != "unbounded" and fresh.get(q, v) == "unbounded"]
+if drift:
+    print("state-bound drift: bounded queries became unbounded:", ", ".join(drift))
+    sys.exit(1)
+PYEOF
 
 # --- stage 6: full suite with debug checks live -----------------------------
 note "full test suite with DATACELL_DEBUG_CHECKS=ON"

@@ -149,6 +149,28 @@ class Int64HashIndex {
   /// Number of (non-null) build rows indexed.
   size_t num_entries() const { return positions_.size(); }
 
+  /// Upper bound on memory_bytes() after Build over `rows` keys — what the
+  /// pass-4 analyzer prices join indexes at. Mirrors Build's sizing: slot
+  /// arrays at the pow2 capacity >= max(4, 2*rows), positions_ with the
+  /// 2x geometric push_back slack.
+  static size_t EstimatedBuildBytes(size_t rows) {
+    size_t capacity = 4;
+    while (capacity < rows * 2) capacity *= 2;
+    return capacity * (sizeof(int64_t) + 2 * sizeof(uint32_t) +
+                       sizeof(uint8_t)) +
+           2 * rows * sizeof(uint32_t);
+  }
+
+  /// Bytes held by the slot and position arrays — the pass-4 state
+  /// accounting hook (compared against the static join-state bound).
+  size_t memory_bytes() const {
+    return slot_key_.capacity() * sizeof(int64_t) +
+           slot_start_.capacity() * sizeof(uint32_t) +
+           slot_end_.capacity() * sizeof(uint32_t) +
+           slot_used_.capacity() * sizeof(uint8_t) +
+           positions_.capacity() * sizeof(uint32_t);
+  }
+
  private:
   size_t SlotFor(int64_t key) const;
 

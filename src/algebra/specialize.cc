@@ -518,6 +518,14 @@ SpecializeResult SpecializePlan(const PlanNode& plan,
 
 // --- Runtime ------------------------------------------------------------
 
+size_t SpecializedPipeline::JoinStateBytes(int64_t string_bytes) const {
+  if (!join_ || join_->build_table == nullptr) return 0;
+  const Table& build = *join_->build_table;
+  int64_t row_bytes = build.schema().EstimatedRowBytes(string_bytes);
+  return build.num_rows() * static_cast<size_t>(row_bytes) +
+         join_->index.memory_bytes();
+}
+
 void SpecializedPipeline::RegisterProfileSteps(PipelineProfile* profile) {
   if (join_) join_step_ = profile->AddStep("hash-join probe", 0);
   if (filter_ || always_false_) filter_step_ = profile->AddStep("filter", 0);

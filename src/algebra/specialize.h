@@ -61,6 +61,12 @@ class SpecializedPipeline {
   /// Human-readable step list for \explain.
   std::string Describe() const { return description_; }
 
+  /// Pass-4 state accounting: bytes held by the registration-built join
+  /// state (build-side table estimated at `string_bytes` per string value,
+  /// plus the hash index arrays). The only cross-firing state the pipeline
+  /// owns; 0 for join-free pipelines.
+  size_t JoinStateBytes(int64_t string_bytes) const;
+
   /// Registers this pipeline's stages as profile steps (one per present
   /// stage, in execution order) and remembers their indices; Run() then
   /// accumulates per-stage rows and time whenever the ExecContext carries

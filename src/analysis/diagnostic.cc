@@ -77,6 +77,24 @@ const char* DiagCodeId(DiagCode code) {
       return "A007";
     case DiagCode::kScalarAggMerge:
       return "A008";
+    case DiagCode::kStateBoundNote:
+      return "S001";
+    case DiagCode::kUnboundedJoinState:
+      return "S002";
+    case DiagCode::kUnboundedKeyState:
+      return "S003";
+    case DiagCode::kCardinalityHintUsed:
+      return "S004";
+    case DiagCode::kWindowStateBound:
+      return "S005";
+    case DiagCode::kBasketRetention:
+      return "S006";
+    case DiagCode::kStateBoundExceeded:
+      return "S007";
+    case DiagCode::kEngineStateExceeded:
+      return "S008";
+    case DiagCode::kShardStateMultiplied:
+      return "S009";
   }
   return "P000";
 }
@@ -155,6 +173,24 @@ const char* DiagCodeName(DiagCode code) {
       return "pinned-query";
     case DiagCode::kScalarAggMerge:
       return "scalar-agg-merge";
+    case DiagCode::kStateBoundNote:
+      return "state-bound";
+    case DiagCode::kUnboundedJoinState:
+      return "unbounded-join-state";
+    case DiagCode::kUnboundedKeyState:
+      return "unbounded-key-state";
+    case DiagCode::kCardinalityHintUsed:
+      return "cardinality-hint-used";
+    case DiagCode::kWindowStateBound:
+      return "window-state-bound";
+    case DiagCode::kBasketRetention:
+      return "basket-retention";
+    case DiagCode::kStateBoundExceeded:
+      return "state-bound-exceeded";
+    case DiagCode::kEngineStateExceeded:
+      return "engine-state-exceeded";
+    case DiagCode::kShardStateMultiplied:
+      return "shard-state-multiplied";
   }
   return "unknown";
 }

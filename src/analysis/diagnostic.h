@@ -12,9 +12,10 @@ namespace analysis {
 
 /// Stable diagnostic codes. P0xx = plan/type analysis (pass 1),
 /// N0xx = Petri-net dataflow analysis (pass 2), A0xx = partition-safety
-/// analysis (pass 3, advisory). The short id (e.g. "P004") appears in every
-/// rendered message so tests and tooling can match on it; never renumber an
-/// existing code.
+/// analysis (pass 3, advisory), S0xx = state-bound analysis (pass 4,
+/// advisory unless the admission caps are set). The short id (e.g. "P004")
+/// appears in every rendered message so tests and tooling can match on it;
+/// never renumber an existing code.
 enum class DiagCode {
   // --- pass 1: plan analyzer ---------------------------------------------
   kColumnOutOfRange,        // P002: column ref index >= input arity
@@ -55,6 +56,16 @@ enum class DiagCode {
   kWindowMergeRequired,     // A006: time-window agg merges per window round
   kPinnedQuery,             // A007: query pins a single shard (with reason)
   kScalarAggMerge,          // A008: scalar aggregate needs re-aggregation
+  // --- pass 4: state-bound analyzer ---------------------------------------
+  kStateBoundNote,          // S001: computed per-query state bound (note)
+  kUnboundedJoinState,      // S002: unwindowed stream-stream join state
+  kUnboundedKeyState,       // S003: unwindowed group-by/distinct, no hint
+  kCardinalityHintUsed,     // S004: key cardinality hint bounds group state
+  kWindowStateBound,        // S005: window buffer bound (time = symbolic)
+  kBasketRetention,         // S006: multi-reader basket retention unbounded
+  kStateBoundExceeded,      // S007: bound exceeds max_query_state_bytes
+  kEngineStateExceeded,     // S008: total exceeds max_engine_state_bytes
+  kShardStateMultiplied,    // S009: bound multiplied by shard placement
 };
 
 /// kNote findings are purely informational: they never fail ToStatus() and

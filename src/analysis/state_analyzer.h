@@ -1,0 +1,93 @@
+#ifndef DATACELL_ANALYSIS_STATE_ANALYZER_H_
+#define DATACELL_ANALYSIS_STATE_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "analysis/diagnostic.h"
+#include "analysis/state_bound.h"
+#include "sql/planner.h"
+
+namespace datacell {
+namespace analysis {
+
+/// Pass 4: static state-bound analysis. Runs at registration (and again
+/// from Engine::Analyze()) over a compiled continuous query and proves a
+/// worst-case memory bound for every stateful operator, folds the bounds up
+/// the plan and across the query's slice of the Petri net (input-basket
+/// capacities and multi-reader retention), and multiplies by the shard
+/// placement. Advisory by default — S0xx notes and warnings — but the
+/// engine's admission caps (EngineOptions::max_query_state_bytes /
+/// max_engine_state_bytes) turn an over-bound verdict into a registration
+/// rejection with the same no-state-left contract as pass 1.
+
+/// Declared key-cardinality hints: basket name (lower-cased) -> basket
+/// column index -> N, from `CREATE BASKET ... WITH (cardinality(col) = N)`.
+using CardinalityMap = std::map<std::string, std::map<size_t, int64_t>>;
+
+struct StateAnalyzerOptions {
+  /// Estimated bytes per string value (schema column widths are otherwise
+  /// fixed). EngineOptions::state_string_bytes feeds this.
+  int64_t string_bytes = 32;
+  /// Shard placement multiplier from pass 3: how many engine shards hold a
+  /// copy of this query's state. 1 for standalone engines.
+  size_t shard_copies = 1;
+  /// Shedding capacity (tuples; 0 = unbounded) of each input basket, keyed
+  /// like CardinalityMap — the net-projection part of the fold.
+  std::map<std::string, size_t> basket_capacity;
+  /// Registered reader count per input basket: >1 means shared-basket
+  /// retention is held back by the slowest reader (S006).
+  std::map<std::string, size_t> basket_readers;
+  /// Current row count of static (non-stream) relations the plan scans,
+  /// keyed by lower-cased relation name: bounds join build sides. Absent
+  /// entries make those bounds symbolic.
+  std::map<std::string, int64_t> static_rows;
+};
+
+/// One stateful operator's bound, in plan-visit order.
+struct OperatorStateBound {
+  std::string op;   // e.g. "Aggregate(group-by)", "HashJoin(build 't')"
+  StateBound bound;
+  SourceLoc loc;    // first known SQL position under the operator
+};
+
+struct StateReport {
+  /// The admission-relevant per-query bound: operator state + window
+  /// buffers, scaled by `shard_copies`. Input-basket retention is reported
+  /// separately below — it is flow state the engine's shedding config owns,
+  /// not state the query itself accumulates.
+  StateBound total;
+  std::vector<OperatorStateBound> operators;
+  /// Projected input-basket retention: numeric when every input basket has
+  /// a shedding capacity, symbolic otherwise.
+  StateBound retention;
+  size_t shard_copies = 1;
+
+  /// Multi-line human-readable summary, for `\analyze`.
+  std::string Describe() const;
+  /// One JSON object (single line), emitted by `/queries` and
+  /// `datacell-lint --state-report`.
+  std::string ToJson() const;
+};
+
+/// Runs pass 4 over a compiled query. S0xx diagnostics land in `report`
+/// (notes and warnings only; the engine adds the S007/S008 admission errors
+/// when its caps are exceeded). Non-continuous queries get a kConstant
+/// bound (one-shot execution holds no cross-firing state).
+Result<StateReport> AnalyzeStateBounds(const sql::CompiledQuery& query,
+                                       const CardinalityMap& cardinalities,
+                                       const StateAnalyzerOptions& options,
+                                       AnalysisReport* report);
+
+/// First valid SQL position found in `plan`'s expressions (predicates, then
+/// projections), walking top-down; invalid when the plan was built through
+/// the C++ API. Positions the S-diagnostics of operators that carry no
+/// expressions of their own (joins, distinct).
+SourceLoc FindPlanLoc(const PlanNode& plan);
+
+}  // namespace analysis
+}  // namespace datacell
+
+#endif  // DATACELL_ANALYSIS_STATE_ANALYZER_H_

@@ -1,0 +1,97 @@
+#include "analysis/state_bound.h"
+
+#include <algorithm>
+
+namespace datacell {
+namespace analysis {
+
+const char* StateBoundKindName(StateBoundKind k) {
+  switch (k) {
+    case StateBoundKind::kConstant:
+      return "constant";
+    case StateBoundKind::kWindowBounded:
+      return "window-bounded";
+    case StateBoundKind::kKeyBounded:
+      return "key-bounded";
+    case StateBoundKind::kUnbounded:
+      return "unbounded";
+  }
+  return "unknown";
+}
+
+StateBound StateBound::Constant(int64_t bytes, std::string detail) {
+  StateBound b;
+  b.kind = StateBoundKind::kConstant;
+  b.bytes = bytes;
+  b.detail = std::move(detail);
+  return b;
+}
+
+StateBound StateBound::Window(int64_t bytes, bool symbolic,
+                              std::string detail) {
+  StateBound b;
+  b.kind = StateBoundKind::kWindowBounded;
+  b.bytes = symbolic ? 0 : bytes;
+  b.symbolic = symbolic;
+  b.detail = std::move(detail);
+  return b;
+}
+
+StateBound StateBound::Key(int64_t bytes, bool symbolic, std::string detail) {
+  StateBound b;
+  b.kind = StateBoundKind::kKeyBounded;
+  b.bytes = symbolic ? 0 : bytes;
+  b.symbolic = symbolic;
+  b.detail = std::move(detail);
+  return b;
+}
+
+StateBound StateBound::Unbounded(std::string detail) {
+  StateBound b;
+  b.kind = StateBoundKind::kUnbounded;
+  b.symbolic = false;
+  b.detail = std::move(detail);
+  return b;
+}
+
+StateBound StateBound::Sum(const StateBound& a, const StateBound& b) {
+  StateBound out;
+  out.kind = std::max(a.kind, b.kind);
+  if (out.kind == StateBoundKind::kUnbounded) {
+    out.bytes = 0;
+    out.symbolic = false;
+  } else {
+    out.symbolic = a.symbolic || b.symbolic;
+    out.bytes = out.symbolic ? 0 : a.bytes + b.bytes;
+  }
+  if (a.detail.empty()) {
+    out.detail = b.detail;
+  } else if (b.detail.empty()) {
+    out.detail = a.detail;
+  } else {
+    out.detail = a.detail + "; " + b.detail;
+  }
+  return out;
+}
+
+StateBound StateBound::Scaled(size_t copies) const {
+  StateBound out = *this;
+  if (copies > 1 && out.numeric()) {
+    out.bytes *= static_cast<int64_t>(copies);
+  }
+  return out;
+}
+
+std::string StateBound::ToString() const {
+  std::string out = StateBoundKindName(kind);
+  if (numeric()) {
+    out += " (" + std::to_string(bytes) + " B)";
+  } else if (symbolic) {
+    out += " (symbolic)";
+  }
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace datacell

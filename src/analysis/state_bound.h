@@ -1,0 +1,77 @@
+#ifndef DATACELL_ANALYSIS_STATE_BOUND_H_
+#define DATACELL_ANALYSIS_STATE_BOUND_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/schema.h"
+
+namespace datacell {
+namespace analysis {
+
+/// The pass-4 state-bound lattice. Every stateful operator of a continuous
+/// query is assigned one of four classes, ordered from tight to hopeless:
+///
+///   kConstant       O(1) bytes regardless of input history (scalar
+///                   aggregate accumulators, LIMIT counters).
+///   kWindowBounded  rows bounded by a window specification: count windows
+///                   give a numeric rows x bytes/row product, time windows
+///                   are bounded in time but rate-dependent (symbolic).
+///   kKeyBounded     rows bounded by a key-space cardinality: group-by /
+///                   distinct under a CREATE BASKET ... WITH
+///                   (cardinality(col) = N) hint, or a join build side over
+///                   a static table of known size.
+///   kUnbounded      grows with the unbounded stream history (unwindowed
+///                   stream-stream joins, unwindowed group-by/distinct on
+///                   unhinted keys).
+///
+/// Folding two coexisting bounds joins the classes to the worse one and adds
+/// the numeric components; multiplying by a shard placement scales bytes.
+enum class StateBoundKind {
+  kConstant,
+  kWindowBounded,
+  kKeyBounded,
+  kUnbounded,
+};
+
+/// "constant", "window-bounded", "key-bounded" or "unbounded".
+const char* StateBoundKindName(StateBoundKind k);
+
+struct StateBound {
+  StateBoundKind kind = StateBoundKind::kConstant;
+  /// Worst-case bytes. Valid only when `numeric()`; 0 otherwise.
+  int64_t bytes = 0;
+  /// Bounded in principle but not numerically (time windows without a rate
+  /// assumption, static join sides of unknown size). Never set together
+  /// with kUnbounded — unbounded is already the bottom of the lattice.
+  bool symbolic = false;
+  /// Human-readable formula, e.g. "100 rows x 24 B/row".
+  std::string detail;
+
+  static StateBound Constant(int64_t bytes, std::string detail);
+  static StateBound Window(int64_t bytes, bool symbolic, std::string detail);
+  static StateBound Key(int64_t bytes, bool symbolic, std::string detail);
+  static StateBound Unbounded(std::string detail);
+
+  /// True when `bytes` is a usable worst-case figure.
+  bool numeric() const {
+    return kind != StateBoundKind::kUnbounded && !symbolic;
+  }
+
+  /// Lattice fold of two bounds that coexist in one query: kinds join to
+  /// the worse class, bytes add, symbolic taints. Details concatenate with
+  /// "; " (empty operands drop out).
+  static StateBound Sum(const StateBound& a, const StateBound& b);
+
+  /// The bound for `copies` shard-placed instances of this state: bytes
+  /// scale, class and symbolic flag are unchanged.
+  StateBound Scaled(size_t copies) const;
+
+  /// "window-bounded (3200 B): 100 rows x 32 B/row", "unbounded: ...".
+  std::string ToString() const;
+};
+
+}  // namespace analysis
+}  // namespace datacell
+
+#endif  // DATACELL_ANALYSIS_STATE_BOUND_H_

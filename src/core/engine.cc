@@ -210,6 +210,68 @@ analysis::PartitionKeyMap Engine::DeclaredPartitionKeys() const {
   return keys;
 }
 
+Status Engine::SetStreamCardinality(const std::string& name,
+                                    const std::string& column,
+                                    int64_t cardinality) {
+  StreamInfo* stream = FindStream(name);
+  if (stream == nullptr) {
+    return Status::NotFound("unknown stream '" + name + "'");
+  }
+  auto idx = stream->user_schema.IndexOf(column);
+  if (!idx.has_value()) {
+    return Status::NotFound("stream '" + name + "' has no column '" + column +
+                            "' to declare a cardinality for");
+  }
+  if (cardinality <= 0) {
+    return Status::InvalidArgument("cardinality for '" + name + "." + column +
+                                   "' must be a positive row count");
+  }
+  stream->cardinality[*idx] = cardinality;
+  return Status::OK();
+}
+
+analysis::CardinalityMap Engine::DeclaredCardinalities() const {
+  analysis::CardinalityMap hints;
+  for (const auto& [key, stream] : streams_) {
+    if (!stream.cardinality.empty()) hints[key] = stream.cardinality;
+  }
+  return hints;
+}
+
+analysis::StateAnalyzerOptions Engine::StateOptionsFor(
+    const sql::CompiledQuery& query) const {
+  analysis::StateAnalyzerOptions sopts;
+  sopts.string_bytes = options_.state_string_bytes;
+  for (const sql::ContinuousInput& in : query.inputs) {
+    auto it = streams_.find(ToLower(in.basket));
+    if (it == streams_.end()) continue;
+    sopts.basket_capacity[ToLower(in.basket)] = it->second.base->capacity();
+    sopts.basket_readers[ToLower(in.basket)] = it->second.base->num_readers();
+  }
+  auto bindings = ResolveStaticBindings(query);
+  if (bindings.ok()) {
+    for (const auto& [rel, table] : *bindings) {
+      sopts.static_rows[ToLower(rel)] =
+          static_cast<int64_t>(table->num_rows());
+    }
+  }
+  return sopts;
+}
+
+int64_t Engine::TotalStateBoundBytes(bool* any_unbounded) const {
+  int64_t total = 0;
+  if (any_unbounded != nullptr) *any_unbounded = false;
+  for (const QueryInfo& q : queries_) {
+    if (q.removed || q.state == nullptr) continue;
+    if (q.state->total.kind == analysis::StateBoundKind::kUnbounded &&
+        any_unbounded != nullptr) {
+      *any_unbounded = true;
+    }
+    if (q.state->total.numeric()) total += q.state->total.bytes;
+  }
+  return total;
+}
+
 analysis::PartitionVerdict Engine::EffectivePartitionVerdict(
     const QueryInfo& q, std::string* reason) const {
   auto pinned = [&reason](const std::string& why) {
@@ -427,6 +489,73 @@ Result<QueryId> Engine::SubmitCompiledQuery(const std::string& name,
     DC_RETURN_NOT_OK(report.ToStatus());
   }
 
+  // Resolved before any plumbing exists: a plan over an unknown static
+  // relation (and the pass-4 gate below, which prices join build sides from
+  // these tables) must reject without leaving an output stream behind.
+  DC_ASSIGN_OR_RETURN(PlanBindings static_bindings,
+                      ResolveStaticBindings(query));
+
+  // Pass 4: state-bound analysis, and — when the admission caps are set —
+  // the S007/S008 gate. Runs before CreateStream for the same no-state-left
+  // contract as pass 1: a rejected query leaves the engine untouched.
+  auto state = std::make_shared<analysis::StateReport>();
+  {
+    analysis::AnalysisReport report;
+    analysis::StateAnalyzerOptions sopts;
+    sopts.string_bytes = options_.state_string_bytes;
+    for (const sql::ContinuousInput& in : query.inputs) {
+      auto it = streams_.find(ToLower(in.basket));
+      if (it == streams_.end()) {
+        return Status::NotFound("unknown stream '" + in.basket + "'");
+      }
+      const std::string key = ToLower(in.basket);
+      sopts.basket_capacity[key] = it->second.base->capacity();
+      sopts.basket_readers[key] = it->second.base->num_readers();
+    }
+    for (const auto& [rel, table] : static_bindings) {
+      sopts.static_rows[ToLower(rel)] =
+          static_cast<int64_t>(table->num_rows());
+    }
+    DC_ASSIGN_OR_RETURN(
+        *state, analysis::AnalyzeStateBounds(query, DeclaredCardinalities(),
+                                             sopts, &report));
+    const analysis::Severity gate_severity =
+        options_.state_bound_policy == StateBoundPolicy::kReject
+            ? analysis::Severity::kError
+            : analysis::Severity::kWarning;
+    const bool unbounded =
+        state->total.kind == analysis::StateBoundKind::kUnbounded;
+    if (options_.max_query_state_bytes > 0 &&
+        (unbounded ||
+         (state->total.numeric() &&
+          state->total.bytes >
+              static_cast<int64_t>(options_.max_query_state_bytes)))) {
+      report.Add(analysis::DiagCode::kStateBoundExceeded, gate_severity,
+                 "query '" + name + "': state bound " +
+                     state->total.ToString() +
+                     " exceeds max_query_state_bytes = " +
+                     std::to_string(options_.max_query_state_bytes),
+                 analysis::FindPlanLoc(*query.plan));
+    }
+    if (options_.max_engine_state_bytes > 0) {
+      bool any_unbounded = false;
+      const int64_t live = TotalStateBoundBytes(&any_unbounded);
+      const int64_t incoming = state->total.numeric() ? state->total.bytes : 0;
+      if (unbounded || any_unbounded ||
+          live + incoming >
+              static_cast<int64_t>(options_.max_engine_state_bytes)) {
+        report.Add(
+            analysis::DiagCode::kEngineStateExceeded, gate_severity,
+            "query '" + name + "': engine state total " +
+                std::to_string(live) + " B + this query's bound " +
+                state->total.ToString() + " exceeds max_engine_state_bytes = " +
+                std::to_string(options_.max_engine_state_bytes),
+            analysis::FindPlanLoc(*query.plan));
+      }
+    }
+    DC_RETURN_NOT_OK(report.ToStatus());
+  }
+
   ProcessingStrategy strategy =
       options.strategy.value_or(options_.default_strategy);
   if (strategy == ProcessingStrategy::kChained && query.inputs.size() != 1) {
@@ -538,9 +667,6 @@ Result<QueryId> Engine::SubmitCompiledQuery(const std::string& name,
     stream->has_consumers = true;
   }
 
-  DC_ASSIGN_OR_RETURN(PlanBindings static_bindings,
-                      ResolveStaticBindings(query));
-
   FactoryOptions foptions;
   foptions.strategy = strategy;
   foptions.window_mode = options.window_mode.value_or(options_.window_mode);
@@ -556,6 +682,7 @@ Result<QueryId> Engine::SubmitCompiledQuery(const std::string& name,
   foptions.exec.morsel_counter =
       &metrics_.GetCounter("datacell_kernel_morsels_total")->cell();
   foptions.specialize = options_.specialize_plans;
+  foptions.state_string_bytes = options_.state_string_bytes;
   DC_ASSIGN_OR_RETURN(
       FactoryPtr factory,
       Factory::Create("factory_" + ToLower(name), std::move(query),
@@ -608,6 +735,7 @@ Result<QueryId> Engine::SubmitCompiledQuery(const std::string& name,
     }
   }
   factory->SetPartitionReport(partition);
+  factory->SetStateReport(state);
   // Output-stream key inheritance: when the query preserves a shard key
   // into its output, downstream queries over `<name>_out` see it declared.
   if ((partition->verdict == analysis::PartitionVerdict::kPartitionable ||
@@ -626,6 +754,7 @@ Result<QueryId> Engine::SubmitCompiledQuery(const std::string& name,
   info.output = output;
   info.emitter = emitter;
   info.partition = std::move(partition);
+  info.state = std::move(state);
   queries_.push_back(std::move(info));
   return queries_.size() - 1;
 }
@@ -706,16 +835,26 @@ Status Engine::ExecuteCreate(const sql::CreateStmt& stmt) {
     schema.AddField(Field{def.name, def.type});
   }
   if (stmt.is_basket) {
-    // Validate the partition column before creating anything, so a bad
-    // PARTITION BY leaves no stream behind.
+    // Validate the partition and cardinality columns before creating
+    // anything, so a bad PARTITION BY / WITH clause leaves no stream behind.
     if (!stmt.partition_by.empty() &&
         !schema.IndexOf(stmt.partition_by).has_value()) {
       return Status::NotFound("PARTITION BY column '" + stmt.partition_by +
                               "' is not a column of '" + stmt.name + "'");
     }
+    for (const auto& [col, n] : stmt.cardinality_hints) {
+      (void)n;
+      if (!schema.IndexOf(col).has_value()) {
+        return Status::NotFound("cardinality column '" + col +
+                                "' is not a column of '" + stmt.name + "'");
+      }
+    }
     DC_RETURN_NOT_OK(CreateStream(stmt.name, schema).status());
     if (!stmt.partition_by.empty()) {
-      return SetStreamPartitionKey(stmt.name, stmt.partition_by);
+      DC_RETURN_NOT_OK(SetStreamPartitionKey(stmt.name, stmt.partition_by));
+    }
+    for (const auto& [col, n] : stmt.cardinality_hints) {
+      DC_RETURN_NOT_OK(SetStreamCardinality(stmt.name, col, n));
     }
     return Status::OK();
   }
@@ -903,6 +1042,28 @@ void Engine::RefreshPulledMetrics() const {
   }
   metrics_.GetGauge("datacell_partitionable_queries")->Set(partitionable);
   metrics_.GetGauge("datacell_shardable_queries")->Set(shardable);
+  // Pass-4 state bounds vs measured occupancy, per query: the static bound
+  // (-1 = unbounded, 0 = symbolic-only) next to the factory's live
+  // accounting so a gauge scrape can cross-check bound soundness.
+  for (const QueryInfo& q : queries_) {
+    if (q.removed || q.factory == nullptr) continue;
+    std::string qname = ToLower(q.name);
+    int64_t bound = 0;
+    if (q.state != nullptr) {
+      if (q.state->total.kind == analysis::StateBoundKind::kUnbounded) {
+        bound = -1;
+      } else if (q.state->total.numeric()) {
+        bound = q.state->total.bytes;
+      }
+    }
+    metrics_.GetGauge("datacell_query_state_bound_bytes", {{"query", qname}})
+        ->Set(bound);
+    metrics_.GetGauge("datacell_query_state_bytes", {{"query", qname}})
+        ->Set(static_cast<int64_t>(q.factory->state_bytes()));
+    metrics_
+        .GetGauge("datacell_query_state_high_water_bytes", {{"query", qname}})
+        ->Set(static_cast<int64_t>(q.factory->state_bytes_high_water()));
+  }
   metrics_.GetCounter("datacell_pool_hits_total")
       ->Set(static_cast<int64_t>(batch_pool_->hits()));
   metrics_.GetCounter("datacell_pool_misses_total")
@@ -1129,6 +1290,18 @@ std::string Engine::DumpCatalogSql() const {
           *it->second.partition_key < n) {
         out += " partition by " + schema.field(*it->second.partition_key).name;
       }
+      if (it != streams_.end() && !it->second.cardinality.empty()) {
+        out += " with (";
+        bool first = true;
+        for (const auto& [col, card] : it->second.cardinality) {
+          if (col >= n) continue;
+          if (!first) out += ", ";
+          first = false;
+          out += "cardinality(" + schema.field(col).name +
+                 ") = " + std::to_string(card);
+        }
+        out += ")";
+      }
     }
     out += ";\n";
   }
@@ -1309,6 +1482,34 @@ analysis::AnalysisReport Engine::Analyze() const {
                  "query pins a single shard: " + reason, {},
                  "query '" + q.name + "'");
     }
+  }
+
+  // Pass 4: state bounds, recomputed against the current catalog (hints may
+  // have been declared after registration and static build sides grow).
+  {
+    analysis::CardinalityMap hints = DeclaredCardinalities();
+    for (const QueryInfo& q : queries_) {
+      if (q.removed || q.factory == nullptr) continue;
+      analysis::AnalysisReport pass4;
+      analysis::StateAnalyzerOptions sopts = StateOptionsFor(q.factory->query());
+      auto res = analysis::AnalyzeStateBounds(q.factory->query(), hints, sopts,
+                                              &pass4);
+      for (analysis::Diagnostic d : pass4.diagnostics()) {
+        d.object = d.object.empty() ? ("query '" + q.name + "'")
+                                    : ("query '" + q.name + "' " + d.object);
+        report.Add(std::move(d));
+      }
+      (void)res;
+    }
+    bool any_unbounded = false;
+    int64_t total = TotalStateBoundBytes(&any_unbounded);
+    report.Add(analysis::DiagCode::kStateBoundNote, analysis::Severity::kNote,
+               std::string("engine state bound: ") +
+                   (any_unbounded ? "unbounded"
+                                  : std::to_string(total) +
+                                        " B across live queries' numeric "
+                                        "bounds"),
+               {}, "engine");
   }
   return report;
 }

@@ -13,6 +13,7 @@
 #include "adapters/sink.h"
 #include "analysis/net_analyzer.h"
 #include "analysis/partition_analyzer.h"
+#include "analysis/state_analyzer.h"
 #include "common/clock.h"
 #include "common/metrics_registry.h"
 #include "common/thread_pool.h"
@@ -26,6 +27,13 @@
 #include "storage/catalog.h"
 
 namespace datacell {
+
+/// What the pass-4 admission gate does when a query's state bound is
+/// unbounded or exceeds a configured cap.
+enum class StateBoundPolicy {
+  kReject,  // registration fails with a positioned S007/S008 TypeError
+  kWarn,    // registration proceeds; the S-diagnostic is kept advisory
+};
 
 /// Engine-wide configuration.
 struct EngineOptions {
@@ -99,6 +107,24 @@ struct EngineOptions {
   /// datacell_shard_* metrics carry it so per-shard telemetry stays
   /// attributable after the union. 0 for standalone engines.
   int shard_index = 0;
+  /// Pass-4 admission control. max_query_state_bytes > 0 gates each
+  /// submitted query on its static state bound: unbounded verdicts and
+  /// numeric bounds above the cap are rejected (or warned, per
+  /// `state_bound_policy`) at SubmitContinuousQuery time, before any output
+  /// stream or basket plumbing exists — a rejected query leaves no state
+  /// behind. Symbolic-but-bounded verdicts (time windows) pass: they are
+  /// bounded in principle and cannot be compared to a byte cap.
+  size_t max_query_state_bytes = 0;
+  /// > 0 additionally caps the sum of all live queries' numeric bounds; a
+  /// submission that would push the engine total (or any unbounded query)
+  /// past it is rejected/warned the same way (S008).
+  size_t max_engine_state_bytes = 0;
+  StateBoundPolicy state_bound_policy = StateBoundPolicy::kReject;
+  /// Estimated bytes per string value for pass-4 row widths (fixed-width
+  /// columns are priced by their value size). Also used by the factories'
+  /// runtime state accounting so static bound and measured occupancy stay
+  /// comparable.
+  int64_t state_string_bytes = 32;
 };
 
 /// Per-query overrides for SubmitContinuousQuery.
@@ -190,6 +216,21 @@ class Engine {
   /// basket (lower-cased) -> declared partition column index, for pass 3.
   analysis::PartitionKeyMap DeclaredPartitionKeys() const;
 
+  /// Declares a key-space cardinality hint for stream `name`'s `column`
+  /// (`CREATE BASKET ... WITH (cardinality(col) = N)` routes here). The
+  /// state-bound analyzer (pass 4) uses it to bound group-by / distinct
+  /// state on that column.
+  Status SetStreamCardinality(const std::string& name,
+                              const std::string& column, int64_t cardinality);
+  /// basket (lower-cased) -> column index -> declared cardinality, for
+  /// pass 4.
+  analysis::CardinalityMap DeclaredCardinalities() const;
+
+  /// Sum of the live queries' numeric state bounds in bytes, plus whether
+  /// any live query is unbounded — the engine-wide pass-4 footprint the
+  /// max_engine_state_bytes gate and Analyze() report.
+  int64_t TotalStateBoundBytes(bool* any_unbounded = nullptr) const;
+
   /// Appends one tuple (without ts) to stream `name`, replicating to
   /// private baskets as the active strategy requires. The fast in-process
   /// ingest path used by tests and benchmarks.
@@ -250,6 +291,8 @@ class Engine {
     /// Pass-3 partition-safety report computed at registration (static
     /// verdict; live overrides are applied by EffectivePartitionVerdict).
     std::shared_ptr<const analysis::PartitionReport> partition;
+    /// Pass-4 state-bound report computed at registration.
+    std::shared_ptr<const analysis::StateReport> state;
     /// Human-readable shard placement set by the sharded executor (e.g.
     /// "all shards + merge", "shard 2 (pinned)"); empty for standalone
     /// engines. Surfaced by \shards, \analyze and the /queries endpoint.
@@ -355,6 +398,9 @@ class Engine {
     /// Declared partition key: user-schema column index (== basket column
     /// index; the implicit ts column is appended after the user columns).
     std::optional<size_t> partition_key;
+    /// Declared cardinality hints: user-schema column index -> max distinct
+    /// values (`WITH (cardinality(col) = N)`), consumed by pass 4.
+    std::map<size_t, int64_t> cardinality;
     std::vector<BasketPtr> replicas;   // separate-strategy private baskets
     std::vector<FactoryPtr> chain;     // chained-strategy factories, in order
     BasketPtr chain_head;              // first chained basket (ingest target)
@@ -378,6 +424,10 @@ class Engine {
                                       const std::string& suffix);
   /// Resolves non-stream scan relations of `plan` from the catalog.
   Result<PlanBindings> ResolveStaticBindings(
+      const sql::CompiledQuery& query) const;
+  /// Pass-4 analyzer inputs for `query` under the current catalog: string
+  /// pricing, input-basket capacities/readers, static-relation row counts.
+  analysis::StateAnalyzerOptions StateOptionsFor(
       const sql::CompiledQuery& query) const;
   StreamInfo* FindStream(const std::string& name);
 

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "analysis/plan_analyzer.h"
+#include "analysis/state_analyzer.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "storage/batch_pool.h"
@@ -63,6 +64,29 @@ Result<std::shared_ptr<Factory>> Factory::Create(
     }
     DC_RETURN_NOT_OK(report.ToStatus());
   }
+  // Pass-4 admission gate (opt-in): prove the query's state bound before
+  // any input reader is registered, so a rejected factory leaves no state
+  // behind. Catalog-less callers get no cardinality hints or static-table
+  // sizes — the bound is conservative.
+  if (options.max_state_bytes > 0) {
+    analysis::AnalysisReport report;
+    analysis::StateAnalyzerOptions sopts;
+    sopts.string_bytes = options.state_string_bytes;
+    DC_ASSIGN_OR_RETURN(
+        analysis::StateReport state,
+        analysis::AnalyzeStateBounds(query, {}, sopts, &report));
+    if (state.total.kind == analysis::StateBoundKind::kUnbounded ||
+        (state.total.numeric() &&
+         state.total.bytes > static_cast<int64_t>(options.max_state_bytes))) {
+      report.Add(analysis::DiagCode::kStateBoundExceeded,
+                 analysis::Severity::kError,
+                 "state bound " + state.total.ToString() +
+                     " exceeds max_state_bytes = " +
+                     std::to_string(options.max_state_bytes),
+                 analysis::FindPlanLoc(*query.plan));
+      DC_RETURN_NOT_OK(report.ToStatus());
+    }
+  }
   bool windowed = query.window.kind != sql::WindowSpec::Kind::kNone;
   auto factory = std::shared_ptr<Factory>(
       new Factory(std::move(name), std::move(query), std::move(output),
@@ -116,7 +140,27 @@ Result<std::shared_ptr<Factory>> Factory::Create(
   } else {
     PipelineProfile::FromPlan(*factory->query_.plan, factory->profile_.get());
   }
+  // Seed the state accounting: a specialized join's build index exists from
+  // registration, before any tuple flows.
+  factory->UpdateStateAccounting();
   return factory;
+}
+
+void Factory::UpdateStateAccounting() {
+  size_t bytes = 0;
+  if (window_ != nullptr && !inputs_.empty()) {
+    int64_t row_bytes = inputs_[0].spec->basket_schema.EstimatedRowBytes(
+        options_.state_string_bytes);
+    bytes += window_->buffered() * static_cast<size_t>(row_bytes);
+  }
+  if (specialized_ != nullptr) {
+    bytes += specialized_->JoinStateBytes(options_.state_string_bytes);
+  }
+  state_bytes_.store(bytes, std::memory_order_relaxed);
+  size_t hw = state_high_water_.load(std::memory_order_relaxed);
+  if (bytes > hw) {
+    state_high_water_.store(bytes, std::memory_order_relaxed);
+  }
 }
 
 std::string Factory::PipelineDescription() const {
@@ -313,6 +357,7 @@ Result<int64_t> Factory::Fire() {
     }
   }
   if (profiling) profile_->RecordFire(ProfileNowNs() - fire_t0);
+  UpdateStateAccounting();
   RecordRun(in_tuples, clock_->Now() - start);
   return in_tuples;
 }

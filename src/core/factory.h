@@ -19,6 +19,7 @@ class BatchPool;
 
 namespace analysis {
 struct PartitionReport;
+struct StateReport;
 }  // namespace analysis
 
 /// How a factory obtains input from its basket(s) — the processing
@@ -62,6 +63,16 @@ struct FactoryOptions {
   /// tree interpreter; otherwise the interpreter runs and the fallback
   /// reason is kept for \explain. Disable to force the interpreter.
   bool specialize = true;
+  /// Per-string byte estimate the state accounting (and the pass-4 gate
+  /// below) prices string columns at; must match the analyzer's figure for
+  /// static bound and measured occupancy to be comparable.
+  int64_t state_string_bytes = 32;
+  /// Pass-4 admission gate for factories created outside the engine: > 0
+  /// runs the state-bound analyzer (without catalog hints) and rejects
+  /// creation when the query's bound is unbounded or exceeds this many
+  /// bytes. Engine-submitted queries are gated in SubmitCompiledQuery
+  /// instead, where cardinality hints and the engine cap are in scope.
+  size_t max_state_bytes = 0;
 };
 
 /// A continuous query cast into a resumable unit of execution (§2.3): it
@@ -118,6 +129,26 @@ class Factory final : public Transition {
   const std::shared_ptr<const analysis::PartitionReport>& partition_report()
       const {
     return partition_report_;
+  }
+  /// Pass-4 state-bound report, attached by the engine at registration
+  /// (analysis/state_analyzer.h). May be null for factories created outside
+  /// the engine.
+  void SetStateReport(std::shared_ptr<const analysis::StateReport> r) {
+    state_report_ = std::move(r);
+  }
+  const std::shared_ptr<const analysis::StateReport>& state_report() const {
+    return state_report_;
+  }
+  /// Measured cross-firing operator state in bytes (window buffer rows x
+  /// input row width + specialized join build state), refreshed at the end
+  /// of every Fire — the ground truth the pass-4 oracle and the
+  /// datacell_query_state_bytes gauge compare against the static bound.
+  size_t state_bytes() const {
+    return state_bytes_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of state_bytes() across this factory's lifetime.
+  size_t state_bytes_high_water() const {
+    return state_high_water_.load(std::memory_order_relaxed);
   }
   ProcessingStrategy strategy() const { return options_.strategy; }
   /// "none", "reeval" or "incremental".
@@ -184,6 +215,11 @@ class Factory final : public Transition {
           PlanBindings static_bindings, const Clock* clock,
           FactoryOptions options);
 
+  /// Recomputes state_bytes() / the high-water mark. Called from Fire()
+  /// (single-writer) and once at creation for the registration-built join
+  /// index.
+  void UpdateStateAccounting();
+
   /// Tuples available on input `i` under the current strategy.
   size_t AvailableOn(const InputBinding& in) const;
   /// Obtains (and consumes, per strategy) the next input slice.
@@ -206,6 +242,10 @@ class Factory final : public Transition {
   // nodes); recording is gated by profiling_ per firing.
   std::unique_ptr<PipelineProfile> profile_;
   std::shared_ptr<const analysis::PartitionReport> partition_report_;
+  std::shared_ptr<const analysis::StateReport> state_report_;
+  // Single-writer (Fire) / many-reader state accounting cells.
+  std::atomic<size_t> state_bytes_{0};
+  std::atomic<size_t> state_high_water_{0};
   std::atomic<bool> profiling_{false};
   std::atomic<int64_t> results_emitted_{0};
   std::atomic<int64_t> plan_errors_{0};

@@ -1,0 +1,122 @@
+#include "core/state_oracle.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/basket.h"
+#include "storage/types.h"
+
+namespace datacell {
+
+namespace {
+
+/// Deterministic synthetic value for row `r`, column type `t`. When the
+/// column carries a declared cardinality hint, values cycle through exactly
+/// that many distinct keys — the hint is a contract on the data, so the
+/// oracle's worst case is "every declared key live", not "hint violated".
+/// Unhinted columns get all-distinct values (the true worst case).
+Value SyntheticValue(DataType t, size_t r,
+                     std::optional<int64_t> cardinality) {
+  int64_t v = static_cast<int64_t>(r);
+  if (cardinality.has_value() && *cardinality > 0) v %= *cardinality;
+  switch (t) {
+    case DataType::kBool:
+      return Value::Bool(v % 2 == 0);
+    case DataType::kInt64:
+      return Value::Int64(v);
+    case DataType::kDouble:
+      return Value::Double(static_cast<double>(v) * 0.5);
+    case DataType::kString: {
+      std::string s(1, 'k');
+      s += std::to_string(v);
+      return Value::String(std::move(s));
+    }
+    case DataType::kTimestamp:
+      return Value::TimestampVal(v);
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Result<StateBoundCheck> CheckStateBound(Engine& engine, QueryId id,
+                                        StateOracleOptions options) {
+  DC_ASSIGN_OR_RETURN(const Engine::QueryInfo* info, engine.GetQuery(id));
+  if (info->removed || info->factory == nullptr) {
+    return Status::FailedPrecondition("query was removed");
+  }
+  if (options.batch == 0) options.batch = 1;
+
+  // Distinct input streams with their user-facing schemas (the basket
+  // schema minus the implicit trailing ts column the engine stamps).
+  struct Input {
+    std::string stream;
+    Schema user_schema;
+    std::map<size_t, int64_t> cardinality;
+  };
+  std::vector<Input> synth_inputs;
+  std::set<std::string> seen;
+  analysis::CardinalityMap hints = engine.DeclaredCardinalities();
+  for (const sql::ContinuousInput& in : info->factory->query().inputs) {
+    std::string key = ToLower(in.basket);
+    if (!seen.insert(key).second) continue;
+    Input input;
+    input.stream = in.basket;
+    const Schema& bs = in.basket_schema;
+    size_t n = bs.num_fields();
+    if (Basket::HasTsColumn(bs) && n > 0) --n;
+    for (size_t i = 0; i < n; ++i) input.user_schema.AddField(bs.field(i));
+    auto hit = hints.find(key);
+    if (hit != hints.end()) input.cardinality = hit->second;
+    synth_inputs.push_back(std::move(input));
+  }
+
+  // Drive: batches interleaved with drains, so windows advance and the
+  // factory's accounting sees the churn, not just the final buffer.
+  for (size_t done = 0; done < options.rows; done += options.batch) {
+    size_t count = std::min(options.batch, options.rows - done);
+    for (const Input& input : synth_inputs) {
+      std::vector<Row> rows;
+      rows.reserve(count);
+      for (size_t r = done; r < done + count; ++r) {
+        Row row;
+        row.reserve(input.user_schema.num_fields());
+        for (size_t c = 0; c < input.user_schema.num_fields(); ++c) {
+          std::optional<int64_t> card;
+          auto it = input.cardinality.find(c);
+          if (it != input.cardinality.end()) card = it->second;
+          row.push_back(
+              SyntheticValue(input.user_schema.field(c).type, r, card));
+        }
+        rows.push_back(std::move(row));
+      }
+      DC_RETURN_NOT_OK(engine.IngestBatch(input.stream, rows));
+    }
+    engine.Drain();
+  }
+  engine.Drain();
+
+  StateBoundCheck check;
+  check.measured_bytes = info->factory->state_bytes_high_water();
+  if (options.override_bound_bytes.has_value()) {
+    check.bound_bytes = *options.override_bound_bytes;
+  } else if (info->state != nullptr && info->state->total.numeric()) {
+    check.bound_bytes = info->state->total.bytes;
+  }
+  if (check.bound_bytes < 0) {
+    check.sound = true;
+    check.detail = "no numeric bound to violate (measured " +
+                   std::to_string(check.measured_bytes) + " B; vacuous)";
+  } else {
+    check.sound =
+        check.measured_bytes <= static_cast<size_t>(check.bound_bytes);
+    check.detail = "measured " + std::to_string(check.measured_bytes) +
+                   " B " + (check.sound ? "<=" : "EXCEEDS") + " bound " +
+                   std::to_string(check.bound_bytes) + " B";
+  }
+  return check;
+}
+
+}  // namespace datacell

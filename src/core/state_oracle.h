@@ -1,0 +1,55 @@
+#ifndef DATACELL_CORE_STATE_ORACLE_H_
+#define DATACELL_CORE_STATE_ORACLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/engine.h"
+
+namespace datacell {
+
+/// Dynamic cross-check of the pass-4 static analyzer (the "oracle" the
+/// analyzer's soundness claim is tested against): drive a registered query
+/// with synthetic input, measure the factory's cross-firing state high-water
+/// mark, and assert measured <= the registration-time static bound. The
+/// fuzzer runs this as contract 3; analysis_test runs it over every bound
+/// class, including a deliberately-unsound override the check must reject.
+
+/// Outcome of one oracle run.
+struct StateBoundCheck {
+  /// measured_bytes <= bound, or the bound is non-numeric (unbounded /
+  /// symbolic verdicts make no byte claim, so the check is vacuously sound).
+  bool sound = true;
+  /// The factory's state high-water mark after the drive (bytes).
+  size_t measured_bytes = 0;
+  /// The numeric static bound compared against (-1 when non-numeric).
+  int64_t bound_bytes = -1;
+  /// Human-readable verdict line, e.g. "measured 1824 B <= bound 3200 B".
+  std::string detail;
+};
+
+struct StateOracleOptions {
+  /// Total synthetic rows ingested per input stream.
+  size_t rows = 256;
+  /// Rows per Ingest batch; the engine drains between batches so windows
+  /// advance and per-firing state churns.
+  size_t batch = 32;
+  /// Test hook: compare against this bound instead of the query's static
+  /// report (the deliberately-unsound path — a too-small override must come
+  /// back sound == false).
+  std::optional<int64_t> override_bound_bytes;
+};
+
+/// Drives query `id` of `engine` with deterministic synthetic rows on every
+/// input stream, draining between batches, then compares the factory's
+/// measured state high-water mark with the query's static bound. The engine
+/// must not be running its threaded scheduler (the oracle calls Drain()).
+/// Ingested rows land in the query's input streams — use a scratch engine.
+Result<StateBoundCheck> CheckStateBound(Engine& engine, QueryId id,
+                                        StateOracleOptions options = {});
+
+}  // namespace datacell
+
+#endif  // DATACELL_CORE_STATE_ORACLE_H_

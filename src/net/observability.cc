@@ -141,6 +141,15 @@ std::string ObservabilityServer::QueriesJson() const {
         AppendJsonString(out, reason);
       }
     }
+    if (info.state != nullptr) {
+      // Pass-4 static bound plus the live accounting it promises to cover.
+      out += ",\"state_bound\":" + info.state->ToJson();
+      if (info.factory != nullptr) {
+        out += ",\"state_bytes\":" + std::to_string(info.factory->state_bytes());
+        out += ",\"state_high_water_bytes\":" +
+               std::to_string(info.factory->state_bytes_high_water());
+      }
+    }
     out += "}";
   }
   out += "]\n";

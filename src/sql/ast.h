@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/types.h"
@@ -143,6 +144,10 @@ struct CreateStmt {
   /// will hash-shard on. Advisory today — the partition-safety analyzer
   /// (pass 3) seeds its key lattice from it. Empty = none declared.
   std::string partition_by;
+  /// `WITH (cardinality(col) = N, ...)` (baskets only): declared key-space
+  /// sizes the state-bound analyzer (pass 4) uses to bound group-by /
+  /// distinct state on those columns. (column name, N) pairs, N > 0.
+  std::vector<std::pair<std::string, int64_t>> cardinality_hints;
 };
 
 struct InsertStmt {

@@ -167,6 +167,24 @@ class Parser {
       }
       DC_ASSIGN_OR_RETURN(create->partition_by, ExpectName());
     }
+    // WITH (cardinality(col) = N, ...) — pass-4 key-space hints.
+    if (MatchKeyword("with")) {
+      if (!is_basket) {
+        return Err("WITH (cardinality(...)) applies to baskets, not tables");
+      }
+      DC_RETURN_NOT_OK(ExpectToken(TokenType::kLParen));
+      do {
+        DC_RETURN_NOT_OK(ExpectKeyword("cardinality"));
+        DC_RETURN_NOT_OK(ExpectToken(TokenType::kLParen));
+        DC_ASSIGN_OR_RETURN(std::string col, ExpectName());
+        DC_RETURN_NOT_OK(ExpectToken(TokenType::kRParen));
+        DC_RETURN_NOT_OK(ExpectToken(TokenType::kEq));
+        DC_ASSIGN_OR_RETURN(int64_t n, ExpectInt());
+        if (n <= 0) return Err("cardinality must be a positive row count");
+        create->cardinality_hints.emplace_back(std::move(col), n);
+      } while (MatchToken(TokenType::kComma));
+      DC_RETURN_NOT_OK(ExpectToken(TokenType::kRParen));
+    }
     Statement stmt;
     stmt.kind = Statement::Kind::kCreate;
     stmt.create = std::move(create);

@@ -22,4 +22,24 @@ std::string Schema::ToString() const {
   return out;
 }
 
+int64_t Schema::EstimatedRowBytes(int64_t string_bytes) const {
+  int64_t bytes = 0;
+  for (const Field& f : fields_) {
+    switch (f.type) {
+      case DataType::kBool:
+        bytes += 1;
+        break;
+      case DataType::kInt64:
+      case DataType::kDouble:
+      case DataType::kTimestamp:
+        bytes += 8;
+        break;
+      case DataType::kString:
+        bytes += string_bytes;
+        break;
+    }
+  }
+  return bytes;
+}
+
 }  // namespace datacell

@@ -39,6 +39,14 @@ class Schema {
   /// "name type, name type, ..." rendering.
   std::string ToString() const;
 
+  /// Estimated in-memory bytes of one row of this schema: fixed-width types
+  /// by their value size (bool 1, int64/double/timestamp 8), strings by the
+  /// caller-supplied per-value estimate (Values carry std::string payloads
+  /// whose true length is data-dependent). The static state-bound analyzer
+  /// and the runtime state-accounting hooks share this so static bounds and
+  /// measured occupancy are expressed in the same unit.
+  int64_t EstimatedRowBytes(int64_t string_bytes) const;
+
   friend bool operator==(const Schema& a, const Schema& b) {
     return a.fields_ == b.fields_;
   }

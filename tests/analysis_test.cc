@@ -15,8 +15,11 @@
 #include "analysis/net_analyzer.h"
 #include "analysis/partition_analyzer.h"
 #include "analysis/plan_analyzer.h"
+#include "analysis/state_analyzer.h"
+#include "analysis/state_bound.h"
 #include "core/engine.h"
 #include "core/factory.h"
+#include "core/state_oracle.h"
 
 namespace datacell {
 namespace {
@@ -1195,6 +1198,534 @@ TEST(SplitMergeOracleTest, DetectsUnsoundRecipe) {
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_FALSE(res->equivalent);
   EXPECT_FALSE(res->detail.empty());
+}
+
+// --- pass 4: the state-bound lattice ----------------------------------------
+
+TEST(StateBoundLatticeTest, SumJoinsKindsAndAddsBytes) {
+  using analysis::StateBound;
+  using analysis::StateBoundKind;
+  StateBound c = StateBound::Constant(8, "counter");
+  StateBound w = StateBound::Window(3200, false, "100 rows x 32 B");
+  StateBound s = StateBound::Sum(c, w);
+  EXPECT_EQ(s.kind, StateBoundKind::kWindowBounded);
+  EXPECT_TRUE(s.numeric());
+  EXPECT_EQ(s.bytes, 3208);
+
+  StateBound k = StateBound::Key(1000, false, "hinted keys");
+  EXPECT_EQ(StateBound::Sum(w, k).kind, StateBoundKind::kKeyBounded);
+  EXPECT_EQ(StateBound::Sum(w, k).bytes, 4200);
+
+  StateBound u = StateBound::Unbounded("join history");
+  StateBound su = StateBound::Sum(k, u);
+  EXPECT_EQ(su.kind, StateBoundKind::kUnbounded);
+  EXPECT_FALSE(su.numeric());
+}
+
+TEST(StateBoundLatticeTest, SymbolicTaintsAndScalesDoNot) {
+  using analysis::StateBound;
+  using analysis::StateBoundKind;
+  StateBound t = StateBound::Window(0, true, "time window");
+  StateBound w = StateBound::Window(3200, false, "count window");
+  StateBound s = StateBound::Sum(t, w);
+  EXPECT_EQ(s.kind, StateBoundKind::kWindowBounded);
+  EXPECT_TRUE(s.symbolic);
+  EXPECT_FALSE(s.numeric());
+
+  StateBound scaled = w.Scaled(4);
+  EXPECT_EQ(scaled.bytes, 12800);
+  EXPECT_TRUE(scaled.numeric());
+  // Scaling a symbolic bound keeps it symbolic rather than inventing bytes.
+  EXPECT_FALSE(t.Scaled(4).numeric());
+
+  EXPECT_NE(w.ToString().find("window-bounded (3200 B)"), std::string::npos)
+      << w.ToString();
+  EXPECT_NE(StateBound::Unbounded("x").ToString().find("unbounded"),
+            std::string::npos);
+}
+
+// --- pass 4: bound classes per query shape ----------------------------------
+
+// Registers `sql` after `ddl` and checks the attached StateReport's class
+// plus the S-code Engine::Analyze() re-derives.
+struct BoundCase {
+  const char* label;
+  const char* ddl;
+  const char* sql;
+  analysis::StateBoundKind kind;
+  bool numeric;
+  // Expected S-code in Analyze() output; kStateBoundNote always fires, so
+  // cases without a specific code assert just that.
+  analysis::DiagCode code;
+};
+
+class StateBoundClassTest : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(StateBoundClassTest, BoundClassAndDiagnostics) {
+  const BoundCase& c = GetParam();
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteScript(c.ddl).ok()) << c.ddl;
+  auto q = engine.SubmitContinuousQuery(c.label, c.sql);
+  ASSERT_TRUE(q.ok()) << c.label << ": " << q.status().ToString();
+  auto info = engine.GetQuery(*q);
+  ASSERT_TRUE(info.ok());
+  ASSERT_NE((*info)->state, nullptr) << c.label;
+  const analysis::StateReport& state = *(*info)->state;
+  EXPECT_EQ(state.total.kind, c.kind)
+      << c.label << ": " << state.total.ToString();
+  EXPECT_EQ(state.total.numeric(), c.numeric)
+      << c.label << ": " << state.total.ToString();
+  if (c.numeric) EXPECT_GT(state.total.bytes, 0) << c.label;
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(c.code)) << c.label << ":\n" << report.ToString();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kStateBoundNote))
+      << report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundClasses, StateBoundClassTest,
+    ::testing::Values(
+        BoundCase{"scalar_agg",
+                  "create basket s (x int, y double)",
+                  "select avg(y) as m, count(*) as n from "
+                  "[select * from s] as t",
+                  analysis::StateBoundKind::kConstant, true,
+                  analysis::DiagCode::kStateBoundNote},
+        BoundCase{"limit_counter",
+                  "create basket s (x int, y double)",
+                  "select x from [select * from s] as t limit 5",
+                  analysis::StateBoundKind::kConstant, true,
+                  analysis::DiagCode::kStateBoundNote},
+        BoundCase{"count_window",
+                  "create basket s (x int, y double)",
+                  "select sum(y) as burst from [select * from s] as t "
+                  "window size 100",
+                  analysis::StateBoundKind::kWindowBounded, true,
+                  analysis::DiagCode::kWindowStateBound},
+        BoundCase{"sliding_count_window",
+                  "create basket s (x int, y double)",
+                  "select sum(y) as burst from [select * from s] as t "
+                  "window size 10 slide 3",
+                  analysis::StateBoundKind::kWindowBounded, true,
+                  analysis::DiagCode::kWindowStateBound},
+        BoundCase{"time_window_symbolic",
+                  "create basket s (x int, y double)",
+                  "select sum(y) as burst from [select * from s] as t "
+                  "window range 10 seconds",
+                  analysis::StateBoundKind::kWindowBounded, false,
+                  analysis::DiagCode::kWindowStateBound},
+        BoundCase{"hinted_group_by",
+                  "create basket s (sym varchar, qty int) "
+                  "with (cardinality(sym) = 64)",
+                  "select sym, sum(qty) as total from "
+                  "[select * from s] as t group by sym",
+                  analysis::StateBoundKind::kKeyBounded, true,
+                  analysis::DiagCode::kCardinalityHintUsed},
+        BoundCase{"unhinted_group_by",
+                  "create basket s (sym varchar, qty int)",
+                  "select sym, sum(qty) as total from "
+                  "[select * from s] as t group by sym",
+                  analysis::StateBoundKind::kUnbounded, false,
+                  analysis::DiagCode::kUnboundedKeyState},
+        BoundCase{"unhinted_distinct",
+                  "create basket s (sym varchar, qty int)",
+                  "select distinct sym from [select * from s] as t",
+                  analysis::StateBoundKind::kUnbounded, false,
+                  analysis::DiagCode::kUnboundedKeyState},
+        BoundCase{"hinted_distinct",
+                  "create basket s (sym varchar, qty int) "
+                  "with (cardinality(sym) = 8)",
+                  "select distinct sym from [select * from s] as t",
+                  analysis::StateBoundKind::kKeyBounded, true,
+                  analysis::DiagCode::kCardinalityHintUsed},
+        BoundCase{"stream_stream_join",
+                  "create basket a (k int, v double);"
+                  "create basket b (k int, w double)",
+                  "select x.v, y.w from [select * from a] as x join "
+                  "[select * from b] as y on x.k = y.k",
+                  analysis::StateBoundKind::kUnbounded, false,
+                  analysis::DiagCode::kUnboundedJoinState},
+        BoundCase{"static_join_build",
+                  "create basket s (k int, v double);"
+                  "create table dims (k int, label varchar);"
+                  "insert into dims values (1, 'a'), (2, 'b')",
+                  "select t.v, d.label from [select * from s] as t "
+                  "join dims as d on t.k = d.k",
+                  analysis::StateBoundKind::kKeyBounded, true,
+                  analysis::DiagCode::kStateBoundNote}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+// Windowed group-by on hinted keys stays bounded by the window even without
+// a hint (per-window keys <= per-window rows).
+TEST(StateAnalyzerTest, WindowedGroupByIsWindowBounded) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (sym varchar, qty int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "wg", "select sym, sum(qty) as total from [select * from s] as t "
+            "group by sym window size 50");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto info = engine.GetQuery(*q);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->state->total.kind,
+            analysis::StateBoundKind::kWindowBounded)
+      << (*info)->state->total.ToString();
+}
+
+TEST(StateAnalyzerTest, ShardCopiesMultiplyNumericBounds) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int, y double)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "w", "select sum(y) as b from [select * from s] as t window size 100");
+  ASSERT_TRUE(q.ok());
+  auto info = engine.GetQuery(*q);
+  ASSERT_TRUE(info.ok());
+  const sql::CompiledQuery& cq = (*info)->factory->query();
+
+  analysis::StateAnalyzerOptions one;
+  analysis::AnalysisReport r1;
+  auto b1 = analysis::AnalyzeStateBounds(cq, {}, one, &r1);
+  ASSERT_TRUE(b1.ok());
+
+  analysis::StateAnalyzerOptions four = one;
+  four.shard_copies = 4;
+  analysis::AnalysisReport r4;
+  auto b4 = analysis::AnalyzeStateBounds(cq, {}, four, &r4);
+  ASSERT_TRUE(b4.ok());
+  EXPECT_EQ(b4->total.bytes, 4 * b1->total.bytes);
+  EXPECT_EQ(b4->shard_copies, 4u);
+  EXPECT_TRUE(r4.Has(analysis::DiagCode::kShardStateMultiplied))
+      << r4.ToString();
+  EXPECT_FALSE(r1.Has(analysis::DiagCode::kShardStateMultiplied));
+}
+
+TEST(StateAnalyzerTest, SharedBasketRetentionIsS006) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int)").ok());
+  QueryOptions shared;
+  shared.strategy = ProcessingStrategy::kSharedBaskets;
+  auto q1 = engine.SubmitContinuousQuery(
+      "r1", "select x from [select * from s] as t where t.x > 1", shared);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  auto q2 = engine.SubmitContinuousQuery(
+      "r2", "select x from [select * from s] as t where t.x < 0", shared);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  analysis::AnalysisReport report = engine.Analyze();
+  EXPECT_TRUE(report.Has(analysis::DiagCode::kBasketRetention))
+      << report.ToString();
+}
+
+// --- pass 4: the admission gate ---------------------------------------------
+
+TEST(StateAdmissionTest, UnboundedJoinRejectedWithNoStateLeft) {
+  EngineOptions opts = Deterministic();
+  opts.max_query_state_bytes = 1 << 20;
+  Engine engine(opts);
+  ASSERT_TRUE(engine
+                  .ExecuteScript("create basket a (k int, v double);"
+                                 "create basket b (k int, w double);")
+                  .ok());
+  auto q = engine.SubmitContinuousQuery(
+      "joined", "select x.v, y.w from [select * from a] as x join "
+                "[select * from b] as y on x.k = y.k");
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsTypeError()) << q.status().ToString();
+  for (const char* want : {"[S007]", "state-bound-exceeded", "unbounded",
+                           "max_query_state_bytes", "at 1:"}) {
+    EXPECT_NE(q.status().message().find(want), std::string::npos)
+        << "expected '" << want << "' in\n" << q.status().message();
+  }
+  // No state left behind: the same name registers a bounded query cleanly
+  // (a leaked 'joined_out' stream would collide here).
+  auto ok = engine.SubmitContinuousQuery(
+      "joined", "select avg(v) as m from [select * from a] as x");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(StateAdmissionTest, WarnPolicyAdmitsUnboundedQueries) {
+  EngineOptions opts = Deterministic();
+  opts.max_query_state_bytes = 1 << 20;
+  opts.state_bound_policy = StateBoundPolicy::kWarn;
+  Engine engine(opts);
+  ASSERT_TRUE(engine
+                  .ExecuteScript("create basket a (k int, v double);"
+                                 "create basket b (k int, w double);")
+                  .ok());
+  auto q = engine.SubmitContinuousQuery(
+      "joined", "select x.v, y.w from [select * from a] as x join "
+                "[select * from b] as y on x.k = y.k");
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(StateAdmissionTest, ByteCapRejectsOversizedWindow) {
+  EngineOptions opts = Deterministic();
+  opts.max_query_state_bytes = 256;  // a 1000-row window cannot fit
+  Engine engine(opts);
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int, y double)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "big", "select sum(y) as b from [select * from s] as t "
+             "window size 1000");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("max_query_state_bytes"),
+            std::string::npos)
+      << q.status().message();
+  // A window that fits the cap still registers.
+  auto ok = engine.SubmitContinuousQuery(
+      "small", "select sum(y) as b from [select * from s] as t "
+               "window size 2");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(StateAdmissionTest, EngineCapSumsLiveQueries) {
+  EngineOptions opts = Deterministic();
+  // Each 100-row window bounds to ~4.8 KB; one fits, the second busts it.
+  opts.max_engine_state_bytes = 8192;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int, y double)").ok());
+  auto q1 = engine.SubmitContinuousQuery(
+      "w1", "select sum(y) as b from [select * from s] as t window size 100");
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  auto q2 = engine.SubmitContinuousQuery(
+      "w2", "select sum(y) as b from [select * from s] as t window size 100");
+  ASSERT_FALSE(q2.ok());
+  for (const char* want : {"[S008]", "max_engine_state_bytes"}) {
+    EXPECT_NE(q2.status().message().find(want), std::string::npos)
+        << "expected '" << want << "' in\n" << q2.status().message();
+  }
+}
+
+// --- cardinality hint DDL ---------------------------------------------------
+
+TEST(CardinalityHintTest, ParsesRegistersAndRoundTrips) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket trades (sym varchar, qty int) "
+                              "partition by sym "
+                              "with (cardinality(sym) = 100)")
+                  .ok());
+  analysis::CardinalityMap hints = engine.DeclaredCardinalities();
+  ASSERT_EQ(hints.count("trades"), 1u);
+  EXPECT_EQ(hints["trades"][0], 100);
+
+  std::string dump = engine.DumpCatalogSql();
+  EXPECT_NE(dump.find("with (cardinality(sym) = 100)"), std::string::npos)
+      << dump;
+  // The dump re-executes: the hint survives a catalog round trip.
+  Engine clone(Deterministic());
+  ASSERT_TRUE(clone.ExecuteScript(dump).ok()) << dump;
+  EXPECT_EQ(clone.DeclaredCardinalities()["trades"][0], 100);
+}
+
+TEST(CardinalityHintTest, MultipleHintsAndLateDeclaration) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket t (a varchar, b int, c int) "
+                              "with (cardinality(a) = 10, "
+                              "cardinality(b) = 20)")
+                  .ok());
+  analysis::CardinalityMap hints = engine.DeclaredCardinalities();
+  EXPECT_EQ(hints["t"][0], 10);
+  EXPECT_EQ(hints["t"][1], 20);
+  // The C++ surface can add hints after creation.
+  ASSERT_TRUE(engine.SetStreamCardinality("t", "c", 30).ok());
+  EXPECT_EQ(engine.DeclaredCardinalities()["t"][2], 30);
+  EXPECT_FALSE(engine.SetStreamCardinality("t", "missing", 5).ok());
+  EXPECT_FALSE(engine.SetStreamCardinality("t", "c", 0).ok());
+}
+
+TEST(CardinalityHintTest, BadHintLeavesNoStreamBehind) {
+  Engine engine(Deterministic());
+  auto bad = engine.ExecuteSql(
+      "create basket t (a varchar) with (cardinality(missing) = 10)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("missing"), std::string::npos);
+  // The failed create left nothing: the name is free.
+  EXPECT_TRUE(engine
+                  .ExecuteSql("create basket t (a varchar) "
+                              "with (cardinality(a) = 10)")
+                  .ok());
+}
+
+TEST(CardinalityHintTest, RejectedOnTablesAndNonPositive) {
+  Engine engine(Deterministic());
+  EXPECT_FALSE(
+      engine.ExecuteSql("create table t (a int) with (cardinality(a) = 10)")
+          .ok());
+  EXPECT_FALSE(
+      engine.ExecuteSql("create basket b (a int) with (cardinality(a) = 0)")
+          .ok());
+  EXPECT_FALSE(
+      engine.ExecuteSql("create basket b (a int) with (cardinality(a) = -3)")
+          .ok());
+}
+
+// --- N001 exemption for sharded-union partial baskets -----------------------
+
+TEST(NetAnalysisTest, PartialsUnionBasketNotOrphan) {
+  // The sharded executor's frontend union baskets (name__partials) are fed
+  // by cross-engine forwarding the per-shard topology cannot see; they must
+  // not trip the orphan lint the way a plain unfed basket does.
+  analysis::NetTopology net;
+  analysis::NetPlace partials;
+  partials.name = "q1__partials";
+  partials.external_feed = true;  // fed by cross-shard forwarding
+  partials.num_readers = 0;
+  net.places.push_back(partials);
+  analysis::NetPlace lonely;
+  lonely.name = "lonely";
+  lonely.external_feed = true;  // fed but unread: the real orphan
+  lonely.num_readers = 0;
+  net.places.push_back(lonely);
+  analysis::AnalysisReport report;
+  analysis::AnalyzeTopology(net, &report);
+  bool partials_flagged = false;
+  bool lonely_flagged = false;
+  for (const analysis::Diagnostic& d : report.diagnostics()) {
+    if (d.code != analysis::DiagCode::kOrphanBasket) continue;
+    if (d.object.find("__partials") != std::string::npos ||
+        d.message.find("__partials") != std::string::npos) {
+      partials_flagged = true;
+    }
+    if (d.object.find("lonely") != std::string::npos ||
+        d.message.find("lonely") != std::string::npos) {
+      lonely_flagged = true;
+    }
+  }
+  EXPECT_FALSE(partials_flagged) << report.ToString();
+  EXPECT_TRUE(lonely_flagged) << report.ToString();
+}
+
+// --- the dynamic state-bound oracle -----------------------------------------
+
+TEST(StateOracleTest, ScalarAggregateStaysUnderConstantBound) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int, y double)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "m", "select avg(y) as m from [select * from s] as t");
+  ASSERT_TRUE(q.ok());
+  auto res = CheckStateBound(engine, *q);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->sound) << res->detail;
+}
+
+TEST(StateOracleTest, CountWindowMeasuredUnderBound) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int, y double)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "w", "select sum(y) as b from [select * from s] as t "
+           "window size 20 slide 7");
+  ASSERT_TRUE(q.ok());
+  StateOracleOptions oopts;
+  oopts.rows = 200;
+  oopts.batch = 13;  // ragged batches leave pending rows buffered
+  auto res = CheckStateBound(engine, *q, oopts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->sound) << res->detail;
+  EXPECT_GT(res->measured_bytes, 0u) << res->detail;  // buffering happened
+  EXPECT_GT(res->bound_bytes, 0) << res->detail;
+}
+
+TEST(StateOracleTest, HintedGroupByRespectsHintDomain) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteSql("create basket s (sym varchar, qty int) "
+                              "with (cardinality(sym) = 16)")
+                  .ok());
+  auto q = engine.SubmitContinuousQuery(
+      "g", "select sym, sum(qty) as total from [select * from s] as t "
+           "group by sym");
+  ASSERT_TRUE(q.ok());
+  auto res = CheckStateBound(engine, *q);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->sound) << res->detail;
+}
+
+TEST(StateOracleTest, StaticJoinIndexUnderBound) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine
+                  .ExecuteScript("create basket s (k int, v double);"
+                                 "create table dims (k int, label varchar);"
+                                 "insert into dims values (1, 'a'), (2, 'b'), "
+                                 "(3, 'c');")
+                  .ok());
+  auto q = engine.SubmitContinuousQuery(
+      "j", "select t.v, d.label from [select * from s] as t "
+           "join dims as d on t.k = d.k");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto res = CheckStateBound(engine, *q);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->sound) << res->detail;
+  EXPECT_GT(res->bound_bytes, 0) << res->detail;
+}
+
+TEST(StateOracleTest, DeliberatelyUnsoundOverrideIsRejected) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int, y double)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "w", "select sum(y) as b from [select * from s] as t "
+           "window size 20 slide 7");
+  ASSERT_TRUE(q.ok());
+  StateOracleOptions oopts;
+  oopts.rows = 200;
+  oopts.batch = 13;
+  oopts.override_bound_bytes = 1;  // no real window fits in one byte
+  auto res = CheckStateBound(engine, *q, oopts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_FALSE(res->sound) << res->detail;
+  EXPECT_NE(res->detail.find("EXCEEDS"), std::string::npos) << res->detail;
+}
+
+TEST(StateOracleTest, UnboundedVerdictIsVacuouslySound) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (sym varchar, qty int)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "g", "select sym, sum(qty) as total from [select * from s] as t "
+           "group by sym");
+  ASSERT_TRUE(q.ok());
+  auto res = CheckStateBound(engine, *q);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res->sound) << res->detail;
+  EXPECT_EQ(res->bound_bytes, -1) << res->detail;  // no numeric claim made
+}
+
+// --- pass-4 observability surfaces ------------------------------------------
+
+TEST(StateMetricsTest, GaugesExportBoundAndMeasured) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int, y double)").ok());
+  auto q1 = engine.SubmitContinuousQuery(
+      "w", "select sum(y) as b from [select * from s] as t window size 10");
+  ASSERT_TRUE(q1.ok());
+  auto q2 = engine.SubmitContinuousQuery(
+      "g", "select x, sum(y) as total from [select * from s] as t group by x");
+  ASSERT_TRUE(q2.ok());
+  std::string text = engine.MetricsText();
+  EXPECT_NE(text.find("datacell_query_state_bound_bytes{query=\"w\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("datacell_query_state_bytes{query=\"w\"}"),
+            std::string::npos);
+  // The unbounded group-by exports the -1 sentinel.
+  size_t pos = text.find("datacell_query_state_bound_bytes{query=\"g\"}");
+  ASSERT_NE(pos, std::string::npos) << text;
+  EXPECT_NE(text.find("-1", pos), std::string::npos);
+}
+
+TEST(StateReportTest, DescribeAndJsonCarryVerdict) {
+  Engine engine(Deterministic());
+  ASSERT_TRUE(engine.ExecuteSql("create basket s (x int, y double)").ok());
+  auto q = engine.SubmitContinuousQuery(
+      "w", "select sum(y) as b from [select * from s] as t window size 10");
+  ASSERT_TRUE(q.ok());
+  auto info = engine.GetQuery(*q);
+  ASSERT_TRUE(info.ok());
+  const analysis::StateReport& state = *(*info)->state;
+  EXPECT_NE(state.Describe().find("window-bounded"), std::string::npos)
+      << state.Describe();
+  std::string json = state.ToJson();
+  EXPECT_NE(json.find("\"verdict\":\"window-bounded\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"operators\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"retention\":"), std::string::npos) << json;
 }
 
 }  // namespace

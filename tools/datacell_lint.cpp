@@ -1,7 +1,8 @@
 // datacell-lint: offline static analysis of DataCell SQL scripts.
 //
 // Usage:  datacell-lint [--strict] [--json] [--partition-report <out.json>]
-//                       [--shards N] file.sql [more.sql ...]
+//                       [--state-report <out.json>] [--shards N]
+//                       file.sql [more.sql ...]
 //
 // Each file is a ';'-separated script in the shell's dialect: DDL, INSERT,
 // one-time SELECTs and continuous queries (either `\watch <name> <sql>;` or
@@ -18,10 +19,16 @@
 // --partition-report writes the pass-3 shard plan for every continuous
 // query in the inputs — the machine-readable artifact the sharding work
 // consumes and CI golden-diffs.
+// --state-report writes the pass-4 state bound for every continuous query
+// in the inputs — the verdict, byte figure and per-operator breakdown CI
+// golden-diffs (examples/sql/state_report.golden.json). Purely static, so
+// the artifact is deterministic.
 // --shards N (N > 1) additionally replays each script against a live
-// N-shard ShardedEngine and records the resulting placement (or the
-// rejection reason) per query as a "placement" field in the report. The
-// default output is unchanged, so golden diffs stay stable.
+// N-shard ShardedEngine, records the resulting placement (or the
+// rejection reason) per query as a "placement" field in the report, and
+// unions every shard's own Analyze() findings into the diagnostics, each
+// prefixed with its shard label. The default output is unchanged, so
+// golden diffs stay stable.
 //
 // Exit status: 1 when any error-severity diagnostic was produced (with
 // --strict, warnings fail too; notes never fail); 0 otherwise. CI runs this
@@ -75,10 +82,20 @@ struct PartitionEntry {
   std::string placement;         // --shards N only; "" otherwise
 };
 
+/// One registered continuous query's pass-4 bound, for --state-report.
+struct StateEntry {
+  std::string file;
+  size_t line = 0;
+  std::string query;
+  std::string sql;
+  std::string report_json;  // StateReport::ToJson()
+};
+
 struct LintOutput {
   LintCounts counts;
   std::vector<LintDiag> diags;
   std::vector<PartitionEntry> partitions;
+  std::vector<StateEntry> states;
 };
 
 void JsonAppendString(std::string& out, const std::string& s) {
@@ -212,8 +229,10 @@ const char* SeverityName(analysis::Severity s) {
 
 /// Emits every finding of `report`. `stmt_line` anchors statement-relative
 /// source positions to the file (0 = file-level report, e.g. the net pass).
+/// `label` (e.g. "shard 1: ") prefixes each message in --shards mode.
 void EmitReport(const char* file, size_t stmt_line,
-                const analysis::AnalysisReport& report, LintOutput* out) {
+                const analysis::AnalysisReport& report, LintOutput* out,
+                const std::string& label = "") {
   for (const analysis::Diagnostic& d : report.diagnostics()) {
     LintDiag ld;
     ld.code = analysis::DiagCodeId(d.code);
@@ -226,7 +245,8 @@ void EmitReport(const char* file, size_t stmt_line,
     } else {
       ld.line = stmt_line;
     }
-    ld.message = std::string(analysis::DiagCodeName(d.code)) + ": " + d.message;
+    ld.message =
+        label + std::string(analysis::DiagCodeName(d.code)) + ": " + d.message;
     if (!d.object.empty()) ld.message += " [in " + d.object + "]";
     Emit(out, std::move(ld));
   }
@@ -333,6 +353,24 @@ void CollectPartitions(const char* path, Engine* engine, const ShardSim* sim,
   }
 }
 
+/// Collects the pass-4 state bounds of every query registered while linting
+/// `path` into the --state-report artifact.
+void CollectStateBounds(const char* path, Engine* engine,
+                        const std::vector<std::pair<size_t, size_t>>& lines,
+                        LintOutput* out) {
+  for (const auto& [id, line] : lines) {
+    auto q = engine->GetQuery(id);
+    if (!q.ok() || (*q)->state == nullptr) continue;
+    StateEntry e;
+    e.file = path;
+    e.line = line;
+    e.query = (*q)->name;
+    e.sql = (*q)->sql;
+    e.report_json = (*q)->state->ToJson();
+    out->states.push_back(std::move(e));
+  }
+}
+
 std::string DiagsJson(const std::vector<LintDiag>& diags) {
   std::string out = "[";
   for (size_t i = 0; i < diags.size(); ++i) {
@@ -348,6 +386,25 @@ std::string DiagsJson(const std::vector<LintDiag>& diags) {
     out += ",\"col\":" + std::to_string(d.col);
     out += ",\"message\":";
     JsonAppendString(out, d.message);
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string StatesJson(const std::vector<StateEntry>& entries) {
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const StateEntry& e = entries[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"file\":";
+    JsonAppendString(out, e.file);
+    out += ",\"line\":" + std::to_string(e.line);
+    out += ",\"query\":";
+    JsonAppendString(out, e.query);
+    out += ",\"sql\":";
+    JsonAppendString(out, e.sql);
+    out += ",\"state\":" + e.report_json;
     out += "}";
   }
   out += "\n]\n";
@@ -386,6 +443,7 @@ int main(int argc, char** argv) {
   bool json = false;
   size_t shards = 0;
   const char* partition_report = nullptr;
+  const char* state_report = nullptr;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -399,6 +457,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       partition_report = argv[++i];
+    } else if (arg == "--state-report") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--state-report needs an output path\n");
+        return 2;
+      }
+      state_report = argv[++i];
     } else if (arg == "--shards") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--shards needs a count\n");
@@ -413,7 +477,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: datacell-lint [--strict] [--json] "
-          "[--partition-report <out.json>] [--shards N] file.sql ...\n");
+          "[--partition-report <out.json>] [--state-report <out.json>] "
+          "[--shards N] file.sql ...\n");
       return 0;
     } else {
       files.push_back(argv[i]);
@@ -422,7 +487,8 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: datacell-lint [--strict] [--json] "
-                 "[--partition-report <out.json>] [--shards N] file.sql ...\n");
+                 "[--partition-report <out.json>] [--state-report <out.json>] "
+                 "[--shards N] file.sql ...\n");
     return 2;
   }
 
@@ -441,7 +507,16 @@ int main(int argc, char** argv) {
     }
     analysis::AnalysisReport net = engine.Analyze();
     EmitReport(path, 0, net, &out);
+    if (sim != nullptr) {
+      // Shard nets can diverge (pinned queries live on one shard only), so
+      // each shard's own analysis is unioned in under its label.
+      for (size_t s = 0; s < sim->engine->num_shards(); ++s) {
+        EmitReport(path, 0, sim->engine->shard(s).Analyze(), &out,
+                   "shard " + std::to_string(s) + ": ");
+      }
+    }
     CollectPartitions(path, &engine, sim.get(), query_lines, &out);
+    CollectStateBounds(path, &engine, query_lines, &out);
   }
 
   if (json) {
@@ -455,6 +530,19 @@ int main(int argc, char** argv) {
       std::ofstream f(partition_report);
       if (!f) {
         std::fprintf(stderr, "cannot write %s\n", partition_report);
+        return 2;
+      }
+      f << rendered;
+    }
+  }
+  if (state_report != nullptr) {
+    std::string rendered = StatesJson(out.states);
+    if (std::string(state_report) == "-") {
+      std::fputs(rendered.c_str(), stdout);
+    } else {
+      std::ofstream f(state_report);
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", state_report);
         return 2;
       }
       f << rendered;
